@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the same experiment harnesses as the paper-reproduction CLI
+(`examples/reproduce_paper.py`) at smoke scale, so `pytest benchmarks/
+--benchmark-only` both times the harnesses and prints every regenerated
+table/figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import SMOKE, Scale, get_artifacts
+
+#: benchmark-wide workload (kept small so the full suite runs in minutes)
+BENCH_SCALE = Scale(
+    name="bench",
+    points_per_frame=3_000,
+    quality_frames=2,
+    image_size=128,
+    train_epochs=8,
+    stream_seconds=60,
+)
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    """Trained refinement net + LUT, shared across all benchmarks."""
+    return get_artifacts(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    return BENCH_SCALE

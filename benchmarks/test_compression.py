@@ -1,0 +1,24 @@
+"""Octree codec rate-distortion benchmark (grounds the 6 B/pt transport)."""
+
+from repro.compression import octree_encode
+from repro.experiments import run_compression_rd
+from repro.pointcloud import make_video
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_compression_rd(benchmark):
+    table = benchmark.pedantic(
+        run_compression_rd, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    print("\n" + table.render())
+    d10 = table.lookup(video="longdress", depth=10)
+    assert 4.0 < d10["bytes_per_point"] < 9.0
+    # Distortion falls monotonically with depth.
+    cds = [r["chamfer"] for r in table.rows if r["video"] == "longdress"]
+    assert all(a > b for a, b in zip(cds, cds[1:]))
+
+
+def test_encode_throughput(benchmark):
+    frame = make_video("longdress", n_points=BENCH_SCALE.points_per_frame,
+                       n_frames=1).frame(0)
+    benchmark(octree_encode, frame, 10)

@@ -1,0 +1,60 @@
+"""Design-choice ablation benches (the DESIGN.md checklist)."""
+
+from repro.experiments import (
+    run_bins_sweep,
+    run_dilation_sweep,
+    run_downsampling_ablation,
+    run_multivideo_eval,
+    run_octree_depth_sweep,
+)
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_ablate_dilation(benchmark):
+    table = benchmark.pedantic(
+        run_dilation_sweep, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    print("\n" + table.render())
+    cvs = table.column("density_cv")
+    assert cvs[1] < cvs[0]  # d=2 more uniform than d=1
+
+
+def test_ablate_bins(benchmark):
+    table = benchmark.pedantic(
+        run_bins_sweep, args=(BENCH_SCALE,), kwargs={"bin_counts": (8, 32, 128)},
+        rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    errs = table.column("lut_vs_net_err")
+    assert errs[-1] < errs[0]
+
+
+def test_ablate_downsampling(benchmark):
+    table = benchmark.pedantic(
+        run_downsampling_ablation, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    print("\n" + table.render())
+    rnd = table.lookup(strategy="random")["encode_ms"]
+    fps = table.lookup(strategy="fps")["encode_ms"]
+    assert fps > 10 * rnd  # why the paper ships random sampling
+
+
+def test_ablate_octree_depth(benchmark):
+    table = benchmark.pedantic(
+        run_octree_depth_sweep, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    print("\n" + table.render())
+    one = table.lookup(levels=1)["query_ms"]
+    two = table.lookup(levels=2)["query_ms"]
+    assert two < one
+
+
+def test_multivideo(benchmark):
+    table = benchmark.pedantic(
+        run_multivideo_eval, args=(BENCH_SCALE,),
+        kwargs={"videos": ("longdress", "lab")}, rounds=1, iterations=1,
+    )
+    print("\n" + table.render())
+    for row in table.rows:
+        if row["system"] != "volut":
+            assert row["norm_qoe"] < 100.0

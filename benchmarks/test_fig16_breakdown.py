@@ -1,0 +1,22 @@
+"""Fig 16 — SR runtime breakdown per stage (device model + measured)."""
+
+from repro.experiments import run_breakdown_device, run_breakdown_measured
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_fig16_device(benchmark):
+    table = benchmark(run_breakdown_device)
+    print("\n" + table.render())
+    for device in ("desktop-gpu", "orange-pi"):
+        shares = {r["stage"]: r["share_pct"] for r in table.rows if r["device"] == device}
+        # Paper: kNN dominates; LUT refinement is the smallest real stage.
+        assert shares["knn"] == max(shares.values())
+
+
+def test_fig16_measured(benchmark):
+    table = benchmark.pedantic(
+        run_breakdown_measured, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    print("\n" + table.render())
+    shares = {r["stage"]: r["share_pct"] for r in table.rows}
+    assert shares["knn"] == max(shares.values())

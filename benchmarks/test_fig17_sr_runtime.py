@@ -1,0 +1,24 @@
+"""Fig 17 — SR runtime on desktop GPU: VoLUT vs YuZu vs GradPU."""
+
+from repro.experiments import run_fig17_device, run_fig17_measured
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_fig17_device(benchmark):
+    table = benchmark(run_fig17_device)
+    print("\n" + table.render())
+    y = table.lookup(system="yuzu")["slowdown_vs_volut"]
+    g = table.lookup(system="gradpu")["slowdown_vs_volut"]
+    assert 6 < y < 14          # paper: 8.4x
+    assert 1e4 < g < 1e5       # paper: 46,400x
+
+
+def test_fig17_measured(benchmark):
+    table = benchmark.pedantic(
+        run_fig17_measured, args=(BENCH_SCALE,), rounds=1, iterations=1
+    )
+    print("\n" + table.render())
+    v = table.lookup(system="volut")["ms"]
+    y = table.lookup(system="yuzu")["ms"]
+    g = table.lookup(system="gradpu")["ms"]
+    assert v < y < g

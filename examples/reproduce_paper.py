@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure from the paper's evaluation section.
+
+Runs the full experiment suite (Table 1, Figs 4, 7-18) at the chosen scale
+and prints each result table.  ``--scale smoke`` (default) finishes in a
+couple of minutes; ``--scale paper`` uses §7.1-sized workloads and takes
+much longer in pure Python.
+
+Run:  python examples/reproduce_paper.py [--scale smoke|paper] [--only fig11]
+"""
+
+import argparse
+import time
+
+from repro.experiments import (
+    PAPER,
+    SMOKE,
+    run_ablation,
+    run_breakdown_device,
+    run_breakdown_measured,
+    run_fig4,
+    run_fig11_device,
+    run_fig11_measured,
+    run_fig17_device,
+    run_fig17_measured,
+    run_fig18_device,
+    run_memory_usage,
+    run_sr_quality,
+    run_streaming_eval,
+    run_table1,
+)
+
+EXPERIMENTS = {
+    "table1": lambda scale: run_table1(),
+    "fig4": run_fig4,
+    "fig7-10": run_sr_quality,
+    "fig11-measured": lambda scale: run_fig11_measured(scale),
+    "fig11-device": lambda scale: run_fig11_device(),
+    "fig12-13": run_streaming_eval,
+    "fig14": run_ablation,
+    "fig15": lambda scale: run_memory_usage(),
+    "fig16-device": lambda scale: run_breakdown_device(),
+    "fig16-measured": run_breakdown_measured,
+    "fig17-device": lambda scale: run_fig17_device(),
+    "fig17-measured": run_fig17_measured,
+    "fig18": lambda scale: run_fig18_device(),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["smoke", "paper"], default="smoke")
+    parser.add_argument(
+        "--only",
+        choices=sorted(EXPERIMENTS),
+        default=None,
+        help="run a single experiment",
+    )
+    args = parser.parse_args()
+    scale = PAPER if args.scale == "paper" else SMOKE
+
+    names = [args.only] if args.only else list(EXPERIMENTS)
+    for name in names:
+        t0 = time.time()
+        table = EXPERIMENTS[name](scale)
+        print(table.render())
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Octree point-cloud compression (the streaming transport format)."""
+
+from .morton import MAX_DEPTH, morton_decode, morton_encode
+from .octree_codec import (
+    EncodedCloud,
+    compression_summary,
+    octree_decode,
+    octree_encode,
+)
+
+__all__ = [
+    "morton_encode",
+    "morton_decode",
+    "MAX_DEPTH",
+    "EncodedCloud",
+    "octree_encode",
+    "octree_decode",
+    "compression_summary",
+]

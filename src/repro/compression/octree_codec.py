@@ -1,0 +1,244 @@
+"""GROOT-class octree point-cloud codec.
+
+The streaming systems in the paper (GROOT, ViVo, YuZu, VoLUT's server) all
+ship octree-compressed geometry rather than raw float32 points; our
+streaming byte model assumes ~6 bytes/point for the compressed transport
+format.  This module implements the codec that grounds that constant:
+
+* **geometry** — voxelize to a 2^depth grid and serialize the occupancy
+  octree breadth-first, one *occupancy byte* (8 child-presence bits) per
+  internal node.  On surface-sampled content this costs ~1–1.5 bytes per
+  occupied leaf, matching published octree-codec rates;
+* **attributes** — per-voxel mean RGB, delta-coded along the Morton curve
+  (neighbors on the curve are spatial neighbors, and our textures — like
+  real captures — are locally smooth, so deltas are small and the stream is
+  friendly to any entropy stage; we additionally apply a cheap zero-run
+  length pass).
+
+The codec is lossy exactly the way real pipelines are: positions snap to
+voxel centers (bounded by the grid resolution) and co-located points merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pointcloud.cloud import PointCloud
+from .morton import MAX_DEPTH, morton_decode, morton_encode
+
+__all__ = ["EncodedCloud", "octree_encode", "octree_decode", "compression_summary"]
+
+_MAGIC = b"OCPC"
+
+
+@dataclass
+class EncodedCloud:
+    """An octree-encoded point cloud plus its serialization."""
+
+    payload: bytes
+    n_voxels: int
+    depth: int
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    def bytes_per_point(self) -> float:
+        return self.nbytes / max(self.n_voxels, 1)
+
+
+def _zero_rle_encode(data: np.ndarray) -> bytes:
+    """Byte-stream zero-run-length coding.
+
+    ``0x00`` is escaped as ``0x00 <run-1>`` (run ≤ 256).  Smooth color
+    deltas are mostly zero, so this captures the bulk of an entropy coder's
+    win without pulling in one.
+    """
+    data = np.asarray(data, dtype=np.uint8)
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        b = data[i]
+        if b != 0:
+            out.append(b)
+            i += 1
+            continue
+        run = 1
+        while i + run < n and run < 256 and data[i + run] == 0:
+            run += 1
+        out.append(0)
+        out.append(run - 1)
+        i += run
+    return bytes(out)
+
+
+def _zero_rle_decode(data: bytes, expected: int) -> np.ndarray:
+    out = np.empty(expected, dtype=np.uint8)
+    pos = 0
+    i = 0
+    n = len(data)
+    while i < n and pos < expected:
+        b = data[i]
+        if b != 0:
+            out[pos] = b
+            pos += 1
+            i += 1
+        else:
+            if i + 1 >= n:
+                raise ValueError("truncated zero run")
+            run = data[i + 1] + 1
+            if pos + run > expected:
+                raise ValueError("zero run overflows output")
+            out[pos : pos + run] = 0
+            pos += run
+            i += 2
+    if pos != expected:
+        raise ValueError(f"RLE stream decoded {pos} of {expected} bytes")
+    return out
+
+
+def _occupancy_bytes(codes: np.ndarray, depth: int) -> list[np.ndarray]:
+    """Per-level occupancy bytes, root level first.
+
+    ``codes`` are sorted unique leaf Morton codes.  At each level, children
+    sharing a parent contribute presence bits to one byte; parents are
+    visited in sorted order, which is exactly the order the decoder
+    regenerates them in.
+    """
+    levels: list[np.ndarray] = []
+    current = codes
+    for _ in range(depth):
+        parents = current >> np.uint64(3)
+        child = (current & np.uint64(7)).astype(np.int64)
+        # Group consecutive equal parents (codes are sorted).
+        boundary = np.flatnonzero(np.r_[True, parents[1:] != parents[:-1]])
+        group_of = np.cumsum(np.r_[True, parents[1:] != parents[:-1]]) - 1
+        occ = np.zeros(len(boundary), dtype=np.uint8)
+        np.bitwise_or.at(occ, group_of, (1 << child).astype(np.uint8))
+        levels.append(occ)
+        current = parents[boundary]
+    levels.reverse()  # root first
+    return levels
+
+
+def octree_encode(cloud: PointCloud, depth: int = 10) -> EncodedCloud:
+    """Encode ``cloud`` at ``2^depth`` voxels per axis.
+
+    Layout: magic, depth (u8), has_colors (u8), bbox (6 × f32), voxel
+    count (u32), per-level occupancy streams, then RLE'd Morton-order color
+    deltas when colors are present.
+    """
+    if not 1 <= depth <= MAX_DEPTH:
+        raise ValueError(f"depth must be in [1, {MAX_DEPTH}]")
+    n = len(cloud)
+    if n == 0:
+        header = _MAGIC + bytes([depth, 0]) + np.zeros(6, "<f4").tobytes()
+        return EncodedCloud(
+            payload=header + np.array([0], "<u4").tobytes(), n_voxels=0, depth=depth
+        )
+    lo, hi = cloud.bounds()
+    span = np.maximum(hi - lo, 1e-12)
+    cells = 1 << depth
+    ijk = np.minimum(
+        (cloud.positions - lo) / span * cells, cells - 1
+    ).astype(np.int64)
+    codes = morton_encode(ijk)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    uniq_mask = np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
+    leaf_codes = sorted_codes[uniq_mask]
+    n_voxels = len(leaf_codes)
+
+    parts = [
+        _MAGIC,
+        bytes([depth, 1 if cloud.has_colors else 0]),
+        np.concatenate([lo, hi]).astype("<f4").tobytes(),
+        np.array([n_voxels], "<u4").tobytes(),
+    ]
+    for level in _occupancy_bytes(leaf_codes, depth):
+        parts.append(level.tobytes())
+
+    if cloud.has_colors:
+        # Mean color per voxel, in leaf (Morton) order.
+        starts = np.flatnonzero(uniq_mask)
+        counts = np.diff(np.r_[starts, n])
+        col_sorted = cloud.colors[order].astype(np.float64)
+        sums = np.add.reduceat(col_sorted, starts, axis=0)
+        voxel_rgb = np.clip(np.round(sums / counts[:, None]), 0, 255).astype(np.uint8)
+        flat = voxel_rgb.reshape(-1).astype(np.int16)
+        deltas = np.diff(np.r_[np.int16(0), flat]).astype(np.int16)
+        rle = _zero_rle_encode((deltas & 0xFF).astype(np.uint8))
+        parts.append(np.array([len(rle)], "<u4").tobytes())
+        parts.append(rle)
+
+    return EncodedCloud(payload=b"".join(parts), n_voxels=n_voxels, depth=depth)
+
+
+def octree_decode(encoded: EncodedCloud | bytes) -> PointCloud:
+    """Decode to voxel-center positions (+ per-voxel colors)."""
+    payload = encoded.payload if isinstance(encoded, EncodedCloud) else encoded
+    if payload[:4] != _MAGIC:
+        raise ValueError("not an octree-codec payload")
+    depth = payload[4]
+    has_colors = bool(payload[5])
+    off = 6
+    bbox = np.frombuffer(payload[off : off + 24], "<f4").astype(np.float64)
+    lo, hi = bbox[:3], bbox[3:]
+    off += 24
+    n_voxels = int(np.frombuffer(payload[off : off + 4], "<u4")[0])
+    off += 4
+    if n_voxels == 0:
+        return PointCloud.empty(with_colors=has_colors)
+
+    # Walk levels root-down, expanding occupancy bytes into child codes.
+    codes = np.zeros(1, dtype=np.uint64)  # the root
+    for _ in range(depth):
+        n_nodes = len(codes)
+        occ = np.frombuffer(payload[off : off + n_nodes], np.uint8)
+        if len(occ) < n_nodes:
+            raise ValueError("occupancy stream truncated")
+        off += n_nodes
+        bits = (occ[:, None] >> np.arange(8, dtype=np.uint8)) & 1
+        parent_idx, child = np.nonzero(bits)
+        codes = (codes[parent_idx] << np.uint64(3)) | child.astype(np.uint64)
+    if len(codes) != n_voxels:
+        raise ValueError(
+            f"decoded {len(codes)} leaves, header promised {n_voxels}"
+        )
+
+    cells = 1 << depth
+    ijk = morton_decode(codes)
+    span = np.maximum(hi - lo, 1e-12)
+    pos = lo + (ijk + 0.5) / cells * span
+
+    colors = None
+    if has_colors:
+        rle_len = int(np.frombuffer(payload[off : off + 4], "<u4")[0])
+        off += 4
+        delta_bytes = _zero_rle_decode(payload[off : off + rle_len], n_voxels * 3)
+        deltas = delta_bytes.astype(np.int8).astype(np.int16)
+        flat = np.cumsum(deltas).astype(np.int16) & 0xFF
+        colors = flat.reshape(n_voxels, 3).astype(np.uint8)
+    return PointCloud(pos, colors)
+
+
+def compression_summary(cloud: PointCloud, depth: int = 10) -> dict:
+    """Rate/distortion of the codec on ``cloud`` (used by tests/benches)."""
+    from ..metrics.chamfer import chamfer_distance
+
+    enc = octree_encode(cloud, depth)
+    dec = octree_decode(enc)
+    raw = cloud.nbytes()
+    return {
+        "depth": depth,
+        "n_points": len(cloud),
+        "n_voxels": enc.n_voxels,
+        "raw_bytes": raw,
+        "compressed_bytes": enc.nbytes,
+        "bytes_per_point": enc.bytes_per_point(),
+        "compression_ratio": raw / max(enc.nbytes, 1),
+        "chamfer": chamfer_distance(dec, cloud),
+    }

@@ -1,0 +1,100 @@
+"""CLI experiment runner: ``python -m repro.experiments [name ...]``.
+
+Runs the named experiments (default: all) at the chosen scale and prints
+each regenerated table/figure.  ``--list`` enumerates what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    PAPER,
+    SMOKE,
+    run_ablation,
+    run_bins_sweep,
+    run_breakdown_device,
+    run_breakdown_measured,
+    run_compression_rd,
+    run_dilation_sweep,
+    run_downsampling_ablation,
+    run_fig4,
+    run_fig11_device,
+    run_fig11_measured,
+    run_fig17_device,
+    run_fig17_measured,
+    run_fig18_device,
+    run_memory_usage,
+    run_multivideo_eval,
+    run_octree_depth_sweep,
+    run_sr_quality,
+    run_streaming_eval,
+    run_table1,
+)
+
+REGISTRY = {
+    "table1": lambda scale: run_table1(),
+    "fig4": run_fig4,
+    "fig7-10": run_sr_quality,
+    "fig11-measured": run_fig11_measured,
+    "fig11-device": lambda scale: run_fig11_device(),
+    "fig12-13": run_streaming_eval,
+    "fig14": run_ablation,
+    "fig15": lambda scale: run_memory_usage(),
+    "fig16-device": lambda scale: run_breakdown_device(),
+    "fig16-measured": run_breakdown_measured,
+    "fig17-device": lambda scale: run_fig17_device(),
+    "fig17-measured": run_fig17_measured,
+    "fig18": lambda scale: run_fig18_device(),
+    "ablate-dilation": run_dilation_sweep,
+    "ablate-bins": run_bins_sweep,
+    "ablate-downsampling": run_downsampling_ablation,
+    "ablate-octree-depth": run_octree_depth_sweep,
+    "compression-rd": run_compression_rd,
+    "multivideo": run_multivideo_eval,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    parser.add_argument("names", nargs="*", help="experiments to run (default: all)")
+    parser.add_argument("--scale", choices=["smoke", "paper"], default="smoke")
+    parser.add_argument("--list", action="store_true", help="list experiment names")
+    parser.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="also write the rendered tables to a markdown file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in REGISTRY:
+            print(name)
+        return 0
+
+    names = args.names or list(REGISTRY)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; use --list")
+
+    scale = PAPER if args.scale == "paper" else SMOKE
+    sections: list[str] = []
+    for name in names:
+        t0 = time.time()
+        rendered = REGISTRY[name](scale).render()
+        print(rendered)
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+        sections.append(f"## {name}\n\n```\n{rendered}\n```\n")
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(f"# VoLUT reproduction — experiment report ({scale.name} scale)\n\n")
+            fh.write("\n".join(sections))
+        print(f"report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Figure 14 + Table 2 — system ablation under fluctuating bandwidth.
+
+Variants (paper Table 2):
+
+* **H1** — VoLUT with continuous ABR (the full system);
+* **H2** — VoLUT with discrete ABR (YuZu's ratio set);
+* **H3** — discrete ABR *and* YuZu's SR latency.
+
+The paper reports H2 losing 15.3% QoE and +14% data vs H1, and H3 losing
+36.7% QoE — attributing the latter to SR speed's effect on stalls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..net.traces import PAPER_LTE_PROFILES, lte_trace
+from ..streaming.chunks import VideoSpec
+from ..systems.factory import (
+    run_system,
+    volut_discrete_system,
+    volut_system,
+    yuzu_sr_system,
+)
+from .common import SMOKE, ResultTable, Scale
+from .streaming_eval import default_spec
+
+__all__ = ["run_ablation", "VARIANTS"]
+
+VARIANTS = ("H1", "H2", "H3")
+
+
+def run_ablation(
+    scale: Scale = SMOKE,
+    lte_profiles: tuple[tuple[float, float], ...] = PAPER_LTE_PROFILES,
+    seed: int = 0,
+) -> ResultTable:
+    """QoE vs data usage for H1/H2/H3 over the LTE trace set."""
+    spec = default_spec(scale)
+    traces = [
+        lte_trace(mean, std, duration=scale.stream_seconds, seed=seed + int(mean))
+        for mean, std in lte_profiles
+    ]
+    systems = {
+        "H1": volut_system(),
+        "H2": volut_discrete_system(),
+        "H3": yuzu_sr_system(),
+    }
+    table = ResultTable(
+        title="Fig 14 / Table 2: ablation (H1 continuous, H2 discrete, H3 +YuZu SR)",
+        columns=["variant", "qoe", "norm_qoe", "data_mb", "data_vs_h1", "stall_s"],
+        notes="LTE trace family; H3 = discrete ABR + YuZu SR latency + models.",
+    )
+    results = {}
+    for name, setup in systems.items():
+        runs = [run_system(setup, spec, t) for t in traces]
+        results[name] = {
+            "qoe": float(np.mean([r.qoe for r in runs])),
+            "bytes": float(np.mean([r.total_bytes for r in runs])),
+            "stall": float(np.mean([r.stall_seconds for r in runs])),
+        }
+    base = results["H1"]
+    for name in VARIANTS:
+        r = results[name]
+        table.add(
+            variant=name,
+            qoe=round(r["qoe"], 2),
+            norm_qoe=round(100.0 * r["qoe"] / base["qoe"], 1) if base["qoe"] else 0.0,
+            data_mb=round(r["bytes"] / 1e6, 1),
+            data_vs_h1=round(100.0 * r["bytes"] / base["bytes"], 1),
+            stall_s=round(r["stall"], 2),
+        )
+    return table

@@ -1,0 +1,82 @@
+"""Streaming evaluation across all four paper videos (§7.1).
+
+The headline streaming figures use Long Dress; this sweep repeats the
+(system × trace) grid for every video.  Content enters the byte model
+through its **measured compressibility**: each video's synthetic frames are
+pushed through the octree codec and the realized bytes/point parameterizes
+its :class:`VideoSpec` — so the static *lab* scan streams cheaper than the
+two-person *haggle* capture, as real content would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compression.octree_codec import compression_summary
+from ..net.traces import lte_trace, stable_trace
+from ..pointcloud.datasets import PAPER_VIDEOS, make_video
+from ..streaming.chunks import VideoSpec
+from ..systems.factory import run_system, vivo_system, volut_system, yuzu_sr_system
+from .common import SMOKE, ResultTable, Scale
+
+__all__ = ["run_multivideo_eval", "measured_bytes_per_point"]
+
+
+def measured_bytes_per_point(
+    name: str, scale: Scale, depth: int = 10, seed: int = 0
+) -> float:
+    """Codec rate of one synthetic frame of ``name`` (bytes per point)."""
+    frame = make_video(
+        name, n_points=scale.points_per_frame, n_frames=1, seed=seed
+    ).frame(0)
+    return float(compression_summary(frame, depth)["bytes_per_point"])
+
+
+def run_multivideo_eval(
+    scale: Scale = SMOKE,
+    videos: tuple[str, ...] = ("longdress", "loot", "haggle", "lab"),
+    seed: int = 0,
+) -> ResultTable:
+    """Normalized QoE per (video, system) on stable-50 and low-LTE links."""
+    table = ResultTable(
+        title="Multi-video streaming: normalized QoE per content",
+        columns=["video", "bpp", "condition", "system", "norm_qoe", "stall_s"],
+        notes="VoLUT=100 per (video, condition); bpp = measured codec "
+        "bytes/point of this content.",
+    )
+    for name in videos:
+        spec_info = PAPER_VIDEOS[name]
+        bpp = measured_bytes_per_point(name, scale, seed=seed)
+        # Cap session length at the scale's streaming budget.
+        n_frames = min(
+            spec_info["frames"] * spec_info["loops"],
+            scale.stream_seconds * spec_info["fps"],
+        )
+        spec = VideoSpec(
+            name=name,
+            n_frames=n_frames,
+            fps=spec_info["fps"],
+            points_per_frame=scale.device_points,
+            bytes_per_point=bpp,
+        )
+        conditions = [
+            ("stable-50", stable_trace(50.0, duration=scale.stream_seconds)),
+            ("lte-low", lte_trace(32.5, 13.5, duration=scale.stream_seconds,
+                                  seed=seed)),
+        ]
+        for cond_name, trace in conditions:
+            results = {}
+            for factory in (volut_system, yuzu_sr_system, vivo_system):
+                setup = factory()
+                results[setup.name] = run_system(setup, spec, trace)
+            base = results["volut"].qoe
+            for sys_name, r in results.items():
+                table.add(
+                    video=name,
+                    bpp=round(bpp, 2),
+                    condition=cond_name,
+                    system=sys_name,
+                    norm_qoe=round(100.0 * r.qoe / base, 1) if base else 0.0,
+                    stall_s=round(r.stall_seconds, 2),
+                )
+    return table

@@ -1,0 +1,70 @@
+"""Figure 16 — end-to-end SR runtime breakdown per stage.
+
+Shows where time goes in the VoLUT client on desktop-GPU and Orange-Pi
+profiles (device model at paper scale) and in the actual Python pipeline
+(measured at reduced scale).  The paper's observation to reproduce: kNN
+search dominates, then interpolation, with LUT refinement the smallest
+share on every platform.
+"""
+
+from __future__ import annotations
+
+from ..devices import DESKTOP_GPU, ORANGE_PI, CostModel
+from ..pointcloud.datasets import make_video
+from ..pointcloud.sampling import random_downsample_count
+from ..sr.pipeline import VolutUpsampler
+from .artifacts import get_artifacts
+from .common import SMOKE, ResultTable, Scale
+
+__all__ = ["run_breakdown_device", "run_breakdown_measured"]
+
+STAGES = ("knn", "interpolation", "colorization", "refinement")
+
+
+def run_breakdown_device(
+    ratio: float = 2.0, full_points: int = 100_000
+) -> ResultTable:
+    """Device-modeled stage shares for the VoLUT client."""
+    table = ResultTable(
+        title="Fig 16 (device model): VoLUT SR runtime breakdown",
+        columns=["device", "stage", "ms", "share_pct"],
+        notes="workload: 100K-point frame fetched at 1/ratio density.",
+    )
+    n_in = int(full_points / ratio)
+    for profile in (DESKTOP_GPU, ORANGE_PI):
+        stages = CostModel.volut_frame(n_in, ratio, profile)
+        total = sum(stages.values())
+        for stage in STAGES:
+            table.add(
+                device=profile.name,
+                stage=stage,
+                ms=round(stages[stage] * 1e3, 3),
+                share_pct=round(100.0 * stages[stage] / total, 1),
+            )
+    return table
+
+
+def run_breakdown_measured(
+    scale: Scale = SMOKE, ratio: float = 2.0, seed: int = 0
+) -> ResultTable:
+    """Measured stage shares of the actual Python pipeline."""
+    art = get_artifacts(scale, seed=seed)
+    video = make_video("longdress", n_points=scale.points_per_frame, n_frames=1)
+    full = video.frame(0)
+    low = random_downsample_count(full, int(len(full) / ratio), seed=seed)
+    up = VolutUpsampler(lut=art.lut, k=4, dilation=2, seed=seed)
+    result = up.upsample(low, ratio)
+    times = result.times.as_dict()
+    total = times["total"]
+    table = ResultTable(
+        title="Fig 16 (measured): VoLUT SR runtime breakdown (Python)",
+        columns=["stage", "ms", "share_pct"],
+        notes="reduced-scale wall clock; shares are the comparable quantity.",
+    )
+    for stage in STAGES:
+        table.add(
+            stage=stage,
+            ms=round(times[stage] * 1e3, 3),
+            share_pct=round(100.0 * times[stage] / total, 1) if total else 0.0,
+        )
+    return table

@@ -1,0 +1,114 @@
+"""Figures 17–18 — SR runtime across systems and upsampling ratios.
+
+* Fig. 17: SR FPS on the desktop GPU for VoLUT vs YuZu vs GradPU (the
+  8.4× and 46,400× headline comparisons);
+* Fig. 18: VoLUT SR FPS on the Orange Pi across upsampling ratios with a
+  *fixed input size* — demonstrating the paper's observation that latency
+  stays roughly flat because the kNN over input points dominates.
+
+Both views come from the device model; a measured companion (actual Python
+pipelines, same systems, reduced scale) validates the orderings.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..devices import DESKTOP_GPU, ORANGE_PI, CostModel
+from ..pointcloud.datasets import make_video
+from ..pointcloud.sampling import random_downsample_count
+from ..sr.gradpu import GradPUUpsampler
+from ..sr.pipeline import VolutUpsampler
+from ..sr.yuzu import YuzuSRModel
+from .artifacts import get_artifacts
+from .common import SMOKE, ResultTable, Scale
+
+__all__ = ["run_fig17_device", "run_fig18_device", "run_fig17_measured"]
+
+
+def run_fig17_device(
+    ratio: float = 2.0, full_points: int = 100_000
+) -> ResultTable:
+    """SR FPS on the desktop GPU: VoLUT vs YuZu vs GradPU (device model)."""
+    n_in = int(full_points / ratio)
+    table = ResultTable(
+        title="Fig 17 (device model): SR runtime on desktop GPU",
+        columns=["system", "fps", "ms_per_frame", "slowdown_vs_volut"],
+        notes=f"workload: {n_in} -> {full_points} points (x{ratio:g}).",
+    )
+    base = CostModel.frame_seconds("volut", n_in, ratio, DESKTOP_GPU)
+    for system in ("volut", "yuzu", "gradpu"):
+        sec = CostModel.frame_seconds(system, n_in, ratio, DESKTOP_GPU)
+        table.add(
+            system=system,
+            fps=round(1.0 / sec, 2),
+            ms_per_frame=round(sec * 1e3, 4),
+            slowdown_vs_volut=round(sec / base, 1),
+        )
+    return table
+
+
+def run_fig18_device(
+    ratios: tuple[float, ...] = (2.0, 3.0, 4.0, 6.0, 8.0),
+    n_input: int = 12_500,
+) -> ResultTable:
+    """VoLUT SR FPS on the Orange Pi vs upsampling ratio, fixed input."""
+    table = ResultTable(
+        title="Fig 18 (device model): VoLUT SR FPS on Orange Pi vs ratio",
+        columns=["ratio", "n_input", "n_output", "fps", "knn_share_pct"],
+        notes="fixed input size; latency stays ~flat because kNN dominates.",
+    )
+    for ratio in ratios:
+        stages = CostModel.volut_frame(n_input, ratio, ORANGE_PI)
+        total = sum(stages.values())
+        table.add(
+            ratio=ratio,
+            n_input=n_input,
+            n_output=int(n_input * ratio),
+            fps=round(1.0 / total, 1),
+            knn_share_pct=round(100.0 * stages["knn"] / total, 1),
+        )
+    return table
+
+
+def run_fig17_measured(
+    scale: Scale = SMOKE, ratio: float = 2.0, seed: int = 0
+) -> ResultTable:
+    """Measured SR wall-clock of the actual Python pipelines.
+
+    GradPU runs few steps here to stay tractable; the ordering
+    (VoLUT < YuZu < GradPU in latency) is the reproduced property.
+    """
+    art = get_artifacts(scale, seed=seed)
+    video = make_video("longdress", n_points=scale.points_per_frame, n_frames=1)
+    full = video.frame(0)
+    n_in = int(len(full) / ratio)
+    low = random_downsample_count(full, n_in, seed=seed)
+
+    volut = VolutUpsampler(lut=art.lut, k=4, dilation=2, seed=seed)
+    yuzu = YuzuSRModel(ratio=max(2, int(round(ratio))), encoder=art.encoder, seed=seed)
+    gradpu = GradPUUpsampler(net=art.net, encoder=art.encoder, n_steps=6, seed=seed)
+
+    def clock(fn) -> float:
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    timings = {
+        "volut": clock(lambda: volut.upsample(low, ratio)),
+        "yuzu": clock(lambda: yuzu.upsample(low)),
+        "gradpu": clock(lambda: gradpu.upsample(low, ratio)),
+    }
+    table = ResultTable(
+        title="Fig 17 (measured): SR wall-clock, Python pipelines",
+        columns=["system", "ms", "slowdown_vs_volut"],
+        notes="reduced scale; orderings are the comparable quantity.",
+    )
+    base = timings["volut"]
+    for system, sec in timings.items():
+        table.add(
+            system=system,
+            ms=round(sec * 1e3, 2),
+            slowdown_vs_volut=round(sec / base, 2),
+        )
+    return table

@@ -1,0 +1,52 @@
+"""Table 1 — LUT memory analysis for (RF size, bins) configurations.
+
+Purely analytic (Eqs. 5 & 7); reproduces the paper's rows exactly, plus the
+occupied-entry sizes the hashed implementation actually stores.
+"""
+
+from __future__ import annotations
+
+from ..sr.lut import lut_entries, lut_entries_full, lut_memory_bytes
+from .common import ResultTable
+
+__all__ = ["run_table1"]
+
+# Decimal units — the paper's Table 1 reports 1.61 GB for 805,306,368
+# entries x 2 bytes, i.e. GB = 1e9.
+_GB = 10 ** 9
+_MB = 10 ** 6
+
+
+def _human(nbytes: float) -> str:
+    if nbytes >= _GB:
+        return f"{nbytes / _GB:.2f} GB"
+    if nbytes >= _MB:
+        return f"{nbytes / _MB:.2f} MB"
+    return f"{nbytes / 1e3:.2f} KB"
+
+
+def run_table1(
+    rf_sizes: tuple[int, ...] = (3, 4, 5),
+    bin_counts: tuple[int, ...] = (128, 64),
+) -> ResultTable:
+    """Reproduce Table 1: entries and float16 storage per configuration."""
+    table = ResultTable(
+        title="Table 1: LUT memory by (RF size n, bins b)",
+        columns=["rf_size", "bins", "entries", "size", "eq5_keyspace"],
+        notes=(
+            "entries/size follow the paper's Table 1 (b^n x 3 float16 slots); "
+            "eq5_keyspace is the Eq. 5 literal b^(n*3), whose impossibility "
+            "is why real implementations index a reduced space (HashedLUT)."
+        ),
+    )
+    for n in rf_sizes:
+        for b in bin_counts:
+            nbytes = lut_memory_bytes(n, b)
+            table.add(
+                rf_size=n,
+                bins=b,
+                entries=lut_entries(n, b),
+                size=_human(nbytes),
+                eq5_keyspace=f"{float(lut_entries_full(n, b)):.2e}",
+            )
+    return table

@@ -1,0 +1,31 @@
+"""Quality and experience metrics."""
+
+from .chamfer import (
+    chamfer_distance,
+    geometry_psnr,
+    hausdorff_distance,
+    p2p_distances,
+)
+from .psnr import image_mse, image_psnr, mean_image_psnr
+from .qoe import ChunkRecord, QoEModel, QoEWeights, session_qoe
+from .temporal import flicker_index, temporal_chamfer
+from .uniformity import coverage_radius, local_density_cv, nn_distance_cv
+
+__all__ = [
+    "chamfer_distance",
+    "hausdorff_distance",
+    "geometry_psnr",
+    "p2p_distances",
+    "image_psnr",
+    "image_mse",
+    "mean_image_psnr",
+    "nn_distance_cv",
+    "local_density_cv",
+    "coverage_radius",
+    "QoEModel",
+    "QoEWeights",
+    "ChunkRecord",
+    "session_qoe",
+    "temporal_chamfer",
+    "flicker_index",
+]

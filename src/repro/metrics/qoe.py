@@ -1,0 +1,128 @@
+"""QoE model (paper §5.1, Eq. 10 — borrowed from YuZu's formulation).
+
+    QoE = Σ_i ( α·Q(r_i) − β·V(r_i, r_{i−1}) − γ·S(r_i) )
+
+* ``Q`` — visual quality, the post-SR point density viewed by the user,
+  normalized by the full-density point count so Q ∈ [0, 1] per chunk;
+* ``V`` — quality-variation penalty between consecutive chunks, with a
+  higher weight on quality *drops* (more noticeable to viewers);
+* ``S`` — stall time in seconds attributed to the chunk.
+
+The same model is used both inside the MPC controller (to plan) and by the
+evaluation harness (to score finished sessions), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QoEWeights", "ChunkRecord", "QoEModel", "session_qoe"]
+
+
+@dataclass(frozen=True)
+class QoEWeights:
+    """Coefficients of Eq. 10.
+
+    ``drop_multiplier`` scales the variation penalty when quality decreases
+    ("higher weights for quality drops").
+    """
+
+    alpha: float = 1.0
+    beta: float = 0.5
+    gamma: float = 2.0
+    drop_multiplier: float = 2.0
+
+
+@dataclass
+class ChunkRecord:
+    """What the viewer experienced for one chunk."""
+
+    #: displayed (post-SR) point density as a fraction of full density
+    quality: float
+    #: rebuffering time attributed to this chunk, seconds
+    stall: float = 0.0
+    #: bytes downloaded for this chunk (media + any models/metadata)
+    bytes_downloaded: int = 0
+
+
+class QoEModel:
+    """Evaluates Eq. 10 over chunk sequences."""
+
+    def __init__(self, weights: QoEWeights | None = None):
+        self.weights = weights or QoEWeights()
+
+    # ------------------------------------------------------------------
+    def quality_term(self, quality: float) -> float:
+        """α·Q for one chunk."""
+        return self.weights.alpha * float(quality)
+
+    def variation_term(self, quality: float, prev_quality: float | None) -> float:
+        """β·V between consecutive chunks (0 for the first chunk)."""
+        if prev_quality is None:
+            return 0.0
+        delta = quality - prev_quality
+        mult = self.weights.drop_multiplier if delta < 0 else 1.0
+        return self.weights.beta * mult * abs(delta)
+
+    def stall_term(self, stall: float) -> float:
+        """γ·S for one chunk."""
+        if stall < 0:
+            raise ValueError("stall must be non-negative")
+        return self.weights.gamma * float(stall)
+
+    # ------------------------------------------------------------------
+    def chunk_qoe(self, rec: ChunkRecord, prev_quality: float | None) -> float:
+        """Per-chunk contribution to the session QoE."""
+        return (
+            self.quality_term(rec.quality)
+            - self.variation_term(rec.quality, prev_quality)
+            - self.stall_term(rec.stall)
+        )
+
+    def session(self, records: list[ChunkRecord]) -> float:
+        """Total QoE of a session."""
+        total, prev = 0.0, None
+        for rec in records:
+            total += self.chunk_qoe(rec, prev)
+            prev = rec.quality
+        return total
+
+    def plan_value(
+        self,
+        qualities: list[float],
+        stalls: list[float],
+        prev_quality: float | None,
+    ) -> float:
+        """Value of a candidate plan over the MPC horizon (used by the ABR)."""
+        if len(qualities) != len(stalls):
+            raise ValueError("qualities and stalls must align")
+        total = 0.0
+        prev = prev_quality
+        for q, s in zip(qualities, stalls):
+            total += (
+                self.quality_term(q)
+                - self.variation_term(q, prev)
+                - self.stall_term(s)
+            )
+            prev = q
+        return total
+
+
+def session_qoe(
+    records: list[ChunkRecord], weights: QoEWeights | None = None
+) -> dict[str, float]:
+    """Score a session; returns QoE plus the aggregates the paper reports."""
+    model = QoEModel(weights)
+    qoe = model.session(records)
+    total_bytes = sum(r.bytes_downloaded for r in records)
+    stall = sum(r.stall for r in records)
+    mean_q = float(np.mean([r.quality for r in records])) if records else 0.0
+    return {
+        "qoe": qoe,
+        "bytes": float(total_bytes),
+        "stall_seconds": stall,
+        "mean_quality": mean_q,
+        "n_chunks": float(len(records)),
+    }

@@ -1,0 +1,76 @@
+"""Temporal-stability metrics for volumetric video.
+
+Per-frame SR can be geometrically accurate yet *flicker*: if consecutive
+frames' reconstructions place points differently, the rendered video
+shimmers even when each still image looks fine.  These metrics quantify
+that axis (not reported in the paper's figures, but a practical concern
+for any per-frame SR system and a natural extension experiment):
+
+* :func:`temporal_chamfer` — Chamfer distance between consecutive
+  reconstructions, minus the ground-truth motion floor;
+* :func:`flicker_index` — the same idea in image space: mean absolute
+  difference between consecutive rendered frames, in excess of the
+  ground-truth video's own frame difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pointcloud.cloud import PointCloud
+from .chamfer import chamfer_distance
+from .psnr import image_mse
+
+__all__ = ["temporal_chamfer", "flicker_index"]
+
+
+def temporal_chamfer(
+    reconstructed: list[PointCloud], ground_truth: list[PointCloud]
+) -> float:
+    """Excess frame-to-frame geometric churn of a reconstruction.
+
+    Computes mean CD(recon_t, recon_{t+1}) − mean CD(gt_t, gt_{t+1}); the
+    ground-truth term is the legitimate scene motion, so the difference
+    isolates reconstruction-induced instability.  ≈ 0 means the SR output
+    is as temporally coherent as the content itself.
+    """
+    if len(reconstructed) != len(ground_truth):
+        raise ValueError("sequences must have equal length")
+    if len(reconstructed) < 2:
+        raise ValueError("need at least two frames")
+    rec = np.mean([
+        chamfer_distance(a, b)
+        for a, b in zip(reconstructed, reconstructed[1:])
+    ])
+    gt = np.mean([
+        chamfer_distance(a, b)
+        for a, b in zip(ground_truth, ground_truth[1:])
+    ])
+    return float(rec - gt)
+
+
+def flicker_index(
+    reconstructed_frames: list[np.ndarray], ground_truth_frames: list[np.ndarray]
+) -> float:
+    """Image-space flicker in excess of the content's own motion.
+
+    Inputs are rendered frame sequences (uint8 images from the same
+    camera).  Returns mean RMS frame difference of the reconstruction minus
+    that of the ground truth; ≥ 0 up to rendering noise, smaller is better.
+    """
+    if len(reconstructed_frames) != len(ground_truth_frames):
+        raise ValueError("sequences must have equal length")
+    if len(reconstructed_frames) < 2:
+        raise ValueError("need at least two frames")
+
+    def mean_rms(frames: list[np.ndarray]) -> float:
+        return float(
+            np.mean(
+                [
+                    np.sqrt(image_mse(a.astype(float), b.astype(float)))
+                    for a, b in zip(frames, frames[1:])
+                ]
+            )
+        )
+
+    return mean_rms(reconstructed_frames) - mean_rms(ground_truth_frames)

@@ -1,0 +1,25 @@
+"""Network substrate: bandwidth traces, link model, throughput estimation."""
+
+from .estimator import HarmonicMeanEstimator
+from .link import Link
+from .traces import (
+    MBPS,
+    PAPER_LTE_PROFILES,
+    NetworkTrace,
+    lte_trace,
+    read_trace_csv,
+    stable_trace,
+    write_trace_csv,
+)
+
+__all__ = [
+    "NetworkTrace",
+    "stable_trace",
+    "lte_trace",
+    "read_trace_csv",
+    "write_trace_csv",
+    "PAPER_LTE_PROFILES",
+    "MBPS",
+    "Link",
+    "HarmonicMeanEstimator",
+]

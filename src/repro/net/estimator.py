@@ -1,0 +1,48 @@
+"""Throughput estimation (paper §5.1).
+
+The MPC controller consumes "network throughput estimates (computed via
+harmonic mean over sliding windows)".  The harmonic mean is the standard
+robust estimator in MPC-based ABR (Yin et al. 2015): it down-weights
+transient spikes, which would otherwise cause over-fetching.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["HarmonicMeanEstimator"]
+
+
+class HarmonicMeanEstimator:
+    """Sliding-window harmonic-mean throughput estimator."""
+
+    def __init__(self, window: int = 5, initial_bps: float = 10e6):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if initial_bps <= 0:
+            raise ValueError("initial estimate must be positive")
+        self.window = int(window)
+        self.initial_bps = float(initial_bps)
+        self._samples: deque[float] = deque(maxlen=self.window)
+
+    def observe(self, throughput_bps: float) -> None:
+        """Record one completed-transfer throughput sample."""
+        if throughput_bps <= 0:
+            raise ValueError("throughput sample must be positive")
+        self._samples.append(float(throughput_bps))
+
+    def estimate(self) -> float:
+        """Current harmonic-mean estimate (bps)."""
+        if not self._samples:
+            return self.initial_bps
+        inv = np.mean([1.0 / s for s in self._samples])
+        return float(1.0 / inv)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._samples)
+
+    def reset(self) -> None:
+        self._samples.clear()

@@ -1,0 +1,199 @@
+"""Bandwidth traces (paper §7.1 network conditions).
+
+Two families:
+
+* **stable** wired links at 50/75/100 Mbps with ~10 ms RTT;
+* **synthetic LTE** traces matched to the paper's reported statistics —
+  average bandwidth 32.5–176.5 Mbps with standard deviations 13.5–26.8
+  Mbps — generated as a mean-reverting AR(1) process with occasional deep
+  fades, which captures the burstiness MPC-style ABRs are sensitive to.
+
+A trace is a step function of time: ``bandwidth_at(t)`` returns the link
+rate in bits per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "NetworkTrace",
+    "stable_trace",
+    "lte_trace",
+    "read_trace_csv",
+    "write_trace_csv",
+    "PAPER_LTE_PROFILES",
+]
+
+MBPS = 1e6
+
+#: (average Mbps, std-dev Mbps) pairs spanning the paper's LTE trace set.
+PAPER_LTE_PROFILES: tuple[tuple[float, float], ...] = (
+    (32.5, 13.5),
+    (75.0, 20.0),
+    (120.0, 24.0),
+    (176.5, 26.8),
+)
+
+
+@dataclass
+class NetworkTrace:
+    """A piecewise-constant bandwidth schedule.
+
+    ``timestamps`` are segment start times (seconds, strictly increasing,
+    starting at 0); ``bandwidths_bps`` the link rate within each segment.
+    Time past the last segment wraps around (traces loop, as in the
+    paper's long-video experiments).
+    """
+
+    name: str
+    timestamps: np.ndarray
+    bandwidths_bps: np.ndarray
+    rtt: float = 0.010
+
+    def __post_init__(self) -> None:
+        self.timestamps = np.asarray(self.timestamps, dtype=np.float64)
+        self.bandwidths_bps = np.asarray(self.bandwidths_bps, dtype=np.float64)
+        if len(self.timestamps) != len(self.bandwidths_bps):
+            raise ValueError("timestamps and bandwidths must align")
+        if len(self.timestamps) == 0:
+            raise ValueError("trace must have at least one segment")
+        if self.timestamps[0] != 0.0:
+            raise ValueError("trace must start at t=0")
+        if np.any(np.diff(self.timestamps) <= 0):
+            raise ValueError("timestamps must be strictly increasing")
+        if np.any(self.bandwidths_bps <= 0):
+            raise ValueError("bandwidths must be positive")
+        if self.rtt < 0:
+            raise ValueError("rtt must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Nominal trace length: last segment start + median segment width."""
+        if len(self.timestamps) == 1:
+            return float(self.timestamps[0] + 1.0)
+        seg = float(np.median(np.diff(self.timestamps)))
+        return float(self.timestamps[-1] + seg)
+
+    def bandwidth_at(self, t: float) -> float:
+        """Link rate (bps) at absolute time ``t`` (loops past the end)."""
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        t = t % self.duration
+        i = int(np.searchsorted(self.timestamps, t, side="right") - 1)
+        return float(self.bandwidths_bps[i])
+
+    def time_to_next_change(self, t: float) -> float:
+        """Seconds from ``t`` to the next segment boundary (loop-aware)."""
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        local = t % self.duration
+        i = int(np.searchsorted(self.timestamps, local, side="right"))
+        nxt = self.timestamps[i] if i < len(self.timestamps) else self.duration
+        return float(nxt - local)
+
+    def mean_bandwidth(self) -> float:
+        """Time-weighted mean rate over one loop (bps)."""
+        widths = np.diff(np.r_[self.timestamps, self.duration])
+        return float(np.average(self.bandwidths_bps, weights=widths))
+
+    def std_bandwidth(self) -> float:
+        """Time-weighted std-dev over one loop (bps)."""
+        widths = np.diff(np.r_[self.timestamps, self.duration])
+        mean = np.average(self.bandwidths_bps, weights=widths)
+        var = np.average((self.bandwidths_bps - mean) ** 2, weights=widths)
+        return float(np.sqrt(var))
+
+
+def stable_trace(mbps: float, duration: float = 600.0, rtt: float = 0.010) -> NetworkTrace:
+    """A constant-rate wired link (50/75/100 Mbps in the paper)."""
+    if mbps <= 0:
+        raise ValueError("rate must be positive")
+    return NetworkTrace(
+        name=f"stable-{mbps:g}mbps",
+        timestamps=np.array([0.0, duration / 2]),
+        bandwidths_bps=np.array([mbps * MBPS, mbps * MBPS]),
+        rtt=rtt,
+    )
+
+
+def lte_trace(
+    mean_mbps: float = 32.5,
+    std_mbps: float = 13.5,
+    duration: float = 600.0,
+    step: float = 1.0,
+    fade_prob: float = 0.02,
+    rtt: float = 0.040,
+    seed: int = 0,
+) -> NetworkTrace:
+    """Synthetic LTE trace with the paper's first/second moments.
+
+    AR(1) mean reversion (φ=0.9) plus exponential deep fades at
+    ``fade_prob`` per step, floored at 1 Mbps.  The realized sample mean
+    and std land near the requested values; exact trace shapes do not
+    matter — the ABR reacts to the statistics.
+    """
+    if mean_mbps <= 0 or std_mbps < 0:
+        raise ValueError("mean must be positive, std non-negative")
+    rng = np.random.default_rng(seed)
+    n = max(2, int(duration / step))
+    phi = 0.9
+    innovation = std_mbps * np.sqrt(1 - phi ** 2)
+    bw = np.empty(n)
+    bw[0] = mean_mbps
+    for i in range(1, n):
+        bw[i] = mean_mbps + phi * (bw[i - 1] - mean_mbps) + rng.normal(0, innovation)
+    fades = rng.random(n) < fade_prob
+    bw[fades] *= rng.uniform(0.2, 0.5, fades.sum())
+    np.maximum(bw, 1.0, out=bw)
+    return NetworkTrace(
+        name=f"lte-{mean_mbps:g}mbps",
+        timestamps=np.arange(n) * step,
+        bandwidths_bps=bw * MBPS,
+        rtt=rtt,
+    )
+
+
+def write_trace_csv(trace: NetworkTrace, path) -> None:
+    """Persist a trace as ``timestamp_s,bandwidth_mbps`` CSV rows.
+
+    The format matches common public LTE trace releases so externally
+    captured traces drop in without conversion.
+    """
+    with open(path, "w") as fh:
+        fh.write("# timestamp_s,bandwidth_mbps\n")
+        for t, bw in zip(trace.timestamps, trace.bandwidths_bps):
+            fh.write(f"{t:.3f},{bw / MBPS:.6f}\n")
+
+
+def read_trace_csv(path, name: str | None = None, rtt: float = 0.040) -> NetworkTrace:
+    """Load a ``timestamp_s,bandwidth_mbps`` CSV trace.
+
+    Lines starting with ``#`` are comments.  Timestamps must start at 0 and
+    increase strictly; bandwidths are megabits per second.
+    """
+    times, bws = [], []
+    with open(path) as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 'time,mbps', got {line!r}")
+            times.append(float(parts[0]))
+            bws.append(float(parts[1]) * MBPS)
+    if not times:
+        raise ValueError(f"{path}: no trace rows found")
+    import os
+
+    trace_name = name or os.path.splitext(os.path.basename(str(path)))[0]
+    return NetworkTrace(
+        name=trace_name,
+        timestamps=np.asarray(times),
+        bandwidths_bps=np.asarray(bws),
+        rtt=rtt,
+    )

@@ -1,0 +1,25 @@
+"""From-scratch NumPy neural-network substrate (no PyTorch available)."""
+
+from .layers import Layer, LeakyReLU, Linear, ReLU, Tanh
+from .loss import l1_loss, mse_loss, offset_loss
+from .mlp import MLP
+from .optim import SGD, Adam, Optimizer
+from .trainer import TrainConfig, Trainer, TrainResult
+
+__all__ = [
+    "Layer",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "MLP",
+    "mse_loss",
+    "l1_loss",
+    "offset_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainConfig",
+    "TrainResult",
+]

@@ -1,0 +1,124 @@
+"""Minimal neural-network layers with manual backprop.
+
+The environment has no PyTorch, so the GradPU-style refinement network is
+implemented directly in NumPy.  The scope is deliberately small: dense
+layers and smooth activations are all the refinement MLP needs, and every
+layer implements the same ``forward``/``backward`` contract so they compose
+into :class:`repro.nn.mlp.MLP`.
+
+Shapes follow the (batch, features) convention throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Layer", "Linear", "ReLU", "Tanh", "LeakyReLU"]
+
+
+class Layer:
+    """Base class: a differentiable map with cached forward state."""
+
+    #: list of (param, grad) array pairs, filled by subclasses
+    def params(self) -> list[np.ndarray]:
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        return []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Given dL/d(output), accumulate parameter grads, return dL/d(input)."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for g in self.grads():
+            g[...] = 0.0
+
+
+class Linear(Layer):
+    """Affine layer ``y = x W + b`` with He/Xavier-style init."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator | None = None):
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError("layer dimensions must be positive")
+        g = rng if rng is not None else np.random.default_rng()
+        scale = np.sqrt(2.0 / (in_dim + out_dim))
+        self.W = g.normal(0.0, scale, (in_dim, out_dim))
+        self.b = np.zeros(out_dim)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.dW, self.db]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.dW += self._x.T @ grad_out
+        self.db += grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        self.alpha = float(alpha)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.alpha * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, self.alpha * grad_out)
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation.
+
+    Used as the output squashing of the refinement net: offsets live in a
+    normalized unit-cube frame, so bounding the prediction to (-1, 1) keeps
+    the LUT's value range compatible with float16 storage.
+    """
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._y ** 2)

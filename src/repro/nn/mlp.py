@@ -1,0 +1,129 @@
+"""Multi-layer perceptron composed from :mod:`repro.nn.layers`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Layer, LeakyReLU, Linear, ReLU, Tanh
+
+__all__ = ["MLP"]
+
+_ACTIVATIONS = {"relu": ReLU, "leaky_relu": LeakyReLU, "tanh": Tanh}
+
+
+class MLP:
+    """A dense feed-forward network.
+
+    Parameters
+    ----------
+    dims:
+        Layer widths including input and output, e.g. ``(12, 64, 64, 3)``.
+    activation:
+        Hidden activation name: ``relu``, ``leaky_relu``, or ``tanh``.
+    output_activation:
+        Optional activation after the last linear layer (the refinement
+        net uses ``tanh`` to bound offsets).
+    seed:
+        Seed for weight initialization (reproducible training).
+    """
+
+    def __init__(
+        self,
+        dims: tuple[int, ...],
+        activation: str = "relu",
+        output_activation: str | None = "tanh",
+        seed: int | None = 0,
+    ):
+        if len(dims) < 2:
+            raise ValueError("dims needs at least an input and output width")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        if output_activation is not None and output_activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown output activation {output_activation!r}")
+        rng = np.random.default_rng(seed)
+        self.dims = tuple(int(d) for d in dims)
+        self.layers: list[Layer] = []
+        for i in range(len(dims) - 1):
+            self.layers.append(Linear(dims[i], dims[i + 1], rng))
+            if i < len(dims) - 2:
+                self.layers.append(_ACTIVATIONS[activation]())
+        if output_activation is not None:
+            self.layers.append(_ACTIVATIONS[output_activation]())
+
+    # ------------------------------------------------------------------
+    @property
+    def in_dim(self) -> int:
+        return self.dims[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.dims[-1]
+
+    def params(self) -> list[np.ndarray]:
+        out: list[np.ndarray] = []
+        for layer in self.layers:
+            out.extend(layer.params())
+        return out
+
+    def grads(self) -> list[np.ndarray]:
+        out: list[np.ndarray] = []
+        for layer in self.layers:
+            out.extend(layer.grads())
+        return out
+
+    def n_parameters(self) -> int:
+        """Total scalar parameter count (used by the memory accounting)."""
+        return int(sum(p.size for p in self.params()))
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[None, :]
+        if x.shape[1] != self.in_dim:
+            raise ValueError(f"expected input dim {self.in_dim}, got {x.shape[1]}")
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x[0] if squeeze else x
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = np.asarray(grad_out, dtype=np.float64)
+        for layer in reversed(self.layers):
+            g = layer.backward(g)
+        return g
+
+    # ------------------------------------------------------------------
+    # Serialization (LUTs are built offline; nets must round-trip to disk).
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"p{i}": p.copy() for i, p in enumerate(self.params())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = self.params()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} arrays, model has {len(params)}"
+            )
+        for i, p in enumerate(params):
+            src = state[f"p{i}"]
+            if src.shape != p.shape:
+                raise ValueError(f"shape mismatch at p{i}: {src.shape} vs {p.shape}")
+            p[...] = src
+
+    def save(self, path) -> None:
+        np.savez_compressed(path, dims=np.array(self.dims), **self.state_dict())
+
+    @classmethod
+    def load(cls, path, activation: str = "relu", output_activation: str | None = "tanh") -> "MLP":
+        with np.load(path) as data:
+            dims = tuple(int(d) for d in data["dims"])
+            model = cls(dims, activation=activation, output_activation=output_activation)
+            model.load_state_dict({k: data[k] for k in data.files if k != "dims"})
+        return model

@@ -1,0 +1,194 @@
+"""Point-cloud file I/O.
+
+Supports the two formats VoLUT's artifacts use:
+
+* **PLY** — the interchange format of the 8iVFB dataset.  Both ASCII and
+  binary-little-endian variants are implemented from scratch (no Open3D).
+* **NPZ** — NumPy's zipped-array container; the paper stores its LUT as an
+  ``npy`` file for the same language-neutrality reason.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .cloud import PointCloud
+
+__all__ = ["read_ply", "write_ply", "read_npz", "write_npz", "load", "save"]
+
+_PLY_MAGIC = b"ply"
+
+
+def write_ply(cloud: PointCloud, path: str | os.PathLike, binary: bool = True) -> None:
+    """Write ``cloud`` to ``path`` as a PLY file.
+
+    Positions are stored as float32 and colors as uchar, matching the
+    8iVFB conventions.
+    """
+    path = Path(path)
+    n = len(cloud)
+    header = ["ply"]
+    header.append(
+        "format binary_little_endian 1.0" if binary else "format ascii 1.0"
+    )
+    header.append("comment produced by repro (VoLUT reproduction)")
+    header.append(f"element vertex {n}")
+    header += ["property float x", "property float y", "property float z"]
+    if cloud.has_colors:
+        header += [
+            "property uchar red",
+            "property uchar green",
+            "property uchar blue",
+        ]
+    header.append("end_header")
+    head = ("\n".join(header) + "\n").encode("ascii")
+
+    pos = cloud.positions.astype("<f4")
+    with open(path, "wb") as fh:
+        fh.write(head)
+        if binary:
+            if cloud.has_colors:
+                rec = np.dtype(
+                    [("x", "<f4"), ("y", "<f4"), ("z", "<f4"),
+                     ("r", "u1"), ("g", "u1"), ("b", "u1")]
+                )
+                buf = np.empty(n, dtype=rec)
+                buf["x"], buf["y"], buf["z"] = pos[:, 0], pos[:, 1], pos[:, 2]
+                buf["r"], buf["g"], buf["b"] = (
+                    cloud.colors[:, 0],
+                    cloud.colors[:, 1],
+                    cloud.colors[:, 2],
+                )
+                fh.write(buf.tobytes())
+            else:
+                fh.write(pos.tobytes())
+        else:
+            lines = _io.StringIO()
+            if cloud.has_colors:
+                for p, c in zip(pos, cloud.colors):
+                    lines.write(
+                        f"{p[0]:.6f} {p[1]:.6f} {p[2]:.6f} {c[0]} {c[1]} {c[2]}\n"
+                    )
+            else:
+                for p in pos:
+                    lines.write(f"{p[0]:.6f} {p[1]:.6f} {p[2]:.6f}\n")
+            fh.write(lines.getvalue().encode("ascii"))
+
+
+def _parse_ply_header(fh) -> tuple[str, int, list[str]]:
+    """Return (format, vertex_count, property names) from an open PLY file."""
+    magic = fh.readline().strip()
+    if magic != _PLY_MAGIC:
+        raise ValueError("not a PLY file (missing 'ply' magic)")
+    fmt = ""
+    n_vertex = -1
+    props: list[str] = []
+    in_vertex = False
+    while True:
+        raw = fh.readline()
+        if not raw:
+            raise ValueError("unterminated PLY header")
+        line = raw.decode("ascii", errors="replace").strip()
+        if line.startswith("comment"):
+            continue
+        if line.startswith("format"):
+            fmt = line.split()[1]
+        elif line.startswith("element"):
+            _, name, count = line.split()
+            in_vertex = name == "vertex"
+            if in_vertex:
+                n_vertex = int(count)
+        elif line.startswith("property") and in_vertex:
+            parts = line.split()
+            props.append(parts[-1])
+        elif line == "end_header":
+            break
+    if n_vertex < 0:
+        raise ValueError("PLY file has no vertex element")
+    return fmt, n_vertex, props
+
+
+_PROP_DTYPES = {
+    "x": "<f4", "y": "<f4", "z": "<f4",
+    "red": "u1", "green": "u1", "blue": "u1",
+    "nx": "<f4", "ny": "<f4", "nz": "<f4",
+    "alpha": "u1",
+}
+
+
+def read_ply(path: str | os.PathLike) -> PointCloud:
+    """Read a PLY file written by :func:`write_ply` or 8iVFB-style tools.
+
+    Recognizes x/y/z, red/green/blue and skips normals/alpha when present.
+    """
+    with open(path, "rb") as fh:
+        fmt, n, props = _parse_ply_header(fh)
+        unknown = [p for p in props if p not in _PROP_DTYPES]
+        if unknown:
+            raise ValueError(f"unsupported PLY vertex properties: {unknown}")
+        rec = np.dtype([(p, _PROP_DTYPES[p]) for p in props])
+        if fmt == "ascii":
+            text = fh.read().decode("ascii")
+            flat = np.array(text.split(), dtype=np.float64)
+            ncols = len(props)
+            if flat.size < n * ncols:
+                raise ValueError("PLY ASCII body truncated")
+            table = flat[: n * ncols].reshape(n, ncols)
+            cols = {p: table[:, i] for i, p in enumerate(props)}
+        elif fmt == "binary_little_endian":
+            buf = fh.read(rec.itemsize * n)
+            if len(buf) < rec.itemsize * n:
+                raise ValueError("PLY binary body truncated")
+            arr = np.frombuffer(buf, dtype=rec, count=n)
+            cols = {p: arr[p] for p in props}
+        else:
+            raise ValueError(f"unsupported PLY format: {fmt}")
+
+    pos = np.stack([cols["x"], cols["y"], cols["z"]], axis=1).astype(np.float64)
+    colors = None
+    if {"red", "green", "blue"} <= set(props):
+        colors = np.stack(
+            [cols["red"], cols["green"], cols["blue"]], axis=1
+        ).astype(np.uint8)
+    return PointCloud(pos, colors)
+
+
+def write_npz(cloud: PointCloud, path: str | os.PathLike) -> None:
+    """Write ``cloud`` to a compressed ``.npz`` file."""
+    data = {"positions": cloud.positions.astype(np.float32)}
+    if cloud.has_colors:
+        data["colors"] = cloud.colors
+    np.savez_compressed(path, **data)
+
+
+def read_npz(path: str | os.PathLike) -> PointCloud:
+    """Read a cloud written by :func:`write_npz`."""
+    with np.load(path) as data:
+        pos = data["positions"].astype(np.float64)
+        col = data["colors"] if "colors" in data.files else None
+        return PointCloud(pos, col)
+
+
+def save(cloud: PointCloud, path: str | os.PathLike) -> None:
+    """Save by extension: ``.ply`` or ``.npz``."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".ply":
+        write_ply(cloud, path)
+    elif suffix == ".npz":
+        write_npz(cloud, path)
+    else:
+        raise ValueError(f"unsupported point-cloud extension: {suffix}")
+
+
+def load(path: str | os.PathLike) -> PointCloud:
+    """Load by extension: ``.ply`` or ``.npz``."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".ply":
+        return read_ply(path)
+    if suffix == ".npz":
+        return read_npz(path)
+    raise ValueError(f"unsupported point-cloud extension: {suffix}")

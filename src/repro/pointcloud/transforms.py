@@ -1,0 +1,96 @@
+"""Rigid and stochastic point-cloud transforms.
+
+Used by data augmentation during refinement-net training, by tests as
+invariance probes (the position encoding must be translation/scale
+invariant), and by the examples to pose content in scenes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cloud import PointCloud
+
+__all__ = [
+    "rotation_matrix",
+    "rotate",
+    "jitter",
+    "normalize_unit_sphere",
+    "random_rigid_transform",
+]
+
+
+def rotation_matrix(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rodrigues rotation matrix about ``axis`` by ``angle`` radians."""
+    a = np.asarray(axis, dtype=np.float64).reshape(3)
+    norm = np.linalg.norm(a)
+    if norm == 0:
+        raise ValueError("rotation axis must be non-zero")
+    a = a / norm
+    k = np.array(
+        [[0, -a[2], a[1]], [a[2], 0, -a[0]], [-a[1], a[0], 0]]
+    )
+    return np.eye(3) + np.sin(angle) * k + (1 - np.cos(angle)) * (k @ k)
+
+
+def rotate(
+    cloud: PointCloud,
+    axis: np.ndarray,
+    angle: float,
+    center: np.ndarray | None = None,
+) -> PointCloud:
+    """Rotate about ``axis`` through ``center`` (default: centroid)."""
+    c = cloud.centroid() if center is None else np.asarray(center, dtype=np.float64)
+    rot = rotation_matrix(axis, angle)
+    pos = (cloud.positions - c) @ rot.T + c
+    return PointCloud(pos, cloud.colors)
+
+
+def jitter(
+    cloud: PointCloud,
+    sigma: float,
+    seed: int | np.random.Generator | None = None,
+    clip: float | None = None,
+) -> PointCloud:
+    """Add isotropic Gaussian position noise (σ in scene units).
+
+    ``clip`` optionally bounds each displacement component, the common
+    augmentation convention.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    noise = rng.normal(0.0, sigma, cloud.positions.shape)
+    if clip is not None:
+        if clip <= 0:
+            raise ValueError("clip must be positive")
+        np.clip(noise, -clip, clip, out=noise)
+    return PointCloud(cloud.positions + noise, cloud.colors)
+
+
+def normalize_unit_sphere(cloud: PointCloud) -> tuple[PointCloud, np.ndarray, float]:
+    """Center at the origin and scale into the unit sphere.
+
+    Returns ``(normalized, original_centroid, original_scale)`` so the
+    transform can be undone.
+    """
+    if len(cloud) == 0:
+        return cloud.copy(), np.zeros(3), 1.0
+    c = cloud.centroid()
+    centered = cloud.positions - c
+    scale = float(np.linalg.norm(centered, axis=1).max())
+    if scale == 0:
+        scale = 1.0
+    return PointCloud(centered / scale, cloud.colors), c, scale
+
+
+def random_rigid_transform(
+    cloud: PointCloud, seed: int | np.random.Generator | None = None,
+    max_translation: float = 1.0,
+) -> PointCloud:
+    """A random rotation + translation (training augmentation)."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    axis = rng.normal(size=3)
+    angle = rng.uniform(0, 2 * np.pi)
+    offset = rng.uniform(-max_translation, max_translation, 3)
+    return rotate(cloud, axis, angle).translate(offset)

@@ -1,0 +1,81 @@
+"""6DoF viewport (user-motion) traces.
+
+The paper replays multi-user 6DoF motion traces recorded during playback
+(§7.1).  Real traces are not redistributable, so this module generates the
+scripted trajectories viewers actually perform around volumetric content —
+orbiting, dollying in/out, and close inspection — with optional hand-held
+jitter, all deterministic per (kind, seed).
+
+A trace is a sequence of :class:`repro.render.camera.Camera` objects, one
+per frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .camera import Camera
+
+__all__ = ["viewport_trace", "TRACE_KINDS"]
+
+TRACE_KINDS = ("orbit", "dolly", "inspect", "static")
+
+
+def viewport_trace(
+    kind: str,
+    n_frames: int,
+    center: tuple[float, float, float] = (0.0, 0.9, 0.0),
+    radius: float = 2.2,
+    fps: int = 30,
+    width: int = 256,
+    height: int = 256,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> list[Camera]:
+    """Generate an ``n_frames``-long 6DoF camera trace.
+
+    Parameters
+    ----------
+    kind:
+        ``orbit`` — circle the content at constant height;
+        ``dolly`` — approach and back away along a fixed bearing;
+        ``inspect`` — slow orbit with sinusoidal height changes and a
+        shrinking radius (leaning in), the most head-motion-like;
+        ``static`` — fixed viewpoint (stable-camera control condition).
+    jitter:
+        Std-dev of per-frame positional noise (hand-held shake), in scene
+        units.
+    """
+    if kind not in TRACE_KINDS:
+        raise ValueError(f"unknown trace kind {kind!r}; choose from {TRACE_KINDS}")
+    if n_frames <= 0:
+        raise ValueError("n_frames must be positive")
+    rng = np.random.default_rng(seed)
+    c = np.asarray(center, dtype=np.float64)
+    cams: list[Camera] = []
+    for i in range(n_frames):
+        t = i / fps
+        if kind == "orbit":
+            ang = 2 * np.pi * 0.05 * t  # one lap every 20 s
+            eye = c + radius * np.array([np.cos(ang), 0.0, np.sin(ang)])
+        elif kind == "dolly":
+            r = radius * (0.55 + 0.45 * np.cos(2 * np.pi * 0.08 * t))
+            eye = c + np.array([0.0, 0.1, r])
+        elif kind == "inspect":
+            ang = 2 * np.pi * 0.03 * t
+            r = radius * (0.7 + 0.3 * np.sin(2 * np.pi * 0.06 * t))
+            y = 0.35 * np.sin(2 * np.pi * 0.11 * t)
+            eye = c + np.array([r * np.cos(ang), y, r * np.sin(ang)])
+        else:  # static
+            eye = c + np.array([0.0, 0.15, radius])
+        if jitter > 0:
+            eye = eye + rng.normal(0.0, jitter, 3)
+        cams.append(
+            Camera(
+                position=tuple(eye),
+                target=tuple(c),
+                width=width,
+                height=height,
+            )
+        )
+    return cams

@@ -1,0 +1,96 @@
+"""Viewport visibility measurement (ViVo's substrate).
+
+ViVo streams only the content predicted to be visible; its bandwidth saving
+equals the visible fraction and its quality risk is misprediction.  Rather
+than hard-coding those parameters, this module measures them from actual
+geometry and camera traces:
+
+* :func:`visible_fraction` — the frustum *and occlusion* visible share of
+  points for one camera (occlusion via the z-buffer rasterizer: a point is
+  visible if it wins, or nearly wins, its pixel);
+* :func:`trace_visibility` — statistics over a 6DoF trace;
+* :func:`prediction_accuracy` — how well the visible set at time t
+  predicts the visible set at t+Δ (head-motion prediction quality decays
+  with lookahead — the cause of ViVo's quality loss under rapid motion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pointcloud.cloud import PointCloud
+from .camera import Camera
+from .rasterizer import render_depth
+
+__all__ = ["visible_fraction", "trace_visibility", "prediction_accuracy"]
+
+
+def _visible_mask(cloud: PointCloud, camera: Camera, slack: float = 0.02) -> np.ndarray:
+    """Frustum + occlusion visibility per point.
+
+    A point is visible when it lies in the frustum and its depth is within
+    ``slack`` (relative) of the z-buffer winner at its pixel — i.e. it is
+    on, or just behind, the visible surface.
+    """
+    xy, depth, in_frustum = camera.project(cloud.positions)
+    mask = in_frustum.copy()
+    if not mask.any():
+        return mask
+    zbuf = render_depth(cloud, camera, splat=2)
+    px = np.clip(xy[mask].astype(np.int64), 0, [camera.width - 1, camera.height - 1])
+    winner = zbuf[px[:, 1], px[:, 0]]
+    near_surface = depth[mask] <= winner * (1.0 + slack)
+    out = np.zeros(len(cloud), dtype=bool)
+    out[np.flatnonzero(mask)[near_surface]] = True
+    return out
+
+
+def visible_fraction(cloud: PointCloud, camera: Camera, slack: float = 0.02) -> float:
+    """Fraction of points visible from ``camera`` (frustum + occlusion)."""
+    return float(_visible_mask(cloud, camera, slack).mean())
+
+
+def trace_visibility(
+    cloud: PointCloud, cameras: list[Camera], slack: float = 0.02
+) -> dict:
+    """Visibility statistics along a camera trace."""
+    if not cameras:
+        raise ValueError("need at least one camera")
+    fracs = [visible_fraction(cloud, cam, slack) for cam in cameras]
+    return {
+        "mean": float(np.mean(fracs)),
+        "min": float(np.min(fracs)),
+        "max": float(np.max(fracs)),
+    }
+
+
+def prediction_accuracy(
+    cloud: PointCloud,
+    cameras: list[Camera],
+    lookahead: int = 30,
+    slack: float = 0.02,
+) -> float:
+    """How well today's visible set covers the viewport ``lookahead``
+    frames later.
+
+    Returns the mean recall of ``visible(t)`` against ``visible(t +
+    lookahead)`` — the fraction of the *future* viewport that a
+    fetch-what-is-visible-now policy already downloaded.  This is the
+    quality factor a ViVo-style system experiences at one chunk of
+    lookahead.
+    """
+    if lookahead < 1:
+        raise ValueError("lookahead must be >= 1")
+    if len(cameras) <= lookahead:
+        raise ValueError("trace shorter than the lookahead")
+    recalls = []
+    for t in range(len(cameras) - lookahead):
+        now = _visible_mask(cloud, cameras[t], slack)
+        future = _visible_mask(cloud, cameras[t + lookahead], slack)
+        denom = future.sum()
+        if denom == 0:
+            continue
+        recalls.append((now & future).sum() / denom)
+    if not recalls:
+        raise ValueError("no future viewport contained any points")
+    return float(np.mean(recalls))

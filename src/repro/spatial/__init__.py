@@ -1,0 +1,24 @@
+"""Spatial indexing: kNN backends, two-layer octree, neighbor reuse."""
+
+from .knn import (
+    BruteBackend,
+    KDTreeBackend,
+    KnnBackend,
+    brute_force_knn,
+    get_backend,
+    kdtree_knn,
+)
+from .octree import TwoLayerOctree
+from .reuse import merge_and_prune, midpoint_neighbors
+
+__all__ = [
+    "KnnBackend",
+    "BruteBackend",
+    "KDTreeBackend",
+    "TwoLayerOctree",
+    "brute_force_knn",
+    "kdtree_knn",
+    "get_backend",
+    "merge_and_prune",
+    "midpoint_neighbors",
+]

@@ -1,0 +1,146 @@
+"""k-nearest-neighbor search backends.
+
+Three implementations with one contract:
+
+``knn(points, queries, k) -> (indices, distances)`` where ``indices`` has
+shape ``(n_queries, k)`` sorted by increasing distance.
+
+* :func:`brute_force_knn` — exact, O(nq·n); the oracle used by tests and the
+  "vanilla kNN" cost model in the paper's speed comparisons.
+* :func:`kdtree_knn` — scipy cKDTree; the fast exact reference.
+* :class:`TwoLayerOctree` (in :mod:`repro.spatial.octree`) — the paper's
+  §4.1 structure, built on top of these primitives.
+
+When a query point coincides with an indexed point (self-queries during
+interpolation), callers that need *other* points should request ``k+1`` and
+drop the first column; helpers here keep the raw semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["brute_force_knn", "kdtree_knn", "KnnBackend", "get_backend"]
+
+
+def _validate(points: np.ndarray, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    pts = np.asarray(points, dtype=np.float64)
+    qrs = np.asarray(queries, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise ValueError(f"points must be (n, 3), got {pts.shape}")
+    if qrs.ndim != 2 or qrs.shape[1] != 3:
+        raise ValueError(f"queries must be (m, 3), got {qrs.shape}")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > len(pts):
+        raise ValueError(f"k={k} exceeds point count {len(pts)}")
+    return pts, qrs
+
+
+def brute_force_knn(
+    points: np.ndarray, queries: np.ndarray, k: int, block: int = 2048
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact kNN by blocked pairwise distances.
+
+    ``block`` bounds peak memory at ``block * n`` distances.  Uses
+    ``argpartition`` + a local sort so the cost is O(n) per query rather
+    than O(n log n).
+    """
+    pts, qrs = _validate(points, queries, k)
+    m = len(qrs)
+    idx = np.empty((m, k), dtype=np.int64)
+    dist = np.empty((m, k), dtype=np.float64)
+    sq = np.einsum("ij,ij->i", pts, pts)
+    for start in range(0, m, block):
+        q = qrs[start : start + block]
+        # ||q - p||^2 = ||q||^2 - 2 q·p + ||p||^2 ; the ||q||^2 term is
+        # constant per row and can be dropped for ranking, but we keep it to
+        # return true distances.
+        d2 = sq[None, :] - 2.0 * q @ pts.T
+        d2 += np.einsum("ij,ij->i", q, q)[:, None]
+        np.maximum(d2, 0.0, out=d2)
+        if k < d2.shape[1]:
+            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        else:
+            part = np.tile(np.arange(d2.shape[1]), (len(q), 1))
+        pd = np.take_along_axis(d2, part, axis=1)
+        order = np.argsort(pd, axis=1, kind="stable")
+        idx[start : start + len(q)] = np.take_along_axis(part, order, axis=1)
+        dist[start : start + len(q)] = np.sqrt(
+            np.take_along_axis(pd, order, axis=1)
+        )
+    return idx, dist
+
+
+def kdtree_knn(
+    points: np.ndarray, queries: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact kNN via scipy's cKDTree."""
+    pts, qrs = _validate(points, queries, k)
+    tree = cKDTree(pts)
+    dist, idx = tree.query(qrs, k=k)
+    if k == 1:
+        dist = dist[:, None]
+        idx = idx[:, None]
+    return idx.astype(np.int64), dist
+
+
+class KnnBackend:
+    """A reusable index over a fixed point set.
+
+    Building the index once and querying many times is the pattern every
+    VoLUT stage uses (interpolation, colorization, metrics), so backends
+    expose ``query`` rather than one-shot functions.
+    """
+
+    name = "base"
+
+    def __init__(self, points: np.ndarray):
+        self.points = np.asarray(points, dtype=np.float64)
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise ValueError(f"points must be (n, 3), got {self.points.shape}")
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+
+class BruteBackend(KnnBackend):
+    """Brute-force backend (the 'vanilla' cost in speed comparisons)."""
+
+    name = "brute"
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        return brute_force_knn(self.points, queries, k)
+
+
+class KDTreeBackend(KnnBackend):
+    """scipy cKDTree backend."""
+
+    name = "kdtree"
+
+    def __init__(self, points: np.ndarray):
+        super().__init__(points)
+        self._tree = cKDTree(self.points)
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        if k > len(self.points):
+            raise ValueError(f"k={k} exceeds point count {len(self.points)}")
+        dist, idx = self._tree.query(np.asarray(queries, dtype=np.float64), k=k)
+        if k == 1:
+            dist = dist[:, None]
+            idx = idx[:, None]
+        return idx.astype(np.int64), dist
+
+
+def get_backend(name: str, points: np.ndarray) -> KnnBackend:
+    """Factory: ``brute``, ``kdtree``, or ``octree``."""
+    if name == "brute":
+        return BruteBackend(points)
+    if name == "kdtree":
+        return KDTreeBackend(points)
+    if name == "octree":
+        from .octree import TwoLayerOctree
+
+        return TwoLayerOctree(points)
+    raise ValueError(f"unknown kNN backend {name!r}")

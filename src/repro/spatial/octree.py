@@ -1,0 +1,184 @@
+"""Two-layer octree for fast kNN (paper §4.1).
+
+The paper organizes each frame with a *two-layer* octree: the bounding box
+splits into 8 major regions, each split again into 8 sub-regions — i.e. a
+4×4×4 arrangement of leaf cells ("its leaf nodes store a subset of the
+points whose neighbour points are highly likely self-contained").  Queries
+then search only the leaf containing the query plus neighbouring leaves,
+pruning most of the cloud.
+
+This implementation realizes exactly that structure as a 4-per-axis regular
+decomposition (identical cell geometry to two octree levels) with CSR-style
+bucket storage for vectorized gathers.  Queries are processed *per cell in
+bulk*: all queries falling in one leaf share the same candidate set, which
+is what makes the approach fast in NumPy.  Correctness is guaranteed by
+ring expansion — a query's result is accepted only when its k-th neighbour
+distance is no larger than the distance to the boundary of the searched
+region, otherwise the ring grows (ultimately degenerating to a full scan,
+so results are always exact).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .knn import KnnBackend, brute_force_knn
+
+__all__ = ["TwoLayerOctree"]
+
+
+class TwoLayerOctree(KnnBackend):
+    """Exact kNN index with two-layer-octree spatial pruning.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 3)`` array to index.
+    levels:
+        Number of octree levels; ``None`` (default) scales the depth with
+        the cloud size so occupied buckets stay small (~40 points).  The
+        paper fixes *two* layers — right for its C++ client at 100K points,
+        where scanning a few thousand candidates per query is cheap; in
+        vectorized NumPy the economic bucket size is smaller, so the depth
+        grows as ``ceil(log8(n / 40))``.  Pass an explicit value for the
+        index-depth ablation.
+    """
+
+    name = "octree"
+
+    #: target points per occupied leaf for the automatic depth choice
+    TARGET_BUCKET = 40
+
+    def __init__(self, points: np.ndarray, levels: int | None = None):
+        super().__init__(points)
+        if levels is None:
+            n = max(len(self.points), 1)
+            levels = int(np.clip(np.ceil(np.log(n / self.TARGET_BUCKET) / np.log(8)), 2, 7))
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        self.levels = levels
+        self.cells_per_axis = 2 ** levels
+        n = len(self.points)
+        lo = self.points.min(axis=0) if n else np.zeros(3)
+        hi = self.points.max(axis=0) if n else np.ones(3)
+        span = np.maximum(hi - lo, 1e-12)
+        self._lo = lo
+        self._inv_cell = self.cells_per_axis / span
+        self._cell_size = span / self.cells_per_axis
+
+        # Bucket points by cell with a counting sort (CSR layout).
+        c = self.cells_per_axis
+        ijk = self._cell_of(self.points)
+        flat = (ijk[:, 0] * c + ijk[:, 1]) * c + ijk[:, 2]
+        order = np.argsort(flat, kind="stable")
+        self._order = order
+        self._sorted_flat = flat[order]
+        self._starts = np.searchsorted(self._sorted_flat, np.arange(c ** 3 + 1))
+
+    # ------------------------------------------------------------------
+    def _cell_of(self, pts: np.ndarray) -> np.ndarray:
+        """Integer cell coordinates, clipped to the grid."""
+        ijk = np.floor((pts - self._lo) * self._inv_cell).astype(np.int64)
+        return np.clip(ijk, 0, self.cells_per_axis - 1)
+
+    def _cell_points(self, cells: np.ndarray) -> np.ndarray:
+        """Indices (into ``self.points``) of all points in ``cells`` (flat ids)."""
+        chunks = [
+            self._order[self._starts[f] : self._starts[f + 1]] for f in cells
+        ]
+        if not chunks:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def _ring_cells(self, ijk: np.ndarray, ring: int) -> np.ndarray:
+        """Flat ids of cells within Chebyshev distance ``ring`` of ``ijk``."""
+        c = self.cells_per_axis
+        r = np.arange(-ring, ring + 1)
+        offs = np.stack(np.meshgrid(r, r, r, indexing="ij"), axis=-1).reshape(-1, 3)
+        cells = ijk[None, :] + offs
+        ok = np.all((cells >= 0) & (cells < c), axis=1)
+        cells = cells[ok]
+        return (cells[:, 0] * c + cells[:, 1]) * c + cells[:, 2]
+
+    def _boundary_distances(
+        self, q: np.ndarray, ijk: np.ndarray, ring: int
+    ) -> np.ndarray:
+        """Distance from each query to the boundary of the searched region.
+
+        ``q`` is ``(p, 3)``; all queries share the cell ``ijk`` and ``ring``.
+        Axes where the ring already reaches the grid edge cannot hide closer
+        points outside the cloud's bounding box, so they contribute +inf.
+        """
+        c = self.cells_per_axis
+        lo_cell = np.maximum(ijk - ring, 0)
+        hi_cell = np.minimum(ijk + ring + 1, c)
+        region_lo = self._lo + lo_cell * self._cell_size
+        region_hi = self._lo + hi_cell * self._cell_size
+        lo_margin = np.where(lo_cell > 0, q - region_lo, np.inf)
+        hi_margin = np.where(hi_cell < c, region_hi - q, np.inf)
+        return np.minimum(lo_margin, hi_margin).min(axis=1)
+
+    # ------------------------------------------------------------------
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact kNN for each query point."""
+        qrs = np.asarray(queries, dtype=np.float64)
+        if qrs.ndim != 2 or qrs.shape[1] != 3:
+            raise ValueError(f"queries must be (m, 3), got {qrs.shape}")
+        n = len(self.points)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if k > n:
+            raise ValueError(f"k={k} exceeds point count {n}")
+        m = len(qrs)
+        out_idx = np.empty((m, k), dtype=np.int64)
+        out_dist = np.empty((m, k), dtype=np.float64)
+
+        qcell = self._cell_of(qrs)
+        c = self.cells_per_axis
+        qflat = (qcell[:, 0] * c + qcell[:, 1]) * c + qcell[:, 2]
+
+        # Group queries per cell so the candidate gather is shared.
+        order = np.argsort(qflat, kind="stable")
+        sorted_flat = qflat[order]
+        boundaries = np.flatnonzero(
+            np.r_[True, sorted_flat[1:] != sorted_flat[:-1], True]
+        )
+        for b in range(len(boundaries) - 1):
+            sel = order[boundaries[b] : boundaries[b + 1]]
+            ijk = qcell[sel[0]]
+            q = qrs[sel]
+            ring = 1
+            pending = np.arange(len(sel))
+            while len(pending):
+                cand = self._cell_points(self._ring_cells(ijk, ring))
+                exhaustive = ring >= c
+                if len(cand) >= k:
+                    sub_idx, sub_dist = brute_force_knn(
+                        self.points[cand], q[pending], k
+                    )
+                    # Accept queries whose k-th distance is provably inside
+                    # the searched region.
+                    if exhaustive:
+                        ok = np.ones(len(pending), dtype=bool)
+                    else:
+                        bd = self._boundary_distances(q[pending], ijk, ring)
+                        ok = sub_dist[:, -1] <= bd
+                    gi = sel[pending[ok]]
+                    out_idx[gi] = cand[sub_idx[ok]]
+                    out_dist[gi] = sub_dist[ok]
+                    pending = pending[~ok]
+                if exhaustive:
+                    break
+                ring += 1
+        return out_idx, out_dist
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Occupancy statistics (used by tests and the design ablation)."""
+        counts = np.diff(self._starts)
+        return {
+            "cells": int(len(counts)),
+            "occupied": int(np.count_nonzero(counts)),
+            "max_bucket": int(counts.max()) if len(counts) else 0,
+            "mean_bucket": float(counts.mean()) if len(counts) else 0.0,
+        }

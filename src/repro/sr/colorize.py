@@ -1,0 +1,50 @@
+"""Colorization of interpolated points (paper §4.1).
+
+New points take the color of the nearest *original* point.  VoLUT reuses
+the spatial relationships already computed during geometric interpolation —
+each midpoint's nearest original point is, except in degenerate cases, one
+of its two parents — avoiding a second kNN pass.  A fresh-search variant is
+kept as the vanilla cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pointcloud.cloud import PointCloud
+from ..spatial.knn import get_backend
+from .interpolation import InterpolationResult
+
+__all__ = ["colorize_by_parent", "colorize_by_nearest"]
+
+
+def colorize_by_parent(source: PointCloud, interp: InterpolationResult) -> PointCloud:
+    """VoLUT path: color each new point from its nearer parent.
+
+    Reuses ``parent_a``/``parent_b`` from interpolation — O(m) with no
+    search.  Returns the upsampled cloud with full color attributes, or a
+    geometry-only cloud when the source has no colors.
+    """
+    if not source.has_colors:
+        return interp.upsampled.copy()
+    new_pos = interp.new_positions
+    pa, pb = interp.parent_a, interp.parent_b
+    da = np.linalg.norm(new_pos - source.positions[pa], axis=1)
+    db = np.linalg.norm(new_pos - source.positions[pb], axis=1)
+    nearest = np.where(da <= db, pa, pb)
+    colors = np.vstack([source.colors, source.colors[nearest]])
+    return PointCloud(interp.upsampled.positions.copy(), colors)
+
+
+def colorize_by_nearest(
+    source: PointCloud,
+    interp: InterpolationResult,
+    backend: str = "brute",
+) -> PointCloud:
+    """Vanilla path: a fresh nearest-neighbor search per new point."""
+    if not source.has_colors:
+        return interp.upsampled.copy()
+    index = get_backend(backend, source.positions)
+    idx, _ = index.query(interp.new_positions, 1)
+    colors = np.vstack([source.colors, source.colors[idx[:, 0]]])
+    return PointCloud(interp.upsampled.positions.copy(), colors)

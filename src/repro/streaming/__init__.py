@@ -1,0 +1,59 @@
+"""Volumetric streaming: chunks, encoding, buffer, ABR, session simulation."""
+
+from .abr import (
+    YUZU_DENSITY_LEVELS,
+    AbrContext,
+    AbrController,
+    BufferBased,
+    ContinuousMPC,
+    Decision,
+    DiscreteMPC,
+    SRQualityModel,
+)
+from .buffer import PlaybackBuffer
+from .client import ClientSession, PlayedChunk, StreamingClient
+from .chunks import BYTES_PER_POINT, ChunkSpec, VideoSpec
+from .encoder import (
+    decode_chunk,
+    decode_frame,
+    decode_frame_compressed,
+    encode_chunk,
+    encode_frame,
+    encode_frame_compressed,
+)
+from .latency import DeviceSRLatency, MeasuredSRLatency, SRLatency, ZERO_LATENCY
+from .server import Manifest, VideoServer
+from .simulator import SessionConfig, SessionResult, simulate_session
+
+__all__ = [
+    "ChunkSpec",
+    "VideoSpec",
+    "BYTES_PER_POINT",
+    "encode_frame",
+    "decode_frame",
+    "encode_frame_compressed",
+    "decode_frame_compressed",
+    "encode_chunk",
+    "decode_chunk",
+    "PlaybackBuffer",
+    "VideoServer",
+    "Manifest",
+    "StreamingClient",
+    "ClientSession",
+    "PlayedChunk",
+    "SRQualityModel",
+    "AbrContext",
+    "AbrController",
+    "Decision",
+    "ContinuousMPC",
+    "DiscreteMPC",
+    "BufferBased",
+    "YUZU_DENSITY_LEVELS",
+    "DeviceSRLatency",
+    "MeasuredSRLatency",
+    "SRLatency",
+    "ZERO_LATENCY",
+    "SessionConfig",
+    "SessionResult",
+    "simulate_session",
+]

@@ -1,0 +1,179 @@
+"""Event-driven streaming-session simulator.
+
+Replays a video spec over a bandwidth trace with a given ABR controller and
+client SR latency model, producing the per-chunk records the QoE metrics
+consume (paper §7.4/§7.5 protocol).
+
+The client is modeled as the two-stage pipeline the paper implements
+("optimized ... by leveraging multi-threading and system pipelining", §6):
+
+* the **network stage** downloads chunks back to back (the next request is
+  issued as soon as the previous download completes, subject to buffer
+  headroom);
+* the **compute stage** super-resolves each downloaded chunk; SR of chunk
+  *i* overlaps the download of chunk *i+1*.  A chunk enters the playback
+  buffer when its SR finishes.
+
+Consequently a slow SR stage throttles the pipeline only when its
+throughput drops below line rate — exactly the regime where the paper's H3
+ablation shows YuZu-SR losing QoE — rather than adding serially to every
+chunk.
+
+Sessions are fully deterministic given (spec, trace, controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..metrics.qoe import ChunkRecord, QoEWeights, session_qoe
+from ..net.estimator import HarmonicMeanEstimator
+from ..net.link import Link
+from ..net.traces import NetworkTrace
+from .abr import AbrContext, AbrController, SRQualityModel
+from .buffer import PlaybackBuffer
+from .chunks import VideoSpec
+from .latency import SRLatency, ZERO_LATENCY
+
+__all__ = ["SessionConfig", "SessionResult", "simulate_session"]
+
+
+@dataclass
+class SessionConfig:
+    """Streaming-session knobs."""
+
+    chunk_seconds: float = 1.0
+    startup_buffer: float = 1.0
+    max_buffer: float = 10.0
+    horizon: int = 5
+    estimator_window: int = 5
+    initial_throughput_bps: float = 20e6
+    #: bytes downloaded before playback (SR models, manifests) — YuZu's
+    #: model downloads are charged here (paper §7.4 data-usage definition)
+    startup_bytes: int = 0
+    #: scales the byte size of every chunk (ViVo's visibility culling)
+    fetch_fraction: float = 1.0
+    #: multiplies the delivered quality (ViVo's viewport-prediction misses)
+    quality_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.chunk_seconds <= 0:
+            raise ValueError("chunk_seconds must be positive")
+        if not 0.0 < self.fetch_fraction <= 1.0:
+            raise ValueError("fetch_fraction must be in (0, 1]")
+        if not 0.0 < self.quality_factor <= 1.0:
+            raise ValueError("quality_factor must be in (0, 1]")
+
+
+@dataclass
+class SessionResult:
+    """Everything the evaluation section reports about one session."""
+
+    records: list[ChunkRecord]
+    qoe: float
+    total_bytes: int
+    stall_seconds: float
+    startup_delay: float
+    mean_quality: float
+    decisions: list[float] = field(default_factory=list)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.records)
+
+
+def simulate_session(
+    spec: VideoSpec,
+    trace: NetworkTrace,
+    controller: AbrController,
+    sr_latency: SRLatency = ZERO_LATENCY,
+    quality_model: SRQualityModel | None = None,
+    config: SessionConfig | None = None,
+    qoe_weights: QoEWeights | None = None,
+) -> SessionResult:
+    """Simulate one playback session end to end."""
+    cfg = config or SessionConfig()
+    qm = quality_model or SRQualityModel()
+    link = Link(trace)
+    est = HarmonicMeanEstimator(
+        window=cfg.estimator_window, initial_bps=cfg.initial_throughput_bps
+    )
+    buf = PlaybackBuffer(
+        startup_threshold=cfg.startup_buffer, max_level=cfg.max_buffer
+    )
+    chunks = spec.chunks(cfg.chunk_seconds)
+    records: list[ChunkRecord] = []
+    decisions: list[float] = []
+
+    t_net = 0.0          # network stage: time the link frees up
+    cpu_free = 0.0       # compute stage: time the SR worker frees up
+    buffer_clock = 0.0   # wall time up to which the buffer has been drained
+    pending = 0.0        # seconds of content downloaded/in SR, not yet ready
+
+    # Startup payload (manifest + any SR models) before the first chunk.
+    if cfg.startup_bytes > 0:
+        t_net += link.download_time(cfg.startup_bytes, t_net)
+
+    def advance_buffer(to_time: float) -> float:
+        """Drain the buffer up to ``to_time``; returns stall incurred."""
+        nonlocal buffer_clock
+        if to_time <= buffer_clock:
+            return 0.0
+        stall = buf.drain(to_time - buffer_clock)
+        buffer_clock = to_time
+        return stall
+
+    prev_quality: float | None = None
+    for i, chunk in enumerate(chunks):
+        # Respect buffer headroom: delay the request until the chunk fits.
+        advance_buffer(t_net)
+        overflow = (buf.level + pending + chunk.duration) - cfg.max_buffer
+        if overflow > 0 and buf.playing:
+            # The buffer drains in real time, so waiting `overflow` seconds
+            # frees exactly that much headroom (no stall risk: buffer full).
+            t_net += overflow
+            advance_buffer(t_net)
+
+        ctx = AbrContext(
+            throughput_bps=est.estimate(),
+            buffer_level=buf.level + pending,
+            prev_quality=prev_quality,
+            next_chunks=chunks[i : i + cfg.horizon],
+        )
+        decision = controller.decide(ctx)
+        decisions.append(decision.density)
+
+        nbytes = int(chunk.bytes_at_density(decision.density) * cfg.fetch_fraction)
+        dl = link.download_time(nbytes, t_net)
+        dl_finish = t_net + dl
+        t_net = dl_finish  # next request goes out immediately after
+
+        sr_time = chunk.n_frames * sr_latency(
+            chunk.points_at_density(decision.density), decision.sr_ratio
+        )
+        sr_start = max(dl_finish, cpu_free)
+        ready = sr_start + sr_time
+        cpu_free = ready
+        pending += chunk.duration
+
+        # The chunk becomes playable at `ready`: drain (possibly stalling)
+        # up to that instant, then enqueue.
+        stall = advance_buffer(ready)
+        buf.add(chunk.duration)
+        pending -= chunk.duration
+
+        est.observe(nbytes * 8.0 / dl if dl > 0 else est.estimate())
+        q = qm.quality(decision.density, decision.sr_ratio) * cfg.quality_factor
+        records.append(ChunkRecord(quality=q, stall=stall, bytes_downloaded=nbytes))
+        prev_quality = q
+
+    scores = session_qoe(records, qoe_weights)
+    return SessionResult(
+        records=records,
+        qoe=scores["qoe"],
+        total_bytes=int(scores["bytes"]) + cfg.startup_bytes,
+        stall_seconds=scores["stall_seconds"],
+        startup_delay=buf.startup_delay,
+        mean_quality=scores["mean_quality"],
+        decisions=decisions,
+    )

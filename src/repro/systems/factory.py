@@ -1,0 +1,266 @@
+"""System configurations for end-to-end streaming evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices import DESKTOP_GPU, DeviceProfile
+from ..metrics.qoe import QoEModel, QoEWeights
+from ..net.traces import NetworkTrace
+from ..streaming.abr import (
+    AbrController,
+    BufferBased,
+    ContinuousMPC,
+    DiscreteMPC,
+    SRQualityModel,
+)
+from ..streaming.chunks import VideoSpec
+from ..streaming.latency import DeviceSRLatency, SRLatency, ZERO_LATENCY
+from ..streaming.simulator import SessionConfig, SessionResult, simulate_session
+
+__all__ = [
+    "SystemSetup",
+    "volut_system",
+    "volut_discrete_system",
+    "volut_viewport_system",
+    "measure_vivo_parameters",
+    "yuzu_sr_system",
+    "vivo_system",
+    "raw_system",
+    "run_system",
+]
+
+#: Serialized size of one YuZu SR model.  Our stand-in MLP is ~0.6 MB per
+#: ratio; YuZu's sparse-conv models are tens of MB — we charge 12 MB per
+#: ratio so the data-usage accounting has the paper's proportions.
+YUZU_MODEL_BYTES_PER_RATIO = 12 * 1024 * 1024
+YUZU_N_MODELS = 5  # its discrete ratio options
+
+
+@dataclass
+class SystemSetup:
+    """A runnable streaming-system configuration."""
+
+    name: str
+    controller: AbrController
+    sr_latency: SRLatency
+    quality_model: SRQualityModel
+    config: SessionConfig
+    qoe_weights: QoEWeights
+
+
+def _default_weights() -> QoEWeights:
+    return QoEWeights()
+
+
+def volut_system(
+    profile: DeviceProfile = DESKTOP_GPU,
+    min_density: float = 1.0 / 8.0,
+    chunk_seconds: float = 1.0,
+    weights: QoEWeights | None = None,
+) -> SystemSetup:
+    """H1: VoLUT with continuous ABR and LUT-based SR."""
+    w = weights or _default_weights()
+    qm = SRQualityModel(max_ratio=1.0 / min_density)
+    lat = DeviceSRLatency("volut", profile)
+    ctrl = ContinuousMPC(qm, QoEModel(w), lat, min_density=min_density)
+    return SystemSetup(
+        name="volut",
+        controller=ctrl,
+        sr_latency=lat,
+        quality_model=qm,
+        config=SessionConfig(chunk_seconds=chunk_seconds),
+        qoe_weights=w,
+    )
+
+
+def volut_discrete_system(
+    profile: DeviceProfile = DESKTOP_GPU,
+    chunk_seconds: float = 1.0,
+    weights: QoEWeights | None = None,
+) -> SystemSetup:
+    """H2: VoLUT's SR speed but discrete quality levels (ratios ≤ 4)."""
+    w = weights or _default_weights()
+    qm = SRQualityModel(max_ratio=4.0)
+    lat = DeviceSRLatency("volut", profile)
+    ctrl = DiscreteMPC(qm, QoEModel(w), lat)
+    return SystemSetup(
+        name="volut-discrete",
+        controller=ctrl,
+        sr_latency=lat,
+        quality_model=qm,
+        config=SessionConfig(chunk_seconds=chunk_seconds),
+        qoe_weights=w,
+    )
+
+
+def yuzu_sr_system(
+    profile: DeviceProfile = DESKTOP_GPU,
+    chunk_seconds: float = 1.0,
+    weights: QoEWeights | None = None,
+) -> SystemSetup:
+    """H3 / YuZu-SR: discrete ABR + neural-SR latency + model downloads.
+
+    Caching and delta coding are not modeled — the paper disables them for
+    fairness.
+    """
+    w = weights or _default_weights()
+    qm = SRQualityModel(max_ratio=4.0)
+    lat = DeviceSRLatency("yuzu", profile)
+    ctrl = DiscreteMPC(qm, QoEModel(w), lat)
+    return SystemSetup(
+        name="yuzu-sr",
+        controller=ctrl,
+        sr_latency=lat,
+        quality_model=qm,
+        config=SessionConfig(
+            chunk_seconds=chunk_seconds,
+            startup_bytes=YUZU_MODEL_BYTES_PER_RATIO * YUZU_N_MODELS,
+        ),
+        qoe_weights=w,
+    )
+
+
+def vivo_system(
+    chunk_seconds: float = 1.0,
+    visible_fraction: float = 0.55,
+    prediction_accuracy: float = 0.75,
+    weights: QoEWeights | None = None,
+) -> SystemSetup:
+    """ViVo: visibility-aware streaming, no SR.
+
+    The client fetches full-density content but only for the predicted
+    viewport (``visible_fraction`` of the bytes).  Mispredictions under
+    motion surface as missing content in the actual viewport —
+    ``prediction_accuracy`` multiplies delivered quality (paper §1: quality
+    degrades 'under rapid viewer movement').
+    """
+    w = weights or _default_weights()
+    qm = SRQualityModel(max_ratio=1.0)  # no SR: quality == density fetched
+    # ViVo adapts density with its own optimizer (no SR to account for);
+    # the planner prices downloads at the culled byte count.
+    ctrl = ContinuousMPC(
+        qm, QoEModel(w), ZERO_LATENCY, min_density=0.2,
+        fetch_fraction=visible_fraction,
+    )
+    return SystemSetup(
+        name="vivo",
+        controller=ctrl,
+        sr_latency=ZERO_LATENCY,
+        quality_model=qm,
+        config=SessionConfig(
+            chunk_seconds=chunk_seconds,
+            fetch_fraction=visible_fraction,
+            quality_factor=prediction_accuracy,
+        ),
+        qoe_weights=w,
+    )
+
+
+def raw_system(
+    chunk_seconds: float = 1.0, weights: QoEWeights | None = None
+) -> SystemSetup:
+    """Raw full-density streaming (the bandwidth-reduction reference)."""
+    w = weights or _default_weights()
+    qm = SRQualityModel(max_ratio=1.0)
+
+    class _Full(AbrController):
+        def decide(self, ctx):
+            from ..streaming.abr import Decision
+
+            return Decision(density=1.0, sr_ratio=1.0)
+
+    return SystemSetup(
+        name="raw",
+        controller=_Full(),
+        sr_latency=ZERO_LATENCY,
+        quality_model=qm,
+        config=SessionConfig(chunk_seconds=chunk_seconds),
+        qoe_weights=w,
+    )
+
+
+def measure_vivo_parameters(
+    n_points: int = 3000,
+    trace_kind: str = "orbit",
+    n_frames: int = 60,
+    lookahead: int = 30,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Measure (visible_fraction, prediction_accuracy) from real geometry.
+
+    Renders a synthetic frame along a 6DoF trace and measures how much of
+    the cloud is frustum-and-occlusion visible, and how well the current
+    viewport predicts the viewport ``lookahead`` frames later.  The result
+    feeds :func:`vivo_system` in place of its defaults.
+    """
+    from ..pointcloud.datasets import make_video
+    from ..render.viewport import viewport_trace
+    from ..render.visibility import prediction_accuracy, trace_visibility
+
+    frame = make_video("longdress", n_points=n_points, n_frames=1, seed=seed).frame(0)
+    cams = viewport_trace(
+        trace_kind,
+        n_frames=n_frames,
+        center=tuple(frame.centroid()),
+        radius=2.2,
+        width=128,
+        height=128,
+        seed=seed,
+    )
+    stats = trace_visibility(frame, cams[:10])
+    acc = prediction_accuracy(frame, cams, lookahead=lookahead)
+    return stats["mean"], acc
+
+
+def volut_viewport_system(
+    profile: DeviceProfile = DESKTOP_GPU,
+    min_density: float = 1.0 / 8.0,
+    chunk_seconds: float = 1.0,
+    visible_fraction: float = 0.55,
+    prediction_accuracy: float = 0.9,
+    weights: QoEWeights | None = None,
+) -> SystemSetup:
+    """Extension (paper §9 future work): VoLUT + viewport adaptation.
+
+    Combines ViVo-style visibility culling with the SR pipeline: only the
+    predicted-visible portion of each chunk is fetched (at the ABR-chosen
+    density) and super-resolved on the client.  Misprediction costs less
+    than for ViVo because VoLUT streams the *whole* object at reduced
+    density when bandwidth allows, so off-viewport content is degraded
+    rather than missing — modeled with a milder quality factor.
+    """
+    w = weights or _default_weights()
+    qm = SRQualityModel(max_ratio=1.0 / min_density)
+    lat = DeviceSRLatency("volut", profile)
+    ctrl = ContinuousMPC(
+        qm, QoEModel(w), lat, min_density=min_density,
+        fetch_fraction=visible_fraction,
+    )
+    return SystemSetup(
+        name="volut-viewport",
+        controller=ctrl,
+        sr_latency=lat,
+        quality_model=qm,
+        config=SessionConfig(
+            chunk_seconds=chunk_seconds,
+            fetch_fraction=visible_fraction,
+            quality_factor=prediction_accuracy,
+        ),
+        qoe_weights=w,
+    )
+
+
+def run_system(
+    setup: SystemSetup, spec: VideoSpec, trace: NetworkTrace
+) -> SessionResult:
+    """Simulate a session for a configured system."""
+    return simulate_session(
+        spec,
+        trace,
+        setup.controller,
+        sr_latency=setup.sr_latency,
+        quality_model=setup.quality_model,
+        config=setup.config,
+        qoe_weights=setup.qoe_weights,
+    )

@@ -1,0 +1,64 @@
+"""Morton code tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import MAX_DEPTH, morton_decode, morton_encode
+
+
+class TestMorton:
+    def test_roundtrip_small(self):
+        ijk = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1], [7, 7, 7]])
+        assert (morton_decode(morton_encode(ijk)) == ijk).all()
+
+    def test_known_values(self):
+        # x -> bit 0, y -> bit 1, z -> bit 2.
+        assert morton_encode(np.array([[1, 0, 0]]))[0] == 1
+        assert morton_encode(np.array([[0, 1, 0]]))[0] == 2
+        assert morton_encode(np.array([[0, 0, 1]]))[0] == 4
+        assert morton_encode(np.array([[2, 0, 0]]))[0] == 8
+
+    def test_locality(self):
+        """Adjacent voxels in a 2x2x2 block share all but the low 3 bits."""
+        base = np.array([[4, 6, 2]])
+        c0 = morton_encode(base * 2)
+        c1 = morton_encode(base * 2 + [1, 1, 1])
+        assert (c0 >> np.uint64(3)) == (c1 >> np.uint64(3))
+
+    def test_sorted_order_is_octree_dfs(self):
+        """Sorting by code groups complete octants contiguously."""
+        ax = np.arange(4)
+        ijk = np.stack(np.meshgrid(ax, ax, ax, indexing="ij"), -1).reshape(-1, 3)
+        codes = np.sort(morton_encode(ijk))
+        parents = codes >> np.uint64(3)
+        # Each parent appears exactly 8 times, contiguously.
+        change = np.flatnonzero(np.r_[True, parents[1:] != parents[:-1], True])
+        assert (np.diff(change) == 8).all()
+
+    def test_bounds_checks(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[-1, 0, 0]]))
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[1 << MAX_DEPTH, 0, 0]]))
+        with pytest.raises(ValueError):
+            morton_encode(np.zeros((3, 2), dtype=int))
+
+
+@given(seed=st.integers(0, 1000), depth=st.integers(1, MAX_DEPTH))
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_property(seed, depth):
+    g = np.random.default_rng(seed)
+    ijk = g.integers(0, 1 << depth, (100, 3))
+    assert (morton_decode(morton_encode(ijk)) == ijk).all()
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=20, deadline=None)
+def test_codes_unique_iff_voxels_unique(seed):
+    g = np.random.default_rng(seed)
+    ijk = g.integers(0, 64, (200, 3))
+    codes = morton_encode(ijk)
+    n_unique_voxels = len(np.unique(ijk, axis=0))
+    assert len(np.unique(codes)) == n_unique_voxels

@@ -1,0 +1,138 @@
+"""Octree codec tests: roundtrip, rate, distortion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    EncodedCloud,
+    compression_summary,
+    octree_decode,
+    octree_encode,
+)
+from repro.compression.octree_codec import _zero_rle_decode, _zero_rle_encode
+from repro.metrics import chamfer_distance
+from repro.pointcloud import PointCloud
+
+
+class TestRLE:
+    def test_roundtrip(self):
+        data = np.array([1, 0, 0, 0, 5, 0, 2, 0, 0], dtype=np.uint8)
+        assert (_zero_rle_decode(_zero_rle_encode(data), len(data)) == data).all()
+
+    def test_compresses_zeros(self):
+        data = np.zeros(1000, dtype=np.uint8)
+        assert len(_zero_rle_encode(data)) < 20
+
+    def test_long_runs_split(self):
+        data = np.zeros(600, dtype=np.uint8)
+        out = _zero_rle_decode(_zero_rle_encode(data), 600)
+        assert (out == 0).all()
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            _zero_rle_decode(b"\x00", 5)
+
+    def test_wrong_length_rejected(self):
+        enc = _zero_rle_encode(np.array([1, 2, 3], dtype=np.uint8))
+        with pytest.raises(ValueError):
+            _zero_rle_decode(enc, 10)
+
+
+class TestCodec:
+    def test_geometry_within_voxel_tolerance(self, small_frame):
+        depth = 10
+        enc = octree_encode(small_frame, depth)
+        dec = octree_decode(enc)
+        # Every decoded point within half a voxel diagonal of a source point.
+        lo, hi = small_frame.bounds()
+        voxel = np.max(hi - lo) / (1 << depth)
+        from repro.metrics import p2p_distances
+
+        assert p2p_distances(dec, small_frame).max() <= voxel * np.sqrt(3)
+
+    def test_colors_preserved_for_isolated_voxels(self, small_frame):
+        """At fine depths voxels hold single points, so colors round-trip."""
+        from repro.spatial import kdtree_knn
+
+        enc = octree_encode(small_frame, 12)
+        dec = octree_decode(enc)
+        idx, _ = kdtree_knn(small_frame.positions, dec.positions, 1)
+        err = np.abs(
+            dec.colors.astype(int) - small_frame.colors[idx[:, 0]].astype(int)
+        ).mean()
+        assert err < 1.0
+
+    def test_distortion_decreases_with_depth(self, small_frame):
+        cds = [
+            compression_summary(small_frame, depth)["chamfer"]
+            for depth in (6, 8, 10)
+        ]
+        assert cds[0] > cds[1] > cds[2]
+
+    def test_rate_increases_with_depth(self, small_frame):
+        rates = [
+            compression_summary(small_frame, depth)["bytes_per_point"]
+            for depth in (6, 8, 10)
+        ]
+        assert rates[0] < rates[2]
+
+    def test_compression_beats_raw(self, small_frame):
+        s = compression_summary(small_frame, 10)
+        assert s["compression_ratio"] > 1.5
+
+    def test_grounds_streaming_constant(self):
+        """The 6 B/pt transport assumption holds at the paper's density."""
+        from repro.pointcloud import make_video
+
+        frame = make_video("longdress", n_points=20_000, n_frames=1).frame(0)
+        s = compression_summary(frame, 10)
+        assert 4.0 < s["bytes_per_point"] < 8.0
+
+    def test_colorless_cloud(self):
+        pc = PointCloud(np.random.default_rng(0).uniform(0, 1, (500, 3)))
+        dec = octree_decode(octree_encode(pc, 8))
+        assert not dec.has_colors
+        assert len(dec) > 0
+
+    def test_empty_cloud(self):
+        enc = octree_encode(PointCloud.empty(), 8)
+        dec = octree_decode(enc)
+        assert len(dec) == 0
+
+    def test_single_point(self):
+        pc = PointCloud(np.array([[1.0, 2.0, 3.0]]), np.array([[9, 9, 9]], dtype=np.uint8))
+        dec = octree_decode(octree_encode(pc, 8))
+        assert len(dec) == 1
+        assert np.allclose(dec.positions[0], [1, 2, 3], atol=1e-6)
+
+    def test_depth_validation(self, small_frame):
+        with pytest.raises(ValueError):
+            octree_encode(small_frame, 0)
+        with pytest.raises(ValueError):
+            octree_encode(small_frame, 30)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="octree"):
+            octree_decode(b"XXXX" + b"\x00" * 40)
+
+    def test_voxel_count_matches_header(self, small_frame):
+        enc = octree_encode(small_frame, 9)
+        dec = octree_decode(enc)
+        assert len(dec) == enc.n_voxels
+
+    def test_decode_accepts_raw_bytes(self, small_frame):
+        enc = octree_encode(small_frame, 8)
+        assert len(octree_decode(enc.payload)) == enc.n_voxels
+
+
+@given(seed=st.integers(0, 100), depth=st.integers(4, 12))
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_distortion_bounded_property(seed, depth):
+    g = np.random.default_rng(seed)
+    pc = PointCloud(g.uniform(-3, 3, (150, 3)))
+    dec = octree_decode(octree_encode(pc, depth))
+    # Chamfer bounded by the voxel diagonal at this depth.
+    voxel = 6.0 / (1 << depth)
+    assert chamfer_distance(dec, pc) <= 2 * voxel * np.sqrt(3)

@@ -1,0 +1,56 @@
+"""Shared fixtures: small deterministic clouds, trained artifacts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import PointCloud, make_video
+from repro.sr import PositionEncoder
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_frame() -> PointCloud:
+    """A 2K-point synthetic humanoid frame with colors."""
+    return make_video("longdress", n_points=2000, n_frames=1).frame(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_frame() -> PointCloud:
+    """A 400-point frame for brute-force-comparable tests."""
+    return make_video("loot", n_points=400, n_frames=1).frame(0)
+
+
+@pytest.fixture(scope="session")
+def random_cloud() -> PointCloud:
+    g = np.random.default_rng(7)
+    pos = g.uniform(-1, 1, (500, 3))
+    col = g.integers(0, 256, (500, 3)).astype(np.uint8)
+    return PointCloud(pos, col)
+
+
+@pytest.fixture(scope="session")
+def encoder() -> PositionEncoder:
+    return PositionEncoder(rf_size=4, bins=32)
+
+
+@pytest.fixture(scope="session")
+def trained_artifacts():
+    """Session-cached small trained net + LUT (shared by SR tests)."""
+    from repro.experiments.artifacts import get_artifacts
+    from repro.experiments.common import Scale
+
+    scale = Scale(
+        name="test",
+        points_per_frame=1500,
+        quality_frames=2,
+        image_size=64,
+        train_epochs=6,
+        stream_seconds=20,
+    )
+    return get_artifacts(scale, rf_size=4, bins=32, seed=0)

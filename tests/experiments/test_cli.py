@@ -1,0 +1,49 @@
+"""CLI runner tests."""
+
+import pytest
+
+from repro.experiments.__main__ import REGISTRY, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig11-device", "ablate-dilation"):
+            assert name in out
+
+    def test_run_single(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "[table1:" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["table1", "fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Fig 15" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_registry_covers_every_paper_artifact(self):
+        """One CLI entry per table/figure in DESIGN.md's experiment index."""
+        needed = {
+            "table1", "fig4", "fig7-10", "fig11-measured", "fig11-device",
+            "fig12-13", "fig14", "fig15", "fig16-device", "fig16-measured",
+            "fig17-device", "fig17-measured", "fig18",
+        }
+        assert needed <= set(REGISTRY)
+
+
+class TestReport:
+    def test_report_written(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        from repro.experiments.__main__ import main
+
+        assert main(["table1", "fig15", "--report", str(out)]) == 0
+        text = out.read_text()
+        assert "# VoLUT reproduction" in text
+        assert "## table1" in text and "## fig15" in text
+        assert "1.61 GB" in text

@@ -1,0 +1,209 @@
+"""Experiment harness tests: every table/figure runs and shows the paper's
+qualitative shape at smoke scale."""
+
+import pytest
+
+from repro.experiments import (
+    SMOKE,
+    Scale,
+    run_ablation,
+    run_breakdown_device,
+    run_breakdown_measured,
+    run_fig4,
+    run_fig11_device,
+    run_fig11_measured,
+    run_fig17_device,
+    run_fig17_measured,
+    run_fig18_device,
+    run_memory_usage,
+    run_sr_quality,
+    run_streaming_eval,
+    run_table1,
+)
+
+TINY = Scale(
+    name="tiny",
+    points_per_frame=1200,
+    quality_frames=1,
+    image_size=64,
+    train_epochs=4,
+    stream_seconds=30,
+)
+
+
+class TestTable1:
+    def test_paper_rows(self):
+        t = run_table1()
+        assert len(t.rows) == 6
+        row = t.lookup(rf_size=4, bins=128)
+        assert row["entries"] == 805306368
+        assert row["size"] == "1.61 GB"
+
+    def test_render_is_text(self):
+        out = run_table1().render()
+        assert "Table 1" in out and "128" in out
+
+
+class TestFig4:
+    def test_dilated_more_uniform_than_naive(self):
+        # The uniformity gap needs enough points to be stable; the smallest
+        # TINY scale is too sparse for the density statistic.
+        t = run_fig4(SMOKE)
+        dil = t.lookup(cloud="dilated-k4d2")
+        nai = t.lookup(cloud="naive-k4d1")
+        assert dil["density_cv"] < nai["density_cv"]
+
+    def test_ground_truth_row_present(self):
+        t = run_fig4(TINY)
+        gt = t.lookup(cloud="ground-truth")
+        assert gt["coverage_radius"] == 0.0
+
+
+class TestSRQuality:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_sr_quality(TINY, ratios=(2.0,), videos=("longdress", "lab"), n_views=2)
+
+    def test_all_cells_present(self, table):
+        assert len(table.rows) == 2 * 1 * 4  # videos x ratios x methods
+
+    def test_psnr_positive(self, table):
+        assert all(r["psnr_db"] > 5 for r in table.rows)
+
+    def test_lut_improves_chamfer_over_plain_interp(self, table):
+        for video in ("longdress", "lab"):
+            lut = table.lookup(video=video, ratio=2.0, method="K4d2-lut")
+            plain = table.lookup(video=video, ratio=2.0, method="K4d2")
+            assert lut["chamfer"] <= plain["chamfer"] * 1.05
+
+    def test_generalizes_across_videos(self, table):
+        """LUT trained on longdress still helps on the lab scene."""
+        lut = table.lookup(video="lab", ratio=2.0, method="K4d2-lut")
+        assert lut["chamfer"] < float("inf")
+
+
+class TestFig11:
+    def test_measured_octree_wins_at_scale(self):
+        t = run_fig11_measured(SMOKE, ratios=(2.0,), repeats=1)
+        assert t.rows[0]["speedup"] > 1.5
+
+    def test_device_model_speedups_in_paper_band(self):
+        t = run_fig11_device()
+        for row in t.rows:
+            if row["device"] == "orange-pi":
+                assert 3.0 < row["speedup"] < 4.5
+            else:
+                assert 7.0 < row["speedup"] < 9.0
+
+    def test_orange_pi_8x_near_paper(self):
+        t = run_fig11_device()
+        row = t.lookup(device="orange-pi", ratio=8.0)
+        assert 24 < row["ours_fps"] < 40  # paper: 31.2
+        assert 6 < row["vanilla_fps"] < 10  # paper: 8.0
+
+
+class TestStreamingEval:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_streaming_eval(TINY, lte_profiles=((32.5, 13.5),))
+
+    def test_all_conditions_and_systems(self, table):
+        conditions = set(table.column("condition"))
+        assert {"stable-50", "lte-all", "lte-low"} <= conditions
+        assert set(table.column("system")) == {"volut", "yuzu-sr", "vivo", "raw"}
+
+    def test_volut_normalized_to_100(self, table):
+        for cond in ("stable-50", "lte-low"):
+            assert table.lookup(condition=cond, system="volut")["norm_qoe"] == 100.0
+
+    def test_fig12_ordering_stable(self, table):
+        v = table.lookup(condition="stable-50", system="volut")["norm_qoe"]
+        y = table.lookup(condition="stable-50", system="yuzu-sr")["norm_qoe"]
+        vi = table.lookup(condition="stable-50", system="vivo")["norm_qoe"]
+        assert v > y > vi
+
+    def test_fig13_data_usage(self, table):
+        raw = table.lookup(condition="stable-50", system="raw")["data_pct"]
+        volut = table.lookup(condition="stable-50", system="volut")["data_pct"]
+        assert raw == 100.0
+        assert volut < 45.0  # the ~70%-reduction headline
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_ablation(TINY, lte_profiles=((32.5, 13.5), (75.0, 20.0)))
+
+    def test_h1_best_qoe(self, table):
+        h1 = table.lookup(variant="H1")["norm_qoe"]
+        h2 = table.lookup(variant="H2")["norm_qoe"]
+        h3 = table.lookup(variant="H3")["norm_qoe"]
+        assert h1 == 100.0
+        assert h1 > h2 > h3
+
+    def test_h2_uses_more_data(self, table):
+        assert table.lookup(variant="H2")["data_vs_h1"] > 100.0
+
+
+class TestMemoryAndRuntime:
+    def test_fig15_memory_relationships(self):
+        t = run_memory_usage()
+        volut = t.lookup(system="volut (1 LUT)")
+        gradpu = t.lookup(system="gradpu (pytorch)")
+        yuzu = t.lookup(system="yuzu (frozen c++)")
+        # Paper: ~86% less than GradPU; comparable to YuZu (same order).
+        assert volut["vs_gradpu_pct"] < 20.0
+        assert gradpu["vs_gradpu_pct"] == 100.0
+        assert yuzu["total_mb"] < 10 * volut["total_mb"]
+
+    def test_fig16_knn_dominates_on_both_devices(self):
+        t = run_breakdown_device()
+        for device in ("desktop-gpu", "orange-pi"):
+            shares = {
+                r["stage"]: r["share_pct"] for r in t.rows if r["device"] == device
+            }
+            assert shares["knn"] == max(shares.values())
+            assert shares["refinement"] < shares["knn"]
+
+    def test_fig16_measured_knn_dominates(self):
+        t = run_breakdown_measured(TINY)
+        shares = {r["stage"]: r["share_pct"] for r in t.rows}
+        assert shares["knn"] == max(shares.values())
+
+    def test_fig17_device_orderings(self):
+        t = run_fig17_device()
+        v = t.lookup(system="volut")
+        y = t.lookup(system="yuzu")
+        g = t.lookup(system="gradpu")
+        assert v["fps"] > y["fps"] > g["fps"]
+        assert 6 < y["slowdown_vs_volut"] < 14      # paper: 8.4
+        assert 1e4 < g["slowdown_vs_volut"] < 1e5   # paper: 46,400
+
+    def test_fig17_measured_ordering(self):
+        t = run_fig17_measured(TINY)
+        v = t.lookup(system="volut")["ms"]
+        y = t.lookup(system="yuzu")["ms"]
+        g = t.lookup(system="gradpu")["ms"]
+        assert v < y < g
+
+    def test_fig18_flat_latency(self):
+        t = run_fig18_device()
+        fps = t.column("fps")
+        assert max(fps) / min(fps) < 1.3
+        assert all(r["knn_share_pct"] > 60 for r in t.rows)
+
+
+class TestResultTable:
+    def test_lookup_missing(self):
+        t = run_table1()
+        with pytest.raises(KeyError):
+            t.lookup(rf_size=99)
+        with pytest.raises(KeyError):
+            t.column("nope")
+
+    def test_add_validates_columns(self):
+        from repro.experiments import ResultTable
+
+        t = ResultTable(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(a=1)

@@ -1,0 +1,38 @@
+"""Multi-video streaming sweep tests."""
+
+import pytest
+
+from repro.experiments.multivideo import measured_bytes_per_point, run_multivideo_eval
+from tests.experiments.test_experiments import TINY
+
+
+class TestMeasuredBpp:
+    def test_in_codec_range(self):
+        bpp = measured_bytes_per_point("longdress", TINY)
+        assert 3.0 < bpp < 12.0
+
+    def test_content_differentiates(self):
+        """The static lab scan compresses better than the dual-person capture."""
+        lab = measured_bytes_per_point("lab", TINY)
+        haggle = measured_bytes_per_point("haggle", TINY)
+        assert lab < haggle
+
+
+class TestMultiVideo:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_multivideo_eval(TINY, videos=("longdress", "lab"))
+
+    def test_grid_complete(self, table):
+        assert len(table.rows) == 2 * 2 * 3  # videos x conditions x systems
+
+    def test_volut_wins_on_every_content(self, table):
+        for row in table.rows:
+            if row["system"] == "volut":
+                assert row["norm_qoe"] == 100.0
+            else:
+                assert row["norm_qoe"] < 100.0
+
+    def test_bpp_column_measured(self, table):
+        for row in table.rows:
+            assert 3.0 < row["bpp"] < 12.0

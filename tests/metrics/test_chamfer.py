@@ -1,0 +1,109 @@
+"""Geometric metric tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    chamfer_distance,
+    geometry_psnr,
+    hausdorff_distance,
+    p2p_distances,
+)
+from repro.pointcloud import PointCloud
+
+
+def cloud(arr):
+    return PointCloud(np.asarray(arr, dtype=float))
+
+
+class TestP2P:
+    def test_identical_clouds_zero(self, random_cloud):
+        d = p2p_distances(random_cloud, random_cloud)
+        assert np.allclose(d, 0.0)
+
+    def test_known_distance(self):
+        a = cloud([[0, 0, 0]])
+        b = cloud([[3, 4, 0], [10, 10, 10]])
+        assert p2p_distances(a, b)[0] == pytest.approx(5.0)
+
+    def test_empty_source(self):
+        assert len(p2p_distances(cloud(np.zeros((0, 3))), cloud([[0, 0, 0]]))) == 0
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError):
+            p2p_distances(cloud([[0, 0, 0]]), cloud(np.zeros((0, 3))))
+
+    def test_accepts_raw_arrays(self):
+        d = p2p_distances(np.zeros((2, 3)), np.ones((3, 3)))
+        assert d.shape == (2,)
+
+
+class TestChamfer:
+    def test_zero_for_identical(self, random_cloud):
+        assert chamfer_distance(random_cloud, random_cloud) == pytest.approx(0.0)
+
+    def test_symmetric(self, random_cloud, small_frame):
+        a = chamfer_distance(random_cloud, small_frame)
+        b = chamfer_distance(small_frame, random_cloud)
+        assert a == pytest.approx(b)
+
+    def test_known_value(self):
+        a = cloud([[0, 0, 0]])
+        b = cloud([[1, 0, 0]])
+        assert chamfer_distance(a, b) == pytest.approx(2.0)  # 1 + 1
+        assert chamfer_distance(a, b, squared=True) == pytest.approx(2.0)
+
+    def test_grows_with_noise(self, small_frame):
+        g = np.random.default_rng(0)
+        small = PointCloud(small_frame.positions + g.normal(0, 0.001, (len(small_frame), 3)))
+        big = PointCloud(small_frame.positions + g.normal(0, 0.05, (len(small_frame), 3)))
+        assert chamfer_distance(small, small_frame) < chamfer_distance(big, small_frame)
+
+
+class TestHausdorff:
+    def test_upper_bounds_chamfer_mean(self, small_frame):
+        g = np.random.default_rng(1)
+        noisy = PointCloud(small_frame.positions + g.normal(0, 0.01, (len(small_frame), 3)))
+        assert hausdorff_distance(noisy, small_frame) >= 0.5 * chamfer_distance(
+            noisy, small_frame
+        )
+
+    def test_known_value(self):
+        a = cloud([[0, 0, 0], [1, 0, 0]])
+        b = cloud([[0, 0, 0]])
+        assert hausdorff_distance(a, b) == pytest.approx(1.0)
+
+
+class TestGeometryPSNR:
+    def test_inf_for_identical(self, random_cloud):
+        assert geometry_psnr(random_cloud, random_cloud) == float("inf")
+
+    def test_monotone_in_noise(self, small_frame):
+        g = np.random.default_rng(2)
+        a = PointCloud(small_frame.positions + g.normal(0, 0.001, (len(small_frame), 3)))
+        b = PointCloud(small_frame.positions + g.normal(0, 0.01, (len(small_frame), 3)))
+        assert geometry_psnr(a, small_frame) > geometry_psnr(b, small_frame)
+
+    def test_custom_peak(self):
+        a = cloud([[0, 0, 0]])
+        b = cloud([[1, 0, 0]])
+        # mse = 1; peak 10 → 10*log10(100) = 20 dB
+        assert geometry_psnr(a, b, peak=10.0) == pytest.approx(20.0)
+
+    def test_invalid_peak(self, random_cloud):
+        with pytest.raises(ValueError):
+            geometry_psnr(random_cloud, random_cloud, peak=0.0)
+
+
+@given(seed=st.integers(0, 100), sigma=st.floats(1e-4, 0.2))
+@settings(max_examples=20, deadline=None)
+def test_chamfer_nonnegative_and_triangleish(seed, sigma):
+    g = np.random.default_rng(seed)
+    base = g.uniform(-1, 1, (60, 3))
+    noisy = base + g.normal(0, sigma, (60, 3))
+    cd = chamfer_distance(PointCloud(base), PointCloud(noisy))
+    assert cd >= 0.0
+    # CD between a cloud and a shifted copy is at most twice the shift.
+    assert cd <= 2 * np.linalg.norm(noisy - base, axis=1).max() + 1e-12

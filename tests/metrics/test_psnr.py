@@ -1,0 +1,61 @@
+"""Image PSNR tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import image_mse, image_psnr, mean_image_psnr
+
+
+class TestImageMSE:
+    def test_zero_for_identical(self):
+        img = np.random.default_rng(0).integers(0, 256, (8, 8, 3))
+        assert image_mse(img, img) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 2.0)
+        assert image_mse(a, b) == pytest.approx(4.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            image_mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestImagePSNR:
+    def test_inf_for_identical(self):
+        img = np.ones((4, 4, 3)) * 100
+        assert image_psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 255.0)
+        assert image_psnr(a, b) == pytest.approx(0.0)  # mse = peak^2
+
+    def test_monotone_in_noise(self):
+        g = np.random.default_rng(0)
+        base = g.integers(0, 256, (16, 16, 3)).astype(float)
+        small = np.clip(base + g.normal(0, 2, base.shape), 0, 255)
+        big = np.clip(base + g.normal(0, 20, base.shape), 0, 255)
+        assert image_psnr(small, base) > image_psnr(big, base)
+
+    def test_invalid_peak(self):
+        with pytest.raises(ValueError):
+            image_psnr(np.zeros((2, 2)), np.zeros((2, 2)), peak=0)
+
+
+class TestMeanPSNR:
+    def test_average_of_pairs(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 255.0)
+        c = np.full((4, 4), 128.0)
+        mean = mean_image_psnr([(a, b), (a, c)])
+        expect = (image_psnr(a, b) + image_psnr(a, c)) / 2
+        assert mean == pytest.approx(expect)
+
+    def test_infinite_pairs_clipped(self):
+        img = np.ones((4, 4))
+        assert mean_image_psnr([(img, img)]) == pytest.approx(99.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_image_psnr([])

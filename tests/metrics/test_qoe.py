@@ -1,0 +1,76 @@
+"""QoE model tests (Eq. 10 semantics)."""
+
+import pytest
+
+from repro.metrics import ChunkRecord, QoEModel, QoEWeights, session_qoe
+
+
+class TestTerms:
+    def test_quality_term_scales_with_alpha(self):
+        m = QoEModel(QoEWeights(alpha=2.0))
+        assert m.quality_term(0.5) == pytest.approx(1.0)
+
+    def test_variation_first_chunk_free(self):
+        m = QoEModel()
+        assert m.variation_term(0.5, None) == 0.0
+
+    def test_drops_penalized_more_than_rises(self):
+        m = QoEModel(QoEWeights(beta=1.0, drop_multiplier=2.0))
+        rise = m.variation_term(0.8, 0.5)
+        drop = m.variation_term(0.5, 0.8)
+        assert drop == pytest.approx(2.0 * rise)
+
+    def test_stall_term(self):
+        m = QoEModel(QoEWeights(gamma=3.0))
+        assert m.stall_term(2.0) == pytest.approx(6.0)
+
+    def test_negative_stall_rejected(self):
+        with pytest.raises(ValueError):
+            QoEModel().stall_term(-1.0)
+
+
+class TestSession:
+    def test_steady_session_sums_quality(self):
+        m = QoEModel(QoEWeights(alpha=1.0, beta=0.5, gamma=2.0))
+        records = [ChunkRecord(quality=0.8) for _ in range(10)]
+        assert m.session(records) == pytest.approx(8.0)
+
+    def test_stall_reduces_qoe(self):
+        m = QoEModel()
+        smooth = [ChunkRecord(quality=0.8) for _ in range(5)]
+        stalled = [ChunkRecord(quality=0.8, stall=0.5 if i == 2 else 0.0) for i in range(5)]
+        assert m.session(stalled) < m.session(smooth)
+
+    def test_oscillation_worse_than_steady_mean(self):
+        m = QoEModel()
+        steady = [ChunkRecord(quality=0.6) for _ in range(10)]
+        osc = [ChunkRecord(quality=0.8 if i % 2 else 0.4) for i in range(10)]
+        assert m.session(osc) < m.session(steady)
+
+    def test_plan_value_matches_session(self):
+        m = QoEModel()
+        qualities = [0.5, 0.7, 0.6]
+        stalls = [0.0, 0.1, 0.0]
+        records = [ChunkRecord(quality=q, stall=s) for q, s in zip(qualities, stalls)]
+        assert m.plan_value(qualities, stalls, None) == pytest.approx(m.session(records))
+
+    def test_plan_value_validation(self):
+        with pytest.raises(ValueError):
+            QoEModel().plan_value([0.5], [], None)
+
+
+class TestSessionQoE:
+    def test_aggregates(self):
+        records = [
+            ChunkRecord(quality=0.5, stall=0.2, bytes_downloaded=100),
+            ChunkRecord(quality=0.7, stall=0.0, bytes_downloaded=300),
+        ]
+        out = session_qoe(records)
+        assert out["bytes"] == 400
+        assert out["stall_seconds"] == pytest.approx(0.2)
+        assert out["mean_quality"] == pytest.approx(0.6)
+        assert out["n_chunks"] == 2
+
+    def test_empty_session(self):
+        out = session_qoe([])
+        assert out["qoe"] == 0.0 and out["mean_quality"] == 0.0

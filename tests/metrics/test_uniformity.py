@@ -1,0 +1,61 @@
+"""Uniformity metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import coverage_radius, local_density_cv, nn_distance_cv
+from repro.pointcloud import PointCloud
+
+
+def grid_cloud(n_side=8):
+    """A perfectly regular grid — the most uniform possible distribution."""
+    ax = np.arange(n_side, dtype=float)
+    g = np.stack(np.meshgrid(ax, ax, ax, indexing="ij"), axis=-1).reshape(-1, 3)
+    return PointCloud(g)
+
+
+def clumped_cloud(seed=0):
+    """Two tight clusters — maximally clumped."""
+    g = np.random.default_rng(seed)
+    a = g.normal(0, 0.02, (150, 3))
+    b = g.normal(5, 0.02, (150, 3))
+    return PointCloud(np.vstack([a, b]))
+
+
+class TestNNDistanceCV:
+    def test_grid_is_near_zero(self):
+        assert nn_distance_cv(grid_cloud()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_clumped_higher_than_uniform(self):
+        g = np.random.default_rng(1)
+        uniform = PointCloud(g.uniform(0, 1, (300, 3)))
+        assert nn_distance_cv(clumped_cloud()) > nn_distance_cv(uniform)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            nn_distance_cv(PointCloud(np.zeros((1, 3))))
+
+
+class TestLocalDensityCV:
+    def test_grid_lower_than_clumped(self):
+        assert local_density_cv(grid_cloud()) < local_density_cv(clumped_cloud())
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            local_density_cv(PointCloud(np.zeros((3, 3))), k=8)
+
+    def test_accepts_raw_arrays(self):
+        g = np.random.default_rng(2)
+        assert local_density_cv(g.uniform(0, 1, (100, 3))) > 0
+
+
+class TestCoverageRadius:
+    def test_zero_when_cloud_contains_surface(self, random_cloud):
+        assert coverage_radius(random_cloud, random_cloud) == pytest.approx(0.0)
+
+    def test_detects_hole(self):
+        surface = grid_cloud(6)
+        # Remove a corner region -> points there are far from the cloud.
+        mask = ~((surface.positions < 1.5).all(axis=1))
+        holed = surface.select(mask)
+        assert coverage_radius(holed, surface) > 1.0

@@ -1,0 +1,54 @@
+"""Harmonic-mean throughput estimator tests."""
+
+import pytest
+
+from repro.net import HarmonicMeanEstimator
+
+
+class TestEstimator:
+    def test_initial_estimate(self):
+        est = HarmonicMeanEstimator(initial_bps=5e6)
+        assert est.estimate() == 5e6
+        assert est.n_samples == 0
+
+    def test_single_sample(self):
+        est = HarmonicMeanEstimator()
+        est.observe(10e6)
+        assert est.estimate() == pytest.approx(10e6)
+
+    def test_harmonic_mean_value(self):
+        est = HarmonicMeanEstimator(window=3)
+        for s in (10e6, 20e6, 40e6):
+            est.observe(s)
+        expected = 3 / (1 / 10e6 + 1 / 20e6 + 1 / 40e6)
+        assert est.estimate() == pytest.approx(expected)
+
+    def test_sliding_window_evicts_old(self):
+        est = HarmonicMeanEstimator(window=2)
+        est.observe(1e6)
+        est.observe(50e6)
+        est.observe(50e6)
+        assert est.estimate() == pytest.approx(50e6)
+
+    def test_robust_to_spikes(self):
+        """The harmonic mean is pulled toward the low samples."""
+        est = HarmonicMeanEstimator(window=5)
+        for s in (10e6, 10e6, 10e6, 10e6, 1000e6):
+            est.observe(s)
+        arith = (4 * 10e6 + 1000e6) / 5
+        assert est.estimate() < arith / 2
+
+    def test_reset(self):
+        est = HarmonicMeanEstimator(initial_bps=7e6)
+        est.observe(1e6)
+        est.reset()
+        assert est.estimate() == 7e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarmonicMeanEstimator(window=0)
+        with pytest.raises(ValueError):
+            HarmonicMeanEstimator(initial_bps=0)
+        est = HarmonicMeanEstimator()
+        with pytest.raises(ValueError):
+            est.observe(0.0)

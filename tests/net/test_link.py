@@ -1,0 +1,65 @@
+"""Link-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.net import Link, NetworkTrace, stable_trace
+
+
+class TestDownloadTime:
+    def test_stable_link_exact(self):
+        link = Link(stable_trace(80.0, rtt=0.0))  # 80 Mbps = 10 MB/s
+        # 10 MB should take ~1 s.
+        assert link.download_time(10_000_000, 0.0) == pytest.approx(1.0, rel=1e-3)
+
+    def test_rtt_added(self):
+        link = Link(stable_trace(80.0, rtt=0.05))
+        t = link.download_time(10_000_000, 0.0)
+        assert t == pytest.approx(1.05, rel=1e-3)
+
+    def test_zero_bytes_costs_one_rtt(self):
+        link = Link(stable_trace(80.0, rtt=0.02))
+        assert link.download_time(0, 0.0) == pytest.approx(0.02)
+
+    def test_faster_link_faster_download(self):
+        t_slow = Link(stable_trace(10.0)).download_time(5_000_000, 0.0)
+        t_fast = Link(stable_trace(100.0)).download_time(5_000_000, 0.0)
+        assert t_fast < t_slow
+
+    def test_fluctuation_honoured_mid_transfer(self):
+        """A transfer spanning a rate change takes the harmonic blend."""
+        tr = NetworkTrace(
+            "step", np.array([0.0, 1.0]), np.array([8e6, 80e6]), rtt=0.0
+        )
+        link = Link(tr)
+        # 2 MB: first 1 s moves 1 MB at 8 Mbps, the next 0.1 s finishes.
+        t = link.download_time(2_000_000, 0.0)
+        assert t == pytest.approx(1.1, rel=1e-2)
+
+    def test_start_time_matters_on_varying_trace(self):
+        tr = NetworkTrace(
+            "step", np.array([0.0, 5.0]), np.array([8e6, 80e6]), rtt=0.0
+        )
+        link = Link(tr)
+        slow_start = link.download_time(1_000_000, 0.0)
+        fast_start = link.download_time(1_000_000, 5.0)
+        assert fast_start < slow_start
+
+    def test_validation(self):
+        link = Link(stable_trace(10.0))
+        with pytest.raises(ValueError):
+            link.download_time(-1, 0.0)
+        with pytest.raises(ValueError):
+            link.download_time(10, -1.0)
+
+
+class TestThroughputSample:
+    def test_matches_link_rate_for_large_transfer(self):
+        link = Link(stable_trace(40.0, rtt=0.0))
+        thr = link.throughput_sample(50_000_000, 0.0)
+        assert thr == pytest.approx(40e6, rel=1e-2)
+
+    def test_rtt_reduces_observed_throughput(self):
+        fast = Link(stable_trace(40.0, rtt=0.0)).throughput_sample(1_000_000, 0.0)
+        slow = Link(stable_trace(40.0, rtt=0.2)).throughput_sample(1_000_000, 0.0)
+        assert slow < fast

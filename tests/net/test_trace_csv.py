@@ -1,0 +1,55 @@
+"""CSV trace I/O tests."""
+
+import numpy as np
+import pytest
+
+from repro.net import lte_trace, read_trace_csv, stable_trace, write_trace_csv
+
+
+class TestCSVRoundtrip:
+    def test_roundtrip_lte(self, tmp_path):
+        tr = lte_trace(50.0, 15.0, duration=30, seed=0)
+        p = tmp_path / "lte.csv"
+        write_trace_csv(tr, p)
+        back = read_trace_csv(p)
+        assert np.allclose(back.timestamps, tr.timestamps, atol=1e-3)
+        assert np.allclose(back.bandwidths_bps, tr.bandwidths_bps, rtol=1e-5)
+
+    def test_name_from_filename(self, tmp_path):
+        tr = stable_trace(10.0)
+        p = tmp_path / "my-link.csv"
+        write_trace_csv(tr, p)
+        assert read_trace_csv(p).name == "my-link"
+
+    def test_explicit_name_and_rtt(self, tmp_path):
+        p = tmp_path / "x.csv"
+        write_trace_csv(stable_trace(10.0), p)
+        back = read_trace_csv(p, name="custom", rtt=0.1)
+        assert back.name == "custom"
+        assert back.rtt == 0.1
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        p = tmp_path / "c.csv"
+        p.write_text("# header\n\n0.0,10.0\n1.0,20.0\n")
+        tr = read_trace_csv(p)
+        assert len(tr.timestamps) == 2
+
+    def test_malformed_row(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("0.0,10.0,extra\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_trace_csv(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no trace rows"):
+            read_trace_csv(p)
+
+    def test_usable_by_link(self, tmp_path):
+        from repro.net import Link
+
+        p = tmp_path / "l.csv"
+        write_trace_csv(stable_trace(80.0, rtt=0.0), p)
+        link = Link(read_trace_csv(p, rtt=0.0))
+        assert link.download_time(10_000_000, 0.0) == pytest.approx(1.0, rel=1e-3)

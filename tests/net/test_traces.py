@@ -1,0 +1,89 @@
+"""Bandwidth trace tests."""
+
+import numpy as np
+import pytest
+
+from repro.net import MBPS, PAPER_LTE_PROFILES, NetworkTrace, lte_trace, stable_trace
+
+
+class TestNetworkTrace:
+    def test_lookup_in_segments(self):
+        tr = NetworkTrace("t", np.array([0.0, 10.0]), np.array([1e6, 2e6]))
+        assert tr.bandwidth_at(5.0) == 1e6
+        assert tr.bandwidth_at(15.0) == 2e6
+
+    def test_loops_past_end(self):
+        tr = NetworkTrace("t", np.array([0.0, 10.0]), np.array([1e6, 2e6]))
+        assert tr.bandwidth_at(25.0) == 1e6  # 25 % 20 = 5
+
+    def test_mean_and_std_weighted(self):
+        tr = NetworkTrace("t", np.array([0.0, 10.0]), np.array([1e6, 3e6]))
+        assert tr.mean_bandwidth() == pytest.approx(2e6)
+        assert tr.std_bandwidth() == pytest.approx(1e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkTrace("t", np.array([1.0]), np.array([1e6]))  # not at 0
+        with pytest.raises(ValueError):
+            NetworkTrace("t", np.array([0.0, 0.0]), np.array([1e6, 1e6]))
+        with pytest.raises(ValueError):
+            NetworkTrace("t", np.array([0.0]), np.array([-1e6]))
+        with pytest.raises(ValueError):
+            NetworkTrace("t", np.array([0.0]), np.array([1e6]), rtt=-1)
+        tr = NetworkTrace("t", np.array([0.0]), np.array([1e6]))
+        with pytest.raises(ValueError):
+            tr.bandwidth_at(-1.0)
+
+
+class TestStable:
+    def test_constant_rate(self):
+        tr = stable_trace(50.0)
+        for t in (0.0, 100.0, 599.0):
+            assert tr.bandwidth_at(t) == 50 * MBPS
+
+    def test_default_rtt(self):
+        assert stable_trace(50.0).rtt == pytest.approx(0.010)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            stable_trace(0.0)
+
+
+class TestLTE:
+    def test_matches_requested_moments(self):
+        """Realized mean/std land near the paper-profile parameters."""
+        tr = lte_trace(mean_mbps=75.0, std_mbps=20.0, duration=3000, seed=0)
+        assert tr.mean_bandwidth() / MBPS == pytest.approx(75.0, rel=0.15)
+        assert tr.std_bandwidth() / MBPS == pytest.approx(20.0, rel=0.5)
+
+    @pytest.mark.parametrize("mean,std", PAPER_LTE_PROFILES)
+    def test_paper_profiles_generate(self, mean, std):
+        tr = lte_trace(mean, std, duration=300, seed=1)
+        assert tr.mean_bandwidth() > 0
+
+    def test_floor_at_1mbps(self):
+        tr = lte_trace(mean_mbps=2.0, std_mbps=5.0, duration=600, seed=2)
+        assert tr.bandwidths_bps.min() >= 1.0 * MBPS
+
+    def test_deterministic_per_seed(self):
+        a = lte_trace(32.5, 13.5, seed=7)
+        b = lte_trace(32.5, 13.5, seed=7)
+        assert np.array_equal(a.bandwidths_bps, b.bandwidths_bps)
+
+    def test_seeds_differ(self):
+        a = lte_trace(32.5, 13.5, seed=1)
+        b = lte_trace(32.5, 13.5, seed=2)
+        assert not np.array_equal(a.bandwidths_bps, b.bandwidths_bps)
+
+    def test_autocorrelated(self):
+        """AR(1) structure: adjacent samples correlate strongly."""
+        tr = lte_trace(75.0, 20.0, duration=2000, seed=3)
+        bw = tr.bandwidths_bps
+        r = np.corrcoef(bw[:-1], bw[1:])[0, 1]
+        assert r > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lte_trace(mean_mbps=0.0)
+        with pytest.raises(ValueError):
+            lte_trace(mean_mbps=10.0, std_mbps=-1.0)

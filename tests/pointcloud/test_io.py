@@ -1,0 +1,111 @@
+"""PLY / NPZ round-trip and format-robustness tests."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import (
+    PointCloud,
+    load,
+    read_npz,
+    read_ply,
+    save,
+    write_npz,
+    write_ply,
+)
+
+
+@pytest.fixture
+def colored(rng):
+    pos = rng.uniform(-2, 2, (100, 3))
+    col = rng.integers(0, 256, (100, 3)).astype(np.uint8)
+    return PointCloud(pos, col)
+
+
+@pytest.fixture
+def plain(rng):
+    return PointCloud(rng.uniform(-2, 2, (50, 3)))
+
+
+class TestPLY:
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_roundtrip_colored(self, colored, tmp_path, binary):
+        p = tmp_path / "c.ply"
+        write_ply(colored, p, binary=binary)
+        back = read_ply(p)
+        assert np.allclose(back.positions, colored.positions, atol=1e-4)
+        assert (back.colors == colored.colors).all()
+
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_roundtrip_plain(self, plain, tmp_path, binary):
+        p = tmp_path / "p.ply"
+        write_ply(plain, p, binary=binary)
+        back = read_ply(p)
+        assert not back.has_colors
+        assert np.allclose(back.positions, plain.positions, atol=1e-4)
+
+    def test_header_contents(self, colored, tmp_path):
+        p = tmp_path / "h.ply"
+        write_ply(colored, p, binary=False)
+        head = p.read_bytes().split(b"end_header")[0].decode()
+        assert "element vertex 100" in head
+        assert "property uchar red" in head
+
+    def test_rejects_non_ply(self, tmp_path):
+        p = tmp_path / "bad.ply"
+        p.write_bytes(b"obj\nnot a ply\n")
+        with pytest.raises(ValueError, match="magic"):
+            read_ply(p)
+
+    def test_rejects_truncated_binary(self, colored, tmp_path):
+        p = tmp_path / "t.ply"
+        write_ply(colored, p, binary=True)
+        data = p.read_bytes()
+        p.write_bytes(data[: len(data) - 20])
+        with pytest.raises(ValueError, match="truncated"):
+            read_ply(p)
+
+    def test_rejects_unknown_property(self, tmp_path):
+        p = tmp_path / "u.ply"
+        p.write_bytes(
+            b"ply\nformat ascii 1.0\nelement vertex 1\n"
+            b"property float x\nproperty float y\nproperty float z\n"
+            b"property float confidence\nend_header\n0 0 0 1\n"
+        )
+        with pytest.raises(ValueError, match="unsupported"):
+            read_ply(p)
+
+    def test_empty_cloud(self, tmp_path):
+        p = tmp_path / "e.ply"
+        write_ply(PointCloud.empty(), p)
+        assert len(read_ply(p)) == 0
+
+
+class TestNPZ:
+    def test_roundtrip_colored(self, colored, tmp_path):
+        p = tmp_path / "c.npz"
+        write_npz(colored, p)
+        back = read_npz(p)
+        assert np.allclose(back.positions, colored.positions, atol=1e-4)
+        assert (back.colors == colored.colors).all()
+
+    def test_roundtrip_plain(self, plain, tmp_path):
+        p = tmp_path / "p.npz"
+        write_npz(plain, p)
+        assert not read_npz(p).has_colors
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", ["x.ply", "x.npz"])
+    def test_save_load_by_extension(self, colored, tmp_path, name):
+        p = tmp_path / name
+        save(colored, p)
+        back = load(p)
+        assert len(back) == len(colored)
+
+    def test_save_unknown_extension(self, colored, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            save(colored, tmp_path / "x.obj")
+
+    def test_load_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            load(tmp_path / "x.obj")

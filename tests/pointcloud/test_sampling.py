@@ -1,0 +1,135 @@
+"""Downsampling strategy tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pointcloud import (
+    PointCloud,
+    farthest_point_sample,
+    random_downsample,
+    random_downsample_count,
+    voxel_downsample,
+)
+
+
+class TestRandomDownsample:
+    def test_ratio_zero_keeps_nothing(self, random_cloud):
+        assert len(random_downsample(random_cloud, 0.0, seed=0)) == 0
+
+    def test_ratio_one_keeps_everything(self, random_cloud):
+        assert len(random_downsample(random_cloud, 1.0, seed=0)) == len(random_cloud)
+
+    def test_expected_count(self, random_cloud):
+        # Binomial mean with generous tolerance.
+        out = random_downsample(random_cloud, 0.5, seed=1)
+        assert 0.35 * len(random_cloud) <= len(out) <= 0.65 * len(random_cloud)
+
+    def test_invalid_ratio(self, random_cloud):
+        with pytest.raises(ValueError):
+            random_downsample(random_cloud, 1.5)
+        with pytest.raises(ValueError):
+            random_downsample(random_cloud, -0.1)
+
+    def test_deterministic_with_seed(self, random_cloud):
+        a = random_downsample(random_cloud, 0.5, seed=42)
+        b = random_downsample(random_cloud, 0.5, seed=42)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_colors_follow(self, random_cloud):
+        out = random_downsample(random_cloud, 0.5, seed=3)
+        assert out.has_colors
+
+
+class TestRandomDownsampleCount:
+    def test_exact_count(self, random_cloud):
+        assert len(random_downsample_count(random_cloud, 123, seed=0)) == 123
+
+    def test_count_above_n_returns_copy(self, random_cloud):
+        out = random_downsample_count(random_cloud, 10_000, seed=0)
+        assert len(out) == len(random_cloud)
+
+    def test_negative_count_rejected(self, random_cloud):
+        with pytest.raises(ValueError):
+            random_downsample_count(random_cloud, -1)
+
+    def test_subset_of_original(self, random_cloud):
+        out = random_downsample_count(random_cloud, 50, seed=5)
+        orig = {tuple(p) for p in random_cloud.positions}
+        assert all(tuple(p) in orig for p in out.positions)
+
+
+class TestVoxelDownsample:
+    def test_reduces_points(self, random_cloud):
+        out = voxel_downsample(random_cloud, 0.5)
+        assert 0 < len(out) < len(random_cloud)
+
+    def test_large_voxel_gives_single_centroid(self, random_cloud):
+        out = voxel_downsample(random_cloud, 100.0)
+        assert len(out) == 1
+        assert np.allclose(out.positions[0], random_cloud.centroid(), atol=1e-9)
+
+    def test_tiny_voxel_keeps_all(self, random_cloud):
+        out = voxel_downsample(random_cloud, 1e-6)
+        assert len(out) == len(random_cloud)
+
+    def test_colors_averaged(self):
+        pc = PointCloud(
+            np.array([[0.0, 0, 0], [0.01, 0, 0]]),
+            np.array([[0, 0, 0], [200, 100, 50]], dtype=np.uint8),
+        )
+        out = voxel_downsample(pc, 1.0)
+        assert len(out) == 1
+        assert out.colors[0].tolist() == [100, 50, 25]
+
+    def test_invalid_size(self, random_cloud):
+        with pytest.raises(ValueError):
+            voxel_downsample(random_cloud, 0.0)
+
+    def test_empty_cloud(self):
+        assert len(voxel_downsample(PointCloud.empty(), 1.0)) == 0
+
+
+class TestFPS:
+    def test_exact_count(self, random_cloud):
+        assert len(farthest_point_sample(random_cloud, 20, seed=0)) == 20
+
+    def test_zero_target(self, random_cloud):
+        assert len(farthest_point_sample(random_cloud, 0)) == 0
+
+    def test_target_above_n(self, random_cloud):
+        out = farthest_point_sample(random_cloud, 10_000)
+        assert len(out) == len(random_cloud)
+
+    def test_negative_rejected(self, random_cloud):
+        with pytest.raises(ValueError):
+            farthest_point_sample(random_cloud, -2)
+
+    def test_spreads_better_than_random(self, small_frame):
+        """FPS's defining property: larger minimum pairwise spacing."""
+        from repro.spatial import kdtree_knn
+
+        def min_spacing(cloud):
+            _, d = kdtree_knn(cloud.positions, cloud.positions, 2)
+            return d[:, 1].min()
+
+        fps = farthest_point_sample(small_frame, 100, seed=0)
+        rnd = random_downsample_count(small_frame, 100, seed=0)
+        assert min_spacing(fps) > min_spacing(rnd)
+
+    def test_deterministic(self, random_cloud):
+        a = farthest_point_sample(random_cloud, 30, seed=9)
+        b = farthest_point_sample(random_cloud, 30, seed=9)
+        assert np.array_equal(a.positions, b.positions)
+
+
+@given(n_target=st.integers(1, 60), seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_fps_returns_subset_without_duplicates(n_target, seed):
+    g = np.random.default_rng(0)
+    cloud = PointCloud(g.uniform(-1, 1, (80, 3)))
+    out = farthest_point_sample(cloud, n_target, seed=seed)
+    assert len(out) == min(n_target, 80)
+    rows = {tuple(p) for p in out.positions}
+    assert len(rows) == len(out)

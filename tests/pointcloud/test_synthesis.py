@@ -1,0 +1,138 @@
+"""Procedural content generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud.synthesis import (
+    humanoid_frame,
+    room_frame,
+    sample_box,
+    sample_cylinder,
+    sample_plane,
+    sample_sphere,
+    sample_torus,
+)
+
+
+class TestPrimitives:
+    def test_sphere_on_surface(self):
+        pts = sample_sphere(500, radius=2.0, rng=0)
+        r = np.linalg.norm(pts, axis=1)
+        assert np.allclose(r, 2.0, atol=1e-9)
+
+    def test_sphere_center_offset(self):
+        pts = sample_sphere(500, radius=1.0, center=(5, 0, 0), rng=0)
+        assert np.allclose(np.linalg.norm(pts - [5, 0, 0], axis=1), 1.0)
+
+    def test_squashed_sphere(self):
+        pts = sample_sphere(500, radius=1.0, rng=0, squash=(1.0, 0.5, 1.0))
+        assert np.abs(pts[:, 1]).max() <= 0.5 + 1e-9
+
+    def test_cylinder_radius_and_height(self):
+        pts = sample_cylinder(500, radius=0.5, height=2.0, rng=0)
+        r = np.linalg.norm(pts[:, [0, 2]], axis=1)
+        assert np.allclose(r, 0.5, atol=1e-9)
+        assert pts[:, 1].min() >= -1.0 - 1e-9 and pts[:, 1].max() <= 1.0 + 1e-9
+
+    def test_cylinder_taper(self):
+        pts = sample_cylinder(2000, radius=1.0, height=2.0, rng=0, taper=0.5)
+        r = np.linalg.norm(pts[:, [0, 2]], axis=1)
+        top = r[pts[:, 1] > 0.8]
+        bottom = r[pts[:, 1] < -0.8]
+        assert top.mean() < bottom.mean()
+
+    def test_torus_on_surface(self):
+        pts = sample_torus(400, major=1.0, minor=0.25, rng=0)
+        # Distance from the ring centerline equals the minor radius.
+        ring = np.linalg.norm(pts[:, [0, 2]], axis=1) - 1.0
+        d = np.sqrt(ring ** 2 + pts[:, 1] ** 2)
+        assert np.allclose(d, 0.25, atol=1e-9)
+
+    def test_plane_extent_and_flatness(self):
+        pts = sample_plane(300, size=(2.0, 4.0), normal_axis=1, rng=0)
+        assert np.allclose(pts[:, 1], 0.0)
+        assert np.abs(pts[:, 0]).max() <= 1.0 + 1e-9
+        assert np.abs(pts[:, 2]).max() <= 2.0 + 1e-9
+
+    def test_box_on_faces(self):
+        pts = sample_box(600, size=(2.0, 2.0, 2.0), rng=0)
+        on_face = np.isclose(np.abs(pts), 1.0, atol=1e-9).any(axis=1)
+        assert on_face.all()
+
+    def test_primitive_counts(self):
+        assert len(sample_sphere(123, rng=0)) == 123
+        assert len(sample_torus(77, 1.0, 0.2, rng=0)) == 77
+        assert len(sample_box(50, (1, 1, 1), rng=0)) == 50
+
+
+class TestFrames:
+    def test_humanoid_point_budget(self):
+        f = humanoid_frame(3000, t=0.0, seed=0)
+        assert len(f) == 3000
+        assert f.has_colors
+
+    def test_humanoid_two_people(self):
+        f = humanoid_frame(1000, t=0.0, seed=0, second_person_offset=1.0)
+        assert len(f) == 2000
+        # Two clusters along x.
+        assert f.positions[:, 0].max() - f.positions[:, 0].min() > 0.8
+
+    def test_humanoid_plausible_height(self):
+        f = humanoid_frame(3000, t=0.0, seed=0)
+        lo, hi = f.bounds()
+        assert 1.3 < hi[1] - lo[1] < 2.2
+
+    def test_temporal_coherence(self):
+        """Adjacent frames move a little; quarter-cycle frames move more."""
+        a = humanoid_frame(2000, t=0.0, seed=0)
+        b = humanoid_frame(2000, t=1.0 / 30.0, seed=0)
+        c = humanoid_frame(2000, t=0.5, seed=0)  # quarter of the 2 s sway
+        d_ab = np.abs(a.positions - b.positions).mean()
+        d_ac = np.abs(a.positions - c.positions).mean()
+        assert d_ab < 0.05
+        assert d_ac > d_ab
+
+    def test_determinism(self):
+        a = humanoid_frame(1000, t=0.5, seed=3)
+        b = humanoid_frame(1000, t=0.5, seed=3)
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_room_budget_and_colors(self):
+        f = room_frame(2500, t=0.0, seed=0)
+        assert len(f) == 2500
+        assert f.has_colors
+
+    def test_room_mostly_static(self):
+        a = room_frame(2000, t=0.0, seed=0)
+        b = room_frame(2000, t=0.1, seed=0)
+        # The static majority of points should be identical.
+        same = np.isclose(a.positions, b.positions).all(axis=1).mean()
+        assert same > 0.7
+
+    def test_density_nonuniform(self):
+        """Captured-like clouds have uneven density (head vs torso)."""
+        from repro.metrics import local_density_cv
+
+        f = humanoid_frame(3000, t=0.0, seed=0)
+        assert local_density_cv(f) > 0.5
+
+
+class TestTexture:
+    def test_color_smoothness(self):
+        """Nearby points get similar colors (needed for NN colorization)."""
+        from repro.spatial import kdtree_knn
+
+        f = humanoid_frame(2000, t=0.0, seed=0)
+        idx, dist = kdtree_knn(f.positions, f.positions, 2)
+        nn = idx[:, 1]
+        close = dist[:, 1] < 0.02
+        dc = np.abs(
+            f.colors[close].astype(int) - f.colors[nn[close]].astype(int)
+        ).mean()
+        assert dc < 30  # out of 255
+
+    def test_palette_changes_colors(self):
+        a = humanoid_frame(500, t=0.0, seed=0, palette_seed=1)
+        b = humanoid_frame(500, t=0.0, seed=0, palette_seed=2)
+        assert not np.array_equal(a.colors, b.colors)

@@ -1,0 +1,130 @@
+"""Transform tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pointcloud import (
+    PointCloud,
+    jitter,
+    normalize_unit_sphere,
+    random_rigid_transform,
+    rotate,
+    rotation_matrix,
+)
+
+
+class TestRotationMatrix:
+    def test_orthonormal(self):
+        r = rotation_matrix([1, 2, 3], 0.7)
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_identity_at_zero_angle(self):
+        assert np.allclose(rotation_matrix([0, 1, 0], 0.0), np.eye(3))
+
+    def test_quarter_turn_about_z(self):
+        r = rotation_matrix([0, 0, 1], np.pi / 2)
+        assert np.allclose(r @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_zero_axis_rejected(self):
+        with pytest.raises(ValueError):
+            rotation_matrix([0, 0, 0], 1.0)
+
+
+class TestRotate:
+    def test_preserves_pairwise_distances(self, random_cloud):
+        rot = rotate(random_cloud, [1, 1, 0], 1.2)
+        d_before = np.linalg.norm(
+            random_cloud.positions[0] - random_cloud.positions[1]
+        )
+        d_after = np.linalg.norm(rot.positions[0] - rot.positions[1])
+        assert d_after == pytest.approx(d_before)
+
+    def test_centroid_fixed_by_default(self, random_cloud):
+        rot = rotate(random_cloud, [0, 1, 0], 2.0)
+        assert np.allclose(rot.centroid(), random_cloud.centroid(), atol=1e-9)
+
+    def test_custom_center(self):
+        pc = PointCloud(np.array([[1.0, 0, 0]]))
+        rot = rotate(pc, [0, 0, 1], np.pi, center=[0, 0, 0])
+        assert np.allclose(rot.positions[0], [-1, 0, 0], atol=1e-12)
+
+    def test_colors_carried(self, random_cloud):
+        assert rotate(random_cloud, [1, 0, 0], 0.5).has_colors
+
+
+class TestJitter:
+    def test_zero_sigma_identity(self, random_cloud):
+        out = jitter(random_cloud, 0.0, seed=0)
+        assert np.array_equal(out.positions, random_cloud.positions)
+
+    def test_noise_magnitude(self, random_cloud):
+        out = jitter(random_cloud, 0.01, seed=0)
+        d = np.abs(out.positions - random_cloud.positions)
+        assert 0 < d.mean() < 0.05
+
+    def test_clip_bounds_displacement(self, random_cloud):
+        out = jitter(random_cloud, 1.0, seed=0, clip=0.05)
+        d = np.abs(out.positions - random_cloud.positions)
+        assert d.max() <= 0.05 + 1e-12
+
+    def test_validation(self, random_cloud):
+        with pytest.raises(ValueError):
+            jitter(random_cloud, -1.0)
+        with pytest.raises(ValueError):
+            jitter(random_cloud, 0.1, clip=0.0)
+
+
+class TestNormalizeUnitSphere:
+    def test_fits_unit_sphere(self, random_cloud):
+        norm, c, s = normalize_unit_sphere(random_cloud)
+        assert np.linalg.norm(norm.positions, axis=1).max() == pytest.approx(1.0)
+        assert np.allclose(norm.centroid(), 0.0, atol=1e-9)
+
+    def test_invertible(self, random_cloud):
+        norm, c, s = normalize_unit_sphere(random_cloud)
+        restored = norm.positions * s + c
+        assert np.allclose(restored, random_cloud.positions)
+
+    def test_empty_cloud(self):
+        norm, c, s = normalize_unit_sphere(PointCloud.empty())
+        assert len(norm) == 0 and s == 1.0
+
+    def test_single_point(self):
+        pc = PointCloud(np.array([[3.0, 4.0, 5.0]]))
+        norm, c, s = normalize_unit_sphere(pc)
+        assert np.allclose(norm.positions, 0.0)
+
+
+class TestRandomRigid:
+    def test_preserves_shape(self, random_cloud):
+        out = random_rigid_transform(random_cloud, seed=4)
+        d_before = np.linalg.norm(
+            random_cloud.positions[2] - random_cloud.positions[7]
+        )
+        d_after = np.linalg.norm(out.positions[2] - out.positions[7])
+        assert d_after == pytest.approx(d_before)
+
+    def test_deterministic(self, random_cloud):
+        a = random_rigid_transform(random_cloud, seed=5)
+        b = random_rigid_transform(random_cloud, seed=5)
+        assert np.allclose(a.positions, b.positions)
+
+
+@given(angle=st.floats(-np.pi, np.pi), seed=st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_encoding_invariant_under_rotation(angle, seed):
+    """The position encoding is *not* rotation invariant (only translation
+    and scale), but the neighborhood radius is — a property the refinement
+    math depends on."""
+    from repro.sr import PositionEncoder
+
+    g = np.random.default_rng(seed)
+    pc = PointCloud(g.uniform(-1, 1, (12, 3)))
+    rot = rotate(pc, [0, 1, 0], angle, center=[0, 0, 0])
+    enc = PositionEncoder(rf_size=4, bins=16)
+    e1 = enc.encode(pc.positions[:3], pc.positions[3:12].reshape(3, 3, 3))
+    e2 = enc.encode(rot.positions[:3], rot.positions[3:12].reshape(3, 3, 3))
+    assert np.allclose(e1.radius, e2.radius, atol=1e-9)

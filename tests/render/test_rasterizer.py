@@ -1,0 +1,89 @@
+"""Point-splat rasterizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import PointCloud
+from repro.render import Camera, render, render_depth
+
+
+def cam(**kw):
+    args = dict(position=(0, 0, -5), target=(0, 0, 0), width=64, height=64)
+    args.update(kw)
+    return Camera(**args)
+
+
+class TestRender:
+    def test_output_shape_dtype(self, small_frame):
+        img = render(small_frame, cam())
+        assert img.shape == (64, 64, 3)
+        assert img.dtype == np.uint8
+
+    def test_empty_scene_is_background(self):
+        img = render(PointCloud.empty(), cam())
+        assert (img == 0).all()
+
+    def test_custom_background(self):
+        img = render(PointCloud.empty(), cam(), background=np.array([10, 20, 30]))
+        assert (img == [10, 20, 30]).all()
+
+    def test_single_point_lands_at_center(self):
+        pc = PointCloud(np.array([[0.0, 0.0, 0.0]]), np.array([[255, 0, 0]], dtype=np.uint8))
+        img = render(pc, cam(), splat=1)
+        assert img[32, 32].tolist() == [255, 0, 0]
+        assert (img.reshape(-1, 3).sum(axis=1) > 0).sum() == 1
+
+    def test_splat_size_covers_more_pixels(self):
+        pc = PointCloud(np.array([[0.0, 0.0, 0.0]]), np.array([[255, 255, 255]], dtype=np.uint8))
+        small = render(pc, cam(), splat=1)
+        big = render(pc, cam(), splat=3)
+        assert (big > 0).sum() > (small > 0).sum()
+
+    def test_depth_test_front_wins(self):
+        pc = PointCloud(
+            np.array([[0.0, 0, 0], [0.0, 0, -2.0]]),  # second is nearer the camera
+            np.array([[255, 0, 0], [0, 255, 0]], dtype=np.uint8),
+        )
+        img = render(pc, cam(), splat=1)
+        # Both project to the image center; the nearer (green) point wins.
+        assert img[32, 32].tolist() == [0, 255, 0]
+
+    def test_colorless_cloud_depth_shaded(self):
+        pc = PointCloud(np.array([[0.0, 0, 0], [0.5, 0, 2.0]]))
+        img = render(pc, cam(), splat=1)
+        lit = img[(img.sum(axis=2) > 0)]
+        assert len(lit) == 2
+        # Grey shading: channels equal per pixel.
+        assert (lit[:, 0] == lit[:, 1]).all() and (lit[:, 1] == lit[:, 2]).all()
+
+    def test_invalid_splat(self, small_frame):
+        with pytest.raises(ValueError):
+            render(small_frame, cam(), splat=0)
+
+    def test_denser_cloud_changes_fewer_pixels_vs_gt(self, small_frame):
+        """Sanity for the PSNR protocol: rendering a downsampled cloud
+        differs from the ground-truth render more than rendering a less
+        downsampled one."""
+        from repro.metrics import image_psnr
+        from repro.pointcloud import random_downsample_count
+
+        c = cam(position=(0, 1, 3), target=(0, 0.9, 0))
+        gt_img = render(small_frame, c)
+        half = render(random_downsample_count(small_frame, len(small_frame) // 2, seed=0), c)
+        tenth = render(random_downsample_count(small_frame, len(small_frame) // 10, seed=0), c)
+        assert image_psnr(half, gt_img) > image_psnr(tenth, gt_img)
+
+
+class TestRenderDepth:
+    def test_depth_values(self):
+        pc = PointCloud(np.array([[0.0, 0.0, 0.0]]))
+        z = render_depth(pc, cam(), splat=1)
+        assert z[32, 32] == pytest.approx(5.0)
+        assert np.isinf(z[0, 0])
+
+    def test_depth_monotone_with_distance(self):
+        near = PointCloud(np.array([[0.0, 0.0, -1.0]]))
+        far = PointCloud(np.array([[0.0, 0.0, 3.0]]))
+        zn = render_depth(near, cam(), splat=1)[32, 32]
+        zf = render_depth(far, cam(), splat=1)[32, 32]
+        assert zn < zf

@@ -1,0 +1,68 @@
+"""6DoF viewport trace tests."""
+
+import numpy as np
+import pytest
+
+from repro.render import TRACE_KINDS, viewport_trace
+
+
+class TestTraces:
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_all_kinds_produce_frames(self, kind):
+        cams = viewport_trace(kind, 10)
+        assert len(cams) == 10
+        for c in cams:
+            assert np.isfinite(c.position).all()
+
+    def test_static_does_not_move(self):
+        cams = viewport_trace("static", 5)
+        first = cams[0].position
+        assert all(c.position == first for c in cams)
+
+    def test_orbit_keeps_distance(self):
+        cams = viewport_trace("orbit", 60, center=(0, 1, 0), radius=3.0)
+        for c in cams:
+            d = np.linalg.norm(np.array(c.position) - [0, 1, 0])
+            assert d == pytest.approx(3.0, abs=1e-9)
+
+    def test_orbit_moves_continuously(self):
+        cams = viewport_trace("orbit", 30)
+        steps = [
+            np.linalg.norm(np.array(a.position) - np.array(b.position))
+            for a, b in zip(cams, cams[1:])
+        ]
+        assert max(steps) < 0.2
+        assert min(steps) > 0.0
+
+    def test_dolly_varies_distance(self):
+        cams = viewport_trace("dolly", 200, radius=3.0)
+        dists = [np.linalg.norm(np.array(c.position) - [0, 1, 0]) for c in cams]
+        assert max(dists) - min(dists) > 0.5
+
+    def test_jitter_adds_noise(self):
+        smooth = viewport_trace("orbit", 10, jitter=0.0, seed=0)
+        shaky = viewport_trace("orbit", 10, jitter=0.05, seed=0)
+        diffs = [
+            np.linalg.norm(np.array(a.position) - np.array(b.position))
+            for a, b in zip(smooth, shaky)
+        ]
+        assert max(diffs) > 0.0
+
+    def test_deterministic(self):
+        a = viewport_trace("inspect", 10, jitter=0.02, seed=3)
+        b = viewport_trace("inspect", 10, jitter=0.02, seed=3)
+        assert all(x.position == y.position for x, y in zip(a, b))
+
+    def test_cameras_look_at_center(self):
+        cams = viewport_trace("orbit", 5, center=(1, 2, 3))
+        assert all(c.target == (1, 2, 3) for c in cams)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            viewport_trace("flythrough", 10)
+        with pytest.raises(ValueError):
+            viewport_trace("orbit", 0)
+
+    def test_resolution_passthrough(self):
+        cams = viewport_trace("orbit", 2, width=320, height=240)
+        assert cams[0].width == 320 and cams[0].height == 240

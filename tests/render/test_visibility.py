@@ -1,0 +1,105 @@
+"""Visibility measurement tests."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import PointCloud
+from repro.render import (
+    Camera,
+    prediction_accuracy,
+    trace_visibility,
+    viewport_trace,
+    visible_fraction,
+)
+
+
+def cam(pos=(0, 0, -5), target=(0, 0, 0)):
+    return Camera(position=pos, target=target, width=64, height=64)
+
+
+class TestVisibleFraction:
+    def test_all_visible_sparse_plane(self):
+        g = np.random.default_rng(0)
+        pts = np.zeros((50, 3))
+        pts[:, :2] = g.uniform(-1, 1, (50, 2))
+        frac = visible_fraction(PointCloud(pts), cam())
+        assert frac > 0.9
+
+    def test_occluded_wall_hides_back_points(self):
+        """A dense wall in front of another wall: back points invisible."""
+        g = np.random.default_rng(1)
+        front = np.zeros((1500, 3))
+        front[:, :2] = g.uniform(-1, 1, (1500, 2))
+        back = front.copy()
+        back[:, 2] = 2.0  # behind the front wall from the camera at -z
+        both = PointCloud(np.vstack([front, back]))
+        frac = visible_fraction(both, cam())
+        assert frac < 0.75  # back wall largely culled
+
+    def test_out_of_frustum_invisible(self):
+        pts = PointCloud(np.array([[100.0, 0, 0], [0.0, 0, 0]]))
+        assert visible_fraction(pts, cam()) == pytest.approx(0.5)
+
+    def test_humanoid_backside_culled(self, small_frame):
+        """Roughly half a solid figure faces away from any one camera."""
+        c = small_frame.centroid()
+        frac = visible_fraction(
+            small_frame, cam(pos=tuple(c + [0, 0, 2.5]), target=tuple(c))
+        )
+        assert 0.2 < frac < 0.8
+
+
+class TestTraceVisibility:
+    def test_stats_ordered(self, small_frame):
+        cams = viewport_trace(
+            "orbit", 6, center=tuple(small_frame.centroid()), radius=2.2,
+            width=64, height=64,
+        )
+        stats = trace_visibility(small_frame, cams)
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_empty_trace_rejected(self, small_frame):
+        with pytest.raises(ValueError):
+            trace_visibility(small_frame, [])
+
+
+class TestPredictionAccuracy:
+    def test_static_trace_perfect_prediction(self, small_frame):
+        cams = viewport_trace(
+            "static", 20, center=tuple(small_frame.centroid()), radius=2.2,
+            width=64, height=64,
+        )
+        acc = prediction_accuracy(small_frame, cams, lookahead=10)
+        assert acc == pytest.approx(1.0)
+
+    def test_motion_degrades_prediction(self, small_frame):
+        cams = viewport_trace(
+            "orbit", 70, center=tuple(small_frame.centroid()), radius=2.2,
+            width=64, height=64,
+        )
+        short = prediction_accuracy(small_frame, cams, lookahead=5)
+        long = prediction_accuracy(small_frame, cams, lookahead=60)
+        assert long < short <= 1.0
+
+    def test_validation(self, small_frame):
+        cams = viewport_trace(
+            "orbit", 5, center=tuple(small_frame.centroid()), radius=2.2
+        )
+        with pytest.raises(ValueError):
+            prediction_accuracy(small_frame, cams, lookahead=0)
+        with pytest.raises(ValueError):
+            prediction_accuracy(small_frame, cams, lookahead=10)
+
+
+class TestVivoCalibration:
+    def test_measured_parameters_plausible(self):
+        from repro.systems import measure_vivo_parameters, vivo_system
+
+        frac, acc = measure_vivo_parameters(
+            n_points=1500, n_frames=40, lookahead=20
+        )
+        assert 0.15 < frac < 0.8
+        assert 0.4 < acc <= 1.0
+        # And the measured values drop into the ViVo factory.
+        setup = vivo_system(visible_fraction=frac, prediction_accuracy=acc)
+        assert setup.config.fetch_fraction == pytest.approx(frac)

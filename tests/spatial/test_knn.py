@@ -1,0 +1,99 @@
+"""kNN backend correctness: brute, kdtree, octree all agree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import (
+    BruteBackend,
+    KDTreeBackend,
+    TwoLayerOctree,
+    brute_force_knn,
+    get_backend,
+    kdtree_knn,
+)
+
+
+class TestBruteForce:
+    def test_matches_kdtree(self, small_frame):
+        pts = small_frame.positions
+        q = pts[::7]
+        i1, d1 = brute_force_knn(pts, q, 6)
+        i2, d2 = kdtree_knn(pts, q, 6)
+        assert np.allclose(d1, d2, atol=1e-6)
+
+    def test_self_query_first_neighbor_is_self(self, small_frame):
+        pts = small_frame.positions[:100]
+        idx, dist = brute_force_knn(pts, pts, 1)
+        assert np.array_equal(idx[:, 0], np.arange(100))
+        assert np.allclose(dist, 0.0, atol=1e-6)
+
+    def test_sorted_by_distance(self, small_frame):
+        _, dist = brute_force_knn(small_frame.positions, small_frame.positions[:20], 8)
+        assert (np.diff(dist, axis=1) >= -1e-12).all()
+
+    def test_k_equals_n(self):
+        pts = np.random.default_rng(0).uniform(0, 1, (5, 3))
+        idx, _ = brute_force_knn(pts, pts[:2], 5)
+        assert sorted(idx[0].tolist()) == [0, 1, 2, 3, 4]
+
+    def test_blocking_consistent(self, small_frame):
+        pts = small_frame.positions
+        q = pts[:300]
+        i_small, d_small = brute_force_knn(pts, q, 4, block=32)
+        i_big, d_big = brute_force_knn(pts, q, 4, block=100000)
+        assert np.allclose(d_small, d_big)
+
+    def test_validation(self, small_frame):
+        pts = small_frame.positions
+        with pytest.raises(ValueError):
+            brute_force_knn(pts, pts[:5], 0)
+        with pytest.raises(ValueError):
+            brute_force_knn(pts, pts[:5], len(pts) + 1)
+        with pytest.raises(ValueError):
+            brute_force_knn(pts[:, :2], pts[:5], 1)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("name", ["brute", "kdtree", "octree"])
+    def test_factory(self, name, tiny_frame):
+        backend = get_backend(name, tiny_frame.positions)
+        idx, dist = backend.query(tiny_frame.positions[:10], 3)
+        assert idx.shape == (10, 3)
+        ref_idx, ref_dist = kdtree_knn(tiny_frame.positions, tiny_frame.positions[:10], 3)
+        assert np.allclose(dist, ref_dist, atol=1e-6)
+
+    def test_factory_unknown(self, tiny_frame):
+        with pytest.raises(ValueError, match="backend"):
+            get_backend("ann", tiny_frame.positions)
+
+    def test_k1_shapes(self, tiny_frame):
+        for backend in (
+            BruteBackend(tiny_frame.positions),
+            KDTreeBackend(tiny_frame.positions),
+            TwoLayerOctree(tiny_frame.positions),
+        ):
+            idx, dist = backend.query(tiny_frame.positions[:5], 1)
+            assert idx.shape == (5, 1) and dist.shape == (5, 1)
+
+    def test_kdtree_k_too_large(self, tiny_frame):
+        backend = KDTreeBackend(tiny_frame.positions)
+        with pytest.raises(ValueError):
+            backend.query(tiny_frame.positions[:2], len(tiny_frame) + 1)
+
+
+@given(
+    seed=st.integers(0, 1000),
+    n=st.integers(10, 200),
+    k=st.integers(1, 8),
+)
+@settings(max_examples=25, deadline=None)
+def test_brute_equals_kdtree_property(seed, n, k):
+    g = np.random.default_rng(seed)
+    pts = g.uniform(-5, 5, (n, 3))
+    q = g.uniform(-5, 5, (17, 3))
+    k = min(k, n)
+    _, d1 = brute_force_knn(pts, q, k)
+    _, d2 = kdtree_knn(pts, q, k)
+    assert np.allclose(d1, d2, atol=1e-9)

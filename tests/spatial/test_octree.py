@@ -1,0 +1,109 @@
+"""Two-layer octree: exactness against the kd-tree oracle, structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import TwoLayerOctree, kdtree_knn
+
+
+class TestExactness:
+    def test_matches_kdtree_on_frame(self, small_frame):
+        pts = small_frame.positions
+        oc = TwoLayerOctree(pts)
+        q = pts[::3]
+        _, d_oc = oc.query(q, 5)
+        _, d_kd = kdtree_knn(pts, q, 5)
+        assert np.allclose(d_oc, d_kd, atol=1e-6)
+
+    def test_external_queries(self, small_frame):
+        """Queries far outside the indexed cloud still return exact kNN."""
+        pts = small_frame.positions
+        oc = TwoLayerOctree(pts)
+        g = np.random.default_rng(0)
+        q = g.uniform(-10, 10, (50, 3))
+        _, d_oc = oc.query(q, 3)
+        _, d_kd = kdtree_knn(pts, q, 3)
+        assert np.allclose(d_oc, d_kd, atol=1e-6)
+
+    def test_clustered_distribution(self):
+        """Highly clustered points stress the ring-expansion logic."""
+        g = np.random.default_rng(1)
+        clusters = [g.normal(c, 0.01, (80, 3)) for c in ((0, 0, 0), (5, 5, 5), (-3, 4, 0))]
+        pts = np.vstack(clusters)
+        oc = TwoLayerOctree(pts)
+        _, d_oc = oc.query(pts[::5], 7)
+        _, d_kd = kdtree_knn(pts, pts[::5], 7)
+        assert np.allclose(d_oc, d_kd, atol=1e-6)
+
+    def test_collinear_degenerate_cloud(self):
+        pts = np.zeros((50, 3))
+        pts[:, 0] = np.linspace(0, 1, 50)
+        oc = TwoLayerOctree(pts)
+        _, d_oc = oc.query(pts[:10], 4)
+        _, d_kd = kdtree_knn(pts, pts[:10], 4)
+        assert np.allclose(d_oc, d_kd, atol=1e-9)
+
+    def test_k_equals_n(self):
+        g = np.random.default_rng(2)
+        pts = g.uniform(0, 1, (9, 3))
+        oc = TwoLayerOctree(pts)
+        idx, _ = oc.query(pts[:3], 9)
+        for row in idx:
+            assert sorted(row.tolist()) == list(range(9))
+
+
+class TestStructure:
+    def test_two_layers_give_64_cells(self, small_frame):
+        oc = TwoLayerOctree(small_frame.positions)
+        assert oc.cells_per_axis == 4
+        assert oc.stats()["cells"] == 64
+
+    def test_deeper_levels(self, small_frame):
+        oc = TwoLayerOctree(small_frame.positions, levels=3)
+        assert oc.cells_per_axis == 8
+        assert oc.stats()["cells"] == 512
+        _, d_oc = oc.query(small_frame.positions[:40], 5)
+        _, d_kd = kdtree_knn(small_frame.positions, small_frame.positions[:40], 5)
+        assert np.allclose(d_oc, d_kd, atol=1e-6)
+
+    def test_bucket_counts_sum_to_n(self, small_frame):
+        oc = TwoLayerOctree(small_frame.positions)
+        s = oc.stats()
+        assert s["mean_bucket"] * s["cells"] == pytest.approx(len(small_frame))
+
+    def test_invalid_levels(self, small_frame):
+        with pytest.raises(ValueError):
+            TwoLayerOctree(small_frame.positions, levels=0)
+
+    def test_invalid_k(self, small_frame):
+        oc = TwoLayerOctree(small_frame.positions)
+        with pytest.raises(ValueError):
+            oc.query(small_frame.positions[:2], 0)
+        with pytest.raises(ValueError):
+            oc.query(small_frame.positions[:2], len(small_frame) + 1)
+
+    def test_invalid_query_shape(self, small_frame):
+        oc = TwoLayerOctree(small_frame.positions)
+        with pytest.raises(ValueError):
+            oc.query(small_frame.positions[:, :2], 2)
+
+
+@given(
+    seed=st.integers(0, 500),
+    n=st.integers(20, 300),
+    k=st.integers(1, 10),
+    levels=st.integers(1, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_octree_exactness_property(seed, n, k, levels):
+    """The octree is exact for any cloud, k, and depth."""
+    g = np.random.default_rng(seed)
+    pts = g.normal(0, 1, (n, 3)) * g.uniform(0.1, 3.0, 3)
+    q = g.normal(0, 1.5, (11, 3))
+    k = min(k, n)
+    oc = TwoLayerOctree(pts, levels=levels)
+    _, d_oc = oc.query(q, k)
+    _, d_kd = kdtree_knn(pts, q, k)
+    assert np.allclose(d_oc, d_kd, atol=1e-9)

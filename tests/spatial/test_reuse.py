@@ -1,0 +1,95 @@
+"""Neighbor-relationship reuse (Eq. 2) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import kdtree_knn, merge_and_prune, midpoint_neighbors
+
+
+def _setup(frame, k_src=8):
+    pts = frame.positions
+    nb, _ = kdtree_knn(pts, pts, k_src + 1)
+    return pts, nb[:, 1:]  # drop self
+
+
+class TestMergeAndPrune:
+    def test_midpoint_exactness(self, small_frame):
+        """For midpoints of nearest-neighbor pairs the reuse is exact."""
+        pts, nb = _setup(small_frame)
+        pa = np.arange(200)
+        pb = nb[pa, 0]
+        mid = 0.5 * (pts[pa] + pts[pb])
+        idx, dist = merge_and_prune(mid, pts, pa, pb, nb, 4)
+        _, ref = kdtree_knn(pts, mid, 4)
+        exact = np.isclose(dist, ref, atol=1e-9).all(axis=1).mean()
+        assert exact > 0.95
+
+    def test_no_duplicate_indices_per_row(self, small_frame):
+        pts, nb = _setup(small_frame)
+        pa = np.arange(150)
+        pb = nb[pa, 3]
+        mid = 0.5 * (pts[pa] + pts[pb])
+        idx, _ = merge_and_prune(mid, pts, pa, pb, nb, 5)
+        for row in idx:
+            assert len(set(row.tolist())) == len(row)
+
+    def test_sorted_distances(self, small_frame):
+        pts, nb = _setup(small_frame)
+        pa = np.arange(100)
+        pb = nb[pa, 1]
+        mid = 0.5 * (pts[pa] + pts[pb])
+        _, dist = merge_and_prune(mid, pts, pa, pb, nb, 6)
+        assert (np.diff(dist, axis=1) >= -1e-12).all()
+
+    def test_candidates_include_parents(self, small_frame):
+        """Nearest neighbor of a midpoint of close parents is a parent."""
+        pts, nb = _setup(small_frame)
+        pa = np.arange(100)
+        pb = nb[pa, 0]
+        mid = 0.5 * (pts[pa] + pts[pb])
+        idx, _ = merge_and_prune(mid, pts, pa, pb, nb, 2)
+        has_parent = ((idx == pa[:, None]) | (idx == pb[:, None])).any(axis=1)
+        assert has_parent.all()
+
+    def test_empty_input(self, small_frame):
+        pts, nb = _setup(small_frame)
+        idx, dist = merge_and_prune(
+            np.zeros((0, 3)), pts, np.zeros(0, int), np.zeros(0, int), nb, 3
+        )
+        assert idx.shape == (0, 3) and dist.shape == (0, 3)
+
+    def test_k_too_large(self, small_frame):
+        pts, nb = _setup(small_frame, k_src=3)
+        pa = np.array([0]); pb = np.array([1])
+        with pytest.raises(ValueError, match="candidate"):
+            merge_and_prune(pts[:1], pts, pa, pb, nb, 100)
+
+
+class TestMidpointNeighbors:
+    def test_wrapper_matches_manual(self, small_frame):
+        pts, nb = _setup(small_frame)
+        pa = np.arange(50)
+        pb = nb[pa, 0]
+        i1, d1 = midpoint_neighbors(pts, pa, pb, nb, 4)
+        mid = 0.5 * (pts[pa] + pts[pb])
+        i2, d2 = merge_and_prune(mid, pts, pa, pb, nb, 4)
+        assert np.array_equal(i1, i2)
+        assert np.allclose(d1, d2)
+
+
+@given(seed=st.integers(0, 300), k=st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_reuse_distances_lower_bounded_by_truth(seed, k):
+    """Reuse is an approximation: its distances can never beat true kNN."""
+    g = np.random.default_rng(seed)
+    pts = g.uniform(-1, 1, (60, 3))
+    nb, _ = kdtree_knn(pts, pts, 7)
+    nb = nb[:, 1:]
+    pa = g.integers(0, 60, 20)
+    pb = nb[pa, g.integers(0, 6, 20)]
+    mid = 0.5 * (pts[pa] + pts[pb])
+    _, d_reuse = merge_and_prune(mid, pts, pa, pb, nb, k)
+    _, d_true = kdtree_knn(pts, mid, k)
+    assert (d_reuse >= d_true - 1e-9).all()

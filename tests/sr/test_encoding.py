@@ -1,0 +1,167 @@
+"""Position encoding tests (Eqs. 3–4): normalization, quantization, packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sr import PositionEncoder
+
+
+def random_neighborhoods(m, rf, seed=0, scale=1.0):
+    g = np.random.default_rng(seed)
+    targets = g.uniform(-scale, scale, (m, 3))
+    neighbors = targets[:, None, :] + g.normal(0, 0.1 * scale, (m, rf - 1, 3))
+    return targets, neighbors
+
+
+class TestNormalization:
+    def test_all_normalized_in_unit_cube(self):
+        enc = PositionEncoder(rf_size=4, bins=16)
+        t, nb = random_neighborhoods(50, 4, scale=10.0)
+        e = enc.encode(t, nb)
+        assert (np.abs(e.normalized) <= 1.0 + 1e-12).all()
+
+    def test_target_row_is_origin(self):
+        enc = PositionEncoder(rf_size=4, bins=16)
+        t, nb = random_neighborhoods(20, 4)
+        e = enc.encode(t, nb)
+        assert np.allclose(e.normalized[:, 0, :], 0.0)
+
+    def test_radius_is_max_neighbor_distance(self):
+        enc = PositionEncoder(rf_size=3, bins=16)
+        t = np.zeros((1, 3))
+        nb = np.array([[[1.0, 0, 0], [0, 2.0, 0]]])
+        e = enc.encode(t, nb)
+        assert e.radius[0] == pytest.approx(2.0)
+        # The farthest neighbor normalizes to unit length.
+        assert np.linalg.norm(e.normalized[0], axis=1).max() == pytest.approx(1.0)
+
+    def test_scale_invariance(self):
+        """Scaling the whole neighborhood leaves the encoding unchanged."""
+        enc = PositionEncoder(rf_size=4, bins=32)
+        t, nb = random_neighborhoods(30, 4)
+        e1 = enc.encode(t, nb)
+        e2 = enc.encode(t * 50.0, (nb - t[:, None, :]) * 50.0 + t[:, None, :] * 50.0)
+        assert np.array_equal(e1.bins, e2.bins)
+
+    def test_translation_invariance(self):
+        enc = PositionEncoder(rf_size=4, bins=32)
+        t, nb = random_neighborhoods(30, 4)
+        off = np.array([100.0, -50.0, 3.0])
+        e1 = enc.encode(t, nb)
+        e2 = enc.encode(t + off, nb + off)
+        assert np.array_equal(e1.bins, e2.bins)
+
+    def test_degenerate_neighborhood_no_nan(self):
+        enc = PositionEncoder(rf_size=3, bins=16)
+        t = np.ones((1, 3))
+        nb = np.ones((1, 2, 3))  # all coincide with the target
+        e = enc.encode(t, nb)
+        assert np.isfinite(e.normalized).all()
+        assert e.radius[0] == 0.0
+
+
+class TestQuantization:
+    def test_bins_in_range(self):
+        enc = PositionEncoder(rf_size=4, bins=8)
+        t, nb = random_neighborhoods(100, 4)
+        e = enc.encode(t, nb)
+        assert e.bins.min() >= 0 and e.bins.max() <= 7
+
+    def test_eq4_formula(self):
+        enc = PositionEncoder(rf_size=2, bins=11)
+        t = np.zeros((1, 3))
+        nb = np.array([[[0.5, -1.0, 1.0]]])  # radius sqrt(2.25)=1.5
+        e = enc.encode(t, nb)
+        n = nb[0, 0] / 1.5
+        expected = np.floor((n + 1) / 2 * 10).astype(int)
+        assert np.array_equal(e.bins[0, 1], np.clip(expected, 0, 10))
+
+    def test_bin_centers_inverse(self):
+        enc = PositionEncoder(rf_size=4, bins=64)
+        bins = np.arange(64)
+        centers = enc.bin_centers(bins)
+        # Re-quantizing a bin center returns the same bin.
+        requant = np.floor((centers + 1) / 2 * 63).astype(int)
+        assert np.array_equal(np.clip(requant, 0, 63), bins)
+
+    def test_quantization_error_bound_holds(self):
+        enc = PositionEncoder(rf_size=4, bins=32)
+        t, nb = random_neighborhoods(200, 4, seed=5)
+        e = enc.encode(t, nb)
+        centers = enc.bin_centers(e.bins)
+        err = np.abs(centers - e.normalized).max()
+        assert err <= enc.quantization_error_bound() + 1e-12
+
+    def test_more_bins_lower_error(self):
+        t, nb = random_neighborhoods(200, 4, seed=6)
+        errs = []
+        for b in (8, 32, 128):
+            enc = PositionEncoder(rf_size=4, bins=b)
+            e = enc.encode(t, nb)
+            errs.append(np.abs(enc.bin_centers(e.bins) - e.normalized).mean())
+        assert errs[0] > errs[1] > errs[2]
+
+
+class TestKeyPacking:
+    def test_pack_unique_for_distinct_bins(self):
+        enc = PositionEncoder(rf_size=3, bins=16)
+        t, nb = random_neighborhoods(500, 3, seed=7)
+        e = enc.encode(t, nb)
+        keys = enc.pack_keys(e.bins)
+        flat = e.bins[:, 1:, :].reshape(len(e.bins), -1)
+        _, unique_rows = np.unique(flat, axis=0, return_index=True)
+        assert len(np.unique(keys)) == len(unique_rows)
+
+    def test_pack_roundtrip_by_digits(self):
+        enc = PositionEncoder(rf_size=3, bins=8)
+        t, nb = random_neighborhoods(50, 3, seed=8)
+        e = enc.encode(t, nb)
+        keys = enc.pack_keys(e.bins)
+        # Decode digits and compare.
+        digits = np.empty((50, 6), dtype=np.int64)
+        rem = keys.copy()
+        for d in range(5, -1, -1):
+            digits[:, d] = (rem % 8).astype(np.int64)
+            rem //= 8
+        assert np.array_equal(digits, e.bins[:, 1:, :].reshape(50, -1))
+
+    def test_packable_boundary(self):
+        assert PositionEncoder(rf_size=4, bins=128).packable  # 9*7 = 63 bits
+        assert not PositionEncoder(rf_size=5, bins=128).packable  # 84 bits
+
+    def test_pack_rejects_oversized(self):
+        enc = PositionEncoder(rf_size=5, bins=128)
+        with pytest.raises(ValueError, match="uint64"):
+            enc.pack_keys(np.zeros((1, 5, 3), dtype=np.int16))
+
+    def test_bytes_keys_for_oversized(self):
+        enc = PositionEncoder(rf_size=5, bins=128)
+        t, nb = random_neighborhoods(10, 5, seed=9)
+        e = enc.encode(t, nb)
+        keys = enc.pack_keys_bytes(e.bins)
+        assert len(keys) == 10
+        assert all(isinstance(k, bytes) for k in keys)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PositionEncoder(rf_size=1, bins=8)
+        with pytest.raises(ValueError):
+            PositionEncoder(rf_size=4, bins=1)
+        enc = PositionEncoder(rf_size=4, bins=8)
+        with pytest.raises(ValueError, match="neighbors"):
+            enc.encode(np.zeros((3, 3)), np.zeros((3, 2, 3)))
+        with pytest.raises(ValueError, match="targets"):
+            enc.encode(np.zeros((3, 2)), np.zeros((3, 3, 3)))
+
+
+@given(seed=st.integers(0, 200), bins=st.integers(2, 64))
+@settings(max_examples=30, deadline=None)
+def test_encoding_deterministic_and_bounded(seed, bins):
+    enc = PositionEncoder(rf_size=4, bins=bins)
+    t, nb = random_neighborhoods(20, 4, seed=seed)
+    e1 = enc.encode(t, nb)
+    e2 = enc.encode(t, nb)
+    assert np.array_equal(e1.bins, e2.bins)
+    assert e1.bins.min() >= 0 and e1.bins.max() < bins

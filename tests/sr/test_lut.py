@@ -1,0 +1,240 @@
+"""LUT tests: memory model, dense/hashed storage, fallbacks, fusion."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP
+from repro.sr import (
+    DenseLUT,
+    EnsembleLUT,
+    HashedLUT,
+    PositionEncoder,
+    build_lut,
+    lut_entries,
+    lut_entries_full,
+    lut_memory_bytes,
+    lut_memory_table,
+)
+
+
+def tiny_net(rf=3, seed=0):
+    return MLP((rf * 3, 8, 3), output_activation="tanh", seed=seed)
+
+
+def encode_random(encoder, m=50, seed=0):
+    g = np.random.default_rng(seed)
+    t = g.uniform(-1, 1, (m, 3))
+    nb = t[:, None, :] + g.normal(0, 0.1, (m, encoder.rf_size - 1, 3))
+    return encoder.encode(t, nb)
+
+
+class TestMemoryModel:
+    def test_paper_table1_values(self):
+        """Exact reproduction of Table 1's reported sizes."""
+        assert lut_memory_bytes(3, 128) == 6291456 * 2        # 12 MB
+        assert lut_memory_bytes(3, 64) == 786432 * 2          # 1.5 MB
+        assert lut_memory_bytes(4, 128) == 805306368 * 2      # 1.61 GB
+        assert lut_memory_bytes(4, 64) == 50331648 * 2        # ~100 MB
+        assert lut_memory_bytes(5, 128) == 103079215104 * 2   # ~201 GB
+        assert lut_memory_bytes(5, 64) == 3221225472 * 2      # ~6.25 GB
+
+    def test_entries_formula(self):
+        assert lut_entries(4, 128) == 128 ** 4 * 3
+        assert lut_entries_full(4, 128) == 128 ** 12
+
+    def test_table_rows(self):
+        rows = lut_memory_table()
+        assert len(rows) == 6
+        assert {r["rf_size"] for r in rows} == {3, 4, 5}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lut_entries(0, 128)
+        with pytest.raises(ValueError):
+            lut_entries_full(4, 0)
+
+
+class TestDenseLUT:
+    def test_fill_and_lookup_matches_net(self):
+        enc = PositionEncoder(rf_size=3, bins=4)  # 4^6 = 4096 rows
+        net = tiny_net(rf=3)
+        lut = DenseLUT(enc)
+        lut.fill(net)
+        e = encode_random(enc, m=40, seed=1)
+        got = lut.lookup(e.bins)
+        centers = enc.bin_centers(e.bins[:, 1:, :].reshape(40, -1))
+        x = np.concatenate([np.zeros((40, 3)), centers], axis=1)
+        want = net.forward(x)
+        assert np.allclose(got, want, atol=1e-2)  # float16 storage
+
+    def test_refuses_oversized(self):
+        enc = PositionEncoder(rf_size=4, bins=128)
+        with pytest.raises(MemoryError):
+            DenseLUT(enc)
+
+    def test_set_entries(self):
+        enc = PositionEncoder(rf_size=3, bins=4)
+        lut = DenseLUT(enc)
+        bins = np.zeros((1, 3, 3), dtype=np.int16)
+        lut.set_entries(bins, np.array([[0.5, -0.25, 0.125]]))
+        got = lut.lookup(bins)
+        assert np.allclose(got, [[0.5, -0.25, 0.125]], atol=1e-3)
+
+    def test_memory_bytes(self):
+        enc = PositionEncoder(rf_size=3, bins=4)
+        lut = DenseLUT(enc)
+        assert lut.memory_bytes() == 4 ** 6 * 3 * 2
+
+
+class TestHashedLUT:
+    def test_populate_then_hit(self, encoder):
+        net = MLP((encoder.rf_size * 3, 8, 3), output_activation="tanh", seed=0)
+        lut = HashedLUT(encoder, fallback="zero")
+        e = encode_random(encoder, m=100, seed=2)
+        keys = encoder.pack_keys(e.bins)
+        lut.populate_from_network(keys, net)
+        assert lut.n_entries == len(np.unique(keys))
+        out = lut.lookup(e.bins)
+        assert lut.stats.hits == 100
+        assert np.abs(out).max() <= 1.0  # tanh range
+
+    def test_zero_fallback(self, encoder):
+        lut = HashedLUT(encoder, fallback="zero")
+        e = encode_random(encoder, m=10, seed=3)
+        out = lut.lookup(e.bins)
+        assert np.allclose(out, 0.0)
+        assert lut.stats.misses == 10
+
+    def test_nearest_fallback_returns_populated_value(self, encoder):
+        net = MLP((encoder.rf_size * 3, 8, 3), output_activation="tanh", seed=1)
+        lut = HashedLUT(encoder, fallback="nearest")
+        e_train = encode_random(encoder, m=200, seed=4)
+        lut.populate_from_network(encoder.pack_keys(e_train.bins), net)
+        e_test = encode_random(encoder, m=50, seed=99)
+        out = lut.lookup(e_test.bins)
+        assert np.isfinite(out).all()
+        # Every returned value exists in the table (or is an exact hit).
+        vals = lut._values.astype(np.float64)
+        for row in out:
+            assert np.isclose(vals, row, atol=1e-6).all(axis=1).any()
+
+    def test_net_fallback_memoizes(self, encoder):
+        net = MLP((encoder.rf_size * 3, 8, 3), output_activation="tanh", seed=2)
+        lut = HashedLUT(encoder, fallback="net", net=net)
+        e = encode_random(encoder, m=30, seed=5)
+        before = lut.n_entries
+        lut.lookup(e.bins)
+        assert lut.n_entries > before
+        # Second lookup of the same bins: all hits.
+        h0 = lut.stats.hits
+        lut.lookup(e.bins)
+        assert lut.stats.hits == h0 + 30
+
+    def test_net_fallback_requires_net(self, encoder):
+        with pytest.raises(ValueError, match="requires"):
+            HashedLUT(encoder, fallback="net")
+
+    def test_unknown_fallback(self, encoder):
+        with pytest.raises(ValueError, match="fallback"):
+            HashedLUT(encoder, fallback="interpolate")
+
+    def test_insert_last_wins(self, encoder):
+        lut = HashedLUT(encoder, fallback="zero")
+        keys = np.array([5, 5], dtype=np.uint64)
+        vals = np.array([[0.1, 0.1, 0.1], [0.9, 0.9, 0.9]], dtype=np.float16)
+        lut.insert(keys, vals)
+        assert lut.n_entries == 1
+        assert np.allclose(lut._values[0], 0.9, atol=1e-3)
+
+    def test_save_load_roundtrip(self, encoder, tmp_path):
+        net = MLP((encoder.rf_size * 3, 8, 3), output_activation="tanh", seed=3)
+        lut = HashedLUT(encoder, fallback="zero")
+        e = encode_random(encoder, m=60, seed=6)
+        lut.populate_from_network(encoder.pack_keys(e.bins), net)
+        p = tmp_path / "table.npz"
+        lut.save(p)
+        back = HashedLUT.load(p, fallback="zero")
+        assert back.n_entries == lut.n_entries
+        assert np.allclose(back.lookup(e.bins), lut.lookup(e.bins))
+
+    def test_rejects_unpackable_encoder(self):
+        enc = PositionEncoder(rf_size=5, bins=128)
+        with pytest.raises(ValueError, match="packable"):
+            HashedLUT(enc)
+
+    def test_memory_much_smaller_than_dense(self, encoder):
+        net = MLP((encoder.rf_size * 3, 8, 3), output_activation="tanh", seed=4)
+        lut = HashedLUT(encoder, fallback="zero")
+        e = encode_random(encoder, m=500, seed=7)
+        lut.populate_from_network(encoder.pack_keys(e.bins), net)
+        assert lut.memory_bytes() < lut_memory_bytes(
+            encoder.rf_size, encoder.bins
+        )
+
+
+class TestEnsembleLUT:
+    def test_single_member_matches_plain_lut(self, encoder):
+        net = MLP((encoder.rf_size * 3, 8, 3), output_activation="tanh", seed=5)
+        e = encode_random(encoder, m=40, seed=8)
+        ens = EnsembleLUT.build(net, encoder, e.normalized, n_members=1)
+        plain = HashedLUT(encoder, fallback="nearest")
+        plain.populate_from_network(encoder.pack_keys(e.bins), net)
+        assert np.allclose(
+            ens.lookup_normalized(e.normalized), plain.lookup(e.bins)
+        )
+
+    def test_fusion_reduces_quantization_error(self, encoder):
+        """The point of multi-LUT fusion: the averaged offsets track the
+        network more closely than any single phase's table."""
+        net = MLP((encoder.rf_size * 3, 8, 3), output_activation="tanh", seed=6)
+        e = encode_random(encoder, m=300, seed=9)
+        target = net.forward(e.normalized.reshape(len(e.normalized), -1))
+
+        single = EnsembleLUT.build(net, encoder, e.normalized, n_members=1)
+        fused = EnsembleLUT.build(net, encoder, e.normalized, n_members=3)
+        err_single = np.linalg.norm(
+            single.lookup_normalized(e.normalized) - target, axis=1
+        ).mean()
+        err_fused = np.linalg.norm(
+            fused.lookup_normalized(e.normalized) - target, axis=1
+        ).mean()
+        assert err_fused < err_single
+
+    def test_memory_scales_with_members(self, encoder):
+        net = MLP((encoder.rf_size * 3, 8, 3), output_activation="tanh", seed=7)
+        e = encode_random(encoder, m=40, seed=10)
+        one = EnsembleLUT.build(net, encoder, e.normalized, n_members=1)
+        three = EnsembleLUT.build(net, encoder, e.normalized, n_members=3)
+        assert three.memory_bytes() > one.memory_bytes()
+
+    def test_validation(self, encoder):
+        with pytest.raises(ValueError):
+            EnsembleLUT([])
+        other = HashedLUT(PositionEncoder(rf_size=3, bins=8), fallback="zero")
+        mine = HashedLUT(encoder, fallback="zero")
+        with pytest.raises(ValueError, match="share"):
+            EnsembleLUT([mine, other])
+        net = MLP((encoder.rf_size * 3, 8, 3), seed=0)
+        with pytest.raises(ValueError):
+            EnsembleLUT.build(net, encoder, np.zeros((1, 4, 3)), n_members=0)
+
+
+class TestBuildLUT:
+    def test_hashed_build(self, encoder):
+        net = MLP((encoder.rf_size * 3, 8, 3), output_activation="tanh", seed=7)
+        e = encode_random(encoder, m=80, seed=10)
+        lut = build_lut(net, encoder, e.bins, kind="hashed")
+        assert isinstance(lut, HashedLUT)
+        assert lut.n_entries > 0
+
+    def test_dense_build(self):
+        enc = PositionEncoder(rf_size=3, bins=4)
+        net = tiny_net(rf=3, seed=8)
+        e = encode_random(enc, m=10, seed=11)
+        lut = build_lut(net, enc, e.bins, kind="dense")
+        assert isinstance(lut, DenseLUT)
+
+    def test_unknown_kind(self, encoder):
+        net = MLP((encoder.rf_size * 3, 8, 3), seed=0)
+        with pytest.raises(ValueError, match="kind"):
+            build_lut(net, encoder, np.zeros((1, 4, 3), dtype=np.int16), kind="trie")

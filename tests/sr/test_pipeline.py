@@ -1,0 +1,113 @@
+"""End-to-end SR pipeline tests (VoLUT + naive + baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import chamfer_distance
+from repro.pointcloud import random_downsample_count
+from repro.sr import GradPUUpsampler, NaiveUpsampler, NNRefiner, VolutUpsampler, YuzuSRModel
+
+
+class TestVolutUpsampler:
+    def test_output_counts_and_colors(self, small_frame, trained_artifacts):
+        up = VolutUpsampler(lut=trained_artifacts.lut)
+        r = up.upsample(small_frame, 2.0)
+        assert len(r.cloud) == 2 * len(small_frame)
+        assert r.cloud.has_colors
+
+    def test_stage_times_populated(self, small_frame, trained_artifacts):
+        r = VolutUpsampler(lut=trained_artifacts.lut).upsample(small_frame, 2.0)
+        t = r.times
+        assert t.knn > 0 and t.interpolation > 0
+        assert t.refinement > 0 and t.colorization > 0
+        assert t.total == pytest.approx(
+            t.knn + t.interpolation + t.colorization + t.refinement
+        )
+
+    def test_no_lut_skips_refinement(self, small_frame):
+        r = VolutUpsampler(lut=None).upsample(small_frame, 2.0)
+        assert len(r.cloud) == 2 * len(small_frame)
+
+    def test_continuous_ratio(self, small_frame, trained_artifacts):
+        up = VolutUpsampler(lut=trained_artifacts.lut)
+        for ratio in (1.2, 2.7, 3.33):
+            r = up.upsample(small_frame, ratio)
+            assert len(r.cloud) == len(small_frame) + round(
+                (ratio - 1) * len(small_frame)
+            )
+
+    def test_ratio_one_identity(self, small_frame, trained_artifacts):
+        r = VolutUpsampler(lut=trained_artifacts.lut).upsample(small_frame, 1.0)
+        assert np.array_equal(r.cloud.positions, small_frame.positions)
+
+
+class TestQualityOrdering:
+    def test_lut_refinement_improves_geometry(self, trained_artifacts):
+        """VoLUT's central quality claim at module level: refined > raw interp."""
+        from repro.pointcloud import make_video
+
+        gt = make_video("longdress", n_points=1500, n_frames=1).frame(0)
+        low = random_downsample_count(gt, 750, seed=1)
+        plain = VolutUpsampler(lut=None, seed=2).upsample(low, 2.0).cloud
+        refined = VolutUpsampler(lut=trained_artifacts.lut, seed=2).upsample(low, 2.0).cloud
+        assert chamfer_distance(refined, gt) < chamfer_distance(plain, gt)
+
+    def test_upsampled_covers_surface_better_than_sparse(self, trained_artifacts):
+        """SR's purpose: the ground-truth surface is closer to the upsampled
+        cloud than to the sparse one (coverage direction of Chamfer)."""
+        from repro.metrics import p2p_distances
+        from repro.pointcloud import make_video
+
+        gt = make_video("longdress", n_points=1500, n_frames=1).frame(0)
+        low = random_downsample_count(gt, 500, seed=1)
+        up = VolutUpsampler(lut=trained_artifacts.lut, seed=0).upsample(low, 3.0).cloud
+        assert p2p_distances(gt, up).mean() < p2p_distances(gt, low).mean()
+
+
+class TestNaiveUpsampler:
+    def test_basic(self, tiny_frame):
+        r = NaiveUpsampler().upsample(tiny_frame, 2.0)
+        assert len(r.cloud) == 2 * len(tiny_frame)
+        assert r.cloud.has_colors
+
+    def test_with_nn_refiner(self, tiny_frame, trained_artifacts):
+        ref = NNRefiner(trained_artifacts.net, trained_artifacts.encoder)
+        r = NaiveUpsampler(refiner=ref).upsample(tiny_frame, 2.0)
+        assert r.times.refinement > 0
+
+
+class TestGradPU:
+    def test_output_shape(self, tiny_frame, trained_artifacts):
+        gp = GradPUUpsampler(
+            net=trained_artifacts.net,
+            encoder=trained_artifacts.encoder,
+            n_steps=3,
+        )
+        r = gp.upsample(tiny_frame, 2.0)
+        assert len(r.cloud) == 2 * len(tiny_frame)
+        assert r.cloud.has_colors
+
+    def test_more_steps_cost_more(self, tiny_frame, trained_artifacts):
+        fast = GradPUUpsampler(
+            net=trained_artifacts.net, encoder=trained_artifacts.encoder, n_steps=1
+        ).upsample(tiny_frame, 2.0)
+        slow = GradPUUpsampler(
+            net=trained_artifacts.net, encoder=trained_artifacts.encoder, n_steps=8
+        ).upsample(tiny_frame, 2.0)
+        assert slow.times.refinement > fast.times.refinement
+
+
+class TestYuzu:
+    def test_fixed_ratio_output(self, tiny_frame):
+        model = YuzuSRModel(ratio=3, seed=0)
+        r = model.upsample(tiny_frame)
+        assert len(r.cloud) == 3 * len(tiny_frame)
+        assert r.cloud.has_colors
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            YuzuSRModel(ratio=1)
+
+    def test_model_bytes_positive(self):
+        m = YuzuSRModel(ratio=2, seed=0)
+        assert m.model_bytes() == m.net.n_parameters() * 4

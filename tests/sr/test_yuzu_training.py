@@ -1,0 +1,51 @@
+"""YuZu direct-SR model training tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import p2p_distances
+from repro.pointcloud import make_video, random_downsample_count
+from repro.sr import PositionEncoder, YuzuSRModel, train_yuzu_model
+
+
+@pytest.fixture(scope="module")
+def frames():
+    v = make_video("longdress", n_points=1200, n_frames=2)
+    return [v.frame(i) for i in range(2)]
+
+
+class TestTrainYuzu:
+    def test_trained_model_beats_untrained(self, frames):
+        enc = PositionEncoder(rf_size=4, bins=32)
+        trained = train_yuzu_model(
+            frames, ratio=2, encoder=enc, hidden=(32, 32), epochs=12, seed=0
+        )
+        untrained = YuzuSRModel(ratio=2, encoder=enc, hidden=(32, 32), seed=123)
+
+        gt = frames[0]
+        low = random_downsample_count(gt, 600, seed=1)
+        out_t = trained.upsample(low).cloud
+        out_u = untrained.upsample(low).cloud
+        # The trained model's children land nearer the true surface.
+        assert p2p_distances(out_t, gt).mean() < p2p_distances(out_u, gt).mean()
+
+    def test_output_ratio(self, frames):
+        model = train_yuzu_model(
+            frames, ratio=3, hidden=(16, 16), epochs=3, seed=0
+        )
+        low = random_downsample_count(frames[0], 300, seed=2)
+        assert len(model.upsample(low).cloud) == 3 * len(low)
+
+    def test_colors_replicated(self, frames):
+        model = train_yuzu_model(frames, ratio=2, hidden=(16, 16), epochs=2, seed=0)
+        low = random_downsample_count(frames[0], 300, seed=3)
+        out = model.upsample(low).cloud
+        assert out.has_colors
+        assert (out.colors[:2] == low.colors[0]).all()  # children share parent color
+
+    def test_stage_times(self, frames):
+        model = train_yuzu_model(frames, ratio=2, hidden=(16, 16), epochs=2, seed=0)
+        low = random_downsample_count(frames[0], 300, seed=4)
+        r = model.upsample(low)
+        assert r.times.knn > 0
+        assert r.times.refinement > 0  # the network inference stage

@@ -1,0 +1,166 @@
+"""ABR controller tests (continuous vs discrete MPC, quality model)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import QoEModel
+from repro.streaming import (
+    YUZU_DENSITY_LEVELS,
+    AbrContext,
+    BufferBased,
+    ContinuousMPC,
+    Decision,
+    DiscreteMPC,
+    SRQualityModel,
+    VideoSpec,
+    ZERO_LATENCY,
+)
+
+
+def ctx(tput_mbps=50.0, buffer_level=3.0, prev=None, points=100_000, bpp=6.0):
+    spec = VideoSpec(
+        name="t", n_frames=300, fps=30, points_per_frame=points, bytes_per_point=bpp
+    )
+    return AbrContext(
+        throughput_bps=tput_mbps * 1e6,
+        buffer_level=buffer_level,
+        prev_quality=prev,
+        next_chunks=spec.chunks(1.0),
+    )
+
+
+class TestSRQualityModel:
+    def test_full_density_full_quality(self):
+        qm = SRQualityModel()
+        assert qm.quality(1.0) == pytest.approx(1.0)
+
+    def test_sr_ratio_capped(self):
+        qm = SRQualityModel(max_ratio=4.0)
+        assert qm.sr_ratio_for(0.1) == 4.0
+        assert qm.sr_ratio_for(0.5) == 2.0
+
+    def test_quality_monotone_in_density(self):
+        qm = SRQualityModel()
+        qs = [qm.quality(d) for d in (0.125, 0.25, 0.5, 1.0)]
+        assert all(a < b for a, b in zip(qs, qs[1:]))
+
+    def test_discount_grows_with_ratio(self):
+        qm = SRQualityModel(efficiency=0.9)
+        assert qm.quality(0.5) == pytest.approx(0.9)
+        assert qm.quality(0.25) == pytest.approx(0.81)
+
+    def test_under_restored_density(self):
+        qm = SRQualityModel(max_ratio=2.0)
+        # density 0.25 with SR capped at 2x -> restored 0.5, discounted.
+        assert qm.quality(0.25) == pytest.approx(0.5 * 0.93)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SRQualityModel(max_ratio=0.5)
+        with pytest.raises(ValueError):
+            SRQualityModel(efficiency=0.0)
+        qm = SRQualityModel()
+        with pytest.raises(ValueError):
+            qm.quality(0.0)
+        with pytest.raises(ValueError):
+            qm.quality(0.5, sr_ratio=0.5)
+
+
+class TestDecision:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Decision(density=0.0, sr_ratio=2.0)
+        with pytest.raises(ValueError):
+            Decision(density=0.5, sr_ratio=0.9)
+
+
+def make_mpc(cls=ContinuousMPC, **kw):
+    qm = SRQualityModel()
+    return cls(qm, QoEModel(), ZERO_LATENCY, **kw)
+
+
+class TestContinuousMPC:
+    def test_high_bandwidth_picks_high_density(self):
+        mpc = make_mpc()
+        d = mpc.decide(ctx(tput_mbps=500.0))
+        assert d.density > 0.9
+
+    def test_low_bandwidth_picks_low_density(self):
+        mpc = make_mpc()
+        d = mpc.decide(ctx(tput_mbps=5.0))
+        assert d.density < 0.2
+
+    def test_decision_monotone_in_bandwidth(self):
+        mpc = make_mpc()
+        densities = [
+            mpc.decide(ctx(tput_mbps=m)).density for m in (10, 30, 60, 120, 400)
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(densities, densities[1:]))
+
+    def test_sr_ratio_consistent_with_density(self):
+        mpc = make_mpc()
+        d = mpc.decide(ctx(tput_mbps=40.0))
+        assert d.sr_ratio == pytest.approx(min(8.0, 1.0 / d.density))
+
+    def test_fine_grid_beats_discrete_on_intermediate_bandwidth(self):
+        """The continuous grid can sit between discrete rungs."""
+        cont = make_mpc(ContinuousMPC)
+        disc = make_mpc(DiscreteMPC)
+        c = ctx(tput_mbps=55.0, buffer_level=1.0)
+        d_cont = cont.decide(c).density
+        d_disc = disc.decide(c).density
+        assert d_disc in YUZU_DENSITY_LEVELS
+        assert d_cont not in YUZU_DENSITY_LEVELS
+
+    def test_empty_buffer_conservative(self):
+        mpc = make_mpc()
+        hungry = mpc.decide(ctx(tput_mbps=60.0, buffer_level=0.0)).density
+        comfy = mpc.decide(ctx(tput_mbps=60.0, buffer_level=8.0)).density
+        assert hungry <= comfy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_mpc(min_density=0.0)
+        with pytest.raises(ValueError):
+            make_mpc(horizon=0)
+        with pytest.raises(ValueError):
+            make_mpc(safety=0.0)
+
+
+class TestDiscreteMPC:
+    def test_always_on_a_level(self):
+        mpc = make_mpc(DiscreteMPC)
+        for m in (5, 20, 50, 100, 300):
+            d = mpc.decide(ctx(tput_mbps=m)).density
+            assert any(np.isclose(d, lvl) for lvl in YUZU_DENSITY_LEVELS)
+
+    def test_floor_is_quarter_density(self):
+        mpc = make_mpc(DiscreteMPC)
+        d = mpc.decide(ctx(tput_mbps=1.0)).density
+        assert d == pytest.approx(0.25)
+
+
+class TestBufferBased:
+    def test_thresholds(self):
+        bb = BufferBased(SRQualityModel(), min_density=0.125, low_buffer=1, high_buffer=6)
+        assert bb.decide(ctx(buffer_level=0.5)).density == pytest.approx(0.125)
+        assert bb.decide(ctx(buffer_level=8.0)).density == pytest.approx(1.0)
+        mid = bb.decide(ctx(buffer_level=3.5)).density
+        assert 0.125 < mid < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferBased(SRQualityModel(), low_buffer=5, high_buffer=5)
+        with pytest.raises(ValueError):
+            BufferBased(SRQualityModel(), min_density=0.0)
+
+
+class TestAbrContext:
+    def test_validation(self):
+        spec = VideoSpec(name="t", n_frames=30, fps=30, points_per_frame=100)
+        with pytest.raises(ValueError):
+            AbrContext(0.0, 1.0, None, spec.chunks())
+        with pytest.raises(ValueError):
+            AbrContext(1e6, -1.0, None, spec.chunks())
+        with pytest.raises(ValueError):
+            AbrContext(1e6, 1.0, None, [])

@@ -1,0 +1,82 @@
+"""Chunk/video spec tests."""
+
+import pytest
+
+from repro.pointcloud import make_video
+from repro.streaming import ChunkSpec, VideoSpec
+from repro.streaming.chunks import CHUNK_HEADER_BYTES
+
+
+class TestChunkSpec:
+    def chunk(self, **kw):
+        args = dict(index=0, n_frames=30, points_per_frame=1000, duration=1.0)
+        args.update(kw)
+        return ChunkSpec(**args)
+
+    def test_bytes_scale_with_density(self):
+        c = self.chunk(bytes_per_point=6.0)
+        full = c.bytes_at_density(1.0)
+        half = c.bytes_at_density(0.5)
+        assert full == 30 * 1000 * 6 + CHUNK_HEADER_BYTES
+        assert half < full
+        assert half == 30 * 500 * 6 + CHUNK_HEADER_BYTES
+
+    def test_points_at_density(self):
+        c = self.chunk()
+        assert c.points_at_density(1.0) == 1000
+        assert c.points_at_density(0.33) == 330
+
+    def test_density_validation(self):
+        c = self.chunk()
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                c.bytes_at_density(bad)
+            with pytest.raises(ValueError):
+                c.points_at_density(bad)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            self.chunk(n_frames=0)
+        with pytest.raises(ValueError):
+            self.chunk(duration=0.0)
+        with pytest.raises(ValueError):
+            self.chunk(bytes_per_point=0.0)
+
+
+class TestVideoSpec:
+    def test_chunking_covers_all_frames(self):
+        spec = VideoSpec(name="t", n_frames=95, fps=30, points_per_frame=1000)
+        chunks = spec.chunks(1.0)
+        assert sum(c.n_frames for c in chunks) == 95
+        assert chunks[0].n_frames == 30
+        assert chunks[-1].n_frames == 5  # remainder chunk
+
+    def test_chunk_durations(self):
+        spec = VideoSpec(name="t", n_frames=60, fps=30, points_per_frame=1000)
+        for c in spec.chunks(0.5):
+            assert c.duration == pytest.approx(0.5)
+
+    def test_duration(self):
+        spec = VideoSpec(name="t", n_frames=300, fps=30, points_per_frame=1000)
+        assert spec.duration == pytest.approx(10.0)
+
+    def test_bytes_per_point_propagates(self):
+        spec = VideoSpec(
+            name="t", n_frames=30, fps=30, points_per_frame=100, bytes_per_point=15
+        )
+        c = spec.chunks(1.0)[0]
+        assert c.bytes_at_density(1.0) == 30 * 100 * 15 + CHUNK_HEADER_BYTES
+
+    def test_from_video(self):
+        v = make_video("longdress", n_points=500, n_frames=10)
+        spec = VideoSpec.from_video(v)
+        assert spec.n_frames == v.n_playback_frames
+        assert spec.fps == 30
+        assert spec.points_per_frame == len(v.frame(0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VideoSpec(name="t", n_frames=0, fps=30, points_per_frame=1)
+        spec = VideoSpec(name="t", n_frames=10, fps=30, points_per_frame=1)
+        with pytest.raises(ValueError):
+            spec.chunks(0.0)

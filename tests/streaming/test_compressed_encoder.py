@@ -1,0 +1,54 @@
+"""Compressed wire-format tests (codec-backed transport)."""
+
+import pytest
+
+from repro.streaming import (
+    decode_frame_compressed,
+    encode_frame,
+    encode_frame_compressed,
+)
+
+
+class TestCompressedFrames:
+    def test_roundtrip(self, small_frame):
+        payload = encode_frame_compressed(small_frame, 0.5, seed=0)
+        back = decode_frame_compressed(payload)
+        assert 0 < len(back) <= len(small_frame) // 2 + 1
+        assert back.has_colors
+
+    def test_smaller_than_uncompressed(self, small_frame):
+        comp = encode_frame_compressed(small_frame, 1.0, seed=0)
+        raw = encode_frame(small_frame, 1.0, seed=0)
+        assert len(comp) < len(raw)
+
+    def test_density_scales_size(self, small_frame):
+        lo = encode_frame_compressed(small_frame, 0.25, seed=0)
+        hi = encode_frame_compressed(small_frame, 1.0, seed=0)
+        assert len(lo) < len(hi)
+
+    def test_depth_controls_fidelity(self, small_frame):
+        from repro.metrics import chamfer_distance
+
+        coarse = decode_frame_compressed(
+            encode_frame_compressed(small_frame, 1.0, depth=6, seed=0)
+        )
+        fine = decode_frame_compressed(
+            encode_frame_compressed(small_frame, 1.0, depth=11, seed=0)
+        )
+        assert chamfer_distance(fine, small_frame) < chamfer_distance(
+            coarse, small_frame
+        )
+
+    def test_invalid_density(self, small_frame):
+        with pytest.raises(ValueError):
+            encode_frame_compressed(small_frame, 0.0)
+
+    def test_decoded_frame_feeds_sr(self, small_frame, trained_artifacts):
+        """The decoded cloud flows straight into the SR pipeline."""
+        from repro.sr import VolutUpsampler
+
+        received = decode_frame_compressed(
+            encode_frame_compressed(small_frame, 0.5, seed=0)
+        )
+        out = VolutUpsampler(lut=trained_artifacts.lut).upsample(received, 2.0)
+        assert len(out.cloud) == 2 * len(received)

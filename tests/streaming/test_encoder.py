@@ -1,0 +1,72 @@
+"""Wire-format encoder tests."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import PointCloud
+from repro.streaming import decode_chunk, decode_frame, encode_chunk, encode_frame
+
+
+class TestFrameCodec:
+    def test_roundtrip_full_density(self, random_cloud):
+        payload = encode_frame(random_cloud, 1.0, seed=0)
+        back = decode_frame(payload)
+        assert len(back) == len(random_cloud)
+        assert back.has_colors
+
+    def test_downsampling_applied(self, random_cloud):
+        payload = encode_frame(random_cloud, 0.25, seed=0)
+        back = decode_frame(payload)
+        assert len(back) == round(0.25 * len(random_cloud))
+
+    def test_wire_size(self, random_cloud):
+        payload = encode_frame(random_cloud, 0.5, seed=0)
+        n = round(0.5 * len(random_cloud))
+        assert len(payload) == 4 + n * 12 + n * 3
+
+    def test_colorless_flag(self):
+        pc = PointCloud(np.random.default_rng(0).uniform(0, 1, (20, 3)))
+        back = decode_frame(encode_frame(pc, 1.0))
+        assert not back.has_colors
+
+    def test_positions_float32_precision(self, random_cloud):
+        back = decode_frame(encode_frame(random_cloud, 1.0, seed=0))
+        # Decoded points must all exist in the source (float32-rounded).
+        src32 = random_cloud.positions.astype(np.float32)
+        back32 = back.positions.astype(np.float32)
+        src_set = {tuple(p) for p in src32}
+        assert all(tuple(p) in src_set for p in back32)
+
+    def test_invalid_density(self, random_cloud):
+        with pytest.raises(ValueError):
+            encode_frame(random_cloud, 0.0)
+
+    def test_truncated_payload(self, random_cloud):
+        payload = encode_frame(random_cloud, 1.0)
+        with pytest.raises(ValueError, match="truncated"):
+            decode_frame(payload[:20])
+        with pytest.raises(ValueError, match="header"):
+            decode_frame(b"\x01")
+
+
+class TestChunkCodec:
+    def test_roundtrip(self, random_cloud):
+        frames = [random_cloud, random_cloud.translate([1, 0, 0])]
+        payload = encode_chunk(frames, 0.5, seed=1)
+        back = decode_chunk(payload)
+        assert len(back) == 2
+        for f in back:
+            assert len(f) == round(0.5 * len(random_cloud))
+
+    def test_empty_chunk(self):
+        assert decode_chunk(encode_chunk([], 1.0)) == []
+
+    def test_deterministic(self, random_cloud):
+        a = encode_chunk([random_cloud], 0.5, seed=7)
+        b = encode_chunk([random_cloud], 0.5, seed=7)
+        assert a == b
+
+    def test_truncated(self, random_cloud):
+        payload = encode_chunk([random_cloud], 1.0)
+        with pytest.raises(ValueError):
+            decode_chunk(payload[:10])

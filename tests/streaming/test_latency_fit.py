@@ -1,0 +1,49 @@
+"""MeasuredSRLatency.fit tests."""
+
+import pytest
+
+from repro.streaming import MeasuredSRLatency
+
+
+class TestFit:
+    def test_recovers_exact_linear_model(self):
+        true = MeasuredSRLatency(base=0.002, per_input_point=3e-7, per_output_point=5e-7)
+        samples = [
+            (n, s, true(n, s))
+            for n in (1_000, 5_000, 20_000)
+            for s in (2.0, 4.0, 8.0)
+        ]
+        fit = MeasuredSRLatency.fit(samples)
+        for n, s, t in samples:
+            assert fit(n, s) == pytest.approx(t, rel=1e-6)
+
+    def test_clamps_negative_coefficients(self):
+        # Decreasing latency with size is noise; coefficients clamp to 0.
+        samples = [(1_000, 2.0, 0.1), (10_000, 2.0, 0.05), (100_000, 2.0, 0.01)]
+        fit = MeasuredSRLatency.fit(samples)
+        assert fit.per_input >= 0.0
+        assert fit.per_output >= 0.0
+
+    def test_needs_three_samples(self):
+        with pytest.raises(ValueError):
+            MeasuredSRLatency.fit([(1000, 2.0, 0.1), (2000, 2.0, 0.2)])
+
+    def test_fit_from_real_pipeline(self, trained_artifacts):
+        """Fit against real measurements of the Python pipeline and check
+        the model interpolates sensibly."""
+        import time
+
+        from repro.pointcloud import make_video, random_downsample_count
+        from repro.sr import VolutUpsampler
+
+        gt = make_video("longdress", n_points=1500, n_frames=1).frame(0)
+        up = VolutUpsampler(lut=trained_artifacts.lut)
+        samples = []
+        for n in (400, 800, 1200):
+            low = random_downsample_count(gt, n, seed=0)
+            for ratio in (2.0, 3.0):
+                t0 = time.perf_counter()
+                up.upsample(low, ratio)
+                samples.append((n, ratio, time.perf_counter() - t0))
+        model = MeasuredSRLatency.fit(samples)
+        assert model(1000, 2.5) > 0.0

@@ -1,0 +1,103 @@
+"""System configuration tests + end-to-end QoE orderings from the paper."""
+
+import pytest
+
+from repro.net import lte_trace, stable_trace
+from repro.streaming import VideoSpec
+from repro.systems import (
+    raw_system,
+    run_system,
+    vivo_system,
+    volut_discrete_system,
+    volut_system,
+    yuzu_sr_system,
+)
+
+
+def spec(seconds=60):
+    return VideoSpec(
+        name="longdress", n_frames=seconds * 30, fps=30, points_per_frame=100_000
+    )
+
+
+@pytest.fixture(scope="module")
+def stable_results():
+    tr = stable_trace(50.0)
+    return {
+        s.name: run_system(s, spec(), tr)
+        for s in (volut_system(), volut_discrete_system(), yuzu_sr_system(),
+                  vivo_system(), raw_system())
+    }
+
+
+@pytest.fixture(scope="module")
+def lte_results():
+    tr = lte_trace(32.5, 13.5, seed=11)
+    return {
+        s.name: run_system(s, spec(), tr)
+        for s in (volut_system(), volut_discrete_system(), yuzu_sr_system(),
+                  vivo_system(), raw_system())
+    }
+
+
+class TestConfigs:
+    def test_names(self):
+        assert volut_system().name == "volut"
+        assert volut_discrete_system().name == "volut-discrete"
+        assert yuzu_sr_system().name == "yuzu-sr"
+        assert vivo_system().name == "vivo"
+        assert raw_system().name == "raw"
+
+    def test_yuzu_charges_model_downloads(self):
+        assert yuzu_sr_system().config.startup_bytes > 0
+        assert volut_system().config.startup_bytes == 0
+
+    def test_vivo_fetches_viewport_fraction(self):
+        s = vivo_system(visible_fraction=0.5)
+        assert s.config.fetch_fraction == 0.5
+        assert s.config.quality_factor < 1.0
+
+
+class TestStableOrdering:
+    """Paper Fig 12 (stable 50 Mbps): VoLUT > Yuzu-SR > ViVo."""
+
+    def test_volut_beats_yuzu(self, stable_results):
+        assert stable_results["volut"].qoe > stable_results["yuzu-sr"].qoe
+
+    def test_yuzu_beats_vivo(self, stable_results):
+        assert stable_results["yuzu-sr"].qoe > stable_results["vivo"].qoe
+
+    def test_everyone_beats_raw(self, stable_results):
+        for name in ("volut", "yuzu-sr", "vivo"):
+            assert stable_results[name].qoe > stable_results["raw"].qoe
+
+    def test_bandwidth_reduction_headline(self, stable_results):
+        """Paper: up to 70% bandwidth reduction vs raw streaming."""
+        frac = stable_results["volut"].total_bytes / stable_results["raw"].total_bytes
+        assert frac < 0.45  # >55% reduction on this link
+
+    def test_volut_no_stalls_on_stable_link(self, stable_results):
+        assert stable_results["volut"].stall_seconds == pytest.approx(0.0)
+
+
+class TestLTEOrdering:
+    """Paper §7.4 fluctuating-bandwidth findings on the low-rate trace."""
+
+    def test_volut_beats_yuzu(self, lte_results):
+        assert lte_results["volut"].qoe > lte_results["yuzu-sr"].qoe
+
+    def test_volut_beats_discrete(self, lte_results):
+        """Continuous ABR wins under tight fluctuating bandwidth (H1 vs H2)."""
+        assert lte_results["volut"].qoe > lte_results["volut-discrete"].qoe
+
+    def test_discrete_beats_yuzu_sr(self, lte_results):
+        """H2 vs H3: with the same ABR, faster SR still wins."""
+        assert lte_results["volut-discrete"].qoe >= lte_results["yuzu-sr"].qoe
+
+    def test_volut_data_fraction(self, lte_results):
+        """Paper: VoLUT consumes ~17% of the data (vs raw) under LTE."""
+        frac = lte_results["volut"].total_bytes / lte_results["raw"].total_bytes
+        assert frac < 0.30
+
+    def test_yuzu_uses_more_data_than_volut(self, lte_results):
+        assert lte_results["yuzu-sr"].total_bytes > lte_results["volut"].total_bytes

@@ -1,0 +1,41 @@
+"""Viewport-hybrid system (future-work extension) tests."""
+
+import pytest
+
+from repro.net import lte_trace, stable_trace
+from repro.streaming import VideoSpec
+from repro.systems import run_system, vivo_system, volut_system, volut_viewport_system
+
+
+def spec(seconds=60):
+    return VideoSpec(
+        name="longdress", n_frames=seconds * 30, fps=30, points_per_frame=100_000
+    )
+
+
+class TestViewportHybrid:
+    def test_config(self):
+        s = volut_viewport_system(visible_fraction=0.5)
+        assert s.name == "volut-viewport"
+        assert s.config.fetch_fraction == 0.5
+
+    def test_uses_less_data_than_plain_volut(self):
+        tr = stable_trace(200.0)  # ample bandwidth: both reach top density
+        plain = run_system(volut_system(), spec(), tr)
+        hybrid = run_system(volut_viewport_system(), spec(), tr)
+        assert hybrid.total_bytes < plain.total_bytes
+
+    def test_beats_vivo_under_constrained_link(self):
+        """Culling + SR should dominate culling alone."""
+        tr = lte_trace(32.5, 13.5, seed=3)
+        hybrid = run_system(volut_viewport_system(), spec(), tr)
+        vivo = run_system(vivo_system(), spec(), tr)
+        assert hybrid.qoe > vivo.qoe
+
+    def test_can_beat_plain_volut_when_bandwidth_tight(self):
+        """With culling, the same link affords higher density; despite the
+        misprediction discount, the hybrid stays in the same QoE league."""
+        tr = lte_trace(32.5, 13.5, seed=3)
+        plain = run_system(volut_system(), spec(), tr)
+        hybrid = run_system(volut_viewport_system(), spec(), tr)
+        assert hybrid.qoe > 0.6 * plain.qoe

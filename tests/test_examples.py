@@ -1,0 +1,50 @@
+"""Examples are runnable end to end (subprocess smoke tests)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "chamfer (VoLUT output)" in proc.stdout
+        assert "per-stage latency" in proc.stdout
+
+    def test_streaming_session(self):
+        proc = run("streaming_session.py", "--seconds", "20")
+        assert proc.returncode == 0, proc.stderr
+        assert "volut" in proc.stdout
+        assert "stable 50 Mbps" in proc.stdout
+
+    def test_reproduce_paper_single(self):
+        proc = run("reproduce_paper.py", "--only", "table1")
+        assert proc.returncode == 0, proc.stderr
+        assert "1.61 GB" in proc.stdout
+
+    def test_end_to_end_client(self):
+        proc = run("end_to_end_client.py", "--frames", "3")
+        assert proc.returncode == 0, proc.stderr
+        assert "total downloaded" in proc.stdout
+
+    def test_render_viewports_writes_frames(self, tmp_path):
+        proc = run("render_viewports.py", "--views", "2", "--save-dir", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        ppm = list(tmp_path.glob("*.ppm"))
+        assert len(ppm) == 8  # 3 methods x 2 views + 2 ground truth
+        header = ppm[0].read_bytes()[:2]
+        assert header == b"P6"
