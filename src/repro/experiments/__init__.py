@@ -11,6 +11,7 @@ from .design_ablations import (
     run_octree_depth_sweep,
 )
 from .fig4_uniformity import run_fig4
+from .fleet_scaling import make_fleet, run_fleet_scaling
 from .interp_speed import run_fig11_device, run_fig11_measured
 from .memory_usage import run_memory_usage
 from .multivideo import run_multivideo_eval
@@ -33,6 +34,8 @@ __all__ = [
     "run_fig11_measured",
     "run_fig11_device",
     "run_streaming_eval",
+    "run_fleet_scaling",
+    "make_fleet",
     "run_ablation",
     "run_dilation_sweep",
     "run_bins_sweep",

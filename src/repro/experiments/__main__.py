@@ -26,6 +26,7 @@ from . import (
     run_fig17_device,
     run_fig17_measured,
     run_fig18_device,
+    run_fleet_scaling,
     run_memory_usage,
     run_multivideo_eval,
     run_octree_depth_sweep,
@@ -54,6 +55,7 @@ REGISTRY = {
     "ablate-octree-depth": run_octree_depth_sweep,
     "compression-rd": run_compression_rd,
     "multivideo": run_multivideo_eval,
+    "fleet": run_fleet_scaling,
 }
 
 

@@ -1,0 +1,105 @@
+"""Fleet scaling — aggregate QoE as concurrent sessions contend for a link.
+
+Beyond the paper: §7.4/§7.5 evaluate one client on one trace.  A service
+serves *fleets*, so this experiment sweeps the number of concurrent
+sessions sharing a fixed bottleneck and reports the operator-facing
+aggregates (mean/p5/p95 QoE, stall ratio, SR-cache hit rate, delivered
+bytes).  Two effects compound as the fleet grows:
+
+* per-session bandwidth shrinks (fair-share), pushing the continuous ABR
+  down the density range — QoE degrades gracefully rather than cliffing;
+* co-watching sessions hit the shared SR-result cache, so the marginal
+  compute cost of a viewer falls with popularity.
+"""
+
+from __future__ import annotations
+
+from ..metrics.qoe import QoEModel
+from ..net.traces import stable_trace
+from ..streaming.abr import ContinuousMPC, SRQualityModel
+from ..streaming.chunks import VideoSpec
+from ..streaming.fleet import FleetSession, SRResultCache, simulate_fleet
+from ..streaming.latency import MeasuredSRLatency
+from .common import SMOKE, ResultTable, Scale
+
+__all__ = ["run_fleet_scaling", "make_fleet"]
+
+
+def _latency_model() -> MeasuredSRLatency:
+    """A VoLUT-class SR latency: ~ms per frame at paper-scale point counts."""
+    return MeasuredSRLatency(0.001, 1e-8, 2e-8)
+
+
+def make_fleet(
+    n_sessions: int,
+    spec: VideoSpec,
+    join_spacing: float = 0.5,
+    n_grid: int = 16,
+    horizon: int = 3,
+) -> list[FleetSession]:
+    """``n_sessions`` identical VoLUT clients with staggered joins."""
+    if n_sessions <= 0:
+        raise ValueError("need at least one session")
+    qm = SRQualityModel()
+    lat = _latency_model()
+    return [
+        FleetSession(
+            spec=spec,
+            controller=ContinuousMPC(qm, QoEModel(), lat, n_grid=n_grid, horizon=horizon),
+            sr_latency=lat,
+            quality_model=qm,
+            join_time=join_spacing * i,
+        )
+        for i in range(n_sessions)
+    ]
+
+
+def run_fleet_scaling(
+    scale: Scale = SMOKE,
+    fleet_sizes: tuple[int, ...] = (1, 4, 16, 64),
+    link_mbps: float = 400.0,
+    policy: str = "fair",
+    sr_cache_size: int = 4096,
+) -> ResultTable:
+    """Sweep fleet size on a fixed bottleneck; report aggregate QoE."""
+    spec = VideoSpec(
+        name="longdress",
+        n_frames=scale.stream_seconds * 30,
+        fps=30,
+        points_per_frame=scale.device_points,
+    )
+    table = ResultTable(
+        title="Fleet scaling: aggregate QoE on a shared bottleneck",
+        columns=[
+            "n_sessions",
+            "policy",
+            "mean_qoe",
+            "p5_qoe",
+            "p95_qoe",
+            "stall_ratio",
+            "cache_hit",
+            "data_gb",
+            "mbps_per_session",
+        ],
+        notes=(
+            f"{link_mbps:g} Mbps bottleneck, fair-share unless noted; "
+            "cache_hit is the shared SR-result cache hit rate."
+        ),
+    )
+    trace = stable_trace(link_mbps, duration=float(scale.stream_seconds * 4))
+    for n in fleet_sizes:
+        cache = SRResultCache(capacity=sr_cache_size)
+        result = simulate_fleet(make_fleet(n, spec), trace, policy=policy, sr_cache=cache)
+        rep = result.report
+        table.add(
+            n_sessions=n,
+            policy=policy,
+            mean_qoe=round(rep.mean_qoe, 2),
+            p5_qoe=round(rep.p5_qoe, 2),
+            p95_qoe=round(rep.p95_qoe, 2),
+            stall_ratio=round(rep.stall_ratio, 4),
+            cache_hit=round(rep.cache_hit_rate, 3),
+            data_gb=round(rep.total_bytes / 1e9, 2),
+            mbps_per_session=round(link_mbps / n, 1),
+        )
+    return table

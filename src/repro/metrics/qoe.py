@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["QoEWeights", "ChunkRecord", "QoEModel", "session_qoe"]
+__all__ = ["QoEWeights", "ChunkRecord", "QoEModel", "session_qoe", "aggregate_qoe"]
 
 
 @dataclass(frozen=True)
@@ -125,4 +125,35 @@ def session_qoe(
         "stall_seconds": stall,
         "mean_quality": mean_q,
         "n_chunks": float(len(records)),
+    }
+
+
+def aggregate_qoe(
+    qoes: list[float],
+    stall_seconds: list[float],
+    played_seconds: list[float],
+) -> dict[str, float]:
+    """Population-level QoE statistics over many sessions (fleet report).
+
+    Returns the aggregates a service operator watches: mean and tail
+    (p5/p95) per-session QoE, and the fleet stall ratio — total rebuffering
+    time over total session time (playback + stalls), the fraction of
+    viewer wall-clock spent frozen.
+    """
+    if not qoes:
+        raise ValueError("need at least one session")
+    if not len(qoes) == len(stall_seconds) == len(played_seconds):
+        raise ValueError("per-session lists must align")
+    if any(s < 0 for s in stall_seconds) or any(p <= 0 for p in played_seconds):
+        raise ValueError("stalls must be non-negative, playback positive")
+    q = np.asarray(qoes, dtype=np.float64)
+    total_stall = float(np.sum(stall_seconds))
+    total_play = float(np.sum(played_seconds))
+    return {
+        "mean_qoe": float(np.mean(q)),
+        "p5_qoe": float(np.percentile(q, 5)),
+        "p95_qoe": float(np.percentile(q, 95)),
+        "stall_ratio": total_stall / (total_play + total_stall),
+        "total_stall_seconds": total_stall,
+        "n_sessions": float(len(qoes)),
     }

@@ -1,7 +1,7 @@
 """Network substrate: bandwidth traces, link model, throughput estimation."""
 
 from .estimator import HarmonicMeanEstimator
-from .link import Link
+from .link import SHARING_POLICIES, Completion, Link, SharedLink
 from .traces import (
     MBPS,
     PAPER_LTE_PROFILES,
@@ -21,5 +21,8 @@ __all__ = [
     "PAPER_LTE_PROFILES",
     "MBPS",
     "Link",
+    "SharedLink",
+    "Completion",
+    "SHARING_POLICIES",
     "HarmonicMeanEstimator",
 ]

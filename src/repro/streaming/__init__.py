@@ -21,9 +21,22 @@ from .encoder import (
     encode_frame,
     encode_frame_compressed,
 )
+from .fleet import (
+    FleetReport,
+    FleetResult,
+    FleetSession,
+    SRResultCache,
+    simulate_fleet,
+)
 from .latency import DeviceSRLatency, MeasuredSRLatency, SRLatency, ZERO_LATENCY
 from .server import Manifest, VideoServer
-from .simulator import SessionConfig, SessionResult, simulate_session
+from .simulator import (
+    DownloadRequest,
+    SessionConfig,
+    SessionMachine,
+    SessionResult,
+    simulate_session,
+)
 
 __all__ = [
     "ChunkSpec",
@@ -55,5 +68,12 @@ __all__ = [
     "ZERO_LATENCY",
     "SessionConfig",
     "SessionResult",
+    "SessionMachine",
+    "DownloadRequest",
     "simulate_session",
+    "FleetSession",
+    "FleetReport",
+    "FleetResult",
+    "SRResultCache",
+    "simulate_fleet",
 ]

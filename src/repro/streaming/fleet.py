@@ -1,0 +1,232 @@
+"""Multi-session fleet simulator: N clients on one bottleneck link.
+
+The paper's evaluation (§7.4–§7.5) is single-client.  Serving heavy
+traffic means many concurrent sessions contending for shared bandwidth, so
+this module runs a *fleet* of :class:`~repro.streaming.simulator.SessionMachine`
+state machines against one :class:`~repro.net.link.SharedLink` in virtual
+time:
+
+* each session joins at its own ``join_time`` and runs its own ABR
+  controller and SR latency model;
+* the link splits capacity among in-flight downloads with a configurable
+  policy (``fair`` processor sharing or ``weighted`` by session weight);
+* an optional :class:`SRResultCache` shares super-resolution results
+  across co-watching sessions of the same video, so the Nth viewer of a
+  popular chunk pays nothing for SR — the amortization lever that makes
+  client-assist serving scale;
+* the result is every per-session :class:`SessionResult` plus a
+  :class:`FleetReport` of the aggregates an operator watches (mean/p5/p95
+  QoE, stall ratio, cache hit rate, delivered bytes).
+
+Everything is deterministic given (session specs, trace, policy): the
+scheduler resolves simultaneous events by session id.  A fleet of one
+session reproduces :func:`~repro.streaming.simulator.simulate_session`
+bit-exactly (enforced by the parity test).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..metrics.qoe import QoEWeights, aggregate_qoe
+from ..net.link import SharedLink
+from ..net.traces import NetworkTrace
+from .abr import AbrController, SRQualityModel
+from .chunks import VideoSpec
+from .latency import SRLatency, ZERO_LATENCY
+from .simulator import SessionConfig, SessionMachine, SessionResult
+
+__all__ = [
+    "FleetSession",
+    "SRResultCache",
+    "FleetReport",
+    "FleetResult",
+    "simulate_fleet",
+]
+
+
+@dataclass
+class FleetSession:
+    """One client in a fleet: content, controller, join time, link weight.
+
+    Controllers may be shared across sessions (the ABR classes are
+    stateless between ``decide`` calls) or instantiated per session.
+    ``weight`` only matters under the ``weighted`` sharing policy — e.g.
+    premium tiers or operator-prioritized flows.
+    """
+
+    spec: VideoSpec
+    controller: AbrController
+    sr_latency: SRLatency = ZERO_LATENCY
+    quality_model: SRQualityModel | None = None
+    config: SessionConfig | None = None
+    qoe_weights: QoEWeights | None = None
+    join_time: float = 0.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.join_time < 0:
+            raise ValueError("join_time must be non-negative")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+class SRResultCache:
+    """LRU cache of finished SR computations, shared across sessions.
+
+    Keyed by (video, chunk index, fetch density, SR ratio) — the tuple that
+    fully determines an SR output in the simulator.  An entry carries the
+    virtual time its computation finished: a session hits only if the
+    result already exists *at the moment its SR would start* (a result
+    still being computed by another session is not shared — the simpler,
+    deterministic model; hits then cost zero SR time).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple, float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def acquire(self, key: tuple, at_time: float, cost: float) -> float:
+        """SR cost actually paid by a session needing ``key`` at ``at_time``.
+
+        Returns 0.0 on a hit; on a miss, records the result as ready at
+        ``at_time + cost`` and returns ``cost``.
+        """
+        ready = self._entries.get(key)
+        if ready is not None and ready <= at_time:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return 0.0
+        self.misses += 1
+        # Keep whichever computation finishes first: a slower recompute must
+        # not push back a result another session already has in flight.
+        done = at_time + cost
+        if ready is None or done < ready:
+            self._entries[key] = done
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return cost
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Aggregate service health over one fleet run."""
+
+    n_sessions: int
+    mean_qoe: float
+    p5_qoe: float
+    p95_qoe: float
+    stall_ratio: float
+    total_stall_seconds: float
+    total_bytes: int
+    mean_quality: float
+    cache_hit_rate: float
+    makespan: float  # virtual seconds, first join → last download completion
+
+
+@dataclass
+class FleetResult:
+    """Per-session outcomes plus the fleet-level report."""
+
+    sessions: list[SessionResult]
+    report: FleetReport
+    sr_cache: SRResultCache | None = None
+    session_specs: list[FleetSession] = field(default_factory=list)
+
+
+def simulate_fleet(
+    sessions: list[FleetSession],
+    trace: NetworkTrace,
+    policy: str = "fair",
+    sr_cache: SRResultCache | None = None,
+) -> FleetResult:
+    """Run a fleet of sessions over one shared bottleneck link.
+
+    The scheduler advances virtual time event to event: it asks the link
+    for the next instant its fluid bandwidth allocation can change,
+    advances every in-flight download to that instant, and resumes each
+    session whose transfer finished — which runs that session's ABR/buffer
+    logic forward until it suspends on its next transfer.
+    """
+    if not sessions:
+        raise ValueError("fleet needs at least one session")
+    machines = [
+        SessionMachine(
+            s.spec,
+            s.controller,
+            sr_latency=s.sr_latency,
+            quality_model=s.quality_model,
+            config=s.config,
+            qoe_weights=s.qoe_weights,
+            start_time=s.join_time,
+            sr_cache=sr_cache,
+        )
+        for s in sessions
+    ]
+    link = SharedLink(trace, policy=policy)
+    for sid, machine in enumerate(machines):
+        if machine.pending is not None:
+            link.add_flow(
+                sid,
+                machine.pending.nbytes,
+                machine.pending.start_time,
+                weight=sessions[sid].weight,
+            )
+
+    now = 0.0
+    end_times = [0.0] * len(machines)
+    while link.busy():
+        t = link.next_event(now)
+        for done in link.advance(now, t):
+            req = machines[done.flow_id].advance(done.elapsed)
+            if req is not None:
+                link.add_flow(
+                    done.flow_id,
+                    req.nbytes,
+                    req.start_time,
+                    weight=sessions[done.flow_id].weight,
+                )
+            else:
+                end_times[done.flow_id] = done.finish_time
+        now = t
+
+    results = [m.result for m in machines]
+    assert all(r is not None for r in results), "fleet left unfinished sessions"
+    agg = aggregate_qoe(
+        [r.qoe for r in results],
+        [r.stall_seconds for r in results],
+        [s.spec.duration for s in sessions],
+    )
+    first_join = min(s.join_time for s in sessions)
+    report = FleetReport(
+        n_sessions=len(results),
+        mean_qoe=agg["mean_qoe"],
+        p5_qoe=agg["p5_qoe"],
+        p95_qoe=agg["p95_qoe"],
+        stall_ratio=agg["stall_ratio"],
+        total_stall_seconds=agg["total_stall_seconds"],
+        total_bytes=sum(r.total_bytes for r in results),
+        mean_quality=sum(r.mean_quality for r in results) / len(results),
+        cache_hit_rate=sr_cache.hit_rate if sr_cache is not None else 0.0,
+        makespan=max(end_times) - first_join,
+    )
+    return FleetResult(
+        sessions=results,
+        report=report,
+        sr_cache=sr_cache,
+        session_specs=list(sessions),
+    )

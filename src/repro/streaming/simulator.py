@@ -20,10 +20,17 @@ ablation shows YuZu-SR losing QoE — rather than adding serially to every
 chunk.
 
 Sessions are fully deterministic given (spec, trace, controller).
+
+The per-session logic lives in :class:`SessionMachine`, a resumable state
+machine that suspends at every network transfer and is advanced by a
+driver that owns the link.  :func:`simulate_session` is the single-client
+driver (one session, one private link); :mod:`repro.streaming.fleet` runs
+many machines against one shared bottleneck in virtual time.
 """
 
 from __future__ import annotations
 
+from collections.abc import Generator
 from dataclasses import dataclass, field
 
 from ..metrics.qoe import ChunkRecord, QoEWeights, session_qoe
@@ -35,7 +42,13 @@ from .buffer import PlaybackBuffer
 from .chunks import VideoSpec
 from .latency import SRLatency, ZERO_LATENCY
 
-__all__ = ["SessionConfig", "SessionResult", "simulate_session"]
+__all__ = [
+    "SessionConfig",
+    "SessionResult",
+    "DownloadRequest",
+    "SessionMachine",
+    "simulate_session",
+]
 
 
 @dataclass
@@ -82,6 +95,177 @@ class SessionResult:
         return len(self.records)
 
 
+@dataclass(frozen=True)
+class DownloadRequest:
+    """A suspended session asking its driver for one network transfer.
+
+    ``start_time`` is the virtual time the request goes out; the driver
+    answers with the transfer's total elapsed seconds (including RTT and
+    any bandwidth contention it models).
+    """
+
+    start_time: float
+    nbytes: int
+
+
+class SessionMachine:
+    """One streaming session as a resumable state machine.
+
+    The session logic (buffer headroom, ABR decisions, SR pipelining,
+    stall accounting) runs inside a generator that suspends at every
+    network transfer, yielding a :class:`DownloadRequest`.  A driver —
+    :func:`simulate_session` for one client, the fleet scheduler for many —
+    resolves the transfer against its link model and resumes the machine
+    via :meth:`advance`.
+
+    ``start_time`` staggers the session's join into a shared timeline;
+    ``sr_cache`` optionally shares SR results across co-watching sessions
+    (see :class:`repro.streaming.fleet.SRResultCache`).  With the defaults
+    the arithmetic is byte-for-byte the pre-refactor ``simulate_session``
+    loop, which the single-session fleet parity test enforces.
+    """
+
+    def __init__(
+        self,
+        spec: VideoSpec,
+        controller: AbrController,
+        sr_latency: SRLatency = ZERO_LATENCY,
+        quality_model: SRQualityModel | None = None,
+        config: SessionConfig | None = None,
+        qoe_weights: QoEWeights | None = None,
+        *,
+        start_time: float = 0.0,
+        sr_cache=None,
+    ):
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        self.spec = spec
+        self.controller = controller
+        self.sr_latency = sr_latency
+        self.quality_model = quality_model or SRQualityModel()
+        self.config = config or SessionConfig()
+        self.qoe_weights = qoe_weights
+        self.start_time = float(start_time)
+        self.sr_cache = sr_cache
+        self.result: SessionResult | None = None
+        self._gen = self._run()
+        try:
+            self.pending: DownloadRequest | None = next(self._gen)
+        except StopIteration:  # pragma: no cover - specs always have chunks
+            self.pending = None
+
+    @property
+    def finished(self) -> bool:
+        return self.result is not None
+
+    def advance(self, download_seconds: float) -> DownloadRequest | None:
+        """Resolve the pending transfer; returns the next request (or None)."""
+        if self.pending is None:
+            raise RuntimeError("session already finished")
+        try:
+            self.pending = self._gen.send(download_seconds)
+        except StopIteration:
+            self.pending = None
+        return self.pending
+
+    # ------------------------------------------------------------------
+    def _run(self) -> Generator[DownloadRequest, float, None]:
+        cfg = self.config
+        qm = self.quality_model
+        est = HarmonicMeanEstimator(
+            window=cfg.estimator_window, initial_bps=cfg.initial_throughput_bps
+        )
+        buf = PlaybackBuffer(
+            startup_threshold=cfg.startup_buffer, max_level=cfg.max_buffer
+        )
+        chunks = self.spec.chunks(cfg.chunk_seconds)
+        records: list[ChunkRecord] = []
+        decisions: list[float] = []
+
+        t_net = self.start_time    # network stage: time the link frees up
+        cpu_free = self.start_time  # compute stage: time the SR worker frees up
+        buffer_clock = self.start_time  # wall time the buffer is drained to
+        pending = 0.0       # seconds of content downloaded/in SR, not yet ready
+
+        # Startup payload (manifest + any SR models) before the first chunk.
+        if cfg.startup_bytes > 0:
+            t_net += yield DownloadRequest(t_net, cfg.startup_bytes)
+
+        def advance_buffer(to_time: float) -> float:
+            """Drain the buffer up to ``to_time``; returns stall incurred."""
+            nonlocal buffer_clock
+            if to_time <= buffer_clock:
+                return 0.0
+            stall = buf.drain(to_time - buffer_clock)
+            buffer_clock = to_time
+            return stall
+
+        prev_quality: float | None = None
+        for i, chunk in enumerate(chunks):
+            # Respect buffer headroom: delay the request until the chunk fits.
+            advance_buffer(t_net)
+            overflow = (buf.level + pending + chunk.duration) - cfg.max_buffer
+            if overflow > 0 and buf.playing:
+                # The buffer drains in real time, so waiting `overflow` seconds
+                # frees exactly that much headroom (no stall risk: buffer full).
+                t_net += overflow
+                advance_buffer(t_net)
+
+            ctx = AbrContext(
+                throughput_bps=est.estimate(),
+                buffer_level=buf.level + pending,
+                prev_quality=prev_quality,
+                next_chunks=chunks[i : i + cfg.horizon],
+            )
+            decision = self.controller.decide(ctx)
+            decisions.append(decision.density)
+
+            nbytes = int(chunk.bytes_at_density(decision.density) * cfg.fetch_fraction)
+            dl = yield DownloadRequest(t_net, nbytes)
+            dl_finish = t_net + dl
+            t_net = dl_finish  # next request goes out immediately after
+
+            sr_time = chunk.n_frames * self.sr_latency(
+                chunk.points_at_density(decision.density), decision.sr_ratio
+            )
+            sr_start = max(dl_finish, cpu_free)
+            if self.sr_cache is not None and sr_time > 0.0:
+                key = (
+                    self.spec.name,
+                    chunk.index,
+                    round(decision.density, 3),
+                    round(decision.sr_ratio, 3),
+                )
+                sr_time = self.sr_cache.acquire(key, sr_start, sr_time)
+            ready = sr_start + sr_time
+            cpu_free = ready
+            pending += chunk.duration
+
+            # The chunk becomes playable at `ready`: drain (possibly stalling)
+            # up to that instant, then enqueue.
+            stall = advance_buffer(ready)
+            buf.add(chunk.duration)
+            pending -= chunk.duration
+
+            # A zero-byte chunk (density × fetch_fraction rounding to
+            # nothing) yields no throughput sample — dl is pure RTT.
+            est.observe(nbytes * 8.0 / dl if nbytes > 0 and dl > 0 else est.estimate())
+            q = qm.quality(decision.density, decision.sr_ratio) * cfg.quality_factor
+            records.append(ChunkRecord(quality=q, stall=stall, bytes_downloaded=nbytes))
+            prev_quality = q
+
+        scores = session_qoe(records, self.qoe_weights)
+        self.result = SessionResult(
+            records=records,
+            qoe=scores["qoe"],
+            total_bytes=int(scores["bytes"]) + cfg.startup_bytes,
+            stall_seconds=scores["stall_seconds"],
+            startup_delay=buf.startup_delay,
+            mean_quality=scores["mean_quality"],
+            decisions=decisions,
+        )
+
+
 def simulate_session(
     spec: VideoSpec,
     trace: NetworkTrace,
@@ -91,89 +275,18 @@ def simulate_session(
     config: SessionConfig | None = None,
     qoe_weights: QoEWeights | None = None,
 ) -> SessionResult:
-    """Simulate one playback session end to end."""
-    cfg = config or SessionConfig()
-    qm = quality_model or SRQualityModel()
+    """Simulate one playback session end to end (private link, no contention)."""
     link = Link(trace)
-    est = HarmonicMeanEstimator(
-        window=cfg.estimator_window, initial_bps=cfg.initial_throughput_bps
+    machine = SessionMachine(
+        spec,
+        controller,
+        sr_latency=sr_latency,
+        quality_model=quality_model,
+        config=config,
+        qoe_weights=qoe_weights,
     )
-    buf = PlaybackBuffer(
-        startup_threshold=cfg.startup_buffer, max_level=cfg.max_buffer
-    )
-    chunks = spec.chunks(cfg.chunk_seconds)
-    records: list[ChunkRecord] = []
-    decisions: list[float] = []
-
-    t_net = 0.0          # network stage: time the link frees up
-    cpu_free = 0.0       # compute stage: time the SR worker frees up
-    buffer_clock = 0.0   # wall time up to which the buffer has been drained
-    pending = 0.0        # seconds of content downloaded/in SR, not yet ready
-
-    # Startup payload (manifest + any SR models) before the first chunk.
-    if cfg.startup_bytes > 0:
-        t_net += link.download_time(cfg.startup_bytes, t_net)
-
-    def advance_buffer(to_time: float) -> float:
-        """Drain the buffer up to ``to_time``; returns stall incurred."""
-        nonlocal buffer_clock
-        if to_time <= buffer_clock:
-            return 0.0
-        stall = buf.drain(to_time - buffer_clock)
-        buffer_clock = to_time
-        return stall
-
-    prev_quality: float | None = None
-    for i, chunk in enumerate(chunks):
-        # Respect buffer headroom: delay the request until the chunk fits.
-        advance_buffer(t_net)
-        overflow = (buf.level + pending + chunk.duration) - cfg.max_buffer
-        if overflow > 0 and buf.playing:
-            # The buffer drains in real time, so waiting `overflow` seconds
-            # frees exactly that much headroom (no stall risk: buffer full).
-            t_net += overflow
-            advance_buffer(t_net)
-
-        ctx = AbrContext(
-            throughput_bps=est.estimate(),
-            buffer_level=buf.level + pending,
-            prev_quality=prev_quality,
-            next_chunks=chunks[i : i + cfg.horizon],
-        )
-        decision = controller.decide(ctx)
-        decisions.append(decision.density)
-
-        nbytes = int(chunk.bytes_at_density(decision.density) * cfg.fetch_fraction)
-        dl = link.download_time(nbytes, t_net)
-        dl_finish = t_net + dl
-        t_net = dl_finish  # next request goes out immediately after
-
-        sr_time = chunk.n_frames * sr_latency(
-            chunk.points_at_density(decision.density), decision.sr_ratio
-        )
-        sr_start = max(dl_finish, cpu_free)
-        ready = sr_start + sr_time
-        cpu_free = ready
-        pending += chunk.duration
-
-        # The chunk becomes playable at `ready`: drain (possibly stalling)
-        # up to that instant, then enqueue.
-        stall = advance_buffer(ready)
-        buf.add(chunk.duration)
-        pending -= chunk.duration
-
-        est.observe(nbytes * 8.0 / dl if dl > 0 else est.estimate())
-        q = qm.quality(decision.density, decision.sr_ratio) * cfg.quality_factor
-        records.append(ChunkRecord(quality=q, stall=stall, bytes_downloaded=nbytes))
-        prev_quality = q
-
-    scores = session_qoe(records, qoe_weights)
-    return SessionResult(
-        records=records,
-        qoe=scores["qoe"],
-        total_bytes=int(scores["bytes"]) + cfg.startup_bytes,
-        stall_seconds=scores["stall_seconds"],
-        startup_delay=buf.startup_delay,
-        mean_quality=scores["mean_quality"],
-        decisions=decisions,
-    )
+    req = machine.pending
+    while req is not None:
+        req = machine.advance(link.download_time(req.nbytes, req.start_time))
+    assert machine.result is not None
+    return machine.result

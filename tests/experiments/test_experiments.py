@@ -15,6 +15,7 @@ from repro.experiments import (
     run_fig17_device,
     run_fig17_measured,
     run_fig18_device,
+    run_fleet_scaling,
     run_memory_usage,
     run_sr_quality,
     run_streaming_eval,
@@ -127,6 +128,29 @@ class TestStreamingEval:
         volut = table.lookup(condition="stable-50", system="volut")["data_pct"]
         assert raw == 100.0
         assert volut < 45.0  # the ~70%-reduction headline
+
+
+class TestFleetScaling:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_fleet_scaling(TINY, fleet_sizes=(1, 4, 16), link_mbps=400.0)
+
+    def test_all_fleet_sizes_reported(self, table):
+        assert table.column("n_sessions") == [1, 4, 16]
+
+    def test_contention_degrades_qoe(self, table):
+        qoes = table.column("mean_qoe")
+        assert qoes[0] > qoes[-1]  # 16 clients on the pipe beats 1 never
+
+    def test_cache_hit_rate_grows_with_fleet(self, table):
+        hits = table.column("cache_hit")
+        assert hits[0] == 0.0  # nobody to share with
+        assert hits[1] > 0.0
+        assert hits[2] >= hits[1]
+
+    def test_tail_below_mean_below_p95(self, table):
+        for row in table.rows:
+            assert row["p5_qoe"] <= row["mean_qoe"] <= row["p95_qoe"]
 
 
 class TestAblation:

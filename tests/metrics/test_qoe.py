@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.metrics import ChunkRecord, QoEModel, QoEWeights, session_qoe
+from repro.metrics import (
+    ChunkRecord,
+    QoEModel,
+    QoEWeights,
+    aggregate_qoe,
+    session_qoe,
+)
 
 
 class TestTerms:
@@ -74,3 +80,34 @@ class TestSessionQoE:
     def test_empty_session(self):
         out = session_qoe([])
         assert out["qoe"] == 0.0 and out["mean_quality"] == 0.0
+
+
+class TestAggregateQoE:
+    def test_population_statistics(self):
+        qoes = list(range(101))  # 0..100: percentiles land on integers
+        out = aggregate_qoe(qoes, [0.0] * 101, [10.0] * 101)
+        assert out["mean_qoe"] == pytest.approx(50.0)
+        assert out["p5_qoe"] == pytest.approx(5.0)
+        assert out["p95_qoe"] == pytest.approx(95.0)
+        assert out["stall_ratio"] == 0.0
+        assert out["n_sessions"] == 101
+
+    def test_stall_ratio_is_frozen_fraction_of_wall_clock(self):
+        # 2 sessions, 10 s content each, 5 s total stall → 5 / 25.
+        out = aggregate_qoe([1.0, 2.0], [2.0, 3.0], [10.0, 10.0])
+        assert out["stall_ratio"] == pytest.approx(5.0 / 25.0)
+        assert out["total_stall_seconds"] == pytest.approx(5.0)
+
+    def test_single_session_degenerate_percentiles(self):
+        out = aggregate_qoe([7.0], [0.0], [10.0])
+        assert out["p5_qoe"] == out["mean_qoe"] == out["p95_qoe"] == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_qoe([], [], [])
+        with pytest.raises(ValueError):
+            aggregate_qoe([1.0], [0.0, 0.0], [10.0])
+        with pytest.raises(ValueError):
+            aggregate_qoe([1.0], [-0.1], [10.0])
+        with pytest.raises(ValueError):
+            aggregate_qoe([1.0], [0.0], [0.0])

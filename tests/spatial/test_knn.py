@@ -97,3 +97,57 @@ def test_brute_equals_kdtree_property(seed, n, k):
     _, d1 = brute_force_knn(pts, q, k)
     _, d2 = kdtree_knn(pts, q, k)
     assert np.allclose(d1, d2, atol=1e-9)
+
+
+def assert_same_neighbors(idx_ref, dist_ref, idx, dist, atol=1e-6):
+    """Backends must return the same distances, and the same indices
+    wherever the ranking is unambiguous (no distance tie at the slot)."""
+    assert idx.shape == idx_ref.shape and dist.shape == dist_ref.shape
+    assert np.allclose(dist, dist_ref, atol=atol)
+    gaps = np.diff(dist_ref, axis=1)
+    untied = np.ones_like(idx_ref, dtype=bool)
+    untied[:, 1:] &= gaps > atol  # tied with the previous slot
+    untied[:, :-1] &= gaps > atol  # tied with the next slot
+    assert np.array_equal(idx[untied], idx_ref[untied])
+
+
+class TestThreeBackendParity:
+    """brute, kdtree, and octree agree on indices and distances (the
+    docstring's oracle claim, enforced on random clouds)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [1, 4, 9])
+    def test_random_clouds(self, seed, k):
+        g = np.random.default_rng(seed)
+        pts = g.uniform(-5, 5, (400, 3))
+        queries = g.uniform(-6, 6, (50, 3))  # some queries off the cloud
+        idx_ref, dist_ref = brute_force_knn(pts, queries, k)
+        for name in ("kdtree", "octree"):
+            idx, dist = get_backend(name, pts).query(queries, k)
+            assert_same_neighbors(idx_ref, dist_ref, idx, dist)
+
+    def test_clustered_cloud(self):
+        """Octree pruning must stay exact when density is very uneven."""
+        g = np.random.default_rng(42)
+        clusters = [
+            g.normal(loc, 0.05, (150, 3))
+            for loc in ([0, 0, 0], [3, 3, 3], [-3, 1, 2])
+        ]
+        pts = np.vstack(clusters + [g.uniform(-4, 4, (50, 3))])
+        queries = pts[::5]
+        idx_ref, dist_ref = brute_force_knn(pts, queries, 6)
+        for name in ("kdtree", "octree"):
+            idx, dist = get_backend(name, pts).query(queries, 6)
+            assert_same_neighbors(idx_ref, dist_ref, idx, dist)
+
+    @given(seed=st.integers(0, 500), n=st.integers(10, 300), k=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_all_backends(self, seed, n, k):
+        g = np.random.default_rng(seed)
+        pts = g.uniform(-5, 5, (n, 3))
+        queries = g.uniform(-5, 5, (13, 3))
+        k = min(k, n)
+        idx_ref, dist_ref = brute_force_knn(pts, queries, k)
+        for name in ("kdtree", "octree"):
+            idx, dist = get_backend(name, pts).query(queries, k)
+            assert_same_neighbors(idx_ref, dist_ref, idx, dist)

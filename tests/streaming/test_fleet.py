@@ -1,0 +1,335 @@
+"""Fleet simulator: parity, determinism, conservation, cache, policies."""
+
+import pytest
+
+from repro.metrics import QoEModel
+from repro.net import lte_trace, stable_trace
+from repro.streaming import (
+    ContinuousMPC,
+    FleetSession,
+    SessionConfig,
+    SRQualityModel,
+    SRResultCache,
+    VideoSpec,
+    ZERO_LATENCY,
+    simulate_fleet,
+    simulate_session,
+)
+from repro.streaming.abr import AbrController, Decision
+from repro.streaming.latency import MeasuredSRLatency
+
+
+class FixedDensity(AbrController):
+    def __init__(self, density, sr_ratio=None):
+        self.density = density
+        self.sr_ratio = sr_ratio or min(8.0, 1.0 / density)
+
+    def decide(self, ctx):
+        return Decision(density=self.density, sr_ratio=self.sr_ratio)
+
+
+def spec(seconds=10, points=100_000, name="t"):
+    return VideoSpec(
+        name=name, n_frames=seconds * 30, fps=30, points_per_frame=points
+    )
+
+
+def sr_lat():
+    return MeasuredSRLatency(0.001, 1e-8, 2e-8)
+
+
+class TestSingleSessionParity:
+    """A fleet of one must reproduce simulate_session bit-exactly."""
+
+    def assert_identical(self, solo, fleet_result):
+        f = fleet_result.sessions[0]
+        assert f.qoe == solo.qoe
+        assert f.total_bytes == solo.total_bytes
+        assert f.stall_seconds == solo.stall_seconds
+        assert f.startup_delay == solo.startup_delay
+        assert f.mean_quality == solo.mean_quality
+        assert f.decisions == solo.decisions
+        assert len(f.records) == len(solo.records)
+        for a, b in zip(f.records, solo.records):
+            assert a.quality == b.quality
+            assert a.stall == b.stall
+            assert a.bytes_downloaded == b.bytes_downloaded
+
+    def test_mpc_on_lte(self):
+        qm = SRQualityModel()
+        lat = sr_lat()
+        trace = lte_trace(50, 15, seed=3)
+        solo = simulate_session(
+            spec(20), trace, ContinuousMPC(qm, QoEModel(), lat),
+            sr_latency=lat, quality_model=qm,
+        )
+        fleet = simulate_fleet(
+            [FleetSession(spec=spec(20), controller=ContinuousMPC(qm, QoEModel(), lat),
+                          sr_latency=lat, quality_model=qm)],
+            trace,
+        )
+        self.assert_identical(solo, fleet)
+
+    def test_fixed_density_with_startup_bytes(self):
+        cfg = SessionConfig(startup_bytes=5_000_000)
+        trace = lte_trace(30, 10, seed=7)
+        solo = simulate_session(
+            spec(15), trace, FixedDensity(0.5), config=cfg
+        )
+        fleet = simulate_fleet(
+            [FleetSession(spec=spec(15), controller=FixedDensity(0.5), config=cfg)],
+            trace,
+        )
+        self.assert_identical(solo, fleet)
+
+    def test_parity_holds_under_weighted_policy(self):
+        trace = stable_trace(60.0)
+        solo = simulate_session(spec(10), trace, FixedDensity(0.5))
+        fleet = simulate_fleet(
+            [FleetSession(spec=spec(10), controller=FixedDensity(0.5), weight=3.0)],
+            trace,
+            policy="weighted",
+        )
+        self.assert_identical(solo, fleet)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        def run():
+            qm = SRQualityModel()
+            lat = sr_lat()
+            sessions = [
+                FleetSession(
+                    spec=spec(10),
+                    controller=ContinuousMPC(qm, QoEModel(), lat, n_grid=8),
+                    sr_latency=lat,
+                    quality_model=qm,
+                    join_time=0.5 * i,
+                )
+                for i in range(6)
+            ]
+            return simulate_fleet(
+                sessions, lte_trace(80, 20, seed=11), sr_cache=SRResultCache()
+            )
+
+        a, b = run(), run()
+        assert a.report == b.report
+        for ra, rb in zip(a.sessions, b.sessions):
+            assert ra.qoe == rb.qoe
+            assert ra.decisions == rb.decisions
+            assert ra.total_bytes == rb.total_bytes
+
+
+class TestBandwidthConservation:
+    def test_fair_share_throughputs_sum_to_capacity(self):
+        """Saturated fair-share fleet: delivered bits ≈ capacity × makespan."""
+        mbps = 20.0
+        n = 4
+        trace = stable_trace(mbps, rtt=0.0)
+        sessions = [
+            FleetSession(spec=spec(8), controller=FixedDensity(1.0, 1.0))
+            for _ in range(n)
+        ]
+        result = simulate_fleet(sessions, trace)
+        # demand (4 × 144 Mbps) >> capacity, rtt = 0: the link never idles
+        # between first request and last completion.
+        total_bits = 8.0 * sum(
+            rec.bytes_downloaded for r in result.sessions for rec in r.records
+        )
+        assert total_bits == pytest.approx(mbps * 1e6 * result.report.makespan, rel=1e-9)
+
+    def test_equal_sessions_get_equal_shares(self):
+        sessions = [
+            FleetSession(spec=spec(8), controller=FixedDensity(1.0, 1.0))
+            for _ in range(3)
+        ]
+        result = simulate_fleet(sessions, stable_trace(30.0, rtt=0.0))
+        ref = result.sessions[0]
+        for r in result.sessions[1:]:
+            assert r.total_bytes == ref.total_bytes
+            assert r.stall_seconds == pytest.approx(ref.stall_seconds, rel=1e-9)
+
+    def test_contention_slows_everyone(self):
+        solo = simulate_fleet(
+            [FleetSession(spec=spec(10), controller=FixedDensity(1.0, 1.0))],
+            stable_trace(50.0),
+        )
+        crowd = simulate_fleet(
+            [FleetSession(spec=spec(10), controller=FixedDensity(1.0, 1.0))
+             for _ in range(5)],
+            stable_trace(50.0),
+        )
+        assert crowd.report.stall_ratio > solo.report.stall_ratio
+        assert crowd.report.mean_qoe < solo.report.mean_qoe
+
+
+class TestSRCache:
+    def test_co_watching_hits(self):
+        """A later viewer of the same chunks pays zero SR time."""
+        cache = SRResultCache()
+        lat = sr_lat()
+        sessions = [
+            FleetSession(spec=spec(10), controller=FixedDensity(0.5),
+                         sr_latency=lat, join_time=0.0),
+            FleetSession(spec=spec(10), controller=FixedDensity(0.5),
+                         sr_latency=lat, join_time=40.0),
+        ]
+        result = simulate_fleet(sessions, stable_trace(200.0), sr_cache=cache)
+        # Session 2 joins after session 1 finished: every chunk hits.
+        assert cache.misses == 10
+        assert cache.hits == 10
+        assert result.report.cache_hit_rate == pytest.approx(0.5)
+
+    def test_accounting_covers_all_sr_work(self):
+        cache = SRResultCache()
+        lat = sr_lat()
+        n, secs = 5, 8
+        sessions = [
+            FleetSession(spec=spec(secs), controller=FixedDensity(0.5),
+                         sr_latency=lat, join_time=2.0 * i)
+            for i in range(n)
+        ]
+        simulate_fleet(sessions, stable_trace(300.0), sr_cache=cache)
+        assert cache.hits + cache.misses == n * secs
+
+    def test_no_sr_means_no_cache_traffic(self):
+        cache = SRResultCache()
+        sessions = [
+            FleetSession(spec=spec(5), controller=FixedDensity(0.5))
+            for _ in range(3)
+        ]
+        result = simulate_fleet(sessions, stable_trace(200.0), sr_cache=cache)
+        assert cache.hits == cache.misses == 0
+        assert result.report.cache_hit_rate == 0.0
+
+    def test_different_videos_do_not_collide(self):
+        cache = SRResultCache()
+        lat = sr_lat()
+        sessions = [
+            FleetSession(spec=spec(5, name="a"), controller=FixedDensity(0.5),
+                         sr_latency=lat),
+            FleetSession(spec=spec(5, name="b"), controller=FixedDensity(0.5),
+                         sr_latency=lat, join_time=30.0),
+        ]
+        simulate_fleet(sessions, stable_trace(200.0), sr_cache=cache)
+        assert cache.hits == 0
+
+    def test_cache_improves_qoe_under_slow_sr(self):
+        slow = MeasuredSRLatency(0.05, 1e-7, 1e-7)  # 1.5 s of SR per 1 s chunk
+
+        def run(cache):
+            sessions = [
+                FleetSession(spec=spec(10), controller=FixedDensity(0.5),
+                             sr_latency=slow, join_time=20.0 * i)
+                for i in range(3)
+            ]
+            return simulate_fleet(sessions, stable_trace(500.0), sr_cache=cache)
+
+        with_cache = run(SRResultCache())
+        without = run(None)
+        assert with_cache.report.mean_qoe > without.report.mean_qoe
+
+    def test_lru_eviction_and_validation(self):
+        cache = SRResultCache(capacity=2)
+        assert cache.acquire(("v", 0, 0.5, 2.0), 0.0, 1.0) == 1.0
+        assert cache.acquire(("v", 1, 0.5, 2.0), 0.0, 1.0) == 1.0
+        assert cache.acquire(("v", 2, 0.5, 2.0), 0.0, 1.0) == 1.0  # evicts chunk 0
+        assert cache.acquire(("v", 0, 0.5, 2.0), 5.0, 1.0) == 1.0  # miss again
+        assert cache.acquire(("v", 0, 0.5, 2.0), 9.0, 1.0) == 0.0  # now a hit
+        assert len(cache) == 2
+        with pytest.raises(ValueError):
+            SRResultCache(capacity=0)
+
+    def test_result_not_ready_yet_is_a_miss(self):
+        cache = SRResultCache()
+        cache.acquire(("v", 0, 0.5, 2.0), 0.0, 10.0)  # ready at t=10
+        assert cache.acquire(("v", 0, 0.5, 2.0), 5.0, 3.0) == 3.0  # still computing
+        assert cache.acquire(("v", 0, 0.5, 2.0), 9.0, 3.0) == 0.0  # second writer won
+
+    def test_slower_recompute_cannot_delay_an_in_flight_result(self):
+        cache = SRResultCache()
+        cache.acquire(("v", 0, 0.5, 2.0), 10.0, 2.0)  # A: ready at t=12
+        # B misses at t=11 (A not done); B's own copy lands at t=13, which
+        # must NOT push the entry's readiness past A's t=12.
+        assert cache.acquire(("v", 0, 0.5, 2.0), 11.0, 2.0) == 2.0
+        assert cache.acquire(("v", 0, 0.5, 2.0), 12.5, 2.0) == 0.0  # A's result
+
+
+class TestWeightedPolicy:
+    def test_heavier_session_stalls_less(self):
+        def session(w):
+            return FleetSession(spec=spec(10), controller=FixedDensity(1.0, 1.0),
+                                weight=w)
+
+        result = simulate_fleet(
+            [session(3.0), session(1.0)], stable_trace(60.0, rtt=0.0),
+            policy="weighted",
+        )
+        heavy, light = result.sessions
+        assert heavy.stall_seconds < light.stall_seconds
+
+    def test_fair_policy_ignores_weights(self):
+        def run(policy):
+            return simulate_fleet(
+                [FleetSession(spec=spec(8), controller=FixedDensity(1.0, 1.0),
+                              weight=5.0),
+                 FleetSession(spec=spec(8), controller=FixedDensity(1.0, 1.0))],
+                stable_trace(40.0, rtt=0.0), policy=policy,
+            )
+
+        fair = run("fair")
+        a, b = fair.sessions
+        assert a.stall_seconds == pytest.approx(b.stall_seconds, rel=1e-9)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            simulate_fleet(
+                [FleetSession(spec=spec(5), controller=FixedDensity(0.5))],
+                stable_trace(50.0), policy="priority",
+            )
+
+
+class TestJoinTimes:
+    def test_stagger_on_constant_link_is_a_time_shift(self):
+        """On a constant-rate link a late join sees identical conditions."""
+        base = simulate_fleet(
+            [FleetSession(spec=spec(10), controller=FixedDensity(0.5))],
+            stable_trace(80.0),
+        ).sessions[0]
+        late = simulate_fleet(
+            [FleetSession(spec=spec(10), controller=FixedDensity(0.5),
+                          join_time=12.5)],
+            stable_trace(80.0),
+        ).sessions[0]
+        assert late.qoe == pytest.approx(base.qoe, rel=1e-9)
+        assert late.total_bytes == base.total_bytes
+        assert late.stall_seconds == pytest.approx(base.stall_seconds, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetSession(spec=spec(5), controller=FixedDensity(0.5), join_time=-1.0)
+        with pytest.raises(ValueError):
+            FleetSession(spec=spec(5), controller=FixedDensity(0.5), weight=0.0)
+        with pytest.raises(ValueError):
+            simulate_fleet([], stable_trace(50.0))
+
+
+class TestScale:
+    def test_hundred_concurrent_sessions(self):
+        """Acceptance: ≥100 sessions, one process, aggregate report emitted."""
+        from repro.experiments import make_fleet
+
+        sessions = make_fleet(
+            100, spec(8), join_spacing=0.1, n_grid=8, horizon=2
+        )
+        result = simulate_fleet(
+            sessions, stable_trace(400.0), sr_cache=SRResultCache()
+        )
+        rep = result.report
+        assert rep.n_sessions == 100
+        assert len(result.sessions) == 100
+        assert all(r.n_chunks == 8 for r in result.sessions)
+        assert rep.p5_qoe <= rep.mean_qoe <= rep.p95_qoe
+        assert 0.0 <= rep.stall_ratio < 1.0
+        assert rep.cache_hit_rate > 0.5  # co-watching amortizes SR
+        assert rep.total_bytes == sum(r.total_bytes for r in result.sessions)

@@ -1,5 +1,6 @@
 """Examples are runnable end to end (subprocess smoke tests)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,14 +8,20 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 
 def run(script: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / script), *args],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
 
 
@@ -35,6 +42,13 @@ class TestExamples:
         proc = run("reproduce_paper.py", "--only", "table1")
         assert proc.returncode == 0, proc.stderr
         assert "1.61 GB" in proc.stdout
+
+    def test_fleet_demo(self):
+        proc = run("fleet_demo.py", "--sessions", "40", "--seconds", "10")
+        assert proc.returncode == 0, proc.stderr
+        assert "congested" in proc.stdout
+        assert "weighted (10% premium @4x)" in proc.stdout
+        assert "cache hit" in proc.stdout
 
     def test_end_to_end_client(self):
         proc = run("end_to_end_client.py", "--frames", "3")
