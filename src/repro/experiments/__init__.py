@@ -11,7 +11,12 @@ from .design_ablations import (
     run_octree_depth_sweep,
 )
 from .fig4_uniformity import run_fig4
-from .fleet_scaling import make_fleet, run_fleet_scaling
+from .fleet_scaling import (
+    make_fleet,
+    make_population,
+    run_fleet_scaling,
+    run_population_fleet,
+)
 from .interp_speed import run_fig11_device, run_fig11_measured
 from .memory_usage import run_memory_usage
 from .multivideo import run_multivideo_eval
@@ -35,7 +40,9 @@ __all__ = [
     "run_fig11_device",
     "run_streaming_eval",
     "run_fleet_scaling",
+    "run_population_fleet",
     "make_fleet",
+    "make_population",
     "run_ablation",
     "run_dilation_sweep",
     "run_bins_sweep",

@@ -28,6 +28,7 @@ from . import (
     run_fig18_device,
     run_fleet_scaling,
     run_memory_usage,
+    run_population_fleet,
     run_multivideo_eval,
     run_octree_depth_sweep,
     run_sr_quality,
@@ -56,6 +57,7 @@ REGISTRY = {
     "compression-rd": run_compression_rd,
     "multivideo": run_multivideo_eval,
     "fleet": run_fleet_scaling,
+    "fleet-population": run_population_fleet,
 }
 
 

@@ -10,6 +10,12 @@ bytes).  Two effects compound as the fleet grows:
   down the density range — QoE degrades gracefully rather than cliffing;
 * co-watching sessions hit the shared SR-result cache, so the marginal
   compute cost of a viewer falls with popularity.
+
+The sweep ends with a **trace-driven population** row: a Poisson-arrival
+viewer population over a Zipf-skewed catalog with abandon-on-stall churn —
+the workload shape a real service sees, run through the same scheduler.
+``run_population_fleet`` sweeps the popularity skew of that population to
+isolate the co-watching lever.
 """
 
 from __future__ import annotations
@@ -20,14 +26,30 @@ from ..streaming.abr import ContinuousMPC, SRQualityModel
 from ..streaming.chunks import VideoSpec
 from ..streaming.fleet import FleetSession, SRResultCache, simulate_fleet
 from ..streaming.latency import MeasuredSRLatency
+from ..streaming.population import (
+    PoissonArrivals,
+    build_population,
+    synthetic_catalog,
+)
+from ..streaming.simulator import AbandonPolicy
 from .common import SMOKE, ResultTable, Scale
 
-__all__ = ["run_fleet_scaling", "make_fleet"]
+__all__ = ["run_fleet_scaling", "run_population_fleet", "make_fleet"]
 
 
 def _latency_model() -> MeasuredSRLatency:
     """A VoLUT-class SR latency: ~ms per frame at paper-scale point counts."""
     return MeasuredSRLatency(0.001, 1e-8, 2e-8)
+
+
+def _volut_client(
+    n_grid: int, horizon: int
+) -> tuple[ContinuousMPC, SRQualityModel, MeasuredSRLatency]:
+    """One shared VoLUT client stack: controller + quality/latency models."""
+    qm = SRQualityModel()
+    lat = _latency_model()
+    ctrl = ContinuousMPC(qm, QoEModel(), lat, n_grid=n_grid, horizon=horizon)
+    return ctrl, qm, lat
 
 
 def make_fleet(
@@ -37,15 +59,20 @@ def make_fleet(
     n_grid: int = 16,
     horizon: int = 3,
 ) -> list[FleetSession]:
-    """``n_sessions`` identical VoLUT clients with staggered joins."""
+    """``n_sessions`` identical VoLUT clients with staggered joins.
+
+    All sessions share one controller instance (the ABR classes are
+    stateless between decisions), so the fleet scheduler can resolve
+    simultaneous MPC decisions in a single vectorized ``decide_batch``
+    pass instead of ``n_sessions`` scalar calls.
+    """
     if n_sessions <= 0:
         raise ValueError("need at least one session")
-    qm = SRQualityModel()
-    lat = _latency_model()
+    ctrl, qm, lat = _volut_client(n_grid, horizon)
     return [
         FleetSession(
             spec=spec,
-            controller=ContinuousMPC(qm, QoEModel(), lat, n_grid=n_grid, horizon=horizon),
+            controller=ctrl,
             sr_latency=lat,
             quality_model=qm,
             join_time=join_spacing * i,
@@ -54,14 +81,58 @@ def make_fleet(
     ]
 
 
+def make_population(
+    scale: Scale,
+    n_sessions: int,
+    *,
+    skew: float = 1.2,
+    n_videos: int = 8,
+    stall_patience: float = 12.0,
+    n_grid: int = 16,
+    horizon: int = 3,
+    seed: int = 0,
+) -> list[FleetSession]:
+    """A Poisson-arrival, Zipf-catalog, churn-enabled viewer population."""
+    ctrl, qm, lat = _volut_client(n_grid, horizon)
+    catalog = synthetic_catalog(
+        n_videos,
+        seconds=scale.stream_seconds,
+        points_per_frame=scale.device_points,
+        skew=skew,
+    )
+    # Arrivals spread over one video length; the rate is padded ~20% so the
+    # window almost always yields the requested session count, then capped.
+    window = float(scale.stream_seconds)
+    arrivals = PoissonArrivals(rate_hz=1.2 * n_sessions / window, seed=seed)
+    return build_population(
+        catalog,
+        arrivals,
+        window,
+        ctrl,
+        sr_latency=lat,
+        quality_model=qm,
+        churn=AbandonPolicy(max_total_stall=stall_patience),
+        seed=seed,
+        max_sessions=n_sessions,
+    )
+
+
 def run_fleet_scaling(
     scale: Scale = SMOKE,
     fleet_sizes: tuple[int, ...] = (1, 4, 16, 64),
     link_mbps: float = 400.0,
     policy: str = "fair",
     sr_cache_size: int = 4096,
+    population_sessions: int = 200,
+    population_mbps_per_session: float = 6.0,
 ) -> ResultTable:
-    """Sweep fleet size on a fixed bottleneck; report aggregate QoE."""
+    """Sweep fleet size on a fixed bottleneck; report aggregate QoE.
+
+    The final row (``population_sessions > 0``) replaces the fixed-join
+    fleet with a Poisson-arrival population over a Zipf catalog with
+    abandon-on-stall churn, provisioned at
+    ``population_mbps_per_session`` — the end-to-end population path.
+    """
     spec = VideoSpec(
         name="longdress",
         n_frames=scale.stream_seconds * 30,
@@ -78,12 +149,15 @@ def run_fleet_scaling(
             "p95_qoe",
             "stall_ratio",
             "cache_hit",
+            "abandon_rate",
             "data_gb",
             "mbps_per_session",
         ],
         notes=(
             f"{link_mbps:g} Mbps bottleneck, fair-share unless noted; "
-            "cache_hit is the shared SR-result cache hit rate."
+            "cache_hit is the shared SR-result cache hit rate.  The "
+            "poisson+churn row is a Poisson-arrival Zipf-catalog viewer "
+            "population with abandon-on-stall churn."
         ),
     )
     trace = stable_trace(link_mbps, duration=float(scale.stream_seconds * 4))
@@ -99,7 +173,82 @@ def run_fleet_scaling(
             p95_qoe=round(rep.p95_qoe, 2),
             stall_ratio=round(rep.stall_ratio, 4),
             cache_hit=round(rep.cache_hit_rate, 3),
+            abandon_rate=round(rep.abandon_rate, 3),
             data_gb=round(rep.total_bytes / 1e9, 2),
             mbps_per_session=round(link_mbps / n, 1),
+        )
+    if population_sessions > 0:
+        sessions = make_population(scale, population_sessions)
+        cache = SRResultCache(capacity=sr_cache_size)
+        pop_trace = stable_trace(
+            population_mbps_per_session * len(sessions),
+            duration=float(scale.stream_seconds * 4),
+        )
+        rep = simulate_fleet(
+            sessions, pop_trace, policy=policy, sr_cache=cache
+        ).report
+        table.add(
+            n_sessions=len(sessions),
+            policy=f"{policy}+poisson+churn",
+            mean_qoe=round(rep.mean_qoe, 2),
+            p5_qoe=round(rep.p5_qoe, 2),
+            p95_qoe=round(rep.p95_qoe, 2),
+            stall_ratio=round(rep.stall_ratio, 4),
+            cache_hit=round(rep.cache_hit_rate, 3),
+            abandon_rate=round(rep.abandon_rate, 3),
+            data_gb=round(rep.total_bytes / 1e9, 2),
+            mbps_per_session=population_mbps_per_session,
+        )
+    return table
+
+
+def run_population_fleet(
+    scale: Scale = SMOKE,
+    skews: tuple[float, ...] = (0.0, 0.8, 1.6, 2.4),
+    n_sessions: int = 200,
+    mbps_per_session: float = 6.0,
+    stall_patience: float = 12.0,
+) -> ResultTable:
+    """Sweep catalog popularity skew for a churn-enabled viewer population.
+
+    Higher skew concentrates viewing on the head of the catalog, so the
+    shared SR-result cache absorbs more of the fleet's compute — the
+    popularity lever behind client-assist serving economics.
+    """
+    table = ResultTable(
+        title="Viewer population: popularity skew vs cache amortization",
+        columns=[
+            "skew",
+            "n_sessions",
+            "mean_qoe",
+            "stall_ratio",
+            "cache_hit",
+            "abandon_rate",
+            "data_gb",
+        ],
+        notes=(
+            f"Poisson arrivals over one video length, {mbps_per_session:g} "
+            f"Mbps per session, abandon after {stall_patience:g}s of stall; "
+            "catalog popularity ∝ 1/rank^skew."
+        ),
+    )
+    for skew in skews:
+        sessions = make_population(
+            scale, n_sessions, skew=skew, stall_patience=stall_patience
+        )
+        cache = SRResultCache()
+        trace = stable_trace(
+            mbps_per_session * len(sessions),
+            duration=float(scale.stream_seconds * 4),
+        )
+        rep = simulate_fleet(sessions, trace, sr_cache=cache).report
+        table.add(
+            skew=skew,
+            n_sessions=len(sessions),
+            mean_qoe=round(rep.mean_qoe, 2),
+            stall_ratio=round(rep.stall_ratio, 4),
+            cache_hit=round(rep.cache_hit_rate, 3),
+            abandon_rate=round(rep.abandon_rate, 3),
+            data_gb=round(rep.total_bytes / 1e9, 2),
         )
     return table

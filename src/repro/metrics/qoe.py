@@ -109,6 +109,49 @@ class QoEModel:
             prev = q
         return total
 
+    def plan_values(
+        self,
+        qualities: np.ndarray,
+        stalls: np.ndarray,
+        prev_quality: np.ndarray | float | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`plan_value` over many independent plans.
+
+        ``qualities`` and ``stalls`` broadcast against each other; axis 0 is
+        the horizon (chunk index), every trailing axis an independent plan
+        (candidate density, session, ...).  ``prev_quality`` may be ``None``
+        (no previous chunk anywhere), a scalar, or an array broadcastable to
+        the plan axes in which ``NaN`` marks "no previous chunk" for that
+        plan.  The arithmetic mirrors the scalar loop term for term, so the
+        two paths agree to the last ulp (the vectorized-MPC parity oracle).
+        """
+        q, s = np.broadcast_arrays(
+            np.asarray(qualities, dtype=np.float64),
+            np.asarray(stalls, dtype=np.float64),
+        )
+        if q.ndim < 1:
+            raise ValueError("need a horizon axis")
+        if np.any(s < 0):
+            raise ValueError("stall must be non-negative")
+        w = self.weights
+        if prev_quality is None:
+            prev = np.full(q.shape[1:], np.nan)
+        else:
+            prev = np.broadcast_to(
+                np.asarray(prev_quality, dtype=np.float64), q.shape[1:]
+            )
+        total = np.zeros(q.shape[1:])
+        for i in range(q.shape[0]):
+            qi = q[i]
+            delta = qi - prev
+            mult = np.where(delta < 0, w.drop_multiplier, 1.0)
+            variation = np.where(
+                np.isnan(prev), 0.0, w.beta * mult * np.abs(delta)
+            )
+            total = total + (w.alpha * qi - variation - w.gamma * s[i])
+            prev = qi
+        return total
+
 
 def session_qoe(
     records: list[ChunkRecord], weights: QoEWeights | None = None

@@ -28,9 +28,23 @@ from .fleet import (
     SRResultCache,
     simulate_fleet,
 )
-from .latency import DeviceSRLatency, MeasuredSRLatency, SRLatency, ZERO_LATENCY
+from .latency import (
+    DeviceSRLatency,
+    MeasuredSRLatency,
+    SRLatency,
+    ZERO_LATENCY,
+    latency_batch,
+)
+from .population import (
+    ContentCatalog,
+    PoissonArrivals,
+    TraceArrivals,
+    build_population,
+)
 from .server import Manifest, VideoServer
 from .simulator import (
+    AbandonPolicy,
+    DecisionRequest,
     DownloadRequest,
     SessionConfig,
     SessionMachine,
@@ -66,14 +80,21 @@ __all__ = [
     "MeasuredSRLatency",
     "SRLatency",
     "ZERO_LATENCY",
+    "latency_batch",
     "SessionConfig",
     "SessionResult",
     "SessionMachine",
     "DownloadRequest",
+    "DecisionRequest",
+    "AbandonPolicy",
     "simulate_session",
     "FleetSession",
     "FleetReport",
     "FleetResult",
     "SRResultCache",
     "simulate_fleet",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "ContentCatalog",
+    "build_population",
 ]

@@ -25,8 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..metrics.qoe import QoEModel
-from .chunks import ChunkSpec
-from .latency import SRLatency
+from .chunks import ChunkSpec, batched_chunk_bytes, batched_points_at_density
+from .latency import SRLatency, latency_batch
 
 __all__ = [
     "SRQualityModel",
@@ -77,6 +77,30 @@ class SRQualityModel:
         discount = self.efficiency ** np.log2(max(s, 1.0))
         return float(restored * discount)
 
+    # -- batched forms (one candidate-density axis) --------------------
+    def sr_ratios_for(self, densities: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sr_ratio_for` (identical arithmetic)."""
+        d = np.asarray(densities, dtype=np.float64)
+        if np.any((d <= 0.0) | (d > 1.0)):
+            raise ValueError("densities must be in (0, 1]")
+        return np.minimum(self.max_ratio, 1.0 / d)
+
+    def qualities(
+        self, densities: np.ndarray, sr_ratios: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`quality` (identical arithmetic)."""
+        d = np.asarray(densities, dtype=np.float64)
+        s = (
+            self.sr_ratios_for(d)
+            if sr_ratios is None
+            else np.asarray(sr_ratios, dtype=np.float64)
+        )
+        if np.any(s < 1.0):
+            raise ValueError("sr_ratio must be >= 1")
+        restored = np.minimum(1.0, d * s)
+        discount = self.efficiency ** np.log2(np.maximum(s, 1.0))
+        return restored * discount
+
 
 @dataclass
 class AbrContext:
@@ -89,11 +113,20 @@ class AbrContext:
 
     def __post_init__(self) -> None:
         if self.throughput_bps <= 0:
-            raise ValueError("throughput estimate must be positive")
+            raise ValueError(
+                "AbrContext.throughput_bps must be positive, got "
+                f"{self.throughput_bps!r}"
+            )
         if self.buffer_level < 0:
-            raise ValueError("buffer level must be non-negative")
+            raise ValueError(
+                "AbrContext.buffer_level must be non-negative, got "
+                f"{self.buffer_level!r}"
+            )
         if not self.next_chunks:
-            raise ValueError("need at least the next chunk")
+            raise ValueError(
+                "AbrContext.next_chunks must contain at least the next chunk, "
+                f"got {self.next_chunks!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -105,9 +138,13 @@ class Decision:
 
     def __post_init__(self) -> None:
         if not 0.0 < self.density <= 1.0:
-            raise ValueError(f"density must be in (0, 1], got {self.density}")
+            raise ValueError(
+                f"Decision.density must be in (0, 1], got {self.density!r}"
+            )
         if self.sr_ratio < 1.0:
-            raise ValueError("sr_ratio must be >= 1")
+            raise ValueError(
+                f"Decision.sr_ratio must be >= 1, got {self.sr_ratio!r}"
+            )
 
 
 class AbrController:
@@ -115,6 +152,17 @@ class AbrController:
 
     def decide(self, ctx: AbrContext) -> Decision:
         raise NotImplementedError
+
+    def decide_batch(self, ctxs: list[AbrContext]) -> list[Decision]:
+        """Decide for many independent contexts at once.
+
+        The default loops over :meth:`decide`; MPC controllers override it
+        with a single array pass so a fleet driver can resolve every
+        session waiting on a decision in one call.  Must be equivalent to
+        ``[self.decide(c) for c in ctxs]`` — the fleet parity tests rely
+        on it.
+        """
+        return [self.decide(ctx) for ctx in ctxs]
 
 
 class _MPCBase(AbrController):
@@ -158,6 +206,11 @@ class _MPCBase(AbrController):
 
         Uses the robust-MPC simplification of a constant decision over the
         horizon with a safety-discounted throughput estimate.
+
+        This is the scalar **reference oracle**: ``decide`` runs the
+        vectorized :meth:`plan_values` instead, and the parity test grid
+        pins the two paths against each other (the analogue of the kNN
+        three-backend parity oracle).
         """
         tput = ctx.throughput_bps * self.safety
         s = self.quality_model.sr_ratio_for(density)
@@ -179,13 +232,85 @@ class _MPCBase(AbrController):
             stalls.append(stall)
         return self.qoe_model.plan_value(qualities, stalls, ctx.prev_quality)
 
-    def decide(self, ctx: AbrContext) -> Decision:
-        values = [self._plan_value(d, ctx) for d in self.candidates]
-        best = self.candidates[int(np.argmax(values))]
-        return Decision(
-            density=float(best),
-            sr_ratio=self.quality_model.sr_ratio_for(float(best)),
+    def _batch_plan_values(self, ctxs: list[AbrContext]) -> np.ndarray:
+        """Plan values for every (context, candidate) pair in one pass.
+
+        All contexts must share the same effective horizon length (the
+        public entry points group by it).  Returns ``(n_ctx, n_candidates)``.
+        The arithmetic replicates :meth:`_plan_value` operation for
+        operation with a candidate axis appended — rounding modes included —
+        so both paths produce bit-identical values.
+        """
+        d = self.candidates                                    # (C,)
+        qm = self.quality_model
+        s = qm.sr_ratios_for(d)                                # (C,)
+        q = qm.qualities(d, s)                                 # (C,)
+        horizons = [ctx.next_chunks[: self.horizon] for ctx in ctxs]
+        n_ctx, h_len = len(ctxs), len(horizons[0])
+
+        # Per-(session, chunk) attributes of the horizon.
+        ppf = np.array([[c.points_per_frame for c in h] for h in horizons])
+        nf = np.array(
+            [[c.n_frames for c in h] for h in horizons], dtype=np.int64
         )
+        bpp = np.array([[c.bytes_per_point for c in h] for h in horizons])
+        dur = np.array([[c.duration for c in h] for h in horizons])
+
+        pts = batched_points_at_density(ppf[:, :, None], d)    # (N, H, C)
+        nbytes = batched_chunk_bytes(nf[:, :, None], pts, bpp[:, :, None])
+
+        tput = (
+            np.array([ctx.throughput_bps for ctx in ctxs]) * self.safety
+        )                                                      # (N,)
+        dl = nbytes * self.fetch_fraction * 8.0 / tput[:, None, None]
+        sr = nf[:, :, None] * latency_batch(self.sr_latency, pts, s)
+        ready = np.maximum(dl, sr)                             # (N, H, C)
+
+        buffer = np.array([ctx.buffer_level for ctx in ctxs])[:, None]
+        stalls = np.empty((h_len, n_ctx, len(d)))
+        for h in range(h_len):
+            r = ready[:, h, :]
+            stalls[h] = np.maximum(0.0, r - buffer)
+            buffer = np.maximum(buffer - r, 0.0) + dur[:, h, None]
+
+        prev = np.array(
+            [
+                np.nan if ctx.prev_quality is None else ctx.prev_quality
+                for ctx in ctxs
+            ]
+        )[:, None]                                             # (N, 1)
+        return self.qoe_model.plan_values(q, stalls, prev)
+
+    def plan_values(self, ctx: AbrContext) -> np.ndarray:
+        """Vectorized plan values over all candidate densities, ``(C,)``."""
+        return self._batch_plan_values([ctx])[0]
+
+    def _decision_for(self, density: float) -> Decision:
+        return Decision(
+            density=density, sr_ratio=self.quality_model.sr_ratio_for(density)
+        )
+
+    def decide(self, ctx: AbrContext) -> Decision:
+        best = self.candidates[int(np.argmax(self.plan_values(ctx)))]
+        return self._decision_for(float(best))
+
+    def decide_batch(self, ctxs: list[AbrContext]) -> list[Decision]:
+        """One array pass over every (context, candidate) pair.
+
+        Contexts near the end of their video have shorter horizons, so the
+        batch is grouped by effective horizon length; each group is solved
+        in a single tensor evaluation.
+        """
+        decisions: list[Decision | None] = [None] * len(ctxs)
+        groups: dict[int, list[int]] = {}
+        for i, ctx in enumerate(ctxs):
+            groups.setdefault(len(ctx.next_chunks[: self.horizon]), []).append(i)
+        for idxs in groups.values():
+            values = self._batch_plan_values([ctxs[i] for i in idxs])
+            best = self.candidates[np.argmax(values, axis=1)]
+            for j, i in enumerate(idxs):
+                decisions[i] = self._decision_for(float(best[j]))
+        return decisions  # type: ignore[return-value]
 
 
 class ContinuousMPC(_MPCBase):

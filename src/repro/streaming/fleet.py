@@ -35,7 +35,14 @@ from ..net.traces import NetworkTrace
 from .abr import AbrController, SRQualityModel
 from .chunks import VideoSpec
 from .latency import SRLatency, ZERO_LATENCY
-from .simulator import SessionConfig, SessionMachine, SessionResult
+from .simulator import (
+    AbandonPolicy,
+    DecisionRequest,
+    DownloadRequest,
+    SessionConfig,
+    SessionMachine,
+    SessionResult,
+)
 
 __all__ = [
     "FleetSession",
@@ -64,6 +71,8 @@ class FleetSession:
     qoe_weights: QoEWeights | None = None
     join_time: float = 0.0
     weight: float = 1.0
+    #: viewer stall patience; None = never abandons
+    churn: AbandonPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.join_time < 0:
@@ -136,6 +145,8 @@ class FleetReport:
     mean_quality: float
     cache_hit_rate: float
     makespan: float  # virtual seconds, first join → last download completion
+    n_abandoned: int = 0
+    abandon_rate: float = 0.0
 
 
 @dataclass
@@ -146,6 +157,37 @@ class FleetResult:
     report: FleetReport
     sr_cache: SRResultCache | None = None
     session_specs: list[FleetSession] = field(default_factory=list)
+
+
+def _batched_decisions(
+    machines: list[SessionMachine], session_ids: list[int]
+) -> list[tuple[int, DownloadRequest]]:
+    """Resolve every machine parked on a :class:`DecisionRequest`.
+
+    Machines sharing a controller object are decided in one vectorized
+    ``decide_batch`` array pass (the MPC classes evaluate the whole
+    (session, candidate, horizon) tensor at once); per-session controllers
+    degrade to batches of one.  Decisions are pure functions of their
+    context, so batching cannot change any session's outcome.  Returns the
+    download request each decision unblocked.
+    """
+    by_controller: dict[int, list[int]] = {}
+    for sid in session_ids:
+        by_controller.setdefault(id(machines[sid].controller), []).append(sid)
+    out: list[tuple[int, DownloadRequest]] = []
+    for ids in by_controller.values():
+        controller = machines[ids[0]].controller
+        ctxs = []
+        for sid in ids:
+            pending = machines[sid].pending
+            assert isinstance(pending, DecisionRequest)
+            ctxs.append(pending.ctx)
+        for sid, decision in zip(ids, controller.decide_batch(ctxs)):
+            req = machines[sid].advance(decision)
+            # A decision is always followed by the chunk's transfer.
+            assert isinstance(req, DownloadRequest)
+            out.append((sid, req))
+    return out
 
 
 def simulate_fleet(
@@ -160,7 +202,10 @@ def simulate_fleet(
     for the next instant its fluid bandwidth allocation can change,
     advances every in-flight download to that instant, and resumes each
     session whose transfer finished — which runs that session's ABR/buffer
-    logic forward until it suspends on its next transfer.
+    logic forward until it suspends on its next request.  Sessions that
+    suspend on an ABR decision are parked for the rest of the event step
+    and resolved together in one vectorized ``decide_batch`` call per
+    shared controller.
     """
     if not sessions:
         raise ValueError("fleet needs at least one session")
@@ -174,34 +219,41 @@ def simulate_fleet(
             qoe_weights=s.qoe_weights,
             start_time=s.join_time,
             sr_cache=sr_cache,
+            churn=s.churn,
         )
         for s in sessions
     ]
     link = SharedLink(trace, policy=policy)
+
+    def queue(sid: int, req: DownloadRequest) -> None:
+        link.add_flow(sid, req.nbytes, req.start_time, weight=sessions[sid].weight)
+
+    # Every session needs its first ABR decision at join time — the widest
+    # batch of the run (startup-bytes sessions enter via a transfer first).
+    first_decisions = []
     for sid, machine in enumerate(machines):
-        if machine.pending is not None:
-            link.add_flow(
-                sid,
-                machine.pending.nbytes,
-                machine.pending.start_time,
-                weight=sessions[sid].weight,
-            )
+        if isinstance(machine.pending, DownloadRequest):
+            queue(sid, machine.pending)
+        elif isinstance(machine.pending, DecisionRequest):
+            first_decisions.append(sid)
+    for sid, req in _batched_decisions(machines, first_decisions):
+        queue(sid, req)
 
     now = 0.0
     end_times = [0.0] * len(machines)
     while link.busy():
         t = link.next_event(now)
+        needs_decision: list[int] = []
         for done in link.advance(now, t):
             req = machines[done.flow_id].advance(done.elapsed)
-            if req is not None:
-                link.add_flow(
-                    done.flow_id,
-                    req.nbytes,
-                    req.start_time,
-                    weight=sessions[done.flow_id].weight,
-                )
+            if isinstance(req, DecisionRequest):
+                needs_decision.append(done.flow_id)
+            elif req is not None:
+                queue(done.flow_id, req)
             else:
                 end_times[done.flow_id] = done.finish_time
+        for sid, req in _batched_decisions(machines, needs_decision):
+            queue(sid, req)
         now = t
 
     results = [m.result for m in machines]
@@ -209,9 +261,10 @@ def simulate_fleet(
     agg = aggregate_qoe(
         [r.qoe for r in results],
         [r.stall_seconds for r in results],
-        [s.spec.duration for s in sessions],
+        [r.watched_seconds for r in results],
     )
     first_join = min(s.join_time for s in sessions)
+    n_abandoned = sum(1 for r in results if r.abandoned)
     report = FleetReport(
         n_sessions=len(results),
         mean_qoe=agg["mean_qoe"],
@@ -223,6 +276,8 @@ def simulate_fleet(
         mean_quality=sum(r.mean_quality for r in results) / len(results),
         cache_hit_rate=sr_cache.hit_rate if sr_cache is not None else 0.0,
         makespan=max(end_times) - first_join,
+        n_abandoned=n_abandoned,
+        abandon_rate=n_abandoned / len(results),
     )
     return FleetResult(
         sessions=results,

@@ -1,0 +1,242 @@
+"""Trace-driven viewer populations for fleet simulation.
+
+The fleet simulator takes a fixed list of sessions with hand-picked join
+times.  Real services see *populations*: viewers arrive according to a
+stochastic or measured arrival process, pick content with a heavily
+skewed popularity distribution, and churn out when rebuffering exhausts
+their patience.  This module turns those three levers into
+:class:`~repro.streaming.fleet.FleetSession` lists that
+:func:`~repro.streaming.fleet.simulate_fleet` can run unchanged:
+
+* **arrival processes** — :class:`PoissonArrivals` (memoryless synthetic
+  load) and :class:`TraceArrivals` (replay measured join timestamps,
+  optionally loaded from a CSV);
+* **content catalogs** — :class:`ContentCatalog`, a ranked video set with
+  Zipf-like popularity ``weight(rank) ∝ 1/rank^skew``; the skew is the
+  knob that drives SR-cache co-watching studies;
+* **churn** — :class:`~repro.streaming.simulator.AbandonPolicy` attached
+  to every generated session.
+
+Everything is deterministic given (process seed, catalog, population
+seed): building the same population twice and simulating it yields
+identical fleet reports, which the replay test enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..metrics.qoe import QoEWeights
+from .abr import AbrController, SRQualityModel
+from .chunks import VideoSpec
+from .fleet import FleetSession
+from .latency import SRLatency, ZERO_LATENCY
+from .simulator import AbandonPolicy, SessionConfig
+
+__all__ = [
+    "PoissonArrivals",
+    "TraceArrivals",
+    "ContentCatalog",
+    "synthetic_catalog",
+    "build_population",
+]
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Homogeneous Poisson arrival process (exponential inter-arrivals).
+
+    ``rate_hz`` is the expected number of viewer joins per second.
+    ``times`` is a pure function of ``(seed, window)`` — calling it twice
+    returns the same arrivals, so populations replay deterministically.
+    """
+
+    rate_hz: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError(
+                f"PoissonArrivals.rate_hz must be positive, got {self.rate_hz!r}"
+            )
+
+    def times(self, window: float) -> np.ndarray:
+        """Arrival timestamps in ``[0, window]``, strictly increasing."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        rng = np.random.default_rng(self.seed)
+        out: list[float] = []
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / self.rate_hz)
+            if t > window:
+                return np.asarray(out)
+            out.append(t)
+
+
+@dataclass(frozen=True)
+class TraceArrivals:
+    """Replay of measured viewer-join timestamps (seconds, sorted)."""
+
+    arrival_times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.arrival_times:
+            raise ValueError("TraceArrivals needs at least one arrival")
+        ts = np.asarray(self.arrival_times, dtype=np.float64)
+        if np.any(ts < 0):
+            raise ValueError("arrival times must be non-negative")
+        if np.any(np.diff(ts) < 0):
+            raise ValueError("arrival times must be sorted")
+
+    @classmethod
+    def from_csv(cls, path) -> "TraceArrivals":
+        """Load ``timestamp_s`` rows (one per line, ``#`` comments).
+
+        Extra comma-separated columns (user id, region, ...) are ignored,
+        so raw service join logs drop in without conversion.
+        """
+        times: list[float] = []
+        with open(path) as fh:
+            for lineno, raw in enumerate(fh, 1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    times.append(float(line.split(",")[0]))
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: expected a timestamp, got {line!r}"
+                    ) from exc
+        if not times:
+            raise ValueError(f"{path}: no arrival rows found")
+        return cls(arrival_times=tuple(times))
+
+    def times(self, window: float) -> np.ndarray:
+        """Arrivals that fall inside ``[0, window]``."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        ts = np.asarray(self.arrival_times, dtype=np.float64)
+        return ts[ts <= window]
+
+
+@dataclass(frozen=True)
+class ContentCatalog:
+    """A ranked video set with Zipf-like popularity.
+
+    The video at popularity rank ``r`` (1-based, catalog order) is chosen
+    with probability proportional to ``1 / r**skew``: ``skew=0`` is a
+    uniform catalog, larger skews concentrate viewing on the head — the
+    regime where the shared SR-result cache pays off.
+    """
+
+    videos: tuple[VideoSpec, ...]
+    skew: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.videos:
+            raise ValueError("ContentCatalog needs at least one video")
+        if self.skew < 0:
+            raise ValueError(
+                f"ContentCatalog.skew must be non-negative, got {self.skew!r}"
+            )
+
+    @cached_property
+    def popularity(self) -> np.ndarray:
+        """Normalized choice probabilities, catalog order = rank order."""
+        w = 1.0 / np.arange(1, len(self.videos) + 1, dtype=np.float64) ** self.skew
+        return w / w.sum()
+
+    @cached_property
+    def _cdf(self) -> np.ndarray:
+        return np.cumsum(self.popularity)
+
+    def video_for(self, u: float) -> VideoSpec:
+        """Inverse-CDF popularity draw from a uniform ``u`` ∈ [0, 1).
+
+        Sampling through a common uniform stream (rather than consuming
+        an RNG per catalog) keeps draws comparable across skews: the same
+        ``u`` maps to the same-or-more-popular rank as skew grows, which
+        makes cache-hit-vs-skew monotonicity testable.
+        """
+        if not 0.0 <= u < 1.0:
+            raise ValueError(f"u must be in [0, 1), got {u!r}")
+        # The float cumsum can land a few ulps under 1.0, so a draw in
+        # [cdf[-1], 1) must clamp to the last rank instead of overflowing.
+        idx = int(np.searchsorted(self._cdf, u, side="right"))
+        return self.videos[min(idx, len(self.videos) - 1)]
+
+
+def synthetic_catalog(
+    n_videos: int,
+    *,
+    seconds: int = 10,
+    fps: int = 30,
+    points_per_frame: int = 100_000,
+    skew: float = 1.0,
+    name_prefix: str = "video",
+) -> ContentCatalog:
+    """A catalog of ``n_videos`` identical-shape videos with Zipf ``skew``."""
+    if n_videos <= 0:
+        raise ValueError(f"n_videos must be positive, got {n_videos!r}")
+    videos = tuple(
+        VideoSpec(
+            name=f"{name_prefix}-{i:03d}",
+            n_frames=seconds * fps,
+            fps=fps,
+            points_per_frame=points_per_frame,
+        )
+        for i in range(n_videos)
+    )
+    return ContentCatalog(videos=videos, skew=skew)
+
+
+def build_population(
+    catalog: ContentCatalog,
+    arrivals: PoissonArrivals | TraceArrivals,
+    window: float,
+    controller: AbrController,
+    *,
+    sr_latency: SRLatency = ZERO_LATENCY,
+    quality_model: SRQualityModel | None = None,
+    config: SessionConfig | None = None,
+    qoe_weights: QoEWeights | None = None,
+    churn: AbandonPolicy | None = None,
+    weight: float = 1.0,
+    seed: int = 0,
+    max_sessions: int | None = None,
+) -> list[FleetSession]:
+    """Materialize a viewer population as fleet sessions.
+
+    One session per arrival in ``[0, window]``; each picks its video from
+    ``catalog`` by popularity (seeded, deterministic).  All sessions share
+    ``controller`` — the ABR classes are stateless between decisions, and
+    a shared controller is what lets the fleet scheduler resolve
+    simultaneous decisions in one vectorized ``decide_batch`` pass.
+    """
+    join_times = np.asarray(arrivals.times(window), dtype=np.float64)
+    if max_sessions is not None:
+        join_times = join_times[:max_sessions]
+    if len(join_times) == 0:
+        raise ValueError(
+            f"arrival process produced no arrivals in [0, {window}]"
+        )
+    rng = np.random.default_rng(seed)
+    picks = rng.random(len(join_times))
+    return [
+        FleetSession(
+            spec=catalog.video_for(float(u)),
+            controller=controller,
+            sr_latency=sr_latency,
+            quality_model=quality_model,
+            config=config,
+            qoe_weights=qoe_weights,
+            join_time=float(t),
+            weight=weight,
+            churn=churn,
+        )
+        for t, u in zip(join_times, picks)
+    ]

@@ -22,14 +22,25 @@ chunk.
 Sessions are fully deterministic given (spec, trace, controller).
 
 The per-session logic lives in :class:`SessionMachine`, a resumable state
-machine that suspends at every network transfer and is advanced by a
-driver that owns the link.  :func:`simulate_session` is the single-client
-driver (one session, one private link); :mod:`repro.streaming.fleet` runs
-many machines against one shared bottleneck in virtual time.
+machine that suspends at every network transfer (yielding a
+:class:`DownloadRequest`) *and* at every ABR decision (yielding a
+:class:`DecisionRequest`), and is advanced by a driver that owns the link.
+Decision suspension is what lets the fleet scheduler gather every session
+waiting on a decision at the same virtual instant and resolve them in one
+vectorized ``decide_batch`` call instead of N scalar ``decide`` calls.
+:func:`simulate_session` is the single-client driver (one session, one
+private link); :mod:`repro.streaming.fleet` runs many machines against one
+shared bottleneck in virtual time.
+
+Sessions may churn: an :class:`AbandonPolicy` makes a viewer abandon the
+session once rebuffering exceeds their patience, ending the machine early
+with ``SessionResult.abandoned`` set — the behaviour trace-driven
+population studies need.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Generator
 from dataclasses import dataclass, field
 
@@ -37,7 +48,7 @@ from ..metrics.qoe import ChunkRecord, QoEWeights, session_qoe
 from ..net.estimator import HarmonicMeanEstimator
 from ..net.link import Link
 from ..net.traces import NetworkTrace
-from .abr import AbrContext, AbrController, SRQualityModel
+from .abr import AbrContext, AbrController, Decision, SRQualityModel
 from .buffer import PlaybackBuffer
 from .chunks import VideoSpec
 from .latency import SRLatency, ZERO_LATENCY
@@ -46,6 +57,8 @@ __all__ = [
     "SessionConfig",
     "SessionResult",
     "DownloadRequest",
+    "DecisionRequest",
+    "AbandonPolicy",
     "SessionMachine",
     "simulate_session",
 ]
@@ -89,6 +102,10 @@ class SessionResult:
     startup_delay: float
     mean_quality: float
     decisions: list[float] = field(default_factory=list)
+    #: content seconds actually fetched and played (sum of chunk durations)
+    watched_seconds: float = 0.0
+    #: True if the viewer churned out early (see :class:`AbandonPolicy`)
+    abandoned: bool = False
 
     @property
     def n_chunks(self) -> int:
@@ -108,21 +125,72 @@ class DownloadRequest:
     nbytes: int
 
 
+@dataclass(frozen=True)
+class DecisionRequest:
+    """A suspended session asking its driver for an ABR decision.
+
+    The driver answers with a :class:`~repro.streaming.abr.Decision` for
+    ``ctx`` — usually ``machine.controller.decide(ctx)``, but a fleet
+    driver may park several of these and resolve them in one
+    ``decide_batch`` array pass.  Decisions take no virtual time, so
+    deferring them within an event step cannot change the simulation.
+    """
+
+    ctx: AbrContext
+
+
+@dataclass(frozen=True)
+class AbandonPolicy:
+    """Viewer patience: when does a session abandon on rebuffering?
+
+    The viewer churns out as soon as cumulative rebuffering exceeds
+    ``max_total_stall`` seconds, or any single rebuffering event exceeds
+    ``max_single_stall`` seconds.  Checked after each chunk is played out,
+    so an abandoning session still accounts for the chunk that broke its
+    patience.
+    """
+
+    max_total_stall: float = 10.0
+    max_single_stall: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.max_total_stall <= 0:
+            raise ValueError(
+                "AbandonPolicy.max_total_stall must be positive, got "
+                f"{self.max_total_stall!r}"
+            )
+        if self.max_single_stall <= 0:
+            raise ValueError(
+                "AbandonPolicy.max_single_stall must be positive, got "
+                f"{self.max_single_stall!r}"
+            )
+
+    def should_abandon(self, total_stall: float, last_stall: float) -> bool:
+        return (
+            total_stall > self.max_total_stall
+            or last_stall > self.max_single_stall
+        )
+
+
 class SessionMachine:
     """One streaming session as a resumable state machine.
 
     The session logic (buffer headroom, ABR decisions, SR pipelining,
     stall accounting) runs inside a generator that suspends at every
-    network transfer, yielding a :class:`DownloadRequest`.  A driver —
+    network transfer (yielding a :class:`DownloadRequest`, answered with
+    elapsed seconds) and at every ABR decision (yielding a
+    :class:`DecisionRequest`, answered with a
+    :class:`~repro.streaming.abr.Decision`).  A driver —
     :func:`simulate_session` for one client, the fleet scheduler for many —
-    resolves the transfer against its link model and resumes the machine
-    via :meth:`advance`.
+    resolves each request and resumes the machine via :meth:`advance`.
 
     ``start_time`` staggers the session's join into a shared timeline;
     ``sr_cache`` optionally shares SR results across co-watching sessions
-    (see :class:`repro.streaming.fleet.SRResultCache`).  With the defaults
-    the arithmetic is byte-for-byte the pre-refactor ``simulate_session``
-    loop, which the single-session fleet parity test enforces.
+    (see :class:`repro.streaming.fleet.SRResultCache`); ``churn`` ends the
+    session early when the viewer's stall patience runs out.  With the
+    defaults the arithmetic is byte-for-byte the pre-refactor
+    ``simulate_session`` loop, which the single-session fleet parity test
+    enforces.
     """
 
     def __init__(
@@ -136,6 +204,7 @@ class SessionMachine:
         *,
         start_time: float = 0.0,
         sr_cache=None,
+        churn: AbandonPolicy | None = None,
     ):
         if start_time < 0:
             raise ValueError("start_time must be non-negative")
@@ -147,10 +216,13 @@ class SessionMachine:
         self.qoe_weights = qoe_weights
         self.start_time = float(start_time)
         self.sr_cache = sr_cache
+        self.churn = churn
         self.result: SessionResult | None = None
         self._gen = self._run()
         try:
-            self.pending: DownloadRequest | None = next(self._gen)
+            self.pending: DownloadRequest | DecisionRequest | None = next(
+                self._gen
+            )
         except StopIteration:  # pragma: no cover - specs always have chunks
             self.pending = None
 
@@ -158,18 +230,33 @@ class SessionMachine:
     def finished(self) -> bool:
         return self.result is not None
 
-    def advance(self, download_seconds: float) -> DownloadRequest | None:
-        """Resolve the pending transfer; returns the next request (or None)."""
+    def advance(
+        self, answer: float | Decision
+    ) -> DownloadRequest | DecisionRequest | None:
+        """Resolve the pending request; returns the next one (or None).
+
+        A pending :class:`DownloadRequest` is answered with the transfer's
+        elapsed seconds; a pending :class:`DecisionRequest` with a
+        :class:`~repro.streaming.abr.Decision`.
+        """
         if self.pending is None:
             raise RuntimeError("session already finished")
+        expects_decision = isinstance(self.pending, DecisionRequest)
+        if expects_decision != isinstance(answer, Decision):
+            raise TypeError(
+                f"pending {type(self.pending).__name__} answered with "
+                f"{type(answer).__name__}"
+            )
         try:
-            self.pending = self._gen.send(download_seconds)
+            self.pending = self._gen.send(answer)
         except StopIteration:
             self.pending = None
         return self.pending
 
     # ------------------------------------------------------------------
-    def _run(self) -> Generator[DownloadRequest, float, None]:
+    def _run(
+        self,
+    ) -> Generator[DownloadRequest | DecisionRequest, float | Decision, None]:
         cfg = self.config
         qm = self.quality_model
         est = HarmonicMeanEstimator(
@@ -201,6 +288,9 @@ class SessionMachine:
             return stall
 
         prev_quality: float | None = None
+        watched_seconds = 0.0
+        total_stall = 0.0
+        abandoned = False
         for i, chunk in enumerate(chunks):
             # Respect buffer headroom: delay the request until the chunk fits.
             advance_buffer(t_net)
@@ -217,7 +307,8 @@ class SessionMachine:
                 prev_quality=prev_quality,
                 next_chunks=chunks[i : i + cfg.horizon],
             )
-            decision = self.controller.decide(ctx)
+            decision = yield DecisionRequest(ctx)
+            assert isinstance(decision, Decision)
             decisions.append(decision.density)
 
             nbytes = int(chunk.bytes_at_density(decision.density) * cfg.fetch_fraction)
@@ -253,6 +344,13 @@ class SessionMachine:
             q = qm.quality(decision.density, decision.sr_ratio) * cfg.quality_factor
             records.append(ChunkRecord(quality=q, stall=stall, bytes_downloaded=nbytes))
             prev_quality = q
+            watched_seconds += chunk.duration
+            total_stall += stall
+            if self.churn is not None and self.churn.should_abandon(
+                total_stall, stall
+            ):
+                abandoned = True
+                break
 
         scores = session_qoe(records, self.qoe_weights)
         self.result = SessionResult(
@@ -263,6 +361,8 @@ class SessionMachine:
             startup_delay=buf.startup_delay,
             mean_quality=scores["mean_quality"],
             decisions=decisions,
+            watched_seconds=watched_seconds,
+            abandoned=abandoned,
         )
 
 
@@ -287,6 +387,9 @@ def simulate_session(
     )
     req = machine.pending
     while req is not None:
-        req = machine.advance(link.download_time(req.nbytes, req.start_time))
+        if isinstance(req, DecisionRequest):
+            req = machine.advance(controller.decide(req.ctx))
+        else:
+            req = machine.advance(link.download_time(req.nbytes, req.start_time))
     assert machine.result is not None
     return machine.result

@@ -133,14 +133,17 @@ class TestStreamingEval:
 class TestFleetScaling:
     @pytest.fixture(scope="class")
     def table(self):
-        return run_fleet_scaling(TINY, fleet_sizes=(1, 4, 16), link_mbps=400.0)
+        return run_fleet_scaling(
+            TINY, fleet_sizes=(1, 4, 16), link_mbps=400.0,
+            population_sessions=40,
+        )
 
     def test_all_fleet_sizes_reported(self, table):
-        assert table.column("n_sessions") == [1, 4, 16]
+        assert table.column("n_sessions")[:3] == [1, 4, 16]
 
     def test_contention_degrades_qoe(self, table):
         qoes = table.column("mean_qoe")
-        assert qoes[0] > qoes[-1]  # 16 clients on the pipe beats 1 never
+        assert qoes[0] > qoes[2]  # 16 clients on the pipe beats 1 never
 
     def test_cache_hit_rate_grows_with_fleet(self, table):
         hits = table.column("cache_hit")
@@ -151,6 +154,13 @@ class TestFleetScaling:
     def test_tail_below_mean_below_p95(self, table):
         for row in table.rows:
             assert row["p5_qoe"] <= row["mean_qoe"] <= row["p95_qoe"]
+
+    def test_population_row_runs_end_to_end(self, table):
+        row = table.rows[-1]
+        assert row["policy"].endswith("+poisson+churn")
+        assert 1 <= row["n_sessions"] <= 40
+        assert 0.0 <= row["abandon_rate"] <= 1.0
+        assert row["cache_hit"] > 0.0  # Zipf catalog forces co-watching
 
 
 class TestAblation:

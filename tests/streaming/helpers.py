@@ -1,0 +1,26 @@
+"""Shared fixtures-as-functions for the fleet/population test modules."""
+
+from repro.streaming import VideoSpec
+from repro.streaming.abr import AbrController, Decision
+from repro.streaming.latency import MeasuredSRLatency
+
+
+class FixedDensity(AbrController):
+    """Always fetches the same density — the simplest deterministic ABR."""
+
+    def __init__(self, density, sr_ratio=None):
+        self.density = density
+        self.sr_ratio = sr_ratio or min(8.0, 1.0 / density)
+
+    def decide(self, ctx):
+        return Decision(density=self.density, sr_ratio=self.sr_ratio)
+
+
+def spec(seconds=10, points=100_000, name="t"):
+    return VideoSpec(
+        name=name, n_frames=seconds * 30, fps=30, points_per_frame=points
+    )
+
+
+def sr_lat():
+    return MeasuredSRLatency(0.001, 1e-8, 2e-8)

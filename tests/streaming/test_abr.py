@@ -164,3 +164,37 @@ class TestAbrContext:
             AbrContext(1e6, -1.0, None, spec.chunks())
         with pytest.raises(ValueError):
             AbrContext(1e6, 1.0, None, [])
+
+
+class TestValidationMessages:
+    """Errors name the offending field and echo the rejected value."""
+
+    def test_decision_density_message(self):
+        with pytest.raises(ValueError, match=r"Decision\.density.*got 0\.0"):
+            Decision(density=0.0, sr_ratio=2.0)
+        with pytest.raises(ValueError, match=r"Decision\.density.*got 1\.7"):
+            Decision(density=1.7, sr_ratio=2.0)
+
+    def test_decision_sr_ratio_message(self):
+        with pytest.raises(ValueError, match=r"Decision\.sr_ratio.*got 0\.9"):
+            Decision(density=0.5, sr_ratio=0.9)
+
+    def test_abr_context_throughput_message(self):
+        spec = VideoSpec(name="t", n_frames=30, fps=30, points_per_frame=100)
+        with pytest.raises(
+            ValueError, match=r"AbrContext\.throughput_bps.*got -5\.0"
+        ):
+            AbrContext(-5.0, 1.0, None, spec.chunks())
+
+    def test_abr_context_buffer_message(self):
+        spec = VideoSpec(name="t", n_frames=30, fps=30, points_per_frame=100)
+        with pytest.raises(
+            ValueError, match=r"AbrContext\.buffer_level.*got -0\.25"
+        ):
+            AbrContext(1e6, -0.25, None, spec.chunks())
+
+    def test_abr_context_chunks_message(self):
+        with pytest.raises(
+            ValueError, match=r"AbrContext\.next_chunks.*got \[\]"
+        ):
+            AbrContext(1e6, 1.0, None, [])

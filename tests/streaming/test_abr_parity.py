@@ -1,0 +1,237 @@
+"""Vectorized-MPC parity oracle: batched planner vs scalar reference.
+
+``_MPCBase._plan_value`` is the scalar reference implementation;
+``plan_values`` / ``decide`` / ``decide_batch`` run the batched NumPy
+evaluation.  These tests pin the two paths against each other across a
+parametrized grid of contexts and controllers — the MPC analogue of
+``tests/spatial/test_knn.py::TestThreeBackendParity``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import QoEModel, QoEWeights
+from repro.streaming import (
+    AbrContext,
+    ContinuousMPC,
+    DiscreteMPC,
+    SRQualityModel,
+    VideoSpec,
+    ZERO_LATENCY,
+)
+from repro.streaming.latency import MeasuredSRLatency, latency_batch
+
+ATOL = 1e-9
+
+
+def make_ctx(tput_mbps, buffer_level, prev, n_chunks=10, points=100_000):
+    spec = VideoSpec(
+        name="t", n_frames=n_chunks * 30, fps=30, points_per_frame=points
+    )
+    return AbrContext(
+        throughput_bps=tput_mbps * 1e6,
+        buffer_level=buffer_level,
+        prev_quality=prev,
+        next_chunks=spec.chunks(1.0),
+    )
+
+
+def measured_latency():
+    return MeasuredSRLatency(0.001, 1e-8, 2e-8)
+
+
+def slow_python_latency(n_points_in, sr_ratio):
+    """A plain callable with no ``batch`` method (exercises the fallback)."""
+    if sr_ratio <= 1.0:
+        return 0.0
+    return 1e-9 * n_points_in + 1e-4 * sr_ratio
+
+
+MPC_FACTORIES = {
+    "continuous": lambda lat: ContinuousMPC(
+        SRQualityModel(), QoEModel(), lat
+    ),
+    "continuous-short-horizon": lambda lat: ContinuousMPC(
+        SRQualityModel(), QoEModel(), lat, n_grid=16, horizon=2
+    ),
+    "continuous-fetch-fraction": lambda lat: ContinuousMPC(
+        SRQualityModel(max_ratio=4.0),
+        QoEModel(QoEWeights(alpha=1.2, beta=0.7, gamma=3.0)),
+        lat,
+        fetch_fraction=0.55,
+    ),
+    "discrete": lambda lat: DiscreteMPC(SRQualityModel(), QoEModel(), lat),
+}
+
+LATENCIES = {
+    "zero": lambda: ZERO_LATENCY,
+    "measured": measured_latency,
+    "plain-callable": lambda: slow_python_latency,
+}
+
+#: the AbrContext grid both paths are evaluated over
+CTX_GRID = [
+    (tput, buf, prev)
+    for tput in (3.0, 25.0, 80.0, 600.0)
+    for buf in (0.0, 2.5, 9.0)
+    for prev in (None, 0.15, 0.85)
+]
+
+
+def scalar_values(mpc, ctx):
+    return np.array([mpc._plan_value(d, ctx) for d in mpc.candidates])
+
+
+class TestScalarVectorParity:
+    """The oracle grid: every (controller, latency, context) agrees."""
+
+    @pytest.mark.parametrize("mpc_name", sorted(MPC_FACTORIES))
+    @pytest.mark.parametrize("lat_name", sorted(LATENCIES))
+    def test_plan_values_match_scalar_oracle(self, mpc_name, lat_name):
+        mpc = MPC_FACTORIES[mpc_name](LATENCIES[lat_name]())
+        for tput, buf, prev in CTX_GRID:
+            ctx = make_ctx(tput, buf, prev)
+            ref = scalar_values(mpc, ctx)
+            vec = mpc.plan_values(ctx)
+            assert vec.shape == ref.shape
+            np.testing.assert_allclose(vec, ref, rtol=0.0, atol=ATOL)
+
+    @pytest.mark.parametrize("mpc_name", sorted(MPC_FACTORIES))
+    def test_decide_matches_scalar_argmax(self, mpc_name):
+        mpc = MPC_FACTORIES[mpc_name](measured_latency())
+        for tput, buf, prev in CTX_GRID:
+            ctx = make_ctx(tput, buf, prev)
+            best = mpc.candidates[int(np.argmax(scalar_values(mpc, ctx)))]
+            decision = mpc.decide(ctx)
+            assert decision.density == float(best)
+            assert decision.sr_ratio == mpc.quality_model.sr_ratio_for(
+                float(best)
+            )
+
+    @pytest.mark.parametrize("mpc_name", sorted(MPC_FACTORIES))
+    def test_decide_batch_matches_decide(self, mpc_name):
+        """Batching across contexts — mixed horizons and prev-qualities —
+        must be invisible."""
+        mpc = MPC_FACTORIES[mpc_name](measured_latency())
+        ctxs = [make_ctx(t, b, p) for t, b, p in CTX_GRID]
+        # End-of-video contexts: fewer chunks left than the MPC horizon.
+        ctxs += [
+            make_ctx(40.0, 1.0, 0.5, n_chunks=1),
+            make_ctx(40.0, 4.0, None, n_chunks=2),
+        ]
+        batch = mpc.decide_batch(ctxs)
+        singles = [mpc.decide(c) for c in ctxs]
+        assert batch == singles
+
+    def test_short_horizon_truncation_matches(self):
+        """A 1-chunk tail uses a 1-chunk plan in both paths."""
+        mpc = MPC_FACTORIES["continuous"](measured_latency())
+        ctx = make_ctx(50.0, 3.0, 0.4, n_chunks=1)
+        np.testing.assert_allclose(
+            mpc.plan_values(ctx), scalar_values(mpc, ctx), rtol=0.0, atol=ATOL
+        )
+
+    @given(
+        tput=st.floats(0.5, 1000.0),
+        buf=st.floats(0.0, 12.0),
+        prev=st.one_of(st.none(), st.floats(0.0, 1.0)),
+        points=st.integers(1_000, 300_000),
+        n_chunks=st.integers(1, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_parity(self, tput, buf, prev, points, n_chunks):
+        mpc = ContinuousMPC(
+            SRQualityModel(), QoEModel(), measured_latency(), n_grid=24
+        )
+        ctx = make_ctx(tput, buf, prev, n_chunks=n_chunks, points=points)
+        np.testing.assert_allclose(
+            mpc.plan_values(ctx), scalar_values(mpc, ctx), rtol=0.0, atol=ATOL
+        )
+
+
+class TestBatchHelpers:
+    """The batched building blocks agree with their scalar forms."""
+
+    def test_quality_model_batch_forms(self):
+        qm = SRQualityModel(max_ratio=6.0, efficiency=0.91)
+        d = np.geomspace(1.0 / 16.0, 1.0, 40)
+        s = qm.sr_ratios_for(d)
+        q = qm.qualities(d, s)
+        for i, dens in enumerate(d):
+            assert s[i] == qm.sr_ratio_for(float(dens))
+            assert q[i] == pytest.approx(qm.quality(float(dens)), abs=1e-15)
+        with pytest.raises(ValueError):
+            qm.sr_ratios_for(np.array([0.0, 0.5]))
+        with pytest.raises(ValueError):
+            qm.qualities(np.array([0.5]), np.array([0.5]))
+
+    def test_chunk_batch_forms(self):
+        spec = VideoSpec(name="t", n_frames=90, fps=30, points_per_frame=77_777)
+        chunk = spec.chunks(1.0)[0]
+        d = np.geomspace(1.0 / 8.0, 1.0, 64)
+        pts = chunk.points_at_densities(d)
+        nbytes = chunk.bytes_at_densities(d)
+        for i, dens in enumerate(d):
+            assert pts[i] == chunk.points_at_density(float(dens))
+            assert nbytes[i] == chunk.bytes_at_density(float(dens))
+        with pytest.raises(ValueError):
+            chunk.points_at_densities(np.array([1.5]))
+
+    def test_measured_latency_batch(self):
+        lat = measured_latency()
+        pts = np.array([[1000, 50_000], [200_000, 10]])
+        ratios = np.array([1.0, 4.0])
+        out = latency_batch(lat, pts, ratios)
+        for i in range(2):
+            for j in range(2):
+                assert out[i, j] == lat(int(pts[i, j]), float(ratios[j]))
+
+    def test_plain_callable_fallback_batch(self):
+        pts = np.array([1000, 2000, 3000])
+        ratios = np.array([1.0, 2.0, 8.0])
+        out = latency_batch(slow_python_latency, pts, ratios)
+        expected = [
+            slow_python_latency(int(p), float(r)) for p, r in zip(pts, ratios)
+        ]
+        assert out.tolist() == expected
+
+    def test_device_latency_batch_dedups_but_stays_exact(self):
+        from repro.devices import DESKTOP_GPU
+        from repro.streaming import DeviceSRLatency
+
+        lat = DeviceSRLatency("volut", DESKTOP_GPU)
+        pts = np.array([[5000, 5000, 20_000], [5000, 20_000, 20_000]])
+        ratios = np.array([1.0, 2.0, 4.0])
+        out = latency_batch(lat, pts, ratios)
+        for i in range(pts.shape[0]):
+            for j in range(pts.shape[1]):
+                assert out[i, j] == lat(int(pts[i, j]), float(ratios[j]))
+
+    def test_zero_latency_batch(self):
+        out = latency_batch(ZERO_LATENCY, np.arange(6).reshape(2, 3) + 1, 2.0)
+        assert out.shape == (2, 3)
+        assert not out.any()
+
+    def test_plan_values_matches_plan_value(self):
+        model = QoEModel(QoEWeights(alpha=1.1, beta=0.6, gamma=2.5))
+        rng = np.random.default_rng(0)
+        qualities = rng.uniform(0.0, 1.0, (5, 7))
+        stalls = rng.uniform(0.0, 2.0, (5, 7))
+        for prev in (None, 0.4):
+            vec = model.plan_values(qualities, stalls, prev)
+            for j in range(7):
+                ref = model.plan_value(
+                    list(qualities[:, j]), list(stalls[:, j]), prev
+                )
+                assert vec[j] == pytest.approx(ref, abs=1e-12)
+
+    def test_plan_values_nan_prev_marks_no_history(self):
+        model = QoEModel()
+        q = np.full((1, 2), 0.5)
+        stalls = np.zeros((1, 2))
+        prev = np.array([np.nan, 1.0])
+        out = model.plan_values(q, stalls, prev)
+        assert out[0] == pytest.approx(model.plan_value([0.5], [0.0], None))
+        assert out[1] == pytest.approx(model.plan_value([0.5], [0.0], 1.0))

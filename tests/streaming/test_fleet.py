@@ -10,32 +10,13 @@ from repro.streaming import (
     SessionConfig,
     SRQualityModel,
     SRResultCache,
-    VideoSpec,
     ZERO_LATENCY,
     simulate_fleet,
     simulate_session,
 )
-from repro.streaming.abr import AbrController, Decision
 from repro.streaming.latency import MeasuredSRLatency
 
-
-class FixedDensity(AbrController):
-    def __init__(self, density, sr_ratio=None):
-        self.density = density
-        self.sr_ratio = sr_ratio or min(8.0, 1.0 / density)
-
-    def decide(self, ctx):
-        return Decision(density=self.density, sr_ratio=self.sr_ratio)
-
-
-def spec(seconds=10, points=100_000, name="t"):
-    return VideoSpec(
-        name=name, n_frames=seconds * 30, fps=30, points_per_frame=points
-    )
-
-
-def sr_lat():
-    return MeasuredSRLatency(0.001, 1e-8, 2e-8)
+from .helpers import FixedDensity, sr_lat, spec
 
 
 class TestSingleSessionParity:
@@ -91,6 +72,49 @@ class TestSingleSessionParity:
             policy="weighted",
         )
         self.assert_identical(solo, fleet)
+
+    def test_single_arrival_population_degenerates_to_simulate_session(self):
+        """A population of one (arrival process, catalog, no churn) is
+        bit-exact with the plain single-session simulator."""
+        from repro.streaming import ContentCatalog, TraceArrivals, build_population
+
+        qm = SRQualityModel()
+        lat = sr_lat()
+        trace = lte_trace(60, 18, seed=5)
+        controller = ContinuousMPC(qm, QoEModel(), lat, n_grid=12)
+        sessions = build_population(
+            ContentCatalog(videos=(spec(12),)),
+            TraceArrivals((0.0,)),
+            window=1.0,
+            controller=controller,
+            sr_latency=lat,
+            quality_model=qm,
+        )
+        assert len(sessions) == 1
+        solo = simulate_session(
+            spec(12), trace, controller, sr_latency=lat, quality_model=qm
+        )
+        self.assert_identical(solo, simulate_fleet(sessions, trace))
+
+    def test_poisson_single_arrival_is_a_time_shift_on_stable_link(self):
+        """One Poisson arrival on a constant link sees the same conditions
+        as a t=0 session (extends TestJoinTimes to arrival processes)."""
+        from repro.streaming import ContentCatalog, PoissonArrivals, build_population
+
+        arrivals = PoissonArrivals(rate_hz=0.05, seed=0)
+        sessions = build_population(
+            ContentCatalog(videos=(spec(10),)),
+            arrivals,
+            window=20.0,
+            controller=FixedDensity(0.5),
+        )
+        assert len(sessions) == 1
+        assert sessions[0].join_time > 0.0
+        solo = simulate_session(spec(10), stable_trace(80.0), FixedDensity(0.5))
+        shifted = simulate_fleet(sessions, stable_trace(80.0)).sessions[0]
+        assert shifted.qoe == pytest.approx(solo.qoe, rel=1e-9)
+        assert shifted.total_bytes == solo.total_bytes
+        assert shifted.decisions == solo.decisions
 
 
 class TestDeterminism:

@@ -50,6 +50,13 @@ class TestExamples:
         assert "weighted (10% premium @4x)" in proc.stdout
         assert "cache hit" in proc.stdout
 
+    def test_population_demo(self):
+        proc = run("population_demo.py", "--sessions", "30", "--seconds", "8")
+        assert proc.returncode == 0, proc.stderr
+        assert "popularity skew sweep" in proc.stdout
+        assert "abandoned" in proc.stdout
+        assert "provisioning sweep" in proc.stdout
+
     def test_end_to_end_client(self):
         proc = run("end_to_end_client.py", "--frames", "3")
         assert proc.returncode == 0, proc.stderr
