@@ -1,0 +1,97 @@
+"""Fleet scheduler micro-benchmark: per-hop event loop wall time.
+
+PR 2 made the MPC decision pass cheap; the event-driven link scheduler is
+now the dominant cost of large-fleet simulation, and PR 3 rewired it to
+schedule every flow per hop through :class:`~repro.net.topology.PathScheduler`.
+This lane fails loudly if that rewire (or a future topology feature)
+regresses fleet wall time:
+
+* ``test_single_link_throughput_floor`` — the classic bottleneck fleet
+  must simulate at ≥150 content-seconds per wall second (measured ~1600
+  on a dev box; the floor leaves ~10x headroom for slow CI runners);
+* ``test_cdn_throughput_floor`` — the two-hop CDN fleet (edge caches,
+  encode queue) must hold ≥90 content-seconds per wall second (measured
+  ~1000);
+* the ``benchmark``-fixture lanes track the absolute costs.
+
+Runs in the fast benchmarks lane (`pytest benchmarks -m "not slow"`).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import make_cdn, make_fleet
+from repro.experiments.common import SMOKE
+from repro.net import stable_trace
+from repro.streaming import SRResultCache, VideoSpec, simulate_fleet
+
+N_SESSIONS = 100
+SECONDS = 8
+CONTENT_SECONDS = N_SESSIONS * SECONDS
+
+
+def _sessions():
+    spec = VideoSpec(
+        name="bench", n_frames=SECONDS * 30, fps=30, points_per_frame=100_000
+    )
+    return make_fleet(N_SESSIONS, spec, join_spacing=0.1, n_grid=8, horizon=2)
+
+
+def _run_single_link():
+    return simulate_fleet(
+        _sessions(), stable_trace(400.0), sr_cache=SRResultCache()
+    )
+
+
+def _run_cdn():
+    topo = make_cdn(SMOKE, N_SESSIONS, n_edges=4, mbps_per_session=4.0)
+    return simulate_fleet(_sessions(), topology=topo, sr_cache=SRResultCache())
+
+
+def _best_of(fn, repeats: int = 2) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_single_link_throughput_floor():
+    """Conservative floor: ≥150 content-s/s through the one-hop path."""
+    wall = _best_of(_run_single_link)
+    rate = CONTENT_SECONDS / wall
+    print(f"\nsingle-link fleet {N_SESSIONS}x{SECONDS}s: {wall * 1e3:.0f} ms "
+          f"({rate:.0f} content-s/s)")
+    assert rate >= 150.0, (
+        f"fleet scheduler regressed: {rate:.0f} content-s/s "
+        f"({wall:.2f}s for {CONTENT_SECONDS} content-s)"
+    )
+
+
+def test_cdn_throughput_floor():
+    """Conservative floor: ≥90 content-s/s through the two-hop CDN path."""
+    wall = _best_of(_run_cdn)
+    rate = CONTENT_SECONDS / wall
+    print(f"\ncdn fleet {N_SESSIONS}x{SECONDS}s: {wall * 1e3:.0f} ms "
+          f"({rate:.0f} content-s/s)")
+    assert rate >= 90.0, (
+        f"CDN fleet scheduler regressed: {rate:.0f} content-s/s "
+        f"({wall:.2f}s for {CONTENT_SECONDS} content-s)"
+    )
+
+
+def test_bench_single_link_fleet(benchmark):
+    """Absolute cost of the 100-session single-bottleneck fleet.
+
+    Pinned rounds keep the whole module inside the fast lane's wall-time
+    budget (an end-to-end fleet run is ~0.5 s; autocalibration would
+    loop it for seconds).
+    """
+    benchmark.pedantic(_run_single_link, rounds=2, iterations=1)
+
+
+def test_bench_cdn_fleet(benchmark):
+    """Absolute cost of the 100-session 4-edge CDN fleet (pinned rounds)."""
+    benchmark.pedantic(_run_cdn, rounds=2, iterations=1)

@@ -11,12 +11,9 @@ from .design_ablations import (
     run_octree_depth_sweep,
 )
 from .fig4_uniformity import run_fig4
-from .fleet_scaling import (
-    make_fleet,
-    make_population,
-    run_fleet_scaling,
-    run_population_fleet,
-)
+from .fleet_cdn import make_cdn, run_fleet_cdn
+from .fleet_scaling import make_fleet, run_fleet_scaling, run_population_fleet
+from .workloads import make_population, volut_client, volut_latency_model
 from .interp_speed import run_fig11_device, run_fig11_measured
 from .memory_usage import run_memory_usage
 from .multivideo import run_multivideo_eval
@@ -41,8 +38,12 @@ __all__ = [
     "run_streaming_eval",
     "run_fleet_scaling",
     "run_population_fleet",
+    "run_fleet_cdn",
     "make_fleet",
     "make_population",
+    "make_cdn",
+    "volut_client",
+    "volut_latency_model",
     "run_ablation",
     "run_dilation_sweep",
     "run_bins_sweep",

@@ -1,12 +1,15 @@
-"""CLI experiment runner: ``python -m repro.experiments [name ...]``.
+"""CLI experiment runner: ``python -m repro.experiments name [name ...]``.
 
-Runs the named experiments (default: all) at the chosen scale and prints
-each regenerated table/figure.  ``--list`` enumerates what is available.
+Runs the named experiments at the chosen scale and prints each
+regenerated table/figure.  ``--list`` enumerates what is available;
+``--all`` runs everything.  Called with no or unknown names, it lists the
+available experiments and exits 2 instead of guessing.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -26,6 +29,7 @@ from . import (
     run_fig17_device,
     run_fig17_measured,
     run_fig18_device,
+    run_fleet_cdn,
     run_fleet_scaling,
     run_memory_usage,
     run_population_fleet,
@@ -58,16 +62,28 @@ REGISTRY = {
     "multivideo": run_multivideo_eval,
     "fleet": run_fleet_scaling,
     "fleet-population": run_population_fleet,
+    "fleet-cdn": run_fleet_cdn,
 }
+
+
+def _list_experiments(stream) -> None:
+    print("available experiments:", file=stream)
+    for name in REGISTRY:
+        print(f"  {name}", file=stream)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments", description=__doc__
     )
-    parser.add_argument("names", nargs="*", help="experiments to run (default: all)")
+    parser.add_argument("names", nargs="*", help="experiments to run")
     parser.add_argument("--scale", choices=["smoke", "paper"], default="smoke")
     parser.add_argument("--list", action="store_true", help="list experiment names")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--diurnal", action="store_true",
+        help="use the 24h diurnal arrival curve for the population experiments",
+    )
     parser.add_argument(
         "--report", metavar="FILE", default=None,
         help="also write the rendered tables to a markdown file",
@@ -79,16 +95,32 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
-    names = args.names or list(REGISTRY)
-    unknown = [n for n in names if n not in REGISTRY]
+    if args.names and args.all:
+        print(
+            f"--all runs every experiment; drop it or the names {args.names}",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.names and not args.all:
+        parser.print_usage(sys.stderr)
+        _list_experiments(sys.stderr)
+        return 2
+    unknown = [n for n in args.names if n not in REGISTRY]
     if unknown:
-        parser.error(f"unknown experiments: {unknown}; use --list")
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        _list_experiments(sys.stderr)
+        return 2
+    names = list(REGISTRY) if args.all else args.names
 
     scale = PAPER if args.scale == "paper" else SMOKE
     sections: list[str] = []
     for name in names:
+        fn = REGISTRY[name]
+        kwargs = {}
+        if args.diurnal and "diurnal" in inspect.signature(fn).parameters:
+            kwargs["diurnal"] = True
         t0 = time.time()
-        rendered = REGISTRY[name](scale).render()
+        rendered = fn(scale, **kwargs).render()
         print(rendered)
         print(f"[{name}: {time.time() - t0:.1f}s]\n")
         sections.append(f"## {name}\n\n```\n{rendered}\n```\n")

@@ -20,36 +20,13 @@ isolate the co-watching lever.
 
 from __future__ import annotations
 
-from ..metrics.qoe import QoEModel
 from ..net.traces import stable_trace
-from ..streaming.abr import ContinuousMPC, SRQualityModel
 from ..streaming.chunks import VideoSpec
 from ..streaming.fleet import FleetSession, SRResultCache, simulate_fleet
-from ..streaming.latency import MeasuredSRLatency
-from ..streaming.population import (
-    PoissonArrivals,
-    build_population,
-    synthetic_catalog,
-)
-from ..streaming.simulator import AbandonPolicy
 from .common import SMOKE, ResultTable, Scale
+from .workloads import make_population, volut_client
 
 __all__ = ["run_fleet_scaling", "run_population_fleet", "make_fleet"]
-
-
-def _latency_model() -> MeasuredSRLatency:
-    """A VoLUT-class SR latency: ~ms per frame at paper-scale point counts."""
-    return MeasuredSRLatency(0.001, 1e-8, 2e-8)
-
-
-def _volut_client(
-    n_grid: int, horizon: int
-) -> tuple[ContinuousMPC, SRQualityModel, MeasuredSRLatency]:
-    """One shared VoLUT client stack: controller + quality/latency models."""
-    qm = SRQualityModel()
-    lat = _latency_model()
-    ctrl = ContinuousMPC(qm, QoEModel(), lat, n_grid=n_grid, horizon=horizon)
-    return ctrl, qm, lat
 
 
 def make_fleet(
@@ -68,7 +45,7 @@ def make_fleet(
     """
     if n_sessions <= 0:
         raise ValueError("need at least one session")
-    ctrl, qm, lat = _volut_client(n_grid, horizon)
+    ctrl, qm, lat = volut_client(n_grid, horizon)
     return [
         FleetSession(
             spec=spec,
@@ -79,42 +56,6 @@ def make_fleet(
         )
         for i in range(n_sessions)
     ]
-
-
-def make_population(
-    scale: Scale,
-    n_sessions: int,
-    *,
-    skew: float = 1.2,
-    n_videos: int = 8,
-    stall_patience: float = 12.0,
-    n_grid: int = 16,
-    horizon: int = 3,
-    seed: int = 0,
-) -> list[FleetSession]:
-    """A Poisson-arrival, Zipf-catalog, churn-enabled viewer population."""
-    ctrl, qm, lat = _volut_client(n_grid, horizon)
-    catalog = synthetic_catalog(
-        n_videos,
-        seconds=scale.stream_seconds,
-        points_per_frame=scale.device_points,
-        skew=skew,
-    )
-    # Arrivals spread over one video length; the rate is padded ~20% so the
-    # window almost always yields the requested session count, then capped.
-    window = float(scale.stream_seconds)
-    arrivals = PoissonArrivals(rate_hz=1.2 * n_sessions / window, seed=seed)
-    return build_population(
-        catalog,
-        arrivals,
-        window,
-        ctrl,
-        sr_latency=lat,
-        quality_model=qm,
-        churn=AbandonPolicy(max_total_stall=stall_patience),
-        seed=seed,
-        max_sessions=n_sessions,
-    )
 
 
 def run_fleet_scaling(
@@ -208,13 +149,20 @@ def run_population_fleet(
     n_sessions: int = 200,
     mbps_per_session: float = 6.0,
     stall_patience: float = 12.0,
+    diurnal: bool = False,
 ) -> ResultTable:
     """Sweep catalog popularity skew for a churn-enabled viewer population.
 
     Higher skew concentrates viewing on the head of the catalog, so the
     shared SR-result cache absorbs more of the fleet's compute — the
     popularity lever behind client-assist serving economics.
+
+    ``diurnal=True`` replaces the homogeneous Poisson arrivals with the
+    24-hour diurnal rate curve compressed into the window (one virtual
+    day), so joins bunch at the prime-time peak instead of spreading
+    evenly — the provisioning-relevant worst case.
     """
+    arrivals_label = "Diurnal (24h curve in one window)" if diurnal else "Poisson"
     table = ResultTable(
         title="Viewer population: popularity skew vs cache amortization",
         columns=[
@@ -227,14 +175,15 @@ def run_population_fleet(
             "data_gb",
         ],
         notes=(
-            f"Poisson arrivals over one video length, {mbps_per_session:g} "
-            f"Mbps per session, abandon after {stall_patience:g}s of stall; "
-            "catalog popularity ∝ 1/rank^skew."
+            f"{arrivals_label} arrivals over one video length, "
+            f"{mbps_per_session:g} Mbps per session, abandon after "
+            f"{stall_patience:g}s of stall; catalog popularity ∝ 1/rank^skew."
         ),
     )
     for skew in skews:
         sessions = make_population(
-            scale, n_sessions, skew=skew, stall_patience=stall_patience
+            scale, n_sessions, skew=skew, stall_patience=stall_patience,
+            diurnal=diurnal,
         )
         cache = SRResultCache()
         trace = stable_trace(

@@ -1,0 +1,90 @@
+"""Shared client stacks and viewer workloads for the fleet experiments.
+
+The fleet-family experiments (``fleet``, ``fleet-population``,
+``fleet-cdn``) all simulate the same kind of client — a VoLUT session
+with the continuous MPC planner over the measured LUT latency model —
+against different serving substrates.  The client construction and the
+population builder live here once so every experiment (and the
+benchmarks) agree on what "a VoLUT viewer" is.
+"""
+
+from __future__ import annotations
+
+from ..metrics.qoe import QoEModel
+from ..streaming.abr import ContinuousMPC, SRQualityModel
+from ..streaming.fleet import FleetSession
+from ..streaming.latency import MeasuredSRLatency
+from ..streaming.population import (
+    DiurnalArrivals,
+    PoissonArrivals,
+    build_population,
+    synthetic_catalog,
+)
+from ..streaming.simulator import AbandonPolicy
+from .common import Scale
+
+__all__ = ["volut_latency_model", "volut_client", "make_population"]
+
+
+def volut_latency_model() -> MeasuredSRLatency:
+    """A VoLUT-class SR latency: ~ms per frame at paper-scale point counts."""
+    return MeasuredSRLatency(0.001, 1e-8, 2e-8)
+
+
+def volut_client(
+    n_grid: int, horizon: int
+) -> tuple[ContinuousMPC, SRQualityModel, MeasuredSRLatency]:
+    """One shared VoLUT client stack: controller + quality/latency models."""
+    qm = SRQualityModel()
+    lat = volut_latency_model()
+    ctrl = ContinuousMPC(qm, QoEModel(), lat, n_grid=n_grid, horizon=horizon)
+    return ctrl, qm, lat
+
+
+def make_population(
+    scale: Scale,
+    n_sessions: int,
+    *,
+    skew: float = 1.2,
+    n_videos: int = 8,
+    stall_patience: float = 12.0,
+    n_grid: int = 16,
+    horizon: int = 3,
+    seed: int = 0,
+    diurnal: bool = False,
+) -> list[FleetSession]:
+    """A Zipf-catalog, churn-enabled viewer population of VoLUT clients.
+
+    Arrivals are Poisson by default; ``diurnal=True`` swaps in the
+    nonhomogeneous :class:`~repro.streaming.population.DiurnalArrivals`
+    process with the window compressed to one virtual day, so the
+    prime-time peak lands inside the simulated interval.
+    """
+    ctrl, qm, lat = volut_client(n_grid, horizon)
+    catalog = synthetic_catalog(
+        n_videos,
+        seconds=scale.stream_seconds,
+        points_per_frame=scale.device_points,
+        skew=skew,
+    )
+    # Arrivals spread over one video length; the rate is padded ~20% so the
+    # window almost always yields the requested session count, then capped.
+    window = float(scale.stream_seconds)
+    rate = 1.2 * n_sessions / window
+    if diurnal:
+        arrivals: PoissonArrivals | DiurnalArrivals = DiurnalArrivals(
+            mean_rate_hz=rate, day_seconds=window, seed=seed
+        )
+    else:
+        arrivals = PoissonArrivals(rate_hz=rate, seed=seed)
+    return build_population(
+        catalog,
+        arrivals,
+        window,
+        ctrl,
+        sr_latency=lat,
+        quality_model=qm,
+        churn=AbandonPolicy(max_total_stall=stall_patience),
+        seed=seed,
+        max_sessions=n_sessions,
+    )

@@ -1,7 +1,8 @@
-"""Network substrate: bandwidth traces, link model, throughput estimation."""
+"""Network substrate: traces, links, multi-hop paths, throughput estimation."""
 
 from .estimator import HarmonicMeanEstimator
 from .link import SHARING_POLICIES, Completion, Link, SharedLink
+from .topology import NetworkPath, PathScheduler, path_download_time
 from .traces import (
     MBPS,
     PAPER_LTE_PROFILES,
@@ -24,5 +25,8 @@ __all__ = [
     "SharedLink",
     "Completion",
     "SHARING_POLICIES",
+    "NetworkPath",
+    "PathScheduler",
+    "path_download_time",
     "HarmonicMeanEstimator",
 ]

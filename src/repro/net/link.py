@@ -66,6 +66,19 @@ SHARING_POLICIES = ("fair", "weighted")
 #: (absorbs the float error of draining `share * dt` per event step).
 _FINISH_RTOL = 1e-9
 
+#: Absolute slack (bits).  The event time `now + remaining/share` is
+#: rounded to `now`'s ulp, so one drain can leave a residue of order
+#: `ulp(now) * share` — for a sub-hundred-byte flow that residue exceeds
+#: the *relative* tolerance and the event loop would spin at `t == now`
+#: forever.  A milli-bit floor absorbs it without affecting any transfer
+#: of a whole byte or more.
+_FINISH_ATOL = 1e-3
+
+
+def _finish_threshold(total_bits: float) -> float:
+    """Residual bits below which a transfer counts as complete."""
+    return max(_FINISH_RTOL * total_bits, _FINISH_ATOL)
+
 
 @dataclass(frozen=True)
 class Completion:
@@ -252,7 +265,7 @@ class SharedLink:
             drained = min(share * dt, f.remaining_bits)
             f.remaining_bits -= drained
             self.delivered_bits += drained
-            if f.remaining_bits <= _FINISH_RTOL * max(f.total_bits, 1.0):
+            if f.remaining_bits <= _finish_threshold(f.total_bits):
                 self.delivered_bits += f.remaining_bits
                 f.remaining_bits = 0.0
         for f in sorted(self._flows.values(), key=lambda f: f.flow_id):

@@ -1,0 +1,380 @@
+"""Multi-link network topologies: paths over shared links.
+
+The fleet simulator (PR 1–2) pushes every transfer through a single
+:class:`~repro.net.link.SharedLink`.  A CDN serves viewers over *paths* —
+origin → edge backhaul, then edge → viewer access — where several paths
+share component links and the bottleneck moves with load.  This module
+adds that layer while keeping the single-link case bit-exact:
+
+* :class:`NetworkPath` — an ordered series of :class:`SharedLink` hops.
+  A fluid transfer traverses all hops simultaneously (cut-through, not
+  store-and-forward): its instantaneous rate is the **minimum over hops**
+  of its processor-sharing allocation on each hop, and it pays the sum of
+  per-hop RTTs once before bits move.
+* :class:`PathScheduler` — the event engine.  It generalizes
+  :class:`SharedLink`'s event loop to flows on different paths over a
+  shared link pool: ``next_event`` returns the earliest instant any
+  link's fluid allocation can change, ``advance`` drains every active
+  flow at its path rate and reports completions.
+
+The allocation is *per-link* processor sharing capped by the path
+minimum — deterministic and monotone (adding a hop can never increase a
+flow's rate), though not globally max-min (bandwidth a flow cannot use on
+a non-bottleneck hop is not redistributed; the conservative model).
+
+**One-hop bit-exactness.**  For flows that all traverse the same one-hop
+path, every expression here mirrors :class:`SharedLink`'s arithmetic
+operation for operation (shares, drain, finish tolerance, the solo-flow
+fast path through segment-exact integration), so a fleet scheduled
+through a one-hop :class:`PathScheduler` reproduces the bare
+``SharedLink`` fleet — and therefore ``simulate_session`` — bit for bit.
+The property tests in ``tests/net/test_topology.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .link import Completion, SharedLink, _finish_threshold
+
+__all__ = ["NetworkPath", "PathScheduler", "path_download_time"]
+
+
+@dataclass(frozen=True)
+class NetworkPath:
+    """An ordered series of :class:`SharedLink` hops.
+
+    Links are shared by identity: two paths holding the same
+    ``SharedLink`` object contend for that link's capacity.  ``rtt`` is
+    the request latency of the whole path — one round trip per hop,
+    paid once before data moves (persistent connections per hop).
+    """
+
+    links: tuple[SharedLink, ...]
+    name: str = "path"
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError("NetworkPath needs at least one link")
+        if len({id(l) for l in self.links}) != len(self.links):
+            raise ValueError("NetworkPath hops must be distinct links")
+
+    @property
+    def rtt(self) -> float:
+        """Total request latency: one RTT per hop, in series."""
+        total = 0.0
+        for link in self.links:
+            total += link.trace.rtt
+        return total
+
+    @property
+    def n_hops(self) -> int:
+        return len(self.links)
+
+
+def path_download_time(path: NetworkPath, nbytes: int, start_time: float) -> float:
+    """Seconds to fetch ``nbytes`` over an otherwise-idle path.
+
+    The multi-hop generalization of :meth:`repro.net.link.Link.download_time`:
+    the instantaneous rate is the minimum over hop traces, segments end at
+    the nearest boundary of any hop, and the path RTT is paid up front.
+    For a one-hop path this performs the identical float operations, so it
+    is bit-exact with the single-link integrator.
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if start_time < 0:
+        raise ValueError("start_time must be non-negative")
+    traces = [link.trace for link in path.links]
+    rtt = path.rtt
+    if nbytes == 0:
+        return rtt
+    remaining = float(nbytes) * 8.0  # bits
+    t = start_time + rtt
+    elapsed = rtt
+    max_iterations = 10_000_000
+    for _ in range(max_iterations):
+        rate = min(tr.bandwidth_at(t) for tr in traces)
+        seg = min(tr.time_to_next_change(t) for tr in traces)
+        if rate * seg >= remaining:
+            dt = remaining / rate
+            return elapsed + dt
+        remaining -= rate * seg
+        t += seg
+        elapsed += seg
+    raise RuntimeError("download did not converge")  # pragma: no cover
+
+
+def _bits_over(traces, start: float, end: float) -> float:
+    """Bits a lone flow moves over ``[start, end]`` at the min-hop rate."""
+    bits = 0.0
+    t = start
+    max_iterations = 10_000_000
+    for _ in range(max_iterations):
+        if t >= end:
+            return bits
+        rate = min(tr.bandwidth_at(t) for tr in traces)
+        seg = min(tr.time_to_next_change(t) for tr in traces)
+        step = min(seg, end - t)
+        bits += rate * step
+        t += step
+    raise RuntimeError("integration did not converge")  # pragma: no cover
+
+
+@dataclass
+class _PathFlow:
+    flow_id: int
+    nbytes: int
+    path: NetworkPath
+    start_time: float
+    data_start: float  # start_time + path RTT + any gate delay
+    weight: float
+    total_bits: float
+    remaining_bits: float
+    #: exact elapsed via path_download_time when the flow had every hop to
+    #: itself for its whole lifetime (None = shared/progressive)
+    solo_elapsed: float | None = field(default=None)
+
+
+class PathScheduler:
+    """Event engine for concurrent transfers over a pool of shared links.
+
+    Flows are registered with :meth:`add_flow` on a :class:`NetworkPath`;
+    each link allocates its capacity among the flows active *on that
+    link* under its own sharing policy, and a flow drains at the minimum
+    of its per-hop allocations.  The driver loop is the same contract as
+    :class:`SharedLink`: ``next_event`` → ``advance`` until ``busy()``
+    turns false.
+
+    ``extra_delay`` on :meth:`add_flow` gates a flow's data start beyond
+    the path RTT without changing the elapsed-time origin — the hook the
+    CDN layer uses for server-side encode waits (the viewer's measured
+    download time includes the wait, as it would on a real service).
+    """
+
+    def __init__(self) -> None:
+        self._flows: dict[int, _PathFlow] = {}
+        #: per-link flow registries, insertion-ordered like SharedLink's
+        self._link_flows: dict[int, dict[int, _PathFlow]] = {}
+        self._links: dict[int, SharedLink] = {}
+        #: bits actually delivered to receivers (conservation checks)
+        self.delivered_bits = 0.0
+
+    # ------------------------------------------------------------------
+    def add_flow(
+        self,
+        flow_id: int,
+        nbytes: int,
+        start_time: float,
+        path: NetworkPath,
+        weight: float = 1.0,
+        extra_delay: float = 0.0,
+    ) -> None:
+        """Register a transfer of ``nbytes`` requested at ``start_time``."""
+        if flow_id in self._flows:
+            raise ValueError(f"flow {flow_id} already in flight")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if extra_delay < 0:
+            raise ValueError("extra_delay must be non-negative")
+        bits = float(nbytes) * 8.0
+        flow = _PathFlow(
+            flow_id=flow_id,
+            nbytes=nbytes,
+            path=path,
+            start_time=float(start_time),
+            data_start=float(start_time) + path.rtt + float(extra_delay),
+            weight=float(weight),
+            total_bits=bits,
+            remaining_bits=bits,
+        )
+        if extra_delay > 0.0:
+            # A gated flow is never "untouched solo" in the SharedLink
+            # sense; forcing the progressive path keeps elapsed exact.
+            flow.solo_elapsed = float("nan")
+        self._flows[flow_id] = flow
+        for link in path.links:
+            self._links.setdefault(id(link), link)
+            self._link_flows.setdefault(id(link), {})[flow_id] = flow
+
+    @property
+    def n_flows(self) -> int:
+        return len(self._flows)
+
+    def busy(self) -> bool:
+        """True while any transfer is unfinished."""
+        return bool(self._flows)
+
+    def sync(self, now: float) -> None:
+        """Materialize a solo flow's progress up to ``now``.
+
+        The solo fast path resolves a lone untouched flow's finish in
+        closed form and drains nothing until it completes — valid only
+        while the pool stays unchanged, the pattern of completion-driven
+        drivers.  A driver that injects a flow at any other instant (the
+        fleet's deferred CDN requests) must call this first: the solo
+        flow's bits moved so far are accounted and it continues
+        progressively, instead of silently restarting from its full byte
+        count when the newcomer lands.
+        """
+        solo = self._solo_flow()
+        if solo is None or solo.total_bits == 0.0 or now <= solo.data_start:
+            return
+        traces = [link.trace for link in solo.path.links]
+        drained = min(
+            _bits_over(traces, solo.data_start, now), solo.remaining_bits
+        )
+        if drained <= 0.0:
+            return
+        solo.remaining_bits -= drained
+        self.delivered_bits += drained
+        self._account(solo, drained)
+        solo.solo_elapsed = None
+
+    # ------------------------------------------------------------------
+    def _solo_flow(self) -> _PathFlow | None:
+        """The lone untouched flow, if the whole pool holds exactly one.
+
+        Mirrors :meth:`SharedLink._solo_flow`: a flow that is alone *now*
+        and has drained nothing is guaranteed every hop to itself for its
+        entire lifetime (drivers only add flows when one completes), so
+        its finish resolves exactly through segment-exact integration.
+        """
+        if len(self._flows) != 1:
+            return None
+        flow = next(iter(self._flows.values()))
+        if flow.remaining_bits != flow.total_bits:
+            return None
+        if flow.solo_elapsed is not None and flow.solo_elapsed != flow.solo_elapsed:
+            return None  # NaN sentinel: gated flow, use the fluid path
+        return flow
+
+    def _allocations(self, now: float) -> dict[int, tuple[float, float]]:
+        """Per-link ``(capacity, share denominator)`` at ``now``.
+
+        Computed once per event step (like :class:`SharedLink` does), so
+        per-flow rates are O(hops) after this O(links + flows) pass.
+        Links with no active flow are absent.  Share arithmetic delegates
+        to the link's own ``_share_denominator``/``_share_of`` (they only
+        read ``policy`` and per-flow ``weight``), so one-hop paths are
+        float-identical to :class:`SharedLink` by construction.
+        """
+        alloc: dict[int, tuple[float, float]] = {}
+        for link_id, link in self._links.items():
+            active = [
+                f
+                for f in self._link_flows[link_id].values()
+                if f.data_start <= now and f.remaining_bits > 0.0
+            ]
+            if active:
+                alloc[link_id] = (
+                    link.trace.bandwidth_at(now),
+                    link._share_denominator(active),
+                )
+        return alloc
+
+    def _rate_of(
+        self, flow: _PathFlow, alloc: dict[int, tuple[float, float]]
+    ) -> float:
+        """Min-over-hops allocation for one active flow."""
+        rate: float | None = None
+        for link in flow.path.links:
+            capacity, denom = alloc[id(link)]
+            share = link._share_of(flow, capacity, denom)
+            rate = share if rate is None else min(rate, share)
+        assert rate is not None
+        return rate
+
+    def next_event(self, now: float) -> float:
+        """Earliest future instant any link's allocation can change."""
+        if not self._flows:
+            raise RuntimeError("no flows in flight")
+        solo = self._solo_flow()
+        if solo is not None:
+            if solo.solo_elapsed is None:
+                solo.solo_elapsed = path_download_time(
+                    solo.path, solo.nbytes, solo.start_time
+                )
+            return solo.start_time + solo.solo_elapsed
+
+        events = [f.data_start for f in self._flows.values() if f.data_start > now]
+        # Zero-byte transfers complete as soon as their RTT elapses.
+        events += [
+            max(f.data_start, now)
+            for f in self._flows.values()
+            if f.remaining_bits <= 0.0
+        ]
+        alloc = self._allocations(now)
+        for link_id in alloc:
+            events.append(
+                now + self._links[link_id].trace.time_to_next_change(now)
+            )
+        if alloc:
+            for f in self._flows.values():
+                if f.data_start <= now and f.remaining_bits > 0.0:
+                    events.append(now + f.remaining_bits / self._rate_of(f, alloc))
+        return min(events)
+
+    def advance(self, now: float, to_time: float) -> list[Completion]:
+        """Drain all flows from ``now`` to ``to_time``; report completions.
+
+        ``to_time`` must not exceed the next event (allocations are
+        assumed constant over the interval).  Completions are ordered by
+        flow id for determinism, matching :meth:`SharedLink.advance`.
+        """
+        if to_time < now:
+            raise ValueError("cannot advance backwards")
+        solo = self._solo_flow()
+        if solo is not None and solo.solo_elapsed is not None:
+            finish = solo.start_time + solo.solo_elapsed
+            if finish <= to_time:
+                self.delivered_bits += solo.total_bits
+                self._account(solo, solo.total_bits)
+                self._remove(solo)
+                return [Completion(solo.flow_id, finish, solo.solo_elapsed)]
+            return []
+
+        dt = to_time - now
+        active = [
+            f
+            for f in self._flows.values()
+            if f.data_start <= now and f.remaining_bits > 0.0
+        ]
+        # Allocations are fixed over [now, to_time]: snapshot every rate
+        # before draining, or a flow emptied earlier in this loop would
+        # hand its share to later flows mid-interval.
+        alloc = self._allocations(now)
+        rates = [self._rate_of(f, alloc) for f in active]
+        for f, rate in zip(active, rates):
+            drained = min(rate * dt, f.remaining_bits)
+            f.remaining_bits -= drained
+            self.delivered_bits += drained
+            self._account(f, drained)
+            if f.remaining_bits <= _finish_threshold(f.total_bits):
+                self.delivered_bits += f.remaining_bits
+                self._account(f, f.remaining_bits)
+                f.remaining_bits = 0.0
+        done: list[Completion] = []
+        for f in sorted(self._flows.values(), key=lambda f: f.flow_id):
+            if f.remaining_bits <= 0.0 and f.data_start <= to_time:
+                finish = f.data_start if f.total_bits == 0.0 else to_time
+                done.append(Completion(f.flow_id, finish, finish - f.start_time))
+                self._remove(f)
+        return done
+
+    # ------------------------------------------------------------------
+    def _account(self, flow: _PathFlow, bits: float) -> None:
+        """Charge ``bits`` to every hop the flow traverses (series)."""
+        if bits == 0.0:
+            return
+        for link in flow.path.links:
+            link.delivered_bits += bits
+
+    def _remove(self, flow: _PathFlow) -> None:
+        del self._flows[flow.flow_id]
+        for link in flow.path.links:
+            del self._link_flows[id(link)][flow.flow_id]

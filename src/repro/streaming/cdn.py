@@ -1,0 +1,349 @@
+"""CDN serving topology: edge chunk caches, encode contention, assignment.
+
+The fleet simulator models the last mile; a service the paper's size is
+fronted by a CDN, and at scale it is the *edge*, not the access link,
+that decides aggregate QoE and serving cost.  This module provides the
+pieces :func:`~repro.streaming.fleet.simulate_fleet` wires together when
+given a topology:
+
+* :class:`EdgeChunkCache` — a byte-capacity LRU of encoded chunk
+  variants held at one edge.  A hit serves the chunk over the access
+  link alone; a miss pulls origin → edge → viewer over the two-hop
+  path and fills the cache when the transfer completes (a result still
+  in flight is not shared — the same deterministic model as the SR
+  result cache).
+* :class:`EncodeQueue` / :class:`OriginServer` — bounded server-side
+  transcode contention.  The origin encodes each (video, chunk,
+  density) variant once, on first request, on a fixed pool of encode
+  workers; cold requests wait for a worker and for the encode itself
+  before their backhaul transfer starts, and the queue records every
+  wait for the report's percentiles.
+* :class:`EdgeNode` — one edge site: a backhaul :class:`SharedLink`
+  from the origin, an access :class:`SharedLink` to its viewers, and
+  the edge cache; exposes its hit (one-hop) and miss (two-hop)
+  :class:`~repro.net.topology.NetworkPath`s.
+* :class:`CDNTopology` + :func:`assign_sessions` — the full serving
+  graph plus the viewer → edge assignment policies: ``static``
+  (geo-hash of the viewer id, load- and content-blind), ``least-loaded``
+  (greedy min-occupancy in join order), and ``popularity`` (content
+  affinity: all viewers of a video share an edge, maximizing cache
+  locality at the price of skew-following load imbalance).
+
+Everything is deterministic given (topology, sessions): hashes are
+``zlib.crc32`` (Python's builtin ``hash`` is salted per process), ties
+break by edge index, and cache/queue state advances only at scheduler
+events, in flow-id order.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..net.link import SharedLink
+from ..net.topology import NetworkPath
+from ..net.traces import stable_trace
+
+__all__ = [
+    "ASSIGNMENT_POLICIES",
+    "EdgeChunkCache",
+    "EncodeQueue",
+    "OriginServer",
+    "EdgeNode",
+    "CDNTopology",
+    "assign_sessions",
+    "uniform_cdn",
+]
+
+#: Supported viewer → edge assignment policies.
+ASSIGNMENT_POLICIES = ("static", "least-loaded", "popularity")
+
+
+@dataclass
+class _CacheEntry:
+    nbytes: int
+    ready: float  # virtual time the fill transfer completes
+
+
+class EdgeChunkCache:
+    """Byte-capacity LRU of encoded chunk variants at one edge.
+
+    Keyed by (video, chunk index, density) — the tuple that determines an
+    encoded variant.  An entry carries the virtual time its fill transfer
+    completed: a request hits only if the variant is fully resident *at
+    the moment the request goes out*; a variant still being pulled by
+    another viewer is a miss (each miss pulls its own copy — the simpler,
+    deterministic model).  ``capacity_bytes=0`` disables caching (every
+    request misses), which is what the degenerate-topology parity test
+    uses.
+    """
+
+    def __init__(self, capacity_bytes: int = 1 << 30):
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.hit_bytes = 0
+        self.miss_bytes = 0
+        self.evictions = 0
+
+    def lookup(self, key: tuple, nbytes: int, at_time: float) -> bool:
+        """True (and bump LRU/stats) iff ``key`` is resident at ``at_time``."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.ready <= at_time:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self.hit_bytes += nbytes
+            return True
+        self.misses += 1
+        self.miss_bytes += nbytes
+        return False
+
+    def insert(self, key: tuple, nbytes: int, ready: float) -> None:
+        """Record a completed fill: ``key`` resident from ``ready`` on.
+
+        Concurrent fills keep whichever copy lands first, mirroring
+        :meth:`SRResultCache.acquire`.  Variants larger than the whole
+        cache are not admitted.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes > self.capacity_bytes:
+            return
+        existing = self._entries.get(key)
+        if existing is not None:
+            existing.ready = min(existing.ready, ready)
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = _CacheEntry(nbytes=nbytes, ready=ready)
+        self.used_bytes += nbytes
+        while self.used_bytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self.used_bytes -= evicted.nbytes
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class EncodeQueue:
+    """Bounded transcode worker pool at the origin (FIFO, deterministic).
+
+    ``submit`` places one encode job of ``cost`` seconds at the earliest
+    free worker and returns the instant the encoded variant is ready.
+    The wait (worker start − submit time) is recorded for the report's
+    encode-wait percentiles.  Zero-cost jobs bypass the pool entirely —
+    that is the "encoding disabled" configuration.
+    """
+
+    def __init__(self, n_workers: int = 4):
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.n_workers = int(n_workers)
+        self._free_at = [0.0] * self.n_workers
+        self.waits: list[float] = []
+
+    def submit(self, at_time: float, cost: float) -> float:
+        """Ready time of an encode job submitted at ``at_time``."""
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        if cost == 0.0:
+            return at_time
+        worker = min(range(self.n_workers), key=lambda i: (self._free_at[i], i))
+        start = max(at_time, self._free_at[worker])
+        ready = start + cost
+        self._free_at[worker] = ready
+        self.waits.append(start - at_time)
+        return ready
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.waits)
+
+    def wait_percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of recorded queue waits (0 if no jobs)."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("pct must be in [0, 100]")
+        if not self.waits:
+            return 0.0
+        ordered = sorted(self.waits)
+        rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+
+class OriginServer:
+    """The origin: encode workers plus the set of variants already encoded.
+
+    Each (video, chunk, density) variant is transcoded once, on first
+    request; later cold misses for the same variant reuse it (waiting for
+    an in-flight encode to land if need be).  ``encode_seconds`` is the
+    service time per chunk variant; 0 disables encode contention.
+    """
+
+    def __init__(self, n_encode_workers: int = 4, encode_seconds: float = 0.0):
+        if encode_seconds < 0:
+            raise ValueError("encode_seconds must be non-negative")
+        self.queue = EncodeQueue(n_encode_workers)
+        self.encode_seconds = float(encode_seconds)
+        self._variants: dict[tuple, float] = {}  # key -> ready time
+
+    def variant_ready(self, key: tuple, at_time: float) -> float:
+        """Instant the encoded variant for ``key`` exists (>= ``at_time``).
+
+        Encodes on first request; an already-encoded (or in-flight)
+        variant returns its recorded ready time.  With encoding disabled
+        (``encode_seconds == 0``) every variant is always available and
+        *nothing is recorded* — the function is pure, which is what lets
+        the fleet driver dispatch requests out of virtual-time order in
+        that configuration (its degenerate-parity mode) without a
+        future-dated request planting a phantom ready time that would
+        gate an earlier co-watcher.
+        """
+        if self.encode_seconds == 0.0:
+            return at_time
+        ready = self._variants.get(key)
+        if ready is None:
+            ready = self.queue.submit(at_time, self.encode_seconds)
+            self._variants[key] = ready
+        return max(ready, at_time)
+
+    @property
+    def n_encoded(self) -> int:
+        return len(self._variants)
+
+
+@dataclass
+class EdgeNode:
+    """One edge site: backhaul from origin, access to viewers, chunk cache."""
+
+    name: str
+    backhaul: SharedLink
+    access: SharedLink
+    cache: EdgeChunkCache = field(default_factory=EdgeChunkCache)
+
+    def __post_init__(self) -> None:
+        if self.backhaul is self.access:
+            raise ValueError("backhaul and access must be distinct links")
+        self.hit_path = NetworkPath((self.access,), name=f"{self.name}:hit")
+        self.miss_path = NetworkPath(
+            (self.backhaul, self.access), name=f"{self.name}:miss"
+        )
+
+
+@dataclass
+class CDNTopology:
+    """The serving graph ``simulate_fleet`` schedules flows over.
+
+    ``assignment`` picks the viewer → edge policy (see
+    :func:`assign_sessions`).  The origin's encode queue gates cold
+    chunk misses; per-edge caches decide hit vs miss paths.
+    """
+
+    edges: tuple[EdgeNode, ...]
+    origin: OriginServer = field(default_factory=OriginServer)
+    assignment: str = "static"
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ValueError("CDNTopology needs at least one edge")
+        if self.assignment not in ASSIGNMENT_POLICIES:
+            raise ValueError(
+                f"unknown assignment policy {self.assignment!r}; "
+                f"pick from {ASSIGNMENT_POLICIES}"
+            )
+        names = [e.name for e in self.edges]
+        if len(set(names)) != len(names):
+            raise ValueError("edge names must be unique")
+
+    def assign(self, sessions) -> list[int]:
+        """Edge index for each session under this topology's policy."""
+        return assign_sessions(sessions, len(self.edges), self.assignment)
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic string hash (builtin ``hash`` is salted per process)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def assign_sessions(sessions, n_edges: int, policy: str) -> list[int]:
+    """Viewer → edge assignment under one of :data:`ASSIGNMENT_POLICIES`.
+
+    * ``static`` — geo-hash of the viewer index: stable and load/content
+      blind, the classic DNS-style mapping;
+    * ``least-loaded`` — greedy minimum occupancy, viewers considered in
+      join order (ties: earlier session index, then lower edge index);
+    * ``popularity`` — content affinity: every viewer of a video lands on
+      the same edge, so one fill serves the whole co-watching audience.
+    """
+    if n_edges <= 0:
+        raise ValueError("n_edges must be positive")
+    if policy not in ASSIGNMENT_POLICIES:
+        raise ValueError(
+            f"unknown assignment policy {policy!r}; pick from {ASSIGNMENT_POLICIES}"
+        )
+    if policy == "static":
+        return [_stable_hash(f"viewer-{i}") % n_edges for i in range(len(sessions))]
+    if policy == "popularity":
+        return [_stable_hash(s.spec.name) % n_edges for s in sessions]
+    # least-loaded: greedy in join order.
+    load = [0] * n_edges
+    out = [0] * len(sessions)
+    order = sorted(range(len(sessions)), key=lambda i: (sessions[i].join_time, i))
+    for i in order:
+        edge = min(range(n_edges), key=lambda e: (load[e], e))
+        out[i] = edge
+        load[edge] += 1
+    return out
+
+
+def uniform_cdn(
+    n_edges: int,
+    *,
+    access_mbps: float,
+    backhaul_mbps: float,
+    duration: float = 600.0,
+    access_rtt: float = 0.010,
+    backhaul_rtt: float = 0.020,
+    cache_bytes: int = 1 << 30,
+    policy: str = "fair",
+    assignment: str = "static",
+    n_encode_workers: int = 4,
+    encode_seconds: float = 0.0,
+) -> CDNTopology:
+    """A symmetric CDN: ``n_edges`` identical edges on stable links.
+
+    Each edge gets its own backhaul and access :class:`SharedLink` (no
+    cross-edge contention — the origin uplink is assumed provisioned);
+    the interesting contention is per-edge fan-in plus the shared encode
+    worker pool.
+    """
+    if n_edges <= 0:
+        raise ValueError("n_edges must be positive")
+    edges = tuple(
+        EdgeNode(
+            name=f"edge-{i}",
+            backhaul=SharedLink(
+                stable_trace(backhaul_mbps, duration=duration, rtt=backhaul_rtt),
+                policy=policy,
+            ),
+            access=SharedLink(
+                stable_trace(access_mbps, duration=duration, rtt=access_rtt),
+                policy=policy,
+            ),
+            cache=EdgeChunkCache(capacity_bytes=cache_bytes),
+        )
+        for i in range(n_edges)
+    )
+    origin = OriginServer(
+        n_encode_workers=n_encode_workers, encode_seconds=encode_seconds
+    )
+    return CDNTopology(edges=edges, origin=origin, assignment=assignment)

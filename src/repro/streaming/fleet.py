@@ -1,14 +1,19 @@
-"""Multi-session fleet simulator: N clients on one bottleneck link.
+"""Multi-session fleet simulator: N clients on a shared serving topology.
 
 The paper's evaluation (§7.4–§7.5) is single-client.  Serving heavy
 traffic means many concurrent sessions contending for shared bandwidth, so
 this module runs a *fleet* of :class:`~repro.streaming.simulator.SessionMachine`
-state machines against one :class:`~repro.net.link.SharedLink` in virtual
-time:
+state machines against a shared network in virtual time:
 
 * each session joins at its own ``join_time`` and runs its own ABR
   controller and SR latency model;
-* the link splits capacity among in-flight downloads with a configurable
+* every transfer is scheduled per hop through a
+  :class:`~repro.net.topology.PathScheduler` — the classic single
+  bottleneck is the degenerate one-hop path, and a
+  :class:`~repro.streaming.cdn.CDNTopology` routes each viewer over its
+  edge's access link (cache hit) or the origin → edge → viewer two-hop
+  path (miss), gated by the origin's bounded encode queue;
+* each link splits capacity among in-flight downloads with a configurable
   policy (``fair`` processor sharing or ``weighted`` by session weight);
 * an optional :class:`SRResultCache` shares super-resolution results
   across co-watching sessions of the same video, so the Nth viewer of a
@@ -16,22 +21,28 @@ time:
   client-assist serving scale;
 * the result is every per-session :class:`SessionResult` plus a
   :class:`FleetReport` of the aggregates an operator watches (mean/p5/p95
-  QoE, stall ratio, cache hit rate, delivered bytes).
+  QoE, stall ratio, cache hit rates, origin egress, encode-queue waits,
+  delivered bytes).
 
-Everything is deterministic given (session specs, trace, policy): the
-scheduler resolves simultaneous events by session id.  A fleet of one
+Everything is deterministic given (session specs, trace/topology, policy):
+the scheduler resolves simultaneous events by session id.  A fleet of one
 session reproduces :func:`~repro.streaming.simulator.simulate_session`
-bit-exactly (enforced by the parity test).
+bit-exactly, and a degenerate one-edge topology on an unconstrained
+backhaul reproduces the bare single-link fleet bit-exactly (both enforced
+by parity tests).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..metrics.qoe import QoEWeights, aggregate_qoe
 from ..net.link import SharedLink
+from ..net.topology import NetworkPath, PathScheduler
 from ..net.traces import NetworkTrace
+from .cdn import CDNTopology
 from .abr import AbrController, SRQualityModel
 from .chunks import VideoSpec
 from .latency import SRLatency, ZERO_LATENCY
@@ -133,7 +144,13 @@ class SRResultCache:
 
 @dataclass(frozen=True)
 class FleetReport:
-    """Aggregate service health over one fleet run."""
+    """Aggregate service health over one fleet run.
+
+    The CDN fields are populated when the fleet ran over a
+    :class:`~repro.streaming.cdn.CDNTopology`; on a bare link every byte
+    comes from the origin, so ``origin_egress_bytes == total_bytes`` and
+    the edge/encode fields stay at their defaults.
+    """
 
     n_sessions: int
     mean_qoe: float
@@ -147,6 +164,15 @@ class FleetReport:
     makespan: float  # virtual seconds, first join → last download completion
     n_abandoned: int = 0
     abandon_rate: float = 0.0
+    #: bytes that crossed an origin → edge backhaul (cold misses + startup)
+    origin_egress_bytes: int = 0
+    #: request-weighted hit rate across all edge chunk caches
+    edge_hit_rate: float = 0.0
+    #: per-edge chunk-cache hit rates, topology edge order
+    edge_hit_rates: tuple[float, ...] = ()
+    #: encode-queue wait percentiles over cold chunk variants (seconds)
+    encode_wait_p50: float = 0.0
+    encode_wait_p95: float = 0.0
 
 
 @dataclass
@@ -157,6 +183,10 @@ class FleetResult:
     report: FleetReport
     sr_cache: SRResultCache | None = None
     session_specs: list[FleetSession] = field(default_factory=list)
+    #: the serving topology the fleet ran over (None = bare single link)
+    topology: CDNTopology | None = None
+    #: viewer → edge index per session (empty without a topology)
+    assignment: list[int] = field(default_factory=list)
 
 
 def _batched_decisions(
@@ -190,25 +220,59 @@ def _batched_decisions(
     return out
 
 
+def _chunk_key(req: DownloadRequest) -> tuple | None:
+    """Edge-cache / encode-queue key of a cacheable chunk request.
+
+    Density is rounded like the SR-result cache key so float planner
+    jitter cannot split one encoded variant into many.
+    """
+    if req.chunk_index is None:
+        return None
+    assert req.density is not None
+    return (req.video, req.chunk_index, round(req.density, 3))
+
+
 def simulate_fleet(
     sessions: list[FleetSession],
-    trace: NetworkTrace,
+    trace: NetworkTrace | None = None,
     policy: str = "fair",
     sr_cache: SRResultCache | None = None,
+    topology: CDNTopology | None = None,
 ) -> FleetResult:
-    """Run a fleet of sessions over one shared bottleneck link.
+    """Run a fleet of sessions over a shared serving topology.
 
-    The scheduler advances virtual time event to event: it asks the link
-    for the next instant its fluid bandwidth allocation can change,
-    advances every in-flight download to that instant, and resumes each
-    session whose transfer finished — which runs that session's ABR/buffer
-    logic forward until it suspends on its next request.  Sessions that
-    suspend on an ABR decision are parked for the rest of the event step
-    and resolved together in one vectorized ``decide_batch`` call per
-    shared controller.
+    Exactly one of ``trace`` (the classic single bottleneck link, run as
+    a one-hop path) and ``topology`` (a CDN: per-edge caches, backhaul +
+    access hops, origin encode contention) must be given.  ``policy``
+    configures the single link; a topology's links carry their own
+    sharing policies, so combining it with a non-default ``policy`` is
+    rejected rather than silently ignored.
+
+    The scheduler advances virtual time event to event: it asks the path
+    scheduler for the next instant any link's fluid allocation can
+    change, advances every in-flight download to that instant, and
+    resumes each session whose transfer finished — which runs that
+    session's ABR/buffer logic forward until it suspends on its next
+    request.  Sessions that suspend on an ABR decision are parked for the
+    rest of the event step and resolved together in one vectorized
+    ``decide_batch`` call per shared controller.
+
+    Under a topology, each chunk request consults its edge's cache at
+    request time: a hit travels the one-hop access path; a miss waits for
+    the origin to have the encoded variant (bounded encode workers),
+    travels backhaul + access, and fills the edge cache when the transfer
+    completes.
     """
     if not sessions:
         raise ValueError("fleet needs at least one session")
+    if (trace is None) == (topology is None):
+        raise ValueError("exactly one of trace and topology must be given")
+    if topology is not None and policy != "fair":
+        raise ValueError(
+            "policy applies to the single-link mode; a topology's links "
+            "carry their own sharing policies (set them at construction, "
+            "e.g. uniform_cdn(policy=...))"
+        )
     machines = [
         SessionMachine(
             s.spec,
@@ -223,13 +287,89 @@ def simulate_fleet(
         )
         for s in sessions
     ]
-    link = SharedLink(trace, policy=policy)
+    sched = PathScheduler()
+    if topology is None:
+        assert trace is not None
+        base_path: NetworkPath | None = NetworkPath(
+            (SharedLink(trace, policy=policy),), name="bottleneck"
+        )
+        assignment: list[int] = []
+    else:
+        base_path = None
+        assignment = topology.assign(sessions)
+    #: flows that must fill an edge cache on completion: sid -> (edge, key, bytes)
+    pending_fill: dict[int, tuple] = {}
+    origin_egress = 0
+    #: topology requests dated beyond the current event, ordered by
+    #: (start_time, session id).  Cache lookups and encode reservations
+    #: are *stateful and time-stamped*, so a future-dated request (a
+    #: session's join, a buffer-headroom wait) must not consult them
+    #: until virtual time reaches its start — a viewer joining at t=60
+    #: sees every fill and encode that completed before t=60.
+    deferred: list[tuple[float, int, DownloadRequest]] = []
+    clock = 0.0
+
+    def dispatch(sid: int, req: DownloadRequest) -> None:
+        nonlocal origin_egress
+        if base_path is not None:
+            sched.add_flow(
+                sid, req.nbytes, req.start_time, base_path,
+                weight=sessions[sid].weight,
+            )
+            return
+        assert topology is not None
+        edge = topology.edges[assignment[sid]]
+        key = _chunk_key(req)
+        if key is not None and edge.cache.lookup(key, req.nbytes, req.start_time):
+            sched.add_flow(
+                sid, req.nbytes, req.start_time, edge.hit_path,
+                weight=sessions[sid].weight,
+            )
+            return
+        delay = 0.0
+        if key is not None:
+            # Cold chunk: the origin must hold the encoded variant before
+            # the backhaul transfer starts (bounded transcode workers).
+            ready = topology.origin.variant_ready(key, req.start_time)
+            delay = ready - req.start_time
+            pending_fill[sid] = (edge, key, req.nbytes)
+        origin_egress += req.nbytes
+        sched.add_flow(
+            sid, req.nbytes, req.start_time, edge.miss_path,
+            weight=sessions[sid].weight, extra_delay=delay,
+        )
+
+    def needs_clock(sid: int, req: DownloadRequest) -> bool:
+        """Does resolving this request read time-stamped mutable state?
+
+        Only cacheable chunks on a topology with a live edge cache or a
+        non-zero encode cost do.  Everything else (single-link mode,
+        startup payloads, caching and encoding disabled) resolves the
+        same way at any instant, and registering the flow immediately
+        keeps the degenerate topology bit-exact with the single-link
+        scheduler — a waiting flow in the pool is what disables the
+        solo-flow fast path, exactly as in :class:`SharedLink`.
+        """
+        if base_path is not None or req.chunk_index is None:
+            return False
+        assert topology is not None
+        edge = topology.edges[assignment[sid]]
+        return (
+            edge.cache.capacity_bytes > 0
+            or topology.origin.encode_seconds > 0.0
+        )
 
     def queue(sid: int, req: DownloadRequest) -> None:
-        link.add_flow(sid, req.nbytes, req.start_time, weight=sessions[sid].weight)
+        if req.start_time > clock and needs_clock(sid, req):
+            heapq.heappush(deferred, (req.start_time, sid, req))
+        else:
+            dispatch(sid, req)
 
     # Every session needs its first ABR decision at join time — the widest
     # batch of the run (startup-bytes sessions enter via a transfer first).
+    # Decisions are pure functions of their context, so resolving them all
+    # up front is safe; the *requests* they unblock go through queue(),
+    # which holds future-dated ones until virtual time catches up.
     first_decisions = []
     for sid, machine in enumerate(machines):
         if isinstance(machine.pending, DownloadRequest):
@@ -241,19 +381,41 @@ def simulate_fleet(
 
     now = 0.0
     end_times = [0.0] * len(machines)
-    while link.busy():
-        t = link.next_event(now)
+    while sched.busy() or deferred:
+        events = []
+        if sched.busy():
+            events.append(sched.next_event(now))
+        if deferred:
+            events.append(max(deferred[0][0], now))
+        t = min(events)
+        clock = t
         needs_decision: list[int] = []
-        for done in link.advance(now, t):
-            req = machines[done.flow_id].advance(done.elapsed)
-            if isinstance(req, DecisionRequest):
-                needs_decision.append(done.flow_id)
-            elif req is not None:
-                queue(done.flow_id, req)
-            else:
-                end_times[done.flow_id] = done.finish_time
+        if sched.busy():
+            for done in sched.advance(now, t):
+                fill = pending_fill.pop(done.flow_id, None)
+                if fill is not None:
+                    edge, key, nbytes = fill
+                    edge.cache.insert(key, nbytes, ready=done.finish_time)
+                req = machines[done.flow_id].advance(done.elapsed)
+                if isinstance(req, DecisionRequest):
+                    needs_decision.append(done.flow_id)
+                elif req is not None:
+                    queue(done.flow_id, req)
+                else:
+                    end_times[done.flow_id] = done.finish_time
         for sid, req in _batched_decisions(machines, needs_decision):
             queue(sid, req)
+        # Release deferred requests due by t only after the fills that
+        # completed *at* t are inserted: a chunk resident at the instant
+        # a request goes out counts as a hit (ready <= at_time).
+        if deferred and deferred[0][0] <= t:
+            # A release injects flows outside the completion-driven
+            # pattern the solo fast path assumes — bank any solo flow's
+            # progress up to t first, or it would restart from scratch.
+            sched.sync(t)
+            while deferred and deferred[0][0] <= t:
+                _, sid, req = heapq.heappop(deferred)
+                dispatch(sid, req)
         now = t
 
     results = [m.result for m in machines]
@@ -265,6 +427,20 @@ def simulate_fleet(
     )
     first_join = min(s.join_time for s in sessions)
     n_abandoned = sum(1 for r in results if r.abandoned)
+    total_bytes = sum(r.total_bytes for r in results)
+    if topology is not None:
+        edge_hit_rates = tuple(e.cache.hit_rate for e in topology.edges)
+        lookups = sum(e.cache.hits + e.cache.misses for e in topology.edges)
+        edge_hits = sum(e.cache.hits for e in topology.edges)
+        edge_hit_rate = edge_hits / lookups if lookups else 0.0
+        encode_p50 = topology.origin.queue.wait_percentile(50.0)
+        encode_p95 = topology.origin.queue.wait_percentile(95.0)
+    else:
+        # No edges: every byte leaves the origin.
+        origin_egress = total_bytes
+        edge_hit_rates = ()
+        edge_hit_rate = 0.0
+        encode_p50 = encode_p95 = 0.0
     report = FleetReport(
         n_sessions=len(results),
         mean_qoe=agg["mean_qoe"],
@@ -272,16 +448,23 @@ def simulate_fleet(
         p95_qoe=agg["p95_qoe"],
         stall_ratio=agg["stall_ratio"],
         total_stall_seconds=agg["total_stall_seconds"],
-        total_bytes=sum(r.total_bytes for r in results),
+        total_bytes=total_bytes,
         mean_quality=sum(r.mean_quality for r in results) / len(results),
         cache_hit_rate=sr_cache.hit_rate if sr_cache is not None else 0.0,
         makespan=max(end_times) - first_join,
         n_abandoned=n_abandoned,
         abandon_rate=n_abandoned / len(results),
+        origin_egress_bytes=origin_egress,
+        edge_hit_rate=edge_hit_rate,
+        edge_hit_rates=edge_hit_rates,
+        encode_wait_p50=encode_p50,
+        encode_wait_p95=encode_p95,
     )
     return FleetResult(
         sessions=results,
         report=report,
         sr_cache=sr_cache,
         session_specs=list(sessions),
+        topology=topology,
+        assignment=assignment,
     )

@@ -9,8 +9,10 @@ their patience.  This module turns those three levers into
 :func:`~repro.streaming.fleet.simulate_fleet` can run unchanged:
 
 * **arrival processes** — :class:`PoissonArrivals` (memoryless synthetic
-  load) and :class:`TraceArrivals` (replay measured join timestamps,
-  optionally loaded from a CSV);
+  load), :class:`DiurnalArrivals` (nonhomogeneous Poisson over a 24-hour
+  rate curve — the prime-time peak every service provisions for), and
+  :class:`TraceArrivals` (replay measured join timestamps, optionally
+  loaded from a CSV);
 * **content catalogs** — :class:`ContentCatalog`, a ranked video set with
   Zipf-like popularity ``weight(rank) ∝ 1/rank^skew``; the skew is the
   knob that drives SR-cache co-watching studies;
@@ -38,6 +40,7 @@ from .simulator import AbandonPolicy, SessionConfig
 
 __all__ = [
     "PoissonArrivals",
+    "DiurnalArrivals",
     "TraceArrivals",
     "ContentCatalog",
     "synthetic_catalog",
@@ -75,6 +78,97 @@ class PoissonArrivals:
             if t > window:
                 return np.asarray(out)
             out.append(t)
+
+
+#: A typical service's 24-hour load shape: overnight trough, daytime ramp,
+#: prime-time evening peak.  :class:`DiurnalArrivals` normalizes the curve
+#: to mean 1.0, so only the *shape* matters here.
+DEFAULT_DIURNAL_CURVE: tuple[float, ...] = (
+    0.35, 0.25, 0.20, 0.18, 0.18, 0.22,  # 00–06: overnight trough
+    0.35, 0.55, 0.75, 0.90, 1.00, 1.10,  # 06–12: morning ramp
+    1.15, 1.10, 1.05, 1.05, 1.10, 1.25,  # 12–18: daytime plateau
+    1.60, 2.05, 2.30, 2.10, 1.50, 0.82,  # 18–24: prime-time peak
+)
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Nonhomogeneous Poisson arrivals over a 24-hour rate curve.
+
+    The instantaneous rate follows ``curve[hour(t)]``, a piecewise-
+    constant daily load shape (wrapping past 24 h), normalized to mean
+    1.0 and scaled by ``mean_rate_hz`` — so ``mean_rate_hz`` is the true
+    daily mean arrival rate whatever the factors' absolute scale, and a
+    diurnal run offers the same expected load as a
+    :class:`PoissonArrivals` run at the same rate.  Samples are drawn by
+    **thinning** (Lewis & Shedler): candidates arrive as a homogeneous
+    Poisson process at the curve's peak rate and are kept with
+    probability ``rate(t) / peak_rate`` — exact for any bounded rate
+    function, and deterministic given the seed.
+
+    ``day_seconds`` rescales the curve's period so short simulation
+    windows can sweep a whole virtual day: with ``day_seconds=240`` the
+    prime-time peak lands 200 s into a 240 s window.  ``phase_hours``
+    sets the hour of virtual midnight at ``t=0``.
+    """
+
+    mean_rate_hz: float
+    curve: tuple[float, ...] = DEFAULT_DIURNAL_CURVE
+    day_seconds: float = 86_400.0
+    phase_hours: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mean_rate_hz <= 0:
+            raise ValueError(
+                f"DiurnalArrivals.mean_rate_hz must be positive, got "
+                f"{self.mean_rate_hz!r}"
+            )
+        if len(self.curve) != 24:
+            raise ValueError(
+                f"DiurnalArrivals.curve needs 24 hourly factors, got "
+                f"{len(self.curve)}"
+            )
+        if min(self.curve) < 0 or max(self.curve) <= 0:
+            raise ValueError(
+                "DiurnalArrivals.curve factors must be non-negative with at "
+                "least one positive hour"
+            )
+        if self.day_seconds <= 0:
+            raise ValueError(
+                f"DiurnalArrivals.day_seconds must be positive, got "
+                f"{self.day_seconds!r}"
+            )
+
+    @cached_property
+    def _curve_mean(self) -> float:
+        return sum(self.curve) / len(self.curve)
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate (joins/s) at virtual time ``t``."""
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        hours = (t / self.day_seconds * 24.0 + self.phase_hours) % 24.0
+        # Float modulo can return exactly 24.0 for tiny negative
+        # dividends ((-1e-18) % 24.0 == 24.0); wrap the index too.
+        return (
+            self.mean_rate_hz * self.curve[int(hours) % 24] / self._curve_mean
+        )
+
+    def times(self, window: float) -> np.ndarray:
+        """Arrival timestamps in ``[0, window]`` via thinning."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        rng = np.random.default_rng(self.seed)
+        peak = self.mean_rate_hz * max(self.curve) / self._curve_mean
+        out: list[float] = []
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / peak)
+            if t > window:
+                return np.asarray(out)
+            if rng.random() * peak < self.rate_at(t):
+                out.append(t)
 
 
 @dataclass(frozen=True)
@@ -196,7 +290,7 @@ def synthetic_catalog(
 
 def build_population(
     catalog: ContentCatalog,
-    arrivals: PoissonArrivals | TraceArrivals,
+    arrivals: PoissonArrivals | DiurnalArrivals | TraceArrivals,
     window: float,
     controller: AbrController,
     *,

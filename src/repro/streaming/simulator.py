@@ -119,10 +119,19 @@ class DownloadRequest:
     ``start_time`` is the virtual time the request goes out; the driver
     answers with the transfer's total elapsed seconds (including RTT and
     any bandwidth contention it models).
+
+    Content-chunk requests carry what they are fetching (``video``,
+    ``chunk_index``, ``density``) so a CDN driver can key edge caches
+    and the origin encode queue; a request with ``chunk_index=None``
+    (the startup payload: manifest, SR models) is not a cacheable chunk
+    and always travels the full origin path.
     """
 
     start_time: float
     nbytes: int
+    video: str | None = None
+    chunk_index: int | None = None
+    density: float | None = None
 
 
 @dataclass(frozen=True)
@@ -312,7 +321,13 @@ class SessionMachine:
             decisions.append(decision.density)
 
             nbytes = int(chunk.bytes_at_density(decision.density) * cfg.fetch_fraction)
-            dl = yield DownloadRequest(t_net, nbytes)
+            dl = yield DownloadRequest(
+                t_net,
+                nbytes,
+                video=self.spec.name,
+                chunk_index=chunk.index,
+                density=decision.density,
+            )
             dl_finish = t_net + dl
             t_net = dl_finish  # next request goes out immediately after
 

@@ -23,9 +23,45 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Table 1" in out and "Fig 15" in out
 
-    def test_unknown_experiment(self):
-        with pytest.raises(SystemExit):
-            main(["fig99"])
+    def test_unknown_experiment_lists_and_exits_2(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        assert "available experiments" in err
+        assert "table1" in err and "fleet-cdn" in err
+
+    def test_no_names_lists_and_exits_2(self, capsys):
+        assert main([]) == 2
+        captured = capsys.readouterr()
+        assert "usage:" in captured.err
+        assert "available experiments" in captured.err
+        assert "fleet" in captured.err
+        # Nothing ran: stdout carries no rendered tables.
+        assert "[table1:" not in captured.out
+
+    def test_all_conflicts_with_names(self, capsys):
+        assert main(["table1", "--all"]) == 2
+        err = capsys.readouterr().err
+        assert "--all" in err and "table1" in err
+
+    def test_diurnal_flag_reaches_population_experiment(self, monkeypatch, capsys):
+        """--diurnal is forwarded to experiments whose runner accepts it."""
+        seen = {}
+
+        class FakeTable:
+            def render(self):
+                return "fake table"
+
+        def fake_run(scale, diurnal=False):
+            seen["diurnal"] = diurnal
+            return FakeTable()
+
+        monkeypatch.setitem(REGISTRY, "fleet-population", fake_run)
+        assert main(["fleet-population", "--diurnal"]) == 0
+        assert seen["diurnal"] is True
+        seen.clear()
+        assert main(["fleet-population"]) == 0
+        assert seen["diurnal"] is False
 
     def test_registry_covers_every_paper_artifact(self):
         """One CLI entry per table/figure in DESIGN.md's experiment index."""
@@ -33,6 +69,7 @@ class TestCLI:
             "table1", "fig4", "fig7-10", "fig11-measured", "fig11-device",
             "fig12-13", "fig14", "fig15", "fig16-device", "fig16-measured",
             "fig17-device", "fig17-measured", "fig18",
+            "fleet", "fleet-population", "fleet-cdn",
         }
         assert needed <= set(REGISTRY)
 

@@ -15,6 +15,7 @@ from repro.experiments import (
     run_fig17_device,
     run_fig17_measured,
     run_fig18_device,
+    run_fleet_cdn,
     run_fleet_scaling,
     run_memory_usage,
     run_sr_quality,
@@ -161,6 +162,37 @@ class TestFleetScaling:
         assert 1 <= row["n_sessions"] <= 40
         assert 0.0 <= row["abandon_rate"] <= 1.0
         assert row["cache_hit"] > 0.0  # Zipf catalog forces co-watching
+
+
+class TestFleetCDN:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_fleet_cdn(TINY, n_sessions=48, n_edges=3)
+
+    def test_all_variants_reported(self, table):
+        assert table.column("topology") == [
+            "single-link", "no-cache", "cdn", "cdn", "cdn", "cdn+slow-encode",
+        ]
+        assert table.column("assign")[2:5] == [
+            "static", "least-loaded", "popularity",
+        ]
+
+    def test_edge_caching_reduces_origin_egress(self, table):
+        """The acceptance demonstration: warm edge caches cut origin
+        egress below the cache-disabled run on a Zipf population."""
+        no_cache = table.rows[1]
+        warm = table.rows[4]  # popularity assignment
+        assert no_cache["edge_hit"] == 0.0
+        assert warm["edge_hit"] > 0.0
+        assert warm["origin_gb"] < no_cache["origin_gb"]
+        assert warm["data_gb"] >= no_cache["data_gb"]
+
+    def test_origin_egress_never_exceeds_delivered(self, table):
+        for row in table.rows:
+            assert row["origin_gb"] <= row["data_gb"] + 1e-9
+
+    def test_starved_encoder_shows_queue_waits(self, table):
+        assert table.rows[-1]["enc_p95_s"] > table.rows[4]["enc_p95_s"]
 
 
 class TestAblation:

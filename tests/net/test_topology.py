@@ -1,0 +1,191 @@
+"""Multi-link path properties: one-hop parity, hop monotonicity, accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    Link,
+    NetworkPath,
+    PathScheduler,
+    SharedLink,
+    lte_trace,
+    path_download_time,
+    stable_trace,
+)
+
+
+def drive(engine):
+    """Run an engine's event loop to completion; return all completions."""
+    now, out = 0.0, []
+    guard = 0
+    while engine.busy():
+        t = engine.next_event(now)
+        out += engine.advance(now, t)
+        now = t
+        guard += 1
+        assert guard < 100_000, "event loop did not converge"
+    return out
+
+
+#: (nbytes, start_time, weight) triples with staggered starts.
+flow_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50_000_000),
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+        st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestOneHopParity:
+    """A one-hop PathScheduler must be bit-exact with bare SharedLink."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        flows=flow_lists,
+        policy=st.sampled_from(["fair", "weighted"]),
+        mean=st.floats(min_value=5.0, max_value=150.0),
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    def test_bit_exact_completions(self, flows, policy, mean, seed):
+        trace = lte_trace(mean, mean / 3, duration=120.0, seed=seed)
+        shared = SharedLink(trace, policy=policy)
+        sched = PathScheduler()
+        path = NetworkPath((SharedLink(trace, policy=policy),))
+        for fid, (nbytes, start, weight) in enumerate(flows):
+            shared.add_flow(fid, nbytes, start, weight=weight)
+            sched.add_flow(fid, nbytes, start, path, weight=weight)
+        a, b = drive(shared), drive(sched)
+        assert a == b  # Completion is frozen: == is field-exact
+
+    def test_solo_flow_matches_link_integrator(self):
+        """A lone flow resolves through the same segment-exact arithmetic."""
+        trace = lte_trace(40, 12, seed=3)
+        path = NetworkPath((SharedLink(trace),))
+        sched = PathScheduler()
+        sched.add_flow(0, 7_654_321, 1.25, path)
+        (done,) = drive(sched)
+        assert done.elapsed == Link(trace).download_time(7_654_321, 1.25)
+
+    def test_zero_byte_flow_costs_path_rtt(self):
+        trace = stable_trace(50.0, rtt=0.025)
+        sched = PathScheduler()
+        sched.add_flow(0, 0, 2.0, NetworkPath((SharedLink(trace),)))
+        (done,) = drive(sched)
+        assert done.elapsed == pytest.approx(0.025)
+        assert done.finish_time == pytest.approx(2.025)
+
+
+class TestHopMonotonicity:
+    """Adding a hop can never speed a transfer up."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        flows=flow_lists,
+        mean=st.floats(min_value=5.0, max_value=100.0),
+        extra_mbps=st.floats(min_value=2.0, max_value=400.0),
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    def test_extra_hop_never_faster(self, flows, mean, extra_mbps, seed):
+        one = PathScheduler()
+        two = PathScheduler()
+        first = lte_trace(mean, mean / 3, duration=120.0, seed=seed)
+        extra = stable_trace(extra_mbps, duration=120.0, rtt=0.0)
+        path_one = NetworkPath((SharedLink(first),))
+        path_two = NetworkPath((SharedLink(first), SharedLink(extra)))
+        for fid, (nbytes, start, weight) in enumerate(flows):
+            one.add_flow(fid, nbytes, start, path_one, weight=weight)
+            two.add_flow(fid, nbytes, start, path_two, weight=weight)
+        by_id_one = {c.flow_id: c for c in drive(one)}
+        for c in drive(two):
+            assert c.elapsed >= by_id_one[c.flow_id].elapsed - 1e-9
+
+    def test_slow_middle_hop_is_the_bottleneck(self):
+        """Path throughput is the min over hops, not the access link."""
+        fast = stable_trace(100.0, rtt=0.0)
+        slow = stable_trace(10.0, rtt=0.0)
+        sched = PathScheduler()
+        sched.add_flow(
+            0, 10_000_000, 0.0, NetworkPath((SharedLink(slow), SharedLink(fast)))
+        )
+        (done,) = drive(sched)
+        assert done.elapsed == pytest.approx(80e6 / 10e6)
+
+    def test_path_download_time_one_hop_matches_link(self):
+        trace = lte_trace(35, 10, seed=7)
+        path = NetworkPath((SharedLink(trace),))
+        for nbytes, start in [(0, 0.0), (123, 3.5), (9_999_999, 0.75)]:
+            assert path_download_time(path, nbytes, start) == Link(
+                trace
+            ).download_time(nbytes, start)
+
+
+class TestSharedHopContention:
+    def test_shared_backhaul_splits_between_paths(self):
+        """Two flows on disjoint access links sharing one backhaul each
+        get half the backhaul when it is the bottleneck."""
+        backhaul = SharedLink(stable_trace(20.0, rtt=0.0))
+        access_a = SharedLink(stable_trace(100.0, rtt=0.0))
+        access_b = SharedLink(stable_trace(100.0, rtt=0.0))
+        sched = PathScheduler()
+        sched.add_flow(0, 10_000_000, 0.0, NetworkPath((backhaul, access_a)))
+        sched.add_flow(1, 10_000_000, 0.0, NetworkPath((backhaul, access_b)))
+        done = drive(sched)
+        # 80 Mbit each over a shared 20 Mbps hop: both finish at t=8.
+        assert [c.finish_time for c in done] == pytest.approx([8.0, 8.0])
+
+    def test_per_link_delivered_accounting(self):
+        """Every hop a flow traverses carries its full byte count."""
+        backhaul = SharedLink(stable_trace(50.0, rtt=0.0))
+        access = SharedLink(stable_trace(50.0, rtt=0.0))
+        sched = PathScheduler()
+        sched.add_flow(0, 1_000_000, 0.0, NetworkPath((backhaul, access)))
+        sched.add_flow(1, 2_000_000, 0.0, NetworkPath((access,)))
+        drive(sched)
+        assert backhaul.delivered_bits == pytest.approx(8e6)
+        assert access.delivered_bits == pytest.approx(24e6)
+        assert sched.delivered_bits == pytest.approx(24e6)
+
+    def test_extra_delay_gates_data_start(self):
+        """An encode-gated flow starts late but elapsed counts from request."""
+        trace = stable_trace(80.0, rtt=0.0)
+        plain = PathScheduler()
+        plain.add_flow(0, 1_000_000, 0.0, NetworkPath((SharedLink(trace),)))
+        (base,) = drive(plain)
+        gated = PathScheduler()
+        gated.add_flow(
+            0, 1_000_000, 0.0, NetworkPath((SharedLink(trace),)), extra_delay=2.5
+        )
+        (late,) = drive(gated)
+        assert late.elapsed == pytest.approx(base.elapsed + 2.5)
+
+
+class TestValidation:
+    def test_path_needs_links(self):
+        with pytest.raises(ValueError, match="at least one link"):
+            NetworkPath(())
+
+    def test_path_rejects_duplicate_hop(self):
+        link = SharedLink(stable_trace(10.0))
+        with pytest.raises(ValueError, match="distinct"):
+            NetworkPath((link, link))
+
+    def test_add_flow_validation(self):
+        sched = PathScheduler()
+        path = NetworkPath((SharedLink(stable_trace(10.0)),))
+        sched.add_flow(0, 100, 0.0, path)
+        with pytest.raises(ValueError, match="already in flight"):
+            sched.add_flow(0, 100, 0.0, path)
+        with pytest.raises(ValueError, match="non-negative"):
+            sched.add_flow(1, -1, 0.0, path)
+        with pytest.raises(ValueError, match="non-negative"):
+            sched.add_flow(1, 100, -1.0, path)
+        with pytest.raises(ValueError, match="positive"):
+            sched.add_flow(1, 100, 0.0, path, weight=0.0)
+        with pytest.raises(ValueError, match="extra_delay"):
+            sched.add_flow(1, 100, 0.0, path, extra_delay=-0.1)
+        with pytest.raises(RuntimeError):
+            PathScheduler().next_event(0.0)

@@ -1,0 +1,476 @@
+"""CDN subsystem: degenerate parity, byte conservation, caches, encode, assignment."""
+
+import pytest
+
+from repro.metrics import QoEModel
+from repro.net import SharedLink, lte_trace, stable_trace
+from repro.streaming import (
+    AbandonPolicy,
+    CDNTopology,
+    ContinuousMPC,
+    DiurnalArrivals,
+    EdgeChunkCache,
+    EdgeNode,
+    EncodeQueue,
+    OriginServer,
+    SessionConfig,
+    SRQualityModel,
+    SRResultCache,
+    assign_sessions,
+    simulate_fleet,
+    uniform_cdn,
+)
+
+from .helpers import FixedDensity, spec, sr_lat
+
+
+def degenerate_topology(trace, *, policy="fair"):
+    """One edge, unconstrained backhaul, caching and encode disabled.
+
+    The backhaul trace shares the access trace's loop period (so every
+    boundary it contributes already exists on the access grid) at a rate
+    so high the access share is always the path minimum, with zero RTT —
+    the configuration under which a two-hop CDN must be *bit-exact* with
+    the bare single-link fleet.
+    """
+    backhaul = stable_trace(1e6, duration=trace.duration, rtt=0.0)
+    edge = EdgeNode(
+        name="edge-0",
+        backhaul=SharedLink(backhaul, policy=policy),
+        access=SharedLink(trace, policy=policy),
+        cache=EdgeChunkCache(capacity_bytes=0),
+    )
+    origin = OriginServer(n_encode_workers=1, encode_seconds=0.0)
+    return CDNTopology(edges=(edge,), origin=origin, assignment="static")
+
+
+class TestDegenerateParity:
+    """A one-edge CDN on an unconstrained backhaul == the single-link fleet."""
+
+    def assert_identical(self, a, b):
+        assert len(a.sessions) == len(b.sessions)
+        for ra, rb in zip(a.sessions, b.sessions):
+            assert ra.qoe == rb.qoe
+            assert ra.total_bytes == rb.total_bytes
+            assert ra.stall_seconds == rb.stall_seconds
+            assert ra.startup_delay == rb.startup_delay
+            assert ra.decisions == rb.decisions
+            assert ra.abandoned == rb.abandoned
+            for ca, cb in zip(ra.records, rb.records):
+                assert ca.quality == cb.quality
+                assert ca.stall == cb.stall
+                assert ca.bytes_downloaded == cb.bytes_downloaded
+
+    def make_sessions(self):
+        from repro.streaming import FleetSession
+
+        qm = SRQualityModel()
+        lat = sr_lat()
+        ctrl = ContinuousMPC(qm, QoEModel(), lat, n_grid=8, horizon=2)
+        return [
+            FleetSession(
+                spec=spec(8, name=f"v{i % 2}"),
+                controller=ctrl,
+                sr_latency=lat,
+                quality_model=qm,
+                join_time=1.5 * i,
+                churn=AbandonPolicy(max_total_stall=20.0),
+            )
+            for i in range(5)
+        ]
+
+    def test_mpc_fleet_on_lte(self):
+        trace = lte_trace(60, 18, seed=9)
+        flat = simulate_fleet(
+            self.make_sessions(), trace, sr_cache=SRResultCache()
+        )
+        cdn = simulate_fleet(
+            self.make_sessions(),
+            topology=degenerate_topology(trace),
+            sr_cache=SRResultCache(),
+        )
+        self.assert_identical(flat, cdn)
+        assert cdn.report.edge_hit_rate == 0.0
+        assert cdn.report.origin_egress_bytes == cdn.report.total_bytes
+
+    def test_unsorted_joins_with_shared_chunk_keys(self):
+        """Parity must survive dispatch order != virtual-time order: the
+        late joiner is listed *first*, and both sessions collide on every
+        (video, chunk, density) key.  A disabled encoder used to record
+        the late joiner's future request times as variant ready times,
+        gating the t=0 session behind a phantom 60 s encode wait."""
+        from repro.streaming import FleetSession
+
+        trace = stable_trace(45.0)
+
+        def sessions():
+            return [
+                FleetSession(spec=spec(6), controller=FixedDensity(0.5),
+                             join_time=60.0),
+                FleetSession(spec=spec(6), controller=FixedDensity(0.5)),
+            ]
+
+        flat = simulate_fleet(sessions(), trace)
+        cdn = simulate_fleet(sessions(), topology=degenerate_topology(trace))
+        self.assert_identical(flat, cdn)
+
+    def test_startup_bytes_and_weighted_policy(self):
+        from repro.streaming import FleetSession
+
+        trace = stable_trace(45.0)
+        cfg = SessionConfig(startup_bytes=2_000_000)
+
+        def sessions():
+            return [
+                FleetSession(spec=spec(6), controller=FixedDensity(0.5),
+                             config=cfg, weight=3.0),
+                FleetSession(spec=spec(6), controller=FixedDensity(0.5),
+                             config=cfg, join_time=2.0),
+            ]
+
+        flat = simulate_fleet(sessions(), trace, policy="weighted")
+        cdn = simulate_fleet(
+            sessions(),
+            topology=degenerate_topology(trace, policy="weighted"),
+        )
+        self.assert_identical(flat, cdn)
+
+
+class TestByteConservation:
+    """origin egress + edge-cache hit bytes == bytes delivered to viewers."""
+
+    def run_fleet(self, assignment, cache_bytes=1 << 32, n=24):
+        from repro.streaming import FleetSession
+
+        topo = uniform_cdn(
+            3,
+            access_mbps=120.0,
+            backhaul_mbps=40.0,
+            cache_bytes=cache_bytes,
+            assignment=assignment,
+            encode_seconds=0.02,
+            n_encode_workers=2,
+        )
+        sessions = [
+            FleetSession(
+                spec=spec(6, name=f"v{i % 4}"),
+                controller=FixedDensity(0.4),
+                join_time=1.0 * i,
+            )
+            for i in range(n)
+        ]
+        return simulate_fleet(sessions, topology=topo), topo
+
+    @pytest.mark.parametrize("assignment", ["static", "least-loaded", "popularity"])
+    def test_conservation(self, assignment):
+        result, topo = self.run_fleet(assignment)
+        rep = result.report
+        hit_bytes = sum(e.cache.hit_bytes for e in topo.edges)
+        assert rep.origin_egress_bytes + hit_bytes == rep.total_bytes
+        # Per-link fluid accounting agrees at bit granularity.
+        backhaul_bits = sum(e.backhaul.delivered_bits for e in topo.edges)
+        assert backhaul_bits == pytest.approx(8.0 * rep.origin_egress_bytes)
+        access_bits = sum(e.access.delivered_bits for e in topo.edges)
+        assert access_bits == pytest.approx(8.0 * rep.total_bytes)
+
+    def test_caching_reduces_origin_egress(self):
+        """Co-watching viewers turn origin egress into edge hits."""
+        cold, _ = self.run_fleet("popularity", cache_bytes=0)
+        warm, _ = self.run_fleet("popularity")
+        assert warm.report.edge_hit_rate > 0.2
+        assert cold.report.edge_hit_rate == 0.0
+        assert (
+            warm.report.origin_egress_bytes < cold.report.origin_egress_bytes
+        )
+        assert warm.report.total_bytes >= cold.report.total_bytes
+
+    def test_late_joiner_hits_chunks_cached_before_its_join(self):
+        """Cache lookups happen at request time, not at scheduler start:
+        a viewer joining after a co-watcher finished must hit every
+        chunk, including its first."""
+        from repro.streaming import FleetSession
+
+        topo = uniform_cdn(
+            1, access_mbps=200.0, backhaul_mbps=100.0, cache_bytes=1 << 32
+        )
+        sessions = [
+            FleetSession(spec=spec(8), controller=FixedDensity(0.5)),
+            FleetSession(spec=spec(8), controller=FixedDensity(0.5),
+                         join_time=60.0),
+        ]
+        simulate_fleet(sessions, topology=topo)
+        cache = topo.edges[0].cache
+        assert cache.misses == 8   # only the first viewer's pulls
+        assert cache.hits == 8     # the late joiner hits everything
+
+    def test_late_joiner_cannot_reserve_encode_workers_early(self):
+        """Encode jobs are submitted in virtual-time order: a t=50 joiner
+        must not occupy the single worker before a t~0 session's jobs."""
+        from repro.streaming import FleetSession
+
+        topo = uniform_cdn(
+            1, access_mbps=200.0, backhaul_mbps=100.0, cache_bytes=0,
+            n_encode_workers=1, encode_seconds=0.5,
+        )
+        sessions = [
+            FleetSession(spec=spec(8, name="a"), controller=FixedDensity(0.5)),
+            FleetSession(spec=spec(8, name="b"), controller=FixedDensity(0.5),
+                         join_time=50.0),
+        ]
+        simulate_fleet(sessions, topology=topo)
+        waits = topo.origin.queue.waits
+        assert len(waits) == 16
+        # Pre-fix, the late joiner's first job reserved the worker at
+        # scheduler start and an early job waited ~49.25 virtual seconds.
+        assert max(waits) < 1.0
+
+    def test_deferred_release_does_not_reset_solo_flow_progress(self):
+        """Enabling the cache only changes *bookkeeping* when no hit is
+        possible: two viewers of distinct videos must see identical
+        physics with caching on (deferred requests) and off (immediate).
+        A deferred release used to land mid-flight and silently restart
+        the in-flight solo transfer from its full byte count."""
+        from repro.streaming import FleetSession
+
+        def run(cache_bytes):
+            topo = uniform_cdn(
+                1, access_mbps=40.0, backhaul_mbps=20.0,
+                cache_bytes=cache_bytes,
+            )
+            sessions = [
+                FleetSession(spec=spec(8, name="a"),
+                             controller=FixedDensity(0.8)),
+                FleetSession(spec=spec(8, name="b"),
+                             controller=FixedDensity(0.8), join_time=3.0),
+            ]
+            return simulate_fleet(sessions, topology=topo)
+
+        off, on = run(0), run(1 << 32)
+        assert on.report.edge_hit_rate == off.report.edge_hit_rate == 0.0
+        for a, b in zip(off.sessions, on.sessions):
+            assert a.total_bytes == b.total_bytes
+            assert a.stall_seconds == pytest.approx(b.stall_seconds, rel=1e-9)
+            assert a.qoe == pytest.approx(b.qoe, rel=1e-9)
+        assert on.report.makespan == pytest.approx(
+            off.report.makespan, rel=1e-9
+        )
+
+    def test_report_percentiles_and_assignment_surface(self):
+        result, topo = self.run_fleet("least-loaded")
+        rep = result.report
+        assert len(rep.edge_hit_rates) == 3
+        assert 0.0 <= rep.edge_hit_rate <= 1.0
+        assert rep.encode_wait_p50 <= rep.encode_wait_p95
+        assert sorted(set(result.assignment)) == [0, 1, 2]
+        assert result.topology is topo
+
+
+class TestEdgeChunkCache:
+    def test_hit_requires_resident_fill(self):
+        cache = EdgeChunkCache(capacity_bytes=1000)
+        key = ("v", 0, 0.5)
+        assert not cache.lookup(key, 100, at_time=0.0)   # cold
+        cache.insert(key, 100, ready=5.0)
+        assert not cache.lookup(key, 100, at_time=4.0)   # still filling
+        assert cache.lookup(key, 100, at_time=5.0)       # resident
+        assert cache.hits == 1 and cache.misses == 2
+        assert cache.hit_bytes == 100 and cache.miss_bytes == 200
+
+    def test_lru_eviction_by_bytes(self):
+        cache = EdgeChunkCache(capacity_bytes=250)
+        cache.insert(("v", 0, 0.5), 100, ready=0.0)
+        cache.insert(("v", 1, 0.5), 100, ready=0.0)
+        assert cache.lookup(("v", 0, 0.5), 100, at_time=1.0)  # 0 now MRU
+        cache.insert(("v", 2, 0.5), 100, ready=1.0)           # evicts 1
+        assert cache.evictions == 1
+        assert cache.lookup(("v", 0, 0.5), 100, at_time=2.0)
+        assert not cache.lookup(("v", 1, 0.5), 100, at_time=2.0)
+        assert cache.used_bytes == 200
+
+    def test_oversized_variant_not_admitted(self):
+        cache = EdgeChunkCache(capacity_bytes=50)
+        cache.insert(("v", 0, 1.0), 100, ready=0.0)
+        assert len(cache) == 0
+        assert not cache.lookup(("v", 0, 1.0), 100, at_time=1.0)
+
+    def test_concurrent_fills_keep_earliest(self):
+        cache = EdgeChunkCache(capacity_bytes=1000)
+        cache.insert(("v", 0, 0.5), 100, ready=8.0)
+        cache.insert(("v", 0, 0.5), 100, ready=6.0)   # faster copy wins
+        cache.insert(("v", 0, 0.5), 100, ready=9.0)   # slower copy ignored
+        assert cache.lookup(("v", 0, 0.5), 100, at_time=6.5)
+        assert cache.used_bytes == 100
+
+    def test_zero_capacity_disables(self):
+        cache = EdgeChunkCache(capacity_bytes=0)
+        cache.insert(("v", 0, 0.5), 10, ready=0.0)
+        assert not cache.lookup(("v", 0, 0.5), 10, at_time=99.0)
+        with pytest.raises(ValueError):
+            EdgeChunkCache(capacity_bytes=-1)
+
+
+class TestEncodeQueue:
+    def test_workers_bound_concurrency(self):
+        q = EncodeQueue(n_workers=2)
+        assert q.submit(0.0, 1.0) == 1.0
+        assert q.submit(0.0, 1.0) == 1.0   # second worker
+        assert q.submit(0.0, 1.0) == 2.0   # queues behind the first
+        assert q.waits == [0.0, 0.0, 1.0]
+        assert q.wait_percentile(0.0) == 0.0
+        assert q.wait_percentile(100.0) == 1.0
+
+    def test_zero_cost_bypasses_pool(self):
+        q = EncodeQueue(n_workers=1)
+        q.submit(0.0, 2.0)
+        assert q.submit(1.0, 0.0) == 1.0   # no wait, no job recorded
+        assert q.n_jobs == 1
+
+    def test_origin_encodes_each_variant_once(self):
+        origin = OriginServer(n_encode_workers=1, encode_seconds=1.0)
+        assert origin.variant_ready(("v", 0, 0.5), 0.0) == 1.0
+        # Second requester waits for the in-flight encode, no new job.
+        assert origin.variant_ready(("v", 0, 0.5), 0.5) == 1.0
+        # Long after: variant exists, served immediately.
+        assert origin.variant_ready(("v", 0, 0.5), 10.0) == 10.0
+        assert origin.n_encoded == 1
+        assert origin.queue.n_jobs == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EncodeQueue(n_workers=0)
+        with pytest.raises(ValueError):
+            EncodeQueue(1).submit(0.0, -1.0)
+        with pytest.raises(ValueError):
+            EncodeQueue(1).wait_percentile(101.0)
+        with pytest.raises(ValueError):
+            OriginServer(encode_seconds=-0.1)
+
+
+class TestAssignment:
+    def sessions(self, n=12, videos=3):
+        from repro.streaming import FleetSession
+
+        return [
+            FleetSession(
+                spec=spec(4, name=f"v{i % videos}"),
+                controller=FixedDensity(0.5),
+                join_time=float(i),
+            )
+            for i in range(n)
+        ]
+
+    def test_static_is_deterministic_and_content_blind(self):
+        sessions = self.sessions()
+        a = assign_sessions(sessions, 4, "static")
+        assert a == assign_sessions(sessions, 4, "static")
+        assert all(0 <= e < 4 for e in a)
+
+    def test_least_loaded_balances(self):
+        counts = [0, 0, 0]
+        for e in assign_sessions(self.sessions(12), 3, "least-loaded"):
+            counts[e] += 1
+        assert counts == [4, 4, 4]
+
+    def test_popularity_groups_by_video(self):
+        sessions = self.sessions(12, videos=3)
+        a = assign_sessions(sessions, 4, "popularity")
+        by_video = {}
+        for s, e in zip(sessions, a):
+            by_video.setdefault(s.spec.name, set()).add(e)
+        assert all(len(edges) == 1 for edges in by_video.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="assignment"):
+            assign_sessions(self.sessions(2), 2, "random")
+        with pytest.raises(ValueError, match="n_edges"):
+            assign_sessions(self.sessions(2), 0, "static")
+        with pytest.raises(ValueError, match="assignment"):
+            uniform_cdn(2, access_mbps=10.0, backhaul_mbps=5.0,
+                        assignment="nope")
+        with pytest.raises(ValueError, match="at least one edge"):
+            CDNTopology(edges=())
+
+    def test_trace_and_topology_are_exclusive(self):
+        sessions = self.sessions(1)
+        topo = uniform_cdn(1, access_mbps=10.0, backhaul_mbps=5.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            simulate_fleet(sessions)
+        with pytest.raises(ValueError, match="exactly one"):
+            simulate_fleet(sessions, stable_trace(10.0), topology=topo)
+
+    def test_policy_arg_rejected_with_topology(self):
+        """Link policies live on the topology; a stray policy= must not
+        be silently ignored."""
+        topo = uniform_cdn(1, access_mbps=10.0, backhaul_mbps=5.0)
+        with pytest.raises(ValueError, match="topology's links"):
+            simulate_fleet(self.sessions(1), policy="weighted", topology=topo)
+
+
+class TestDiurnalArrivals:
+    def test_deterministic_and_in_window(self):
+        arr = DiurnalArrivals(mean_rate_hz=2.0, day_seconds=100.0, seed=4)
+        a, b = arr.times(100.0), arr.times(100.0)
+        assert (a == b).all()
+        assert len(a) > 0
+        assert (a > 0).all() and (a <= 100.0).all()
+
+    def test_prime_time_concentration(self):
+        """With the default curve, the evening half out-draws the night half."""
+        arr = DiurnalArrivals(mean_rate_hz=5.0, day_seconds=200.0, seed=0)
+        t = arr.times(200.0)
+        night = ((t / 200.0 * 24.0) < 6.0).sum()       # 00–06
+        evening = ((t / 200.0 * 24.0) >= 18.0).sum()   # 18–24
+        assert evening > 2 * night
+
+    def test_rate_follows_curve(self):
+        curve = (0.5,) * 12 + (1.5,) * 12
+        arr = DiurnalArrivals(
+            mean_rate_hz=1.0, curve=curve, day_seconds=24.0
+        )
+        assert arr.rate_at(0.0) == 0.5
+        assert arr.rate_at(12.0) == 1.5
+        assert arr.rate_at(24.0) == 0.5    # wraps
+        assert arr.rate_at(36.0) == 1.5
+
+    def test_phase_shifts_the_curve(self):
+        arr = DiurnalArrivals(
+            mean_rate_hz=1.0, day_seconds=24.0, phase_hours=20.0
+        )
+        mean = sum(arr.curve) / 24.0
+        assert arr.rate_at(0.0) == arr.curve[20] / mean
+
+    def test_negative_phase_float_modulo_edge(self):
+        """(-1e-18) % 24.0 == 24.0 exactly; the hour index must wrap."""
+        arr = DiurnalArrivals(
+            mean_rate_hz=1.0, day_seconds=24.0, phase_hours=-1e-18
+        )
+        mean = sum(arr.curve) / 24.0
+        assert arr.rate_at(0.0) == arr.curve[0] / mean
+        assert len(arr.times(24.0)) > 0
+
+    def test_curve_normalized_to_mean_rate(self):
+        """mean_rate_hz is the daily mean whatever the factors' scale:
+        scaling the whole curve leaves the rate function unchanged."""
+        curve = DiurnalArrivals(mean_rate_hz=2.0, day_seconds=24.0)
+        scaled = DiurnalArrivals(
+            mean_rate_hz=2.0,
+            curve=tuple(10.0 * c for c in curve.curve),
+            day_seconds=24.0,
+        )
+        for t in (0.0, 6.0, 12.0, 20.5):
+            assert scaled.rate_at(t) == pytest.approx(curve.rate_at(t))
+        # The time-average of rate_at over the day is mean_rate_hz.
+        hours = [curve.rate_at(h + 0.5) for h in range(24)]
+        assert sum(hours) / 24.0 == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mean_rate_hz"):
+            DiurnalArrivals(mean_rate_hz=0.0)
+        with pytest.raises(ValueError, match="24 hourly"):
+            DiurnalArrivals(mean_rate_hz=1.0, curve=(1.0, 2.0))
+        with pytest.raises(ValueError, match="non-negative"):
+            DiurnalArrivals(mean_rate_hz=1.0, curve=(-1.0,) + (1.0,) * 23)
+        with pytest.raises(ValueError, match="day_seconds"):
+            DiurnalArrivals(mean_rate_hz=1.0, day_seconds=0.0)
+        with pytest.raises(ValueError, match="window"):
+            DiurnalArrivals(mean_rate_hz=1.0).times(0.0)

@@ -57,6 +57,14 @@ class TestExamples:
         assert "abandoned" in proc.stdout
         assert "provisioning sweep" in proc.stdout
 
+    def test_cdn_demo(self):
+        proc = run("cdn_demo.py", "--sessions", "30", "--seconds", "8")
+        assert proc.returncode == 0, proc.stderr
+        assert "assignment policy sweep" in proc.stdout
+        assert "popularity" in proc.stdout
+        assert "encode contention" in proc.stdout
+        assert "GB delivered" in proc.stdout
+
     def test_end_to_end_client(self):
         proc = run("end_to_end_client.py", "--frames", "3")
         assert proc.returncode == 0, proc.stderr
