@@ -1,25 +1,31 @@
 """Fleet scheduler micro-benchmark: per-hop event loop wall time.
 
-PR 2 made the MPC decision pass cheap; the event-driven link scheduler is
-now the dominant cost of large-fleet simulation, and PR 3 rewired it to
-schedule every flow per hop through :class:`~repro.net.topology.PathScheduler`.
-This lane fails loudly if that rewire (or a future topology feature)
-regresses fleet wall time:
+PR 2 made the MPC decision pass cheap, PR 3 rewired every flow per hop
+through :class:`~repro.net.topology.PathScheduler`, and PR 4 rewrote that
+scheduler's event step as array math over flow-state tensors (plus
+request coalescing at CDN edges).  This lane fails loudly if the vector
+engine — or a future topology feature — regresses fleet wall time:
 
 * ``test_single_link_throughput_floor`` — the classic bottleneck fleet
-  must simulate at ≥150 content-seconds per wall second (measured ~1600
-  on a dev box; the floor leaves ~10x headroom for slow CI runners);
+  must simulate at ≥4500 content-seconds per wall second (measured ~5700
+  on the reference box; the pre-vectorization engine measured ~1450, so
+  the floor itself sits >3x above the old throughput);
 * ``test_cdn_throughput_floor`` — the two-hop CDN fleet (edge caches,
-  encode queue) must hold ≥90 content-seconds per wall second (measured
-  ~1000);
-* the ``benchmark``-fixture lanes track the absolute costs.
+  encode queue, coalescing) must hold ≥3000 content-seconds per wall
+  second (measured ~4300, ~950 before vectorization);
+* the ``benchmark``-fixture lanes track the absolute costs and feed the
+  committed ``BENCH_fleet.json`` trajectory (see
+  ``scripts/bench_report.py``).
 
 Runs in the fast benchmarks lane (`pytest benchmarks -m "not slow"`).
 """
 
 from __future__ import annotations
 
+import os
 import time
+
+import pytest
 
 from repro.experiments import make_cdn, make_fleet
 from repro.experiments.common import SMOKE
@@ -29,6 +35,19 @@ from repro.streaming import SRResultCache, VideoSpec, simulate_fleet
 N_SESSIONS = 100
 SECONDS = 8
 CONTENT_SECONDS = N_SESSIONS * SECONDS
+
+#: content-seconds simulated per wall-clock second, vector engine.
+#: ≥3x the throughput measured before the PathScheduler vectorization
+#: (~1450 single-link / ~950 CDN on the same box).
+SINGLE_LINK_FLOOR = 4500.0
+CDN_FLOOR = 3000.0
+
+#: Shared CI runners are routinely 2-4x slower than the reference box,
+#: and the floors above carry only ~25% local headroom — so ci.yml runs
+#: the lane with BENCH_FLOOR_SCALE=0.5.  That still catches losing the
+#: vector engine outright (the scalar loops measure ~0.3x the floors)
+#: without flaking on runner speed.  Local runs enforce the full bar.
+FLOOR_SCALE = float(os.environ.get("BENCH_FLOOR_SCALE", "1.0"))
 
 
 def _sessions():
@@ -49,7 +68,7 @@ def _run_cdn():
     return simulate_fleet(_sessions(), topology=topo, sr_cache=SRResultCache())
 
 
-def _best_of(fn, repeats: int = 2) -> float:
+def _best_of(fn, repeats: int = 3) -> float:
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
@@ -59,39 +78,78 @@ def _best_of(fn, repeats: int = 2) -> float:
 
 
 def test_single_link_throughput_floor():
-    """Conservative floor: ≥150 content-s/s through the one-hop path."""
+    """Vector-engine floor through the one-hop path."""
     wall = _best_of(_run_single_link)
     rate = CONTENT_SECONDS / wall
     print(f"\nsingle-link fleet {N_SESSIONS}x{SECONDS}s: {wall * 1e3:.0f} ms "
           f"({rate:.0f} content-s/s)")
-    assert rate >= 150.0, (
+    assert rate >= SINGLE_LINK_FLOOR * FLOOR_SCALE, (
         f"fleet scheduler regressed: {rate:.0f} content-s/s "
-        f"({wall:.2f}s for {CONTENT_SECONDS} content-s)"
+        f"({wall:.2f}s for {CONTENT_SECONDS} content-s, "
+        f"floor {SINGLE_LINK_FLOOR:.0f} x{FLOOR_SCALE:g})"
     )
 
 
 def test_cdn_throughput_floor():
-    """Conservative floor: ≥90 content-s/s through the two-hop CDN path."""
+    """Vector-engine floor through the two-hop CDN path."""
     wall = _best_of(_run_cdn)
     rate = CONTENT_SECONDS / wall
     print(f"\ncdn fleet {N_SESSIONS}x{SECONDS}s: {wall * 1e3:.0f} ms "
           f"({rate:.0f} content-s/s)")
-    assert rate >= 90.0, (
+    assert rate >= CDN_FLOOR * FLOOR_SCALE, (
         f"CDN fleet scheduler regressed: {rate:.0f} content-s/s "
-        f"({wall:.2f}s for {CONTENT_SECONDS} content-s)"
+        f"({wall:.2f}s for {CONTENT_SECONDS} content-s, "
+        f"floor {CDN_FLOOR:.0f} x{FLOOR_SCALE:g})"
     )
+
+
+@pytest.mark.slow
+def test_thousand_session_single_link_slow():
+    """Nightly scale lane: 1000 concurrent sessions through one link.
+
+    The floor is deliberately loose (half the fast-lane bar, before
+    scaling) — the point is catching superlinear blowups in the event
+    loop at 10x the fast-lane flow count, not wall-clock jitter.
+    """
+    spec = VideoSpec(
+        name="bench-scale", n_frames=SECONDS * 30, fps=30,
+        points_per_frame=100_000,
+    )
+    sessions = make_fleet(1000, spec, join_spacing=0.05, n_grid=8, horizon=2)
+    t0 = time.perf_counter()
+    simulate_fleet(sessions, stable_trace(4000.0), sr_cache=SRResultCache())
+    wall = time.perf_counter() - t0
+    rate = 1000 * SECONDS / wall
+    print(f"\n1000-session fleet: {wall:.1f} s ({rate:.0f} content-s/s)")
+    assert rate >= 0.5 * SINGLE_LINK_FLOOR * FLOOR_SCALE
+
+
+@pytest.mark.slow
+def test_thousand_session_cdn_slow():
+    """Nightly scale lane: 1000 sessions over an 8-edge CDN."""
+    spec = VideoSpec(
+        name="bench-scale", n_frames=SECONDS * 30, fps=30,
+        points_per_frame=100_000,
+    )
+    sessions = make_fleet(1000, spec, join_spacing=0.05, n_grid=8, horizon=2)
+    topo = make_cdn(SMOKE, 1000, n_edges=8, mbps_per_session=4.0)
+    t0 = time.perf_counter()
+    simulate_fleet(sessions, topology=topo, sr_cache=SRResultCache())
+    wall = time.perf_counter() - t0
+    rate = 1000 * SECONDS / wall
+    print(f"\n1000-session CDN fleet: {wall:.1f} s ({rate:.0f} content-s/s)")
+    assert rate >= 0.5 * CDN_FLOOR * FLOOR_SCALE
 
 
 def test_bench_single_link_fleet(benchmark):
     """Absolute cost of the 100-session single-bottleneck fleet.
 
     Pinned rounds keep the whole module inside the fast lane's wall-time
-    budget (an end-to-end fleet run is ~0.5 s; autocalibration would
-    loop it for seconds).
+    budget (autocalibration would loop the end-to-end run for seconds).
     """
-    benchmark.pedantic(_run_single_link, rounds=2, iterations=1)
+    benchmark.pedantic(_run_single_link, rounds=3, iterations=1)
 
 
 def test_bench_cdn_fleet(benchmark):
     """Absolute cost of the 100-session 4-edge CDN fleet (pinned rounds)."""
-    benchmark.pedantic(_run_cdn, rounds=2, iterations=1)
+    benchmark.pedantic(_run_cdn, rounds=3, iterations=1)

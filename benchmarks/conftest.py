@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import SMOKE, Scale, get_artifacts
+from repro.experiments import Scale, get_artifacts
 
 #: benchmark-wide workload (kept small so the full suite runs in minutes)
 BENCH_SCALE = Scale(

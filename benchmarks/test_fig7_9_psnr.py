@@ -1,7 +1,5 @@
 """Figs 7/9 — viewport PSNR for x2 and x4 SR across methods and videos."""
 
-import pytest
-
 from repro.experiments import run_sr_quality
 from benchmarks.conftest import BENCH_SCALE
 

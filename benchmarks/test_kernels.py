@@ -7,13 +7,11 @@ These time the actual Python implementations (not the device model):
 * neighbor-relationship reuse vs fresh kNN — paper Eq. 2's saving.
 """
 
-import numpy as np
 import pytest
 
 from repro.pointcloud import make_video
 from repro.spatial import TwoLayerOctree, brute_force_knn, merge_and_prune
 from repro.sr import LUTRefiner, NNRefiner, gather_refinement_neighborhoods, interpolate
-from repro.spatial.knn import kdtree_knn
 
 
 @pytest.fixture(scope="module")

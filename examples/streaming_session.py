@@ -46,7 +46,10 @@ def main() -> None:
         results = {s.name: run_system(s, spec, trace) for s in systems}
         base_qoe = results["volut"].qoe
         raw_bytes = results["raw"].total_bytes
-        header = f"{'system':14s} {'normQoE':>8s} {'data%':>7s} {'MB':>8s} {'stall s':>8s} {'meanQ':>6s}"
+        header = (
+            f"{'system':14s} {'normQoE':>8s} {'data%':>7s} {'MB':>8s} "
+            f"{'stall s':>8s} {'meanQ':>6s}"
+        )
         print(header)
         print("-" * len(header))
         for name, r in results.items():

@@ -1,0 +1,216 @@
+"""Post-process a pytest-benchmark JSON into the committed BENCH files.
+
+CI runs the fast benchmark lane with ``--benchmark-json`` and feeds the
+raw output through this script, which:
+
+1. distills it into ``BENCH_fleet.json`` and ``BENCH_mpc.json`` at the
+   repo root — small, schema-stable documents (one per benchmark suite)
+   holding the per-benchmark timings, the derived throughput metrics,
+   and the floors imported from the benchmark modules themselves;
+2. compares the fresh numbers against the previously *committed* BENCH
+   files (the trajectory baseline) and against the floors, exiting
+   nonzero on a regression — more than ``--tolerance`` (default 30%)
+   slower than the baseline, or any throughput under its floor.
+
+The written files are uploaded as workflow artifacts on every push, so
+the performance trajectory is recorded run over run; the committed
+copies are refreshed manually when a PR intentionally moves the numbers.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py raw.json [--out-dir .]
+        [--tolerance 0.3] [--no-check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _machine_fingerprint(raw: dict) -> dict:
+    """The slice of machine_info that decides timing comparability.
+
+    Wall-clock baselines only transfer between equivalent machines, so
+    the trajectory gate compares against a committed baseline only when
+    these fields match (floors are always enforced, scaled by
+    ``BENCH_FLOOR_SCALE`` — see ``benchmarks/bench_fleet.py``).
+    """
+    info = raw.get("machine_info", {})
+    return {
+        "machine": info.get("machine"),
+        "processor": info.get("processor"),
+        "python_version": info.get("python_version"),
+    }
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _stats(raw_bench: dict) -> dict:
+    s = raw_bench["stats"]
+    return {
+        "min_s": s["min"],
+        "mean_s": s["mean"],
+        "rounds": s["rounds"],
+    }
+
+
+def build_reports(raw: dict) -> dict[str, dict]:
+    """Distill raw pytest-benchmark output into the per-suite documents."""
+    by_name = {b["name"]: b for b in raw.get("benchmarks", [])}
+
+    def need(name: str) -> dict:
+        if name not in by_name:
+            raise SystemExit(
+                f"benchmark {name!r} missing from the raw JSON — did the "
+                "fast lane run with --benchmark-json?"
+            )
+        return _stats(by_name[name])
+
+    fleet_mod = _load_module(REPO_ROOT / "benchmarks" / "bench_fleet.py")
+    mpc_mod = _load_module(REPO_ROOT / "benchmarks" / "bench_mpc.py")
+
+    single = need("test_bench_single_link_fleet")
+    cdn = need("test_bench_cdn_fleet")
+    content = fleet_mod.CONTENT_SECONDS
+    single["content_s_per_wall_s"] = content / single["min_s"]
+    cdn["content_s_per_wall_s"] = content / cdn["min_s"]
+
+    machine = _machine_fingerprint(raw)
+    fleet = {
+        "schema": SCHEMA_VERSION,
+        "suite": "fleet",
+        "source": "benchmarks/bench_fleet.py",
+        "machine": machine,
+        "content_seconds": content,
+        "floors": {
+            "test_bench_single_link_fleet": fleet_mod.SINGLE_LINK_FLOOR,
+            "test_bench_cdn_fleet": fleet_mod.CDN_FLOOR,
+        },
+        "benchmarks": {
+            "test_bench_single_link_fleet": single,
+            "test_bench_cdn_fleet": cdn,
+        },
+    }
+    mpc = {
+        "schema": SCHEMA_VERSION,
+        "suite": "mpc",
+        "source": "benchmarks/bench_mpc.py",
+        "machine": machine,
+        "floors": {"decide_batch_speedup_x": mpc_mod.SPEEDUP_FLOOR},
+        "benchmarks": {
+            name: need(name)
+            for name in (
+                "test_bench_decide_batch",
+                "test_bench_decide_single",
+                "test_bench_scalar_reference",
+            )
+        },
+    }
+    return {"BENCH_fleet.json": fleet, "BENCH_mpc.json": mpc}
+
+
+def check_regressions(
+    reports: dict[str, dict], out_dir: Path, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """(failures, notes) vs the committed baselines and the floors.
+
+    Floors are enforced unconditionally, scaled by ``BENCH_FLOOR_SCALE``
+    (the same knob the benchmark asserts honor, so a slow shared runner
+    is granted the same slack in both gates).  Baseline trajectory is
+    compared only when the committed file was produced on an equivalent
+    machine — wall-clock numbers do not transfer across hardware.
+    """
+    floor_scale = float(os.environ.get("BENCH_FLOOR_SCALE", "1.0"))
+    failures: list[str] = []
+    notes: list[str] = []
+    for filename, report in reports.items():
+        floors = report.get("floors", {})
+        for name, bench in report["benchmarks"].items():
+            throughput = bench.get("content_s_per_wall_s")
+            floor = floors.get(name)
+            if (
+                throughput is not None
+                and floor is not None
+                and throughput < floor * floor_scale
+            ):
+                failures.append(
+                    f"{filename}: {name} at {throughput:.0f} content-s/s "
+                    f"is under its floor {floor:.0f} x{floor_scale:g}"
+                )
+        baseline_path = out_dir / filename
+        if not baseline_path.exists():
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        if baseline.get("machine") != report.get("machine"):
+            notes.append(
+                f"{filename}: baseline recorded on different hardware "
+                f"({baseline.get('machine')}) — trajectory gate skipped"
+            )
+            continue
+        for name, bench in report["benchmarks"].items():
+            base = baseline.get("benchmarks", {}).get(name)
+            if base is None or "min_s" not in base:
+                continue
+            limit = base["min_s"] * (1.0 + tolerance)
+            if bench["min_s"] > limit:
+                failures.append(
+                    f"{filename}: {name} took {bench['min_s'] * 1e3:.1f} ms, "
+                    f">{tolerance:.0%} over the committed baseline "
+                    f"{base['min_s'] * 1e3:.1f} ms"
+                )
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("raw_json", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument(
+        "--out-dir", default=str(REPO_ROOT),
+        help="where the BENCH_*.json files live (default: repo root)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed slowdown vs the committed baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="only rewrite the BENCH files, skip the regression gate",
+    )
+    args = parser.parse_args(argv)
+
+    raw = json.loads(Path(args.raw_json).read_text())
+    out_dir = Path(args.out_dir)
+    reports = build_reports(raw)
+    failures: list[str] = []
+    notes: list[str] = []
+    if not args.no_check:
+        failures, notes = check_regressions(reports, out_dir, args.tolerance)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for filename, report in reports.items():
+        path = out_dir / filename
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    for note in notes:
+        print(f"note: {note}")
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,11 @@
 Runs the named experiments at the chosen scale and prints each
 regenerated table/figure.  ``--list`` enumerates what is available;
 ``--all`` runs everything.  Called with no or unknown names, it lists the
-available experiments and exits 2 instead of guessing.
+available experiments and exits 2 instead of guessing.  A raising
+experiment no longer aborts the rest of the list: its traceback is
+printed, the remaining experiments still run, a per-experiment pass/fail
+summary closes the output, and the exit status is 1 — so a nightly
+``--all`` sweep reports every failure at once and still fails the build.
 """
 
 from __future__ import annotations
@@ -12,6 +16,7 @@ import argparse
 import inspect
 import sys
 import time
+import traceback
 
 from . import (
     PAPER,
@@ -85,6 +90,11 @@ def main(argv: list[str] | None = None) -> int:
         help="use the 24h diurnal arrival curve for the population experiments",
     )
     parser.add_argument(
+        "--sessions", type=int, default=None, metavar="N",
+        help="viewer count for experiments that take one (fleet-cdn, "
+        "fleet-population); default: each experiment's own",
+    )
+    parser.add_argument(
         "--report", metavar="FILE", default=None,
         help="also write the rendered tables to a markdown file",
     )
@@ -114,13 +124,24 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = PAPER if args.scale == "paper" else SMOKE
     sections: list[str] = []
+    outcomes: list[tuple[str, bool, float]] = []
     for name in names:
         fn = REGISTRY[name]
+        params = inspect.signature(fn).parameters
         kwargs = {}
-        if args.diurnal and "diurnal" in inspect.signature(fn).parameters:
+        if args.diurnal and "diurnal" in params:
             kwargs["diurnal"] = True
+        if args.sessions is not None and "n_sessions" in params:
+            kwargs["n_sessions"] = args.sessions
         t0 = time.time()
-        rendered = fn(scale, **kwargs).render()
+        try:
+            rendered = fn(scale, **kwargs).render()
+        except Exception:
+            traceback.print_exc()
+            outcomes.append((name, False, time.time() - t0))
+            print(f"[{name}: FAILED, {time.time() - t0:.1f}s]\n", file=sys.stderr)
+            continue
+        outcomes.append((name, True, time.time() - t0))
         print(rendered)
         print(f"[{name}: {time.time() - t0:.1f}s]\n")
         sections.append(f"## {name}\n\n```\n{rendered}\n```\n")
@@ -129,7 +150,15 @@ def main(argv: list[str] | None = None) -> int:
             fh.write(f"# VoLUT reproduction — experiment report ({scale.name} scale)\n\n")
             fh.write("\n".join(sections))
         print(f"report written to {args.report}")
-    return 0
+    failed = [name for name, ok, _ in outcomes if not ok]
+    if len(outcomes) > 1 or failed:
+        width = max(len(name) for name, _, _ in outcomes)
+        print("experiment summary:")
+        for name, ok, dt in outcomes:
+            status = "ok  " if ok else "FAIL"
+            print(f"  {name:<{width}}  {status}  {dt:.1f}s")
+        print(f"{len(outcomes) - len(failed)}/{len(outcomes)} experiments passed")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

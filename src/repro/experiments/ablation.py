@@ -15,7 +15,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..net.traces import PAPER_LTE_PROFILES, lte_trace
-from ..streaming.chunks import VideoSpec
 from ..systems.factory import (
     run_system,
     volut_discrete_system,

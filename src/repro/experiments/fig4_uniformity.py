@@ -10,8 +10,6 @@ radius against the ground-truth surface — lower is better coverage).
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..metrics.uniformity import coverage_radius, local_density_cv, nn_distance_cv
 from ..pointcloud.datasets import make_video
 from ..pointcloud.sampling import random_downsample_count

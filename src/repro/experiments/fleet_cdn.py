@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from ..net.traces import stable_trace
 from ..streaming.cdn import CDNTopology, uniform_cdn
-from ..streaming.fleet import FleetSession, SRResultCache, simulate_fleet
+from ..streaming.fleet import SRResultCache, simulate_fleet
 from .common import SMOKE, ResultTable, Scale
 from .workloads import make_population
 
@@ -78,6 +78,7 @@ def run_fleet_cdn(
             "topology",
             "assign",
             "edge_hit",
+            "coal_gb",
             "origin_gb",
             "data_gb",
             "enc_p95_s",
@@ -89,7 +90,9 @@ def run_fleet_cdn(
             f"{n_sessions} viewers, Zipf skew {skew:g}, {n_edges} edges, "
             f"{mbps_per_session:g} Mbps/viewer access split across edges, "
             "backhaul at 25% of edge access; origin_gb is backhaul egress "
-            "(cold misses + startup), data_gb is bytes delivered to viewers."
+            "(cold misses + startup), coal_gb the bytes served by "
+            "coalescing onto in-flight fills, data_gb bytes delivered to "
+            "viewers."
         ),
     )
     sessions = make_population(scale, n_sessions, skew=skew, diurnal=diurnal)
@@ -99,6 +102,7 @@ def run_fleet_cdn(
             topology=topology,
             assign=assign,
             edge_hit=round(rep.edge_hit_rate, 3),
+            coal_gb=round(rep.coalesced_bytes / 1e9, 2),
             origin_gb=round(rep.origin_egress_bytes / 1e9, 2),
             data_gb=round(rep.total_bytes / 1e9, 2),
             enc_p95_s=round(rep.encode_wait_p95, 3),

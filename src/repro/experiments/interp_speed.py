@@ -23,7 +23,6 @@ import numpy as np
 
 from ..devices import DESKTOP_GPU, ORANGE_PI, CostModel, DeviceProfile
 from ..pointcloud.datasets import make_video
-from ..pointcloud.sampling import random_downsample_count
 from ..sr.interpolation import interpolate
 from .common import SMOKE, ResultTable, Scale
 

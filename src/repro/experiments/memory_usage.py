@@ -74,7 +74,8 @@ def run_memory_usage() -> ResultTable:
     )
     rows = [
         ("volut (1 LUT)", VOLUT_LUT_BYTES, volut - VOLUT_LUT_BYTES, volut),
-        ("gradpu (pytorch)", GRADPU_MODEL_BYTES, gradpu_deployed - GRADPU_MODEL_BYTES, gradpu_deployed),
+        ("gradpu (pytorch)", GRADPU_MODEL_BYTES,
+         gradpu_deployed - GRADPU_MODEL_BYTES, gradpu_deployed),
         ("yuzu (frozen c++)", YUZU_MODEL_BYTES, yuzu - YUZU_MODEL_BYTES, yuzu),
     ]
     for name, model, working, total in rows:

@@ -10,8 +10,6 @@ two-person *haggle* capture, as real content would.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..compression.octree_codec import compression_summary
 from ..net.traces import lte_trace, stable_trace
 from ..pointcloud.datasets import PAPER_VIDEOS, make_video

@@ -14,7 +14,7 @@ evaluation harness (to score finished sessions), exactly as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

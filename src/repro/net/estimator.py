@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from collections import deque
 
-import numpy as np
-
 __all__ = ["HarmonicMeanEstimator"]
 
 
@@ -34,11 +32,19 @@ class HarmonicMeanEstimator:
         self._samples.append(float(throughput_bps))
 
     def estimate(self) -> float:
-        """Current harmonic-mean estimate (bps)."""
+        """Current harmonic-mean estimate (bps).
+
+        Computed with plain-Python arithmetic: this runs once per ABR
+        decision, and for windows under numpy's pairwise-summation block
+        (8) the sequential sum is bit-identical to the ``np.mean`` it
+        replaces.
+        """
         if not self._samples:
             return self.initial_bps
-        inv = np.mean([1.0 / s for s in self._samples])
-        return float(1.0 / inv)
+        total = 0.0
+        for s in self._samples:
+            total += 1.0 / s
+        return 1.0 / (total / len(self._samples))
 
     @property
     def n_samples(self) -> int:

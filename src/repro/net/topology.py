@@ -22,6 +22,23 @@ minimum — deterministic and monotone (adding a hop can never increase a
 flow's rate), though not globally max-min (bandwidth a flow cannot use on
 a non-bottleneck hop is not redistributed; the conservative model).
 
+**Two engines, one contract.**  ``PathScheduler(engine="vector")`` (the
+default) evaluates every event step as array math over flow-state
+tensors: flow scalars live in slot-indexed NumPy arrays, each flow's hop
+membership is a row of link indices in a dense ``(slot, hop)`` matrix,
+per-link share denominators come from one ``bincount`` over the active
+rows, per-flow rates from one ``min`` over the hop axis, and the next
+completion horizon from one ``np.min`` over ``remaining / rate``.
+``engine="scalar"`` keeps the original per-flow Python loops as the
+reference oracle.  The two engines are **bit-exact** with each other:
+every float expression is the same IEEE operation in the same order (the
+one order-sensitive reduction — the ``weighted`` share denominator,
+where NumPy's pairwise summation diverges from Python's sequential
+``sum`` at 8+ flows — is computed by an insertion-order Python sum on
+weighted links in both engines).  ``tests/net/test_topology.py`` pins
+the parity on a hypothesis grid of mixed weights, staggered starts, and
+multi-hop paths over shared links.
+
 **One-hop bit-exactness.**  For flows that all traverse the same one-hop
 path, every expression here mirrors :class:`SharedLink`'s arithmetic
 operation for operation (shares, drain, finish tolerance, the solo-flow
@@ -35,9 +52,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .link import Completion, SharedLink, _finish_threshold
+import numpy as np
 
-__all__ = ["NetworkPath", "PathScheduler", "path_download_time"]
+from .link import (
+    Completion,
+    SharedLink,
+    _FINISH_ATOL,
+    _FINISH_RTOL,
+    _finish_threshold,
+)
+
+__all__ = ["NetworkPath", "PathScheduler", "SCHEDULER_ENGINES", "path_download_time"]
 
 
 @dataclass(frozen=True)
@@ -134,6 +159,12 @@ class _PathFlow:
     #: exact elapsed via path_download_time when the flow had every hop to
     #: itself for its whole lifetime (None = shared/progressive)
     solo_elapsed: float | None = field(default=None)
+    #: row index in the vector engine's state arrays (-1 = scalar engine)
+    slot: int = -1
+
+
+#: Supported :class:`PathScheduler` event engines.
+SCHEDULER_ENGINES = ("vector", "scalar")
 
 
 class PathScheduler:
@@ -150,15 +181,29 @@ class PathScheduler:
     the path RTT without changing the elapsed-time origin — the hook the
     CDN layer uses for server-side encode waits (the viewer's measured
     download time includes the wait, as it would on a real service).
+
+    ``engine`` selects the event-step implementation: ``"vector"`` (the
+    default) runs each step as array math over all flows at once,
+    ``"scalar"`` keeps the per-flow Python loops as the reference oracle.
+    Both produce bit-identical :class:`Completion` streams (see module
+    docstring); ``delivered_bits`` totals may differ in the last ulp
+    because the vector engine accumulates them with one ``np.sum``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, engine: str = "vector") -> None:
+        if engine not in SCHEDULER_ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; pick from {SCHEDULER_ENGINES}"
+            )
+        self.engine = engine
         self._flows: dict[int, _PathFlow] = {}
         #: per-link flow registries, insertion-ordered like SharedLink's
         self._link_flows: dict[int, dict[int, _PathFlow]] = {}
         self._links: dict[int, SharedLink] = {}
         #: bits actually delivered to receivers (conservation checks)
         self.delivered_bits = 0.0
+        if engine == "vector":
+            self._vec = _VectorState()
 
     # ------------------------------------------------------------------
     def add_flow(
@@ -200,6 +245,8 @@ class PathScheduler:
         for link in path.links:
             self._links.setdefault(id(link), link)
             self._link_flows.setdefault(id(link), {})[flow_id] = flow
+        if self.engine == "vector":
+            self._vec.add(flow)
 
     @property
     def n_flows(self) -> int:
@@ -234,6 +281,8 @@ class PathScheduler:
         self.delivered_bits += drained
         self._account(solo, drained)
         solo.solo_elapsed = None
+        if self.engine == "vector":
+            self._vec.write_remaining(solo)
 
     # ------------------------------------------------------------------
     def _solo_flow(self) -> _PathFlow | None:
@@ -300,6 +349,8 @@ class PathScheduler:
                     solo.path, solo.nbytes, solo.start_time
                 )
             return solo.start_time + solo.solo_elapsed
+        if self.engine == "vector":
+            return self._next_event_vector(now)
 
         events = [f.data_start for f in self._flows.values() if f.data_start > now]
         # Zero-byte transfers complete as soon as their RTT elapses.
@@ -337,6 +388,8 @@ class PathScheduler:
                 self._remove(solo)
                 return [Completion(solo.flow_id, finish, solo.solo_elapsed)]
             return []
+        if self.engine == "vector":
+            return self._advance_vector(now, to_time)
 
         dt = to_time - now
         active = [
@@ -367,6 +420,154 @@ class PathScheduler:
         return done
 
     # ------------------------------------------------------------------
+    # Vector engine: one array pass per event step.
+    def _vec_alloc(self, now: float):
+        """Active slots, their min-over-hops rates, and active link indices.
+
+        Cached on ``(now, state version)`` so the ``next_event`` →
+        ``advance`` pair of one event step computes the allocation once.
+        Every float expression mirrors the scalar engine operation for
+        operation: fair denominators are integer counts (exact in any
+        summation order), weighted denominators fall back to an
+        insertion-order Python sum (NumPy's pairwise reduction diverges
+        from ``sum`` at 8+ flows), shares are ``cap / denom`` or
+        ``(cap * w) / denom``, and the per-flow rate is an
+        order-insensitive min over the hop axis.
+        """
+        v = self._vec
+        key = (now, v.version)
+        cached = v.alloc_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        n = v.n_slots
+        act = v.alive[:n] & (v.data_start[:n] <= now) & (v.remaining[:n] > 0.0)
+        idx = act.nonzero()[0]
+        if idx.size == 0:
+            out = (idx, _EMPTY, [])
+        elif len(v.link_list) == 2:
+            # One real link in the pool (the classic single-bottleneck
+            # fleet): every active flow shares it, so the whole incidence
+            # machinery collapses to one share computation.
+            link = v.link_list[1]
+            capacity = link.trace.bandwidth_at(now)
+            if link.policy == "weighted":
+                denom = 0.0
+                for f in self._link_flows[id(link)].values():
+                    if act[f.slot]:
+                        denom += f.weight
+                rates = capacity * v.weight[idx] / denom
+            else:
+                rates = np.full(idx.size, capacity / float(idx.size))
+            out = (idx, rates, [1])
+        else:
+            rows = v.hops[idx]
+            counts = np.bincount(rows.ravel(), minlength=len(v.link_list))
+            denom = counts.astype(np.float64)
+            denom[0] = 1.0  # padding sentinel: never a real share
+            active_links = (np.nonzero(counts[1:])[0] + 1).tolist()
+            cap = np.empty(len(v.link_list))
+            cap[0] = np.inf
+            for li in active_links:
+                cap[li] = v.link_list[li].trace.bandwidth_at(now)
+            if v.weighted_links:
+                for li in v.weighted_links:
+                    if counts[li]:
+                        total = 0.0
+                        for f in self._link_flows[id(v.link_list[li])].values():
+                            if act[f.slot]:
+                                total += f.weight
+                        denom[li] = total
+                numer = np.where(
+                    v.is_weighted[rows],
+                    cap[rows] * v.weight[idx][:, None],
+                    cap[rows],
+                )
+            else:
+                numer = cap[rows]
+            rates = (numer / denom[rows]).min(axis=1)
+            out = (idx, rates, active_links)
+        v.alloc_cache = (key, out)
+        return out
+
+    def _next_event_vector(self, now: float) -> float:
+        v = self._vec
+        n = v.n_slots
+        ds = v.data_start[:n]
+        alive = v.alive[:n]
+        best = np.inf
+        waiting = ds[alive & (ds > now)]
+        if waiting.size:
+            best = waiting.min()
+        # Already-empty flows (zero-byte transfers, sync-drained solos)
+        # complete as soon as their data start elapses.
+        for f in v.finished:
+            best = min(best, max(f.data_start, now))
+        idx, rates, active_links = self._vec_alloc(now)
+        for li in active_links:
+            trace = v.link_list[li].trace
+            best = min(best, now + trace.time_to_next_change(now))
+        if idx.size:
+            best = min(best, (now + v.remaining[idx] / rates).min())
+        return float(best)
+
+    def _advance_vector(self, now: float, to_time: float) -> list[Completion]:
+        v = self._vec
+        idx, rates, _ = self._vec_alloc(now)
+        finished: list[_PathFlow] = []
+        if idx.size:
+            dt = to_time - now
+            cur = v.remaining[idx]
+            drained = np.minimum(rates * dt, cur)
+            after = cur - drained
+            thresh = np.maximum(_FINISH_RTOL * v.total[idx], _FINISH_ATOL)
+            flush = after <= thresh
+            total_bits = float(drained.sum())
+            if flush.any():
+                residue = after[flush]
+                accounted = drained + np.where(flush, after, 0.0)
+                total_bits += float(residue.sum())
+                after[flush] = 0.0
+            else:
+                accounted = drained
+            self.delivered_bits += total_bits
+            v.remaining[idx] = after
+            if len(v.link_list) == 2:
+                v.link_list[1].delivered_bits += total_bits
+            else:
+                rows = v.hops[idx]
+                per_link = np.bincount(
+                    rows.ravel(),
+                    weights=np.repeat(accounted, rows.shape[1]),
+                    minlength=len(v.link_list),
+                )
+                for li in per_link[1:].nonzero()[0].tolist():
+                    v.link_list[li + 1].delivered_bits += float(per_link[li + 1])
+            # Mirror remaining into the flow objects so the solo fast
+            # path and sync() (which read objects) stay coherent.
+            flow_of = v.flow_of
+            for s, r in zip(idx.tolist(), after.tolist()):
+                flow_of[s].remaining_bits = r
+                if r == 0.0:
+                    finished.append(flow_of[s])
+            v.version += 1
+        # Flows can complete two ways: drained to zero above, or already
+        # empty (zero-byte transfers, sync-drained solos) once their
+        # data_start has elapsed.
+        if v.finished:
+            finished.extend(
+                f for f in v.finished if f.data_start <= to_time
+            )
+        if not finished:
+            return []
+        finished.sort(key=lambda f: f.flow_id)
+        done: list[Completion] = []
+        for f in finished:
+            finish = f.data_start if f.total_bits == 0.0 else to_time
+            done.append(Completion(f.flow_id, finish, finish - f.start_time))
+            self._remove(f)
+        return done
+
+    # ------------------------------------------------------------------
     def _account(self, flow: _PathFlow, bits: float) -> None:
         """Charge ``bits`` to every hop the flow traverses (series)."""
         if bits == 0.0:
@@ -378,3 +579,129 @@ class PathScheduler:
         del self._flows[flow.flow_id]
         for link in flow.path.links:
             del self._link_flows[id(link)][flow.flow_id]
+        if self.engine == "vector":
+            self._vec.remove(flow)
+
+
+_EMPTY = np.empty(0)
+
+
+class _VectorState:
+    """Slot-indexed array state behind the vector engine.
+
+    Each in-flight flow owns one row across a set of parallel arrays plus
+    one row of the ``hops`` matrix, whose entries are indices into
+    ``link_list`` (index 0 is a padding sentinel for paths shorter than
+    the matrix width).  Slots are recycled through a free list, so a
+    steady-state fleet allocates nothing per event; arrays double when
+    the high-water mark is hit.
+    """
+
+    _INITIAL_SLOTS = 64
+
+    def __init__(self) -> None:
+        cap = self._INITIAL_SLOTS
+        self.n_slots = 0  # high-water mark
+        self.free: list[int] = []
+        self.flow_of: list[_PathFlow | None] = [None] * cap
+        self.data_start = np.zeros(cap)
+        self.remaining = np.zeros(cap)
+        self.total = np.zeros(cap)
+        self.weight = np.zeros(cap)
+        self.alive = np.zeros(cap, dtype=bool)
+        self.hops = np.zeros((cap, 2), dtype=np.intp)
+        #: index 0 reserved as the padding sentinel
+        self.link_list: list[SharedLink | None] = [None]
+        self.link_index: dict[int, int] = {}
+        self.weighted_links: list[int] = []
+        self.is_weighted = np.zeros(1, dtype=bool)
+        #: flows already at zero remaining bits that still await their
+        #: completion report: zero-byte transfers (complete at their
+        #: data_start) and solo flows fully drained by an out-of-band
+        #: ``sync`` — neither shows up in the active-drain pass.
+        self.finished: list[_PathFlow] = []
+        #: bumped on any state change; keys the allocation cache
+        self.version = 0
+        self.alloc_cache: tuple | None = None
+
+    def add(self, flow: _PathFlow) -> None:
+        links = flow.path.links
+        grew_links = False
+        for link in links:
+            if id(link) not in self.link_index:
+                li = len(self.link_list)
+                self.link_index[id(link)] = li
+                self.link_list.append(link)
+                if link.policy == "weighted":
+                    self.weighted_links.append(li)
+                grew_links = True
+        if grew_links:
+            self.is_weighted = np.array(
+                [l is not None and l.policy == "weighted" for l in self.link_list]
+            )
+        if self.free:
+            s = self.free.pop()
+        else:
+            if self.n_slots == len(self.alive):
+                self._grow_rows()
+            s = self.n_slots
+            self.n_slots += 1
+        if len(links) > self.hops.shape[1]:
+            self._grow_cols(len(links))
+        flow.slot = s
+        self.flow_of[s] = flow
+        self.data_start[s] = flow.data_start
+        self.remaining[s] = flow.remaining_bits
+        self.total[s] = flow.total_bits
+        self.weight[s] = flow.weight
+        row = self.hops[s]
+        row[:] = 0
+        for j, link in enumerate(links):
+            row[j] = self.link_index[id(link)]
+        self.alive[s] = True
+        if flow.total_bits == 0.0:
+            self.finished.append(flow)
+        self.version += 1
+
+    def remove(self, flow: _PathFlow) -> None:
+        s = flow.slot
+        self.alive[s] = False
+        self.flow_of[s] = None
+        self.free.append(s)
+        flow.slot = -1
+        if flow in self.finished:
+            self.finished.remove(flow)
+        self.version += 1
+
+    def write_remaining(self, flow: _PathFlow) -> None:
+        """Mirror an out-of-band drain (``sync``) into the arrays.
+
+        A sync that empties the flow entirely (a deferred request landing
+        exactly on the solo finish) must also queue it for completion:
+        with zero remaining bits it is invisible to the active-drain
+        pass, and the scalar engine's full-pool scan has no vector
+        equivalent.
+        """
+        self.remaining[flow.slot] = flow.remaining_bits
+        if flow.remaining_bits <= 0.0 and flow not in self.finished:
+            self.finished.append(flow)
+        self.version += 1
+
+    def _grow_rows(self) -> None:
+        def doubled(a: np.ndarray) -> np.ndarray:
+            out = np.zeros((len(a) * 2,) + a.shape[1:], dtype=a.dtype)
+            out[: len(a)] = a
+            return out
+
+        self.data_start = doubled(self.data_start)
+        self.remaining = doubled(self.remaining)
+        self.total = doubled(self.total)
+        self.weight = doubled(self.weight)
+        self.alive = doubled(self.alive)
+        self.hops = doubled(self.hops)
+        self.flow_of.extend([None] * (len(self.alive) - len(self.flow_of)))
+
+    def _grow_cols(self, n_hops: int) -> None:
+        wide = np.zeros((len(self.hops), n_hops), dtype=self.hops.dtype)
+        wide[:, : self.hops.shape[1]] = self.hops
+        self.hops = wide

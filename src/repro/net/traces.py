@@ -14,6 +14,7 @@ rate in bits per second.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -68,32 +69,41 @@ class NetworkTrace:
             raise ValueError("bandwidths must be positive")
         if self.rtt < 0:
             raise ValueError("rtt must be non-negative")
+        # The event schedulers call bandwidth_at / time_to_next_change once
+        # per link per event step — millions of times in a large fleet.
+        # Traces are immutable after construction, so the duration and
+        # plain-list views are computed once here and the lookups below run
+        # on bisect instead of array machinery.  Values are bit-identical
+        # (tolist() preserves float64 exactly).
+        if len(self.timestamps) == 1:
+            self._duration = float(self.timestamps[0] + 1.0)
+        else:
+            seg = float(np.median(np.diff(self.timestamps)))
+            self._duration = float(self.timestamps[-1] + seg)
+        self._ts_list: list[float] = self.timestamps.tolist()
+        self._bw_list: list[float] = self.bandwidths_bps.tolist()
 
     # ------------------------------------------------------------------
     @property
     def duration(self) -> float:
         """Nominal trace length: last segment start + median segment width."""
-        if len(self.timestamps) == 1:
-            return float(self.timestamps[0] + 1.0)
-        seg = float(np.median(np.diff(self.timestamps)))
-        return float(self.timestamps[-1] + seg)
+        return self._duration
 
     def bandwidth_at(self, t: float) -> float:
         """Link rate (bps) at absolute time ``t`` (loops past the end)."""
         if t < 0:
             raise ValueError("time must be non-negative")
-        t = t % self.duration
-        i = int(np.searchsorted(self.timestamps, t, side="right") - 1)
-        return float(self.bandwidths_bps[i])
+        t = t % self._duration
+        return self._bw_list[bisect_right(self._ts_list, t) - 1]
 
     def time_to_next_change(self, t: float) -> float:
         """Seconds from ``t`` to the next segment boundary (loop-aware)."""
         if t < 0:
             raise ValueError("time must be non-negative")
-        local = t % self.duration
-        i = int(np.searchsorted(self.timestamps, local, side="right"))
-        nxt = self.timestamps[i] if i < len(self.timestamps) else self.duration
-        return float(nxt - local)
+        local = t % self._duration
+        i = bisect_right(self._ts_list, local)
+        nxt = self._ts_list[i] if i < len(self._ts_list) else self._duration
+        return nxt - local
 
     def mean_bandwidth(self) -> float:
         """Time-weighted mean rate over one loop (bps)."""

@@ -59,7 +59,6 @@ def merge_and_prune(
     m = len(new_points)
     if m == 0:
         return (np.zeros((0, k), dtype=np.int64), np.zeros((0, k)))
-    k_src = neighbor_idx.shape[1]
     # Candidates: both parents plus both parents' neighbor lists.
     cand = np.concatenate(
         [

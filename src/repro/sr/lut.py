@@ -23,7 +23,7 @@ key axis, to zero offset, or to live network inference with memoization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,9 +9,13 @@ given a topology:
 * :class:`EdgeChunkCache` — a byte-capacity LRU of encoded chunk
   variants held at one edge.  A hit serves the chunk over the access
   link alone; a miss pulls origin → edge → viewer over the two-hop
-  path and fills the cache when the transfer completes (a result still
-  in flight is not shared — the same deterministic model as the SR
-  result cache).
+  path and fills the cache when the transfer completes.  The cache also
+  tracks *in-flight* fills for request coalescing: a concurrent miss
+  for a chunk some other viewer is already pulling attaches to that one
+  backhaul transfer (its data starts flowing, over the access link
+  alone, when the fill lands) instead of opening a second origin pull —
+  the request-collapsing every production CDN does, and a flow-count
+  lever for the fleet scheduler.
 * :class:`EncodeQueue` / :class:`OriginServer` — bounded server-side
   transcode contention.  The origin encodes each (video, chunk,
   density) variant once, on first request, on a fixed pool of encode
@@ -72,11 +76,13 @@ class EdgeChunkCache:
     Keyed by (video, chunk index, density) — the tuple that determines an
     encoded variant.  An entry carries the virtual time its fill transfer
     completed: a request hits only if the variant is fully resident *at
-    the moment the request goes out*; a variant still being pulled by
-    another viewer is a miss (each miss pulls its own copy — the simpler,
-    deterministic model).  ``capacity_bytes=0`` disables caching (every
-    request misses), which is what the degenerate-topology parity test
-    uses.
+    the moment the request goes out*.  A variant still being pulled by
+    another viewer is a miss, but a *coalesced* one: the fleet driver
+    checks :meth:`fill_in_flight` and attaches the request to the
+    existing backhaul transfer (see :meth:`attach`) instead of opening a
+    second origin pull.  ``capacity_bytes=0`` disables caching — and
+    with it coalescing — so every request misses and pulls its own copy,
+    which is what the degenerate-topology parity test uses.
     """
 
     def __init__(self, capacity_bytes: int = 1 << 30):
@@ -84,12 +90,18 @@ class EdgeChunkCache:
             raise ValueError("capacity_bytes must be non-negative")
         self.capacity_bytes = int(capacity_bytes)
         self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self._pending: set[tuple] = set()
         self.used_bytes = 0
         self.hits = 0
         self.misses = 0
         self.hit_bytes = 0
         self.miss_bytes = 0
         self.evictions = 0
+        #: backhaul fills actually opened (cold misses that pulled bytes)
+        self.fills = 0
+        #: misses that attached to an in-flight fill instead of pulling
+        self.coalesced = 0
+        self.coalesced_bytes = 0
 
     def lookup(self, key: tuple, nbytes: int, at_time: float) -> bool:
         """True (and bump LRU/stats) iff ``key`` is resident at ``at_time``."""
@@ -103,15 +115,34 @@ class EdgeChunkCache:
         self.miss_bytes += nbytes
         return False
 
+    # -- in-flight fill tracking (request coalescing) ------------------
+    def fill_in_flight(self, key: tuple) -> bool:
+        """True iff a backhaul fill for ``key`` is currently in flight."""
+        return key in self._pending
+
+    def begin_fill(self, key: tuple) -> None:
+        """Record that a cold miss opened a backhaul fill for ``key``."""
+        self._pending.add(key)
+        self.fills += 1
+
+    def attach(self, key: tuple, nbytes: int) -> None:
+        """Record a miss that coalesced onto the in-flight fill of ``key``."""
+        if key not in self._pending:
+            raise ValueError(f"no fill in flight for {key!r}")
+        self.coalesced += 1
+        self.coalesced_bytes += nbytes
+
     def insert(self, key: tuple, nbytes: int, ready: float) -> None:
         """Record a completed fill: ``key`` resident from ``ready`` on.
 
-        Concurrent fills keep whichever copy lands first, mirroring
-        :meth:`SRResultCache.acquire`.  Variants larger than the whole
-        cache are not admitted.
+        Clears the in-flight marker for ``key``; concurrent fills (only
+        possible with coalescing disabled) keep whichever copy lands
+        first, mirroring :meth:`SRResultCache.acquire`.  Variants larger
+        than the whole cache are not admitted.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        self._pending.discard(key)
         if nbytes > self.capacity_bytes:
             return
         existing = self._entries.get(key)

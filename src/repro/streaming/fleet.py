@@ -166,6 +166,10 @@ class FleetReport:
     abandon_rate: float = 0.0
     #: bytes that crossed an origin → edge backhaul (cold misses + startup)
     origin_egress_bytes: int = 0
+    #: chunk misses that attached to an in-flight fill (request coalescing)
+    coalesced_fills: int = 0
+    #: bytes those coalesced requests delivered without touching the origin
+    coalesced_bytes: int = 0
     #: request-weighted hit rate across all edge chunk caches
     edge_hit_rate: float = 0.0
     #: per-edge chunk-cache hit rates, topology edge order
@@ -238,6 +242,7 @@ def simulate_fleet(
     policy: str = "fair",
     sr_cache: SRResultCache | None = None,
     topology: CDNTopology | None = None,
+    engine: str = "vector",
 ) -> FleetResult:
     """Run a fleet of sessions over a shared serving topology.
 
@@ -246,7 +251,10 @@ def simulate_fleet(
     access hops, origin encode contention) must be given.  ``policy``
     configures the single link; a topology's links carry their own
     sharing policies, so combining it with a non-default ``policy`` is
-    rejected rather than silently ignored.
+    rejected rather than silently ignored.  ``engine`` selects the
+    :class:`~repro.net.topology.PathScheduler` implementation
+    (``"vector"`` array math by default, ``"scalar"`` the bit-exact
+    reference oracle).
 
     The scheduler advances virtual time event to event: it asks the path
     scheduler for the next instant any link's fluid allocation can
@@ -287,7 +295,7 @@ def simulate_fleet(
         )
         for s in sessions
     ]
-    sched = PathScheduler()
+    sched = PathScheduler(engine=engine)
     if topology is None:
         assert trace is not None
         base_path: NetworkPath | None = NetworkPath(
@@ -297,8 +305,10 @@ def simulate_fleet(
     else:
         base_path = None
         assignment = topology.assign(sessions)
-    #: flows that must fill an edge cache on completion: sid -> (edge, key, bytes)
+    #: flows that must fill an edge cache on completion: sid -> (edge idx, key, bytes)
     pending_fill: dict[int, tuple] = {}
+    #: requests coalesced onto an in-flight fill: (edge idx, key) -> [(sid, req)]
+    fill_waiters: dict[tuple, list[tuple[int, DownloadRequest]]] = {}
     origin_egress = 0
     #: topology requests dated beyond the current event, ordered by
     #: (start_time, session id).  Cache lookups and encode reservations
@@ -318,7 +328,8 @@ def simulate_fleet(
             )
             return
         assert topology is not None
-        edge = topology.edges[assignment[sid]]
+        edge_idx = assignment[sid]
+        edge = topology.edges[edge_idx]
         key = _chunk_key(req)
         if key is not None and edge.cache.lookup(key, req.nbytes, req.start_time):
             sched.add_flow(
@@ -328,11 +339,20 @@ def simulate_fleet(
             return
         delay = 0.0
         if key is not None:
+            if edge.cache.fill_in_flight(key):
+                # Another viewer is already pulling this chunk: coalesce.
+                # The request parks until that one backhaul transfer
+                # lands, then streams from the edge over the access link.
+                edge.cache.attach(key, req.nbytes)
+                fill_waiters.setdefault((edge_idx, key), []).append((sid, req))
+                return
             # Cold chunk: the origin must hold the encoded variant before
             # the backhaul transfer starts (bounded transcode workers).
             ready = topology.origin.variant_ready(key, req.start_time)
             delay = ready - req.start_time
-            pending_fill[sid] = (edge, key, req.nbytes)
+            if edge.cache.capacity_bytes > 0:
+                edge.cache.begin_fill(key)
+            pending_fill[sid] = (edge_idx, key, req.nbytes)
         origin_egress += req.nbytes
         sched.add_flow(
             sid, req.nbytes, req.start_time, edge.miss_path,
@@ -394,8 +414,23 @@ def simulate_fleet(
             for done in sched.advance(now, t):
                 fill = pending_fill.pop(done.flow_id, None)
                 if fill is not None:
-                    edge, key, nbytes = fill
+                    edge_idx, key, nbytes = fill
+                    edge = topology.edges[edge_idx]
                     edge.cache.insert(key, nbytes, ready=done.finish_time)
+                    # Release every request that coalesced onto this fill:
+                    # the chunk now sits at the edge, so each waiter
+                    # streams it over the one-hop access path, its data
+                    # gated to the fill's landing instant (the elapsed
+                    # time still counts from its own request).
+                    for wsid, wreq in fill_waiters.pop((edge_idx, key), ()):
+                        gate = done.finish_time - (
+                            wreq.start_time + edge.hit_path.rtt
+                        )
+                        sched.add_flow(
+                            wsid, wreq.nbytes, wreq.start_time, edge.hit_path,
+                            weight=sessions[wsid].weight,
+                            extra_delay=max(gate, 0.0),
+                        )
                 req = machines[done.flow_id].advance(done.elapsed)
                 if isinstance(req, DecisionRequest):
                     needs_decision.append(done.flow_id)
@@ -420,6 +455,7 @@ def simulate_fleet(
 
     results = [m.result for m in machines]
     assert all(r is not None for r in results), "fleet left unfinished sessions"
+    assert not fill_waiters, "fleet left coalesced requests waiting"
     agg = aggregate_qoe(
         [r.qoe for r in results],
         [r.stall_seconds for r in results],
@@ -435,12 +471,15 @@ def simulate_fleet(
         edge_hit_rate = edge_hits / lookups if lookups else 0.0
         encode_p50 = topology.origin.queue.wait_percentile(50.0)
         encode_p95 = topology.origin.queue.wait_percentile(95.0)
+        coalesced_fills = sum(e.cache.coalesced for e in topology.edges)
+        coalesced_bytes = sum(e.cache.coalesced_bytes for e in topology.edges)
     else:
         # No edges: every byte leaves the origin.
         origin_egress = total_bytes
         edge_hit_rates = ()
         edge_hit_rate = 0.0
         encode_p50 = encode_p95 = 0.0
+        coalesced_fills = coalesced_bytes = 0
     report = FleetReport(
         n_sessions=len(results),
         mean_qoe=agg["mean_qoe"],
@@ -455,6 +494,8 @@ def simulate_fleet(
         n_abandoned=n_abandoned,
         abandon_rate=n_abandoned / len(results),
         origin_egress_bytes=origin_egress,
+        coalesced_fills=coalesced_fills,
+        coalesced_bytes=coalesced_bytes,
         edge_hit_rate=edge_hit_rate,
         edge_hit_rates=edge_hit_rates,
         encode_wait_p50=encode_p50,

@@ -9,7 +9,6 @@ from ..metrics.qoe import QoEModel, QoEWeights
 from ..net.traces import NetworkTrace
 from ..streaming.abr import (
     AbrController,
-    BufferBased,
     ContinuousMPC,
     DiscreteMPC,
     SRQualityModel,

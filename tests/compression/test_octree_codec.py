@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compression import (
-    EncodedCloud,
     compression_summary,
     octree_decode,
     octree_encode,

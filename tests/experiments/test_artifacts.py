@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.artifacts import _CACHE, get_artifacts
+from repro.experiments.artifacts import get_artifacts
 from repro.experiments.common import Scale
 
 TINY = Scale(

@@ -1,7 +1,5 @@
 """CLI runner tests."""
 
-import pytest
-
 from repro.experiments.__main__ import REGISTRY, main
 
 
@@ -62,6 +60,53 @@ class TestCLI:
         seen.clear()
         assert main(["fleet-population"]) == 0
         assert seen["diurnal"] is False
+
+    def test_sessions_flag_reaches_population_experiment(self, monkeypatch, capsys):
+        """--sessions is forwarded to experiments accepting n_sessions."""
+        seen = {}
+
+        class FakeTable:
+            def render(self):
+                return "fake table"
+
+        def fake_run(scale, n_sessions=200):
+            seen["n_sessions"] = n_sessions
+            return FakeTable()
+
+        monkeypatch.setitem(REGISTRY, "fleet-cdn", fake_run)
+        assert main(["fleet-cdn", "--sessions", "1000"]) == 0
+        assert seen["n_sessions"] == 1000
+        seen.clear()
+        assert main(["fleet-cdn"]) == 0
+        assert seen["n_sessions"] == 200
+
+    def test_failing_experiment_exits_nonzero_with_summary(
+        self, monkeypatch, capsys
+    ):
+        """A raising experiment doesn't abort the list: remaining
+        experiments still run, the summary names the failure, exit is 1."""
+
+        def boom(scale):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setitem(REGISTRY, "fig4", boom)
+        assert main(["fig4", "table1"]) == 1
+        captured = capsys.readouterr()
+        assert "synthetic failure" in captured.err       # the traceback
+        assert "[fig4: FAILED" in captured.err
+        assert "Table 1" in captured.out                 # table1 still ran
+        assert "experiment summary:" in captured.out
+        assert "1/2 experiments passed" in captured.out
+
+    def test_multi_run_prints_summary_even_when_green(self, capsys):
+        assert main(["table1", "fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment summary:" in out
+        assert "2/2 experiments passed" in out
+
+    def test_single_green_run_skips_summary(self, capsys):
+        assert main(["table1"]) == 0
+        assert "experiment summary:" not in capsys.readouterr().out
 
     def test_registry_covers_every_paper_artifact(self):
         """One CLI entry per table/figure in DESIGN.md's experiment index."""

@@ -1,10 +1,20 @@
-"""Multi-link path properties: one-hop parity, hop monotonicity, accounting."""
+"""Multi-link path properties: one-hop parity, engine parity, accounting.
+
+The scheduler ships two engines behind one contract: ``scalar`` (per-flow
+Python loops, the reference oracle) and ``vector`` (one array pass per
+event step, the default).  Following the repo's oracle-parity convention
+(kNN backends, the MPC planner), every property here runs against both
+engines, and :class:`TestEngineParity` drives the two engines over the
+same hypothesis-generated multi-hop workloads asserting bit-identical
+completion streams.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net import (
+    SCHEDULER_ENGINES,
     Link,
     NetworkPath,
     PathScheduler,
@@ -40,9 +50,15 @@ flow_lists = st.lists(
 )
 
 
+@pytest.fixture(params=SCHEDULER_ENGINES)
+def engine(request):
+    return request.param
+
+
 class TestOneHopParity:
     """A one-hop PathScheduler must be bit-exact with bare SharedLink."""
 
+    @pytest.mark.parametrize("engine", SCHEDULER_ENGINES)
     @settings(max_examples=60, deadline=None)
     @given(
         flows=flow_lists,
@@ -50,10 +66,10 @@ class TestOneHopParity:
         mean=st.floats(min_value=5.0, max_value=150.0),
         seed=st.integers(min_value=0, max_value=10),
     )
-    def test_bit_exact_completions(self, flows, policy, mean, seed):
+    def test_bit_exact_completions(self, engine, flows, policy, mean, seed):
         trace = lte_trace(mean, mean / 3, duration=120.0, seed=seed)
         shared = SharedLink(trace, policy=policy)
-        sched = PathScheduler()
+        sched = PathScheduler(engine=engine)
         path = NetworkPath((SharedLink(trace, policy=policy),))
         for fid, (nbytes, start, weight) in enumerate(flows):
             shared.add_flow(fid, nbytes, start, weight=weight)
@@ -61,18 +77,18 @@ class TestOneHopParity:
         a, b = drive(shared), drive(sched)
         assert a == b  # Completion is frozen: == is field-exact
 
-    def test_solo_flow_matches_link_integrator(self):
+    def test_solo_flow_matches_link_integrator(self, engine):
         """A lone flow resolves through the same segment-exact arithmetic."""
         trace = lte_trace(40, 12, seed=3)
         path = NetworkPath((SharedLink(trace),))
-        sched = PathScheduler()
+        sched = PathScheduler(engine=engine)
         sched.add_flow(0, 7_654_321, 1.25, path)
         (done,) = drive(sched)
         assert done.elapsed == Link(trace).download_time(7_654_321, 1.25)
 
-    def test_zero_byte_flow_costs_path_rtt(self):
+    def test_zero_byte_flow_costs_path_rtt(self, engine):
         trace = stable_trace(50.0, rtt=0.025)
-        sched = PathScheduler()
+        sched = PathScheduler(engine=engine)
         sched.add_flow(0, 0, 2.0, NetworkPath((SharedLink(trace),)))
         (done,) = drive(sched)
         assert done.elapsed == pytest.approx(0.025)
@@ -161,6 +177,144 @@ class TestSharedHopContention:
         )
         (late,) = drive(gated)
         assert late.elapsed == pytest.approx(base.elapsed + 2.5)
+
+
+#: per-flow (nbytes, start, weight, path index, extra_delay) draws.
+engine_flow_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30_000_000),
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+        st.integers(min_value=0, max_value=3),
+        st.sampled_from([0.0, 0.0, 0.5, 2.0]),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestEngineParity:
+    """vector == scalar, bit for bit, on multi-hop shared-link pools.
+
+    The grid mixes weights, staggered starts, gated (``extra_delay``)
+    flows, and one/two/three-hop paths sharing links — the full surface
+    the CDN fleet exercises.  Completions must compare equal field for
+    field; per-link byte accounting agrees to float tolerance (the
+    engines sum drained bits in different orders).
+    """
+
+    def build(self, engine, flows, policy, mean, seed):
+        links = [
+            SharedLink(lte_trace(mean, mean / 3, duration=90.0, seed=seed),
+                       policy=policy),
+            SharedLink(stable_trace(mean * 1.5, duration=90.0, rtt=0.005),
+                       policy=policy),
+            SharedLink(lte_trace(mean / 2, mean / 6, duration=90.0,
+                                 seed=seed + 50), policy=policy),
+        ]
+        paths = [
+            NetworkPath((links[0],)),
+            NetworkPath((links[0], links[1])),
+            NetworkPath((links[1], links[2])),
+            NetworkPath((links[0], links[1], links[2])),
+        ]
+        sched = PathScheduler(engine=engine)
+        for fid, (nbytes, start, weight, path_i, delay) in enumerate(flows):
+            sched.add_flow(
+                fid, nbytes, start, paths[path_i],
+                weight=weight, extra_delay=delay,
+            )
+        return sched, links
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        flows=engine_flow_lists,
+        policy=st.sampled_from(["fair", "weighted"]),
+        mean=st.floats(min_value=5.0, max_value=120.0),
+        seed=st.integers(min_value=0, max_value=8),
+    )
+    def test_bit_exact_multihop_completions(self, flows, policy, mean, seed):
+        scalar, s_links = self.build("scalar", flows, policy, mean, seed)
+        vector, v_links = self.build("vector", flows, policy, mean, seed)
+        assert drive(scalar) == drive(vector)
+        assert vector.delivered_bits == pytest.approx(scalar.delivered_bits)
+        for sl, vl in zip(s_links, v_links):
+            assert vl.delivered_bits == pytest.approx(sl.delivered_bits)
+
+    def test_weighted_denominator_beyond_pairwise_block(self):
+        """20 weighted flows on one hop: NumPy's pairwise summation
+        diverges from Python's sequential ``sum`` at 8+ terms, so the
+        vector engine must fall back to an insertion-order sum for the
+        weighted share denominator.  20 concurrent flows pin that."""
+        flows = [
+            (1_000_000 + 37 * i, 0.25 * (i % 3), 0.3 + 0.17 * i, i % 4, 0.0)
+            for i in range(20)
+        ]
+        scalar, _ = self.build("scalar", flows, "weighted", 60.0, 2)
+        vector, _ = self.build("vector", flows, "weighted", 60.0, 2)
+        assert drive(scalar) == drive(vector)
+
+    def test_weighted_single_link_pool_beyond_pairwise(self):
+        """The vector engine's one-link fast path must also sum weighted
+        denominators in insertion order — pinned against bare SharedLink
+        with 12 concurrent flows."""
+        trace = lte_trace(50, 15, duration=90.0, seed=3)
+        shared = SharedLink(trace, policy="weighted")
+        sched = PathScheduler(engine="vector")
+        path = NetworkPath((SharedLink(trace, policy="weighted"),))
+        for fid in range(12):
+            nbytes = 800_000 + 12_345 * fid
+            start = 0.2 * (fid % 4)
+            weight = 0.3 + 0.21 * fid
+            shared.add_flow(fid, nbytes, start, weight=weight)
+            sched.add_flow(fid, nbytes, start, path, weight=weight)
+        assert drive(shared) == drive(sched)
+
+    def test_fair_many_flows_bit_exact(self):
+        flows = [
+            (500_000 + 991 * i, 0.1 * i, 1.0, i % 4, 0.0) for i in range(24)
+        ]
+        scalar, _ = self.build("scalar", flows, "fair", 45.0, 5)
+        vector, _ = self.build("vector", flows, "fair", 45.0, 5)
+        assert drive(scalar) == drive(vector)
+
+    def test_sync_mid_flight_injection_parity(self):
+        """The fleet's deferred-release pattern: sync() at an arbitrary
+        instant, then inject a flow — both engines must bank the solo
+        flow's progress identically."""
+        results = []
+        for engine in SCHEDULER_ENGINES:
+            trace = stable_trace(40.0, duration=120.0)
+            link = SharedLink(trace)
+            path = NetworkPath((link,))
+            sched = PathScheduler(engine=engine)
+            sched.add_flow(0, 10_000_000, 0.0, path)
+            sched.next_event(0.0)  # resolves the solo fast path
+            sched.sync(1.0)
+            sched.add_flow(1, 5_000_000, 1.0, path)
+            results.append(drive(sched))
+        assert results[0] == results[1]
+
+    def test_sync_draining_solo_to_zero_still_completes(self):
+        """A deferred request landing at (or past) the solo flow's finish
+        makes sync() empty it outright; the emptied flow must still be
+        reported — the vector engine used to lose it and spin forever."""
+        results = []
+        for engine in SCHEDULER_ENGINES:
+            path = NetworkPath((SharedLink(stable_trace(80.0)),))
+            sched = PathScheduler(engine=engine)
+            sched.add_flow(0, 1_000_000, 0.0, path)  # finishes at ~0.11 s
+            sched.next_event(0.0)                    # resolve solo fast path
+            sched.sync(1.0)                          # fully drained
+            sched.add_flow(1, 1_000, 1.0, path)
+            done = drive(sched)
+            assert {c.flow_id for c in done} == {0, 1}
+            results.append(done)
+        assert results[0] == results[1]
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError, match="engine"):
+            PathScheduler(engine="quantum")
 
 
 class TestValidation:

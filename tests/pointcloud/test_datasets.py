@@ -40,7 +40,9 @@ class TestVolumetricVideo:
             name="t",
             n_frames=n_frames,
             fps=30,
-            frame_fn=lambda i: make_video("loot", n_points=200, n_frames=1).frame(0).translate([i, 0, 0]),
+            frame_fn=lambda i: make_video("loot", n_points=200, n_frames=1)
+            .frame(0)
+            .translate([i, 0, 0]),
             loops=loops,
             cache_size=3,
         )

@@ -1,8 +1,6 @@
 """Procedural content generator tests."""
 
 import numpy as np
-import pytest
-
 from repro.pointcloud.synthesis import (
     humanoid_frame,
     room_frame,

@@ -1,8 +1,6 @@
 """Colorization tests: parent reuse vs fresh nearest search."""
 
 import numpy as np
-import pytest
-
 from repro.pointcloud import PointCloud
 from repro.sr import colorize_by_nearest, colorize_by_parent, interpolate
 

@@ -1,6 +1,5 @@
 """YuZu direct-SR model training tests."""
 
-import numpy as np
 import pytest
 
 from repro.metrics import p2p_distances

@@ -163,10 +163,23 @@ class TestByteConservation:
 
     @pytest.mark.parametrize("assignment", ["static", "least-loaded", "popularity"])
     def test_conservation(self, assignment):
+        """Every byte a viewer gets came over the backhaul once, from the
+        edge cache, or by coalescing onto another viewer's fill."""
         result, topo = self.run_fleet(assignment)
         rep = result.report
         hit_bytes = sum(e.cache.hit_bytes for e in topo.edges)
-        assert rep.origin_egress_bytes + hit_bytes == rep.total_bytes
+        coalesced = sum(e.cache.coalesced_bytes for e in topo.edges)
+        assert rep.coalesced_bytes == coalesced
+        assert (
+            rep.origin_egress_bytes + hit_bytes + coalesced == rep.total_bytes
+        )
+        # The backhaul carried exactly one transfer per fill, none for
+        # coalesced requests.
+        assert sum(e.cache.fills for e in topo.edges) + sum(
+            e.cache.coalesced for e in topo.edges
+        ) + sum(e.cache.hits for e in topo.edges) == sum(
+            e.cache.hits + e.cache.misses for e in topo.edges
+        )
         # Per-link fluid accounting agrees at bit granularity.
         backhaul_bits = sum(e.backhaul.delivered_bits for e in topo.edges)
         assert backhaul_bits == pytest.approx(8.0 * rep.origin_egress_bytes)
@@ -263,6 +276,96 @@ class TestByteConservation:
         assert rep.encode_wait_p50 <= rep.encode_wait_p95
         assert sorted(set(result.assignment)) == [0, 1, 2]
         assert result.topology is topo
+
+
+class TestRequestCoalescing:
+    """Concurrent same-chunk misses collapse onto one backhaul fill."""
+
+    def co_watch_fleet(self, n=6, cache_bytes=1 << 32, join_spacing=0.0):
+        from repro.streaming import FleetSession
+
+        topo = uniform_cdn(
+            1, access_mbps=120.0, backhaul_mbps=30.0, cache_bytes=cache_bytes
+        )
+        sessions = [
+            FleetSession(
+                spec=spec(8),
+                controller=FixedDensity(0.5),
+                join_time=join_spacing * i,
+            )
+            for i in range(n)
+        ]
+        return simulate_fleet(sessions, topology=topo), topo
+
+    def test_concurrent_misses_one_origin_fill(self):
+        """Six viewers requesting the same cold chunks at the same instant
+        open exactly one backhaul transfer per chunk variant."""
+        result, topo = self.co_watch_fleet(n=6)
+        cache = topo.edges[0].cache
+        rep = result.report
+        assert cache.fills == 8          # one per chunk, ever
+        assert cache.misses == cache.fills + cache.coalesced
+        assert cache.coalesced >= 5      # the five t=0 co-requesters
+        assert rep.coalesced_fills == cache.coalesced
+        # Origin egress is one copy of each chunk; everyone else's bytes
+        # came from coalescing or later cache hits.
+        assert rep.origin_egress_bytes * 6 == rep.total_bytes
+        backhaul_bits = topo.edges[0].backhaul.delivered_bits
+        assert backhaul_bits == pytest.approx(8.0 * rep.origin_egress_bytes)
+
+    def test_coalescing_never_changes_delivered_bytes(self):
+        """Collapsing fills changes *who pulls*, not what viewers get."""
+        with_coalescing, _ = self.co_watch_fleet(n=5, join_spacing=0.3)
+        without, _ = self.co_watch_fleet(n=5, cache_bytes=0, join_spacing=0.3)
+        assert [s.total_bytes for s in with_coalescing.sessions] == [
+            s.total_bytes for s in without.sessions
+        ]
+        rep = with_coalescing.report
+        assert rep.total_bytes == without.report.total_bytes
+        # Coalescing + hits is exactly the origin traffic it saved.
+        assert rep.origin_egress_bytes + rep.coalesced_bytes <= rep.total_bytes
+        assert rep.origin_egress_bytes < without.report.origin_egress_bytes
+
+    def test_coalesced_waiter_gated_on_fill_completion(self):
+        """A viewer that coalesces mid-fill cannot finish the chunk
+        before the fill itself lands."""
+        from repro.streaming import FleetSession
+
+        topo = uniform_cdn(
+            1, access_mbps=200.0, backhaul_mbps=10.0, cache_bytes=1 << 32
+        )
+        sessions = [
+            FleetSession(spec=spec(4), controller=FixedDensity(0.8)),
+            FleetSession(
+                spec=spec(4), controller=FixedDensity(0.8), join_time=0.05
+            ),
+        ]
+        simulate_fleet(sessions, topology=topo)
+        cache = topo.edges[0].cache
+        assert cache.coalesced >= 1
+        assert cache.fills + cache.coalesced + cache.hits == (
+            cache.hits + cache.misses
+        )
+
+    def test_zero_capacity_cache_disables_coalescing(self):
+        _, topo = self.co_watch_fleet(n=4, cache_bytes=0)
+        cache = topo.edges[0].cache
+        assert cache.fills == 0 and cache.coalesced == 0
+        assert cache.misses == 32        # every request pulls its own copy
+
+    def test_fill_tracking_api(self):
+        cache = EdgeChunkCache(capacity_bytes=1000)
+        key = ("v", 0, 0.5)
+        assert not cache.fill_in_flight(key)
+        cache.begin_fill(key)
+        assert cache.fill_in_flight(key)
+        cache.attach(key, 100)
+        assert cache.coalesced == 1 and cache.coalesced_bytes == 100
+        cache.insert(key, 100, ready=4.0)
+        assert not cache.fill_in_flight(key)
+        assert cache.fills == 1
+        with pytest.raises(ValueError, match="no fill in flight"):
+            cache.attach(("v", 1, 0.5), 50)
 
 
 class TestEdgeChunkCache:

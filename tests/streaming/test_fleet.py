@@ -10,7 +10,6 @@ from repro.streaming import (
     SessionConfig,
     SRQualityModel,
     SRResultCache,
-    ZERO_LATENCY,
     simulate_fleet,
     simulate_session,
 )
@@ -115,6 +114,43 @@ class TestSingleSessionParity:
         assert shifted.qoe == pytest.approx(solo.qoe, rel=1e-9)
         assert shifted.total_bytes == solo.total_bytes
         assert shifted.decisions == solo.decisions
+
+
+class TestEngineParityEndToEnd:
+    """scalar vs vector PathScheduler through the whole fleet stack."""
+
+    def make_sessions(self):
+        qm = SRQualityModel()
+        lat = sr_lat()
+        ctrl = ContinuousMPC(qm, QoEModel(), lat, n_grid=8, horizon=2)
+        return [
+            FleetSession(
+                spec=spec(8, name=f"v{i % 3}"),
+                controller=ctrl,
+                sr_latency=lat,
+                quality_model=qm,
+                join_time=0.7 * i,
+                weight=1.0 + 0.5 * (i % 2),
+            )
+            for i in range(8)
+        ]
+
+    def test_mpc_fleet_engines_agree(self):
+        trace = lte_trace(55, 16, seed=11)
+        runs = [
+            simulate_fleet(
+                self.make_sessions(), trace, policy="weighted",
+                sr_cache=SRResultCache(), engine=engine,
+            )
+            for engine in ("scalar", "vector")
+        ]
+        a, b = runs
+        for ra, rb in zip(a.sessions, b.sessions):
+            assert ra.qoe == rb.qoe
+            assert ra.total_bytes == rb.total_bytes
+            assert ra.stall_seconds == rb.stall_seconds
+            assert ra.decisions == rb.decisions
+        assert a.report.makespan == b.report.makespan
 
 
 class TestDeterminism:

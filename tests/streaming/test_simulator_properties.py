@@ -5,8 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.net import NetworkTrace, lte_trace, stable_trace
-from repro.streaming import SessionConfig, VideoSpec, simulate_session
+from repro.net import lte_trace, stable_trace
+from repro.streaming import VideoSpec, simulate_session
 from repro.streaming.abr import AbrController, Decision
 
 

@@ -1,7 +1,5 @@
 """Viewport-hybrid system (future-work extension) tests."""
 
-import pytest
-
 from repro.net import lte_trace, stable_trace
 from repro.streaming import VideoSpec
 from repro.systems import run_system, vivo_system, volut_system, volut_viewport_system

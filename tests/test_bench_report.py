@@ -1,0 +1,149 @@
+"""Benchmark-trajectory post-processor: schema, floors, regression gate."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "bench_report", REPO_ROOT / "scripts" / "bench_report.py"
+)
+bench_report = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_report)
+
+RAW_NAMES = (
+    "test_bench_single_link_fleet",
+    "test_bench_cdn_fleet",
+    "test_bench_decide_batch",
+    "test_bench_decide_single",
+    "test_bench_scalar_reference",
+)
+
+
+def raw_json(min_s=0.1, machine="x86_64"):
+    return {
+        "machine_info": {
+            "machine": machine,
+            "processor": machine,
+            "python_version": "3.11.7",
+        },
+        "benchmarks": [
+            {"name": name, "stats": {"min": min_s, "mean": min_s * 1.1, "rounds": 3}}
+            for name in RAW_NAMES
+        ],
+    }
+
+
+class TestBuildReports:
+    def test_schema_and_throughput(self):
+        reports = bench_report.build_reports(raw_json(min_s=0.1))
+        assert set(reports) == {"BENCH_fleet.json", "BENCH_mpc.json"}
+        fleet = reports["BENCH_fleet.json"]
+        assert fleet["schema"] == bench_report.SCHEMA_VERSION
+        assert fleet["suite"] == "fleet"
+        single = fleet["benchmarks"]["test_bench_single_link_fleet"]
+        # content-s per wall-s is derived from the module's workload size.
+        assert single["content_s_per_wall_s"] == pytest.approx(
+            fleet["content_seconds"] / 0.1
+        )
+        mpc = reports["BENCH_mpc.json"]
+        assert set(mpc["benchmarks"]) == {
+            "test_bench_decide_batch",
+            "test_bench_decide_single",
+            "test_bench_scalar_reference",
+        }
+        assert mpc["floors"]["decide_batch_speedup_x"] > 1.0
+
+    def test_floors_mirror_benchmark_modules(self):
+        """The committed floors are imported from, not duplicated against,
+        the benchmark modules."""
+        reports = bench_report.build_reports(raw_json())
+        fleet_mod = bench_report._load_module(
+            REPO_ROOT / "benchmarks" / "bench_fleet.py"
+        )
+        floors = reports["BENCH_fleet.json"]["floors"]
+        assert floors["test_bench_single_link_fleet"] == fleet_mod.SINGLE_LINK_FLOOR
+        assert floors["test_bench_cdn_fleet"] == fleet_mod.CDN_FLOOR
+
+    def test_missing_benchmark_fails_loudly(self):
+        with pytest.raises(SystemExit, match="missing"):
+            bench_report.build_reports({"benchmarks": []})
+
+
+class TestRegressionGate:
+    def test_floor_violation_detected(self, tmp_path):
+        # 10 s/run is far under any throughput floor.
+        reports = bench_report.build_reports(raw_json(min_s=10.0))
+        failures, _ = bench_report.check_regressions(reports, tmp_path, 0.3)
+        assert any("under its floor" in f for f in failures)
+
+    def test_floor_scale_env_grants_slack(self, tmp_path, monkeypatch):
+        """BENCH_FLOOR_SCALE relaxes the floors the same way the
+        benchmark asserts do (slow shared CI runners)."""
+        slow = bench_report.build_reports(raw_json(min_s=0.3))
+        failures, _ = bench_report.check_regressions(slow, tmp_path, 0.3)
+        assert any("under its floor" in f for f in failures)
+        monkeypatch.setenv("BENCH_FLOOR_SCALE", "0.5")
+        failures, _ = bench_report.check_regressions(slow, tmp_path, 0.3)
+        assert failures == []
+
+    def test_regression_vs_committed_baseline(self, tmp_path):
+        fast = bench_report.build_reports(raw_json(min_s=0.05))
+        for name, report in fast.items():
+            (tmp_path / name).write_text(json.dumps(report))
+        slow = bench_report.build_reports(raw_json(min_s=0.08))  # +60%
+        failures, notes = bench_report.check_regressions(slow, tmp_path, 0.3)
+        assert any("over the committed baseline" in f for f in failures)
+        assert notes == []
+        # Within tolerance passes.
+        ok = bench_report.build_reports(raw_json(min_s=0.06))  # +20%
+        assert bench_report.check_regressions(ok, tmp_path, 0.3) == ([], [])
+
+    def test_baseline_from_other_machine_skipped_with_note(self, tmp_path):
+        """Wall-clock baselines do not transfer across hardware: a
+        committed baseline from another box skips the trajectory gate
+        (floors still apply) instead of failing spuriously."""
+        fast = bench_report.build_reports(raw_json(min_s=0.05, machine="ref-box"))
+        for name, report in fast.items():
+            (tmp_path / name).write_text(json.dumps(report))
+        slow = bench_report.build_reports(raw_json(min_s=0.08, machine="ci-runner"))
+        failures, notes = bench_report.check_regressions(slow, tmp_path, 0.3)
+        assert failures == []
+        assert any("different hardware" in n for n in notes)
+
+    def test_no_baseline_means_no_trajectory_failures(self, tmp_path):
+        reports = bench_report.build_reports(raw_json(min_s=0.05))
+        assert bench_report.check_regressions(reports, tmp_path, 0.3) == ([], [])
+
+
+class TestMain:
+    def test_writes_files_and_exit_codes(self, tmp_path):
+        raw_path = tmp_path / "raw.json"
+        raw_path.write_text(json.dumps(raw_json(min_s=0.05)))
+        rc = bench_report.main([str(raw_path), "--out-dir", str(tmp_path)])
+        assert rc == 0
+        for name in ("BENCH_fleet.json", "BENCH_mpc.json"):
+            doc = json.loads((tmp_path / name).read_text())
+            assert doc["schema"] == bench_report.SCHEMA_VERSION
+        # A >30% slower rerun against the just-written baseline fails…
+        raw_path.write_text(json.dumps(raw_json(min_s=0.08)))
+        assert bench_report.main([str(raw_path), "--out-dir", str(tmp_path)]) == 1
+        # …unless the gate is disabled.
+        assert (
+            bench_report.main(
+                [str(raw_path), "--out-dir", str(tmp_path), "--no-check"]
+            )
+            == 0
+        )
+
+    def test_committed_bench_files_match_schema(self):
+        """The files at the repo root stay loadable and current-schema."""
+        for name in ("BENCH_fleet.json", "BENCH_mpc.json"):
+            doc = json.loads((REPO_ROOT / name).read_text())
+            assert doc["schema"] == bench_report.SCHEMA_VERSION
+            assert doc["benchmarks"], name
+            for bench in doc["benchmarks"].values():
+                assert bench["min_s"] > 0.0
