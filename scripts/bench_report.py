@@ -31,9 +31,21 @@ import os
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _cpu_count(raw: dict) -> int:
+    """CPU count of the machine that *ran* the benchmarks.
+
+    pytest-benchmark records it in the raw JSON (py-cpuinfo); fall back
+    to this process's count only when that field is absent — the raw
+    artifact may be post-processed on a different box, and the sharded
+    speedup gate must key off the benchmarking machine.
+    """
+    count = raw.get("machine_info", {}).get("cpu", {}).get("count")
+    return int(count) if count else (os.cpu_count() or 1)
 
 
 def _machine_fingerprint(raw: dict) -> dict:
@@ -42,13 +54,16 @@ def _machine_fingerprint(raw: dict) -> dict:
     Wall-clock baselines only transfer between equivalent machines, so
     the trajectory gate compares against a committed baseline only when
     these fields match (floors are always enforced, scaled by
-    ``BENCH_FLOOR_SCALE`` — see ``benchmarks/bench_fleet.py``).
+    ``BENCH_FLOOR_SCALE`` — see ``benchmarks/bench_fleet.py``).  The CPU
+    count is part of the fingerprint since the sharded-fleet timings
+    depend on it more than on anything else.
     """
     info = raw.get("machine_info", {})
     return {
         "machine": info.get("machine"),
         "processor": info.get("processor"),
         "python_version": info.get("python_version"),
+        "cpu_count": _cpu_count(raw),
     }
 
 
@@ -89,6 +104,11 @@ def build_reports(raw: dict) -> dict[str, dict]:
     content = fleet_mod.CONTENT_SECONDS
     single["content_s_per_wall_s"] = content / single["min_s"]
     cdn["content_s_per_wall_s"] = content / cdn["min_s"]
+    shard_base = need("test_bench_sharded_baseline")
+    shard_par = need("test_bench_sharded_fleet")
+    shard_content = fleet_mod.SHARD_CONTENT_SECONDS
+    shard_base["content_s_per_wall_s"] = shard_content / shard_base["min_s"]
+    shard_par["content_s_per_wall_s"] = shard_content / shard_par["min_s"]
 
     machine = _machine_fingerprint(raw)
     fleet = {
@@ -97,13 +117,32 @@ def build_reports(raw: dict) -> dict[str, dict]:
         "source": "benchmarks/bench_fleet.py",
         "machine": machine,
         "content_seconds": content,
+        "content_seconds_sharded": shard_content,
         "floors": {
             "test_bench_single_link_fleet": fleet_mod.SINGLE_LINK_FLOOR,
             "test_bench_cdn_fleet": fleet_mod.CDN_FLOOR,
+            "test_bench_sharded_baseline": fleet_mod.SHARD_BASELINE_FLOOR,
+            "test_bench_sharded_fleet": fleet_mod.SHARD_FLOOR,
+        },
+        # The parallel-path gate: end-to-end speedup of the 4-worker run
+        # over the single-process run on the same workload.  cpu_count
+        # comes from the raw JSON's machine_info (the box that ran the
+        # benchmarks), so the check enforces the ratio exactly where 4
+        # processes could actually run in parallel.
+        "fleet_sharded": {
+            "n_sessions": fleet_mod.SHARD_SESSIONS,
+            "n_edges": fleet_mod.SHARD_EDGES,
+            "workers": fleet_mod.SHARD_WORKERS,
+            "speedup_x": shard_base["min_s"] / shard_par["min_s"],
+            "speedup_floor_x": fleet_mod.SHARD_SPEEDUP_FLOOR,
+            "min_cpus": fleet_mod.SHARD_SPEEDUP_MIN_CPUS,
+            "cpu_count": _cpu_count(raw),
         },
         "benchmarks": {
             "test_bench_single_link_fleet": single,
             "test_bench_cdn_fleet": cdn,
+            "test_bench_sharded_baseline": shard_base,
+            "test_bench_sharded_fleet": shard_par,
         },
     }
     mpc = {
@@ -116,6 +155,7 @@ def build_reports(raw: dict) -> dict[str, dict]:
             name: need(name)
             for name in (
                 "test_bench_decide_batch",
+                "test_bench_decide_batch_memoized",
                 "test_bench_decide_single",
                 "test_bench_scalar_reference",
             )
@@ -151,6 +191,27 @@ def check_regressions(
                 failures.append(
                     f"{filename}: {name} at {throughput:.0f} content-s/s "
                     f"is under its floor {floor:.0f} x{floor_scale:g}"
+                )
+        sharded = report.get("fleet_sharded")
+        if sharded is not None:
+            # A scaling *ratio* is hardware-normalized, so it is not
+            # relaxed by BENCH_FLOOR_SCALE — but it only exists where the
+            # workers could run in parallel (cpu_count recorded when the
+            # benchmarks ran).
+            speedup = sharded["speedup_x"]
+            floor = sharded["speedup_floor_x"]
+            if sharded["cpu_count"] >= sharded["min_cpus"]:
+                if speedup < floor:
+                    failures.append(
+                        f"{filename}: sharded fleet speedup "
+                        f"{speedup:.2f}x at {sharded['workers']} workers "
+                        f"is under its floor {floor:g}x"
+                    )
+            elif speedup < floor:
+                notes.append(
+                    f"{filename}: sharded speedup {speedup:.2f}x under "
+                    f"{floor:g}x but only {sharded['cpu_count']} CPU(s) "
+                    f"< {sharded['min_cpus']} — parallel gate skipped"
                 )
         baseline_path = out_dir / filename
         if not baseline_path.exists():

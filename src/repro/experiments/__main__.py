@@ -95,6 +95,16 @@ def main(argv: list[str] | None = None) -> int:
         "fleet-population); default: each experiment's own",
     )
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-parallel shard count for experiments that take one "
+        "(fleet-cdn adds a shard_fleet row); default: single-process",
+    )
+    parser.add_argument(
+        "--days", type=int, default=None, metavar="N",
+        help="virtual days for multi-day diurnal experiments (fleet-cdn); "
+        "default: 1",
+    )
+    parser.add_argument(
         "--report", metavar="FILE", default=None,
         help="also write the rendered tables to a markdown file",
     )
@@ -123,6 +133,18 @@ def main(argv: list[str] | None = None) -> int:
     names = list(REGISTRY) if args.all else args.names
 
     scale = PAPER if args.scale == "paper" else SMOKE
+    # Echoed on every pass/fail line so a nightly log names the failing
+    # configuration, not just the experiment.
+    cfg_bits = []
+    if args.sessions is not None:
+        cfg_bits.append(f"sessions={args.sessions}")
+    if args.workers is not None:
+        cfg_bits.append(f"workers={args.workers}")
+    if args.days is not None:
+        cfg_bits.append(f"days={args.days}")
+    if args.diurnal:
+        cfg_bits.append("diurnal")
+    cfg = f" ({', '.join(cfg_bits)})" if cfg_bits else ""
     sections: list[str] = []
     outcomes: list[tuple[str, bool, float]] = []
     for name in names:
@@ -133,17 +155,24 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["diurnal"] = True
         if args.sessions is not None and "n_sessions" in params:
             kwargs["n_sessions"] = args.sessions
+        if args.workers is not None and "workers" in params:
+            kwargs["workers"] = args.workers
+        if args.days is not None and "days" in params:
+            kwargs["days"] = args.days
         t0 = time.time()
         try:
             rendered = fn(scale, **kwargs).render()
         except Exception:
             traceback.print_exc()
             outcomes.append((name, False, time.time() - t0))
-            print(f"[{name}: FAILED, {time.time() - t0:.1f}s]\n", file=sys.stderr)
+            print(
+                f"[{name}: FAILED, {time.time() - t0:.1f}s]{cfg}\n",
+                file=sys.stderr,
+            )
             continue
         outcomes.append((name, True, time.time() - t0))
         print(rendered)
-        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+        print(f"[{name}: {time.time() - t0:.1f}s]{cfg}\n")
         sections.append(f"## {name}\n\n```\n{rendered}\n```\n")
     if args.report:
         with open(args.report, "w") as fh:
@@ -153,7 +182,7 @@ def main(argv: list[str] | None = None) -> int:
     failed = [name for name, ok, _ in outcomes if not ok]
     if len(outcomes) > 1 or failed:
         width = max(len(name) for name, _, _ in outcomes)
-        print("experiment summary:")
+        print(f"experiment summary{cfg}:")
         for name, ok, dt in outcomes:
             status = "ok  " if ok else "FAIL"
             print(f"  {name:<{width}}  {status}  {dt:.1f}s")

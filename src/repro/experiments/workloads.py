@@ -52,14 +52,20 @@ def make_population(
     horizon: int = 3,
     seed: int = 0,
     diurnal: bool = False,
+    days: int = 1,
 ) -> list[FleetSession]:
     """A Zipf-catalog, churn-enabled viewer population of VoLUT clients.
 
     Arrivals are Poisson by default; ``diurnal=True`` swaps in the
     nonhomogeneous :class:`~repro.streaming.population.DiurnalArrivals`
     process with the window compressed to one virtual day, so the
-    prime-time peak lands inside the simulated interval.
+    prime-time peak lands inside the simulated interval.  ``days``
+    stretches the run over several such virtual days (implies the
+    diurnal process — a multi-day homogeneous run is just a longer
+    window), spreading the same ``n_sessions`` across the whole span.
     """
+    if days < 1:
+        raise ValueError(f"days must be >= 1, got {days}")
     ctrl, qm, lat = volut_client(n_grid, horizon)
     catalog = synthetic_catalog(
         n_videos,
@@ -67,20 +73,22 @@ def make_population(
         points_per_frame=scale.device_points,
         skew=skew,
     )
-    # Arrivals spread over one video length; the rate is padded ~20% so the
-    # window almost always yields the requested session count, then capped.
+    # Arrivals spread over `days` virtual days of one video length each;
+    # the rate is padded ~20% so the window almost always yields the
+    # requested session count, then capped.
     window = float(scale.stream_seconds)
-    rate = 1.2 * n_sessions / window
-    if diurnal:
+    span = window * days
+    rate = 1.2 * n_sessions / span
+    if diurnal or days > 1:
         arrivals: PoissonArrivals | DiurnalArrivals = DiurnalArrivals(
-            mean_rate_hz=rate, day_seconds=window, seed=seed
+            mean_rate_hz=rate, day_seconds=window, days=float(days), seed=seed
         )
     else:
         arrivals = PoissonArrivals(rate_hz=rate, seed=seed)
     return build_population(
         catalog,
         arrivals,
-        window,
+        span,
         ctrl,
         sr_latency=lat,
         quality_model=qm,

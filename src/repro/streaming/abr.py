@@ -20,6 +20,7 @@ ones — the discount is calibrated from the SR-quality experiments).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -200,6 +201,21 @@ class _MPCBase(AbrController):
         #: horizon-window tensors keyed by the chunk tuple (see
         #: :meth:`_horizon_tensors`)
         self._horizon_cache: dict[tuple, tuple] = {}
+        #: dedupe identical decision rows in :meth:`decide_batch` (and
+        #: memoize them across calls).  Decisions are pure functions of
+        #: their context, so two rows with the same quantized state and
+        #: chunk window get the same answer — computed once.  Flip off to
+        #: recover the one-tensor-row-per-context reference path (the
+        #: dedup parity test pins the two against each other).
+        self.dedup = True
+        #: decision memo: quantized state -> Decision, bounded LRU
+        self._decision_memo: OrderedDict[tuple, Decision] = OrderedDict()
+        self._memo_capacity = 1 << 16
+        #: lifetime counters: rows seen by decide_batch, rows that needed
+        #: a fresh tensor evaluation, rows answered from the cross-call memo
+        self.decide_rows = 0
+        self.decide_unique = 0
+        self.decide_memo_hits = 0
         # Fraction of each chunk's bytes actually fetched (ViVo's
         # visibility culling); must match the session's fetch_fraction so
         # the plan prices downloads correctly.
@@ -329,22 +345,98 @@ class _MPCBase(AbrController):
         best = self.candidates[int(np.argmax(self.plan_values(ctx)))]
         return self._decision_for(float(best))
 
-    def decide_batch(self, ctxs: list[AbrContext]) -> list[Decision]:
-        """One array pass over every (context, candidate) pair.
+    #: decision-row quantization: states closer than these quanta are the
+    #: same decision problem.  Deliberately conservative — well below any
+    #: difference the planner's argmax can see in practice — so dedup
+    #: collapses genuinely-identical steady states (co-watching viewers,
+    #: every first decision per video) without materially perturbing
+    #: near-boundary ones.
+    _TPUT_DECIMALS = 3     # 0.001 bps quantum on throughput (bps-valued)
+    _BUFFER_DECIMALS = 6   # 1 µs quantum on buffer level (seconds-valued)
+    _PREV_DECIMALS = 9     # quality is in [0, 1]
 
-        Contexts near the end of their video have shorter horizons, so the
-        batch is grouped by effective horizon length; each group is solved
-        in a single tensor evaluation.
+    def _dedup_key(self, ctx: AbrContext) -> tuple:
+        """Quantized decision-row identity of one context.
+
+        The chunk window (value-hashed frozen specs) pins the video,
+        position, and effective horizon; the quantized scalars pin the
+        client state.  Equal keys ⇒ the same decision.
+        """
+        prev = ctx.prev_quality
+        return (
+            round(ctx.throughput_bps, self._TPUT_DECIMALS),
+            round(ctx.buffer_level, self._BUFFER_DECIMALS),
+            None if prev is None else round(prev, self._PREV_DECIMALS),
+            tuple(ctx.next_chunks[: self.horizon]),
+        )
+
+    def _memo_store(self, key: tuple, decision: Decision) -> None:
+        self._decision_memo[key] = decision
+        if len(self._decision_memo) > self._memo_capacity:
+            self._decision_memo.popitem(last=False)
+
+    def decide_batch(self, ctxs: list[AbrContext]) -> list[Decision]:
+        """One array pass per horizon length over the *unique* rows.
+
+        At fleet steady state many sessions face the same decision — same
+        chunk window, same quantized buffer/throughput state (the widest
+        case is the first decision of every co-watching viewer) — so the
+        batch is first deduped by :meth:`_dedup_key` and checked against
+        the bounded cross-call memo; only the surviving representative
+        rows enter the tensor evaluation, and their decisions are
+        scattered back to every duplicate.  The tensor pass therefore
+        costs O(unique states), not O(sessions).  Contexts near the end
+        of their video have shorter horizons, so unique rows are still
+        grouped by effective horizon length.  ``self.dedup = False``
+        restores the evaluate-every-row reference path.
         """
         decisions: list[Decision | None] = [None] * len(ctxs)
-        groups: dict[int, list[int]] = {}
+        if not self.dedup:
+            groups: dict[int, list[int]] = {}
+            for i, ctx in enumerate(ctxs):
+                groups.setdefault(
+                    len(ctx.next_chunks[: self.horizon]), []
+                ).append(i)
+            for idxs in groups.values():
+                values = self._batch_plan_values([ctxs[i] for i in idxs])
+                best = self.candidates[np.argmax(values, axis=1)]
+                for j, i in enumerate(idxs):
+                    decisions[i] = self._decision_for(float(best[j]))
+            return decisions  # type: ignore[return-value]
+
+        self.decide_rows += len(ctxs)
+        memo = self._decision_memo
+        fresh_order: list[tuple] = []        # unique unseen keys, first-seen order
+        fresh_idxs: dict[tuple, list[int]] = {}
         for i, ctx in enumerate(ctxs):
-            groups.setdefault(len(ctx.next_chunks[: self.horizon]), []).append(i)
-        for idxs in groups.values():
-            values = self._batch_plan_values([ctxs[i] for i in idxs])
+            key = self._dedup_key(ctx)
+            hit = memo.get(key)
+            if hit is not None:
+                memo.move_to_end(key)
+                self.decide_memo_hits += 1
+                decisions[i] = hit
+                continue
+            idxs = fresh_idxs.get(key)
+            if idxs is None:
+                fresh_order.append(key)
+                fresh_idxs[key] = [i]
+            else:
+                idxs.append(i)
+        self.decide_unique += len(fresh_order)
+        by_horizon: dict[int, list[tuple]] = {}
+        for key in fresh_order:
+            by_horizon.setdefault(len(key[3]), []).append(key)
+        for keys in by_horizon.values():
+            # The representative row is the first context that produced
+            # the key; duplicates inherit its decision verbatim.
+            reps = [ctxs[fresh_idxs[key][0]] for key in keys]
+            values = self._batch_plan_values(reps)
             best = self.candidates[np.argmax(values, axis=1)]
-            for j, i in enumerate(idxs):
-                decisions[i] = self._decision_for(float(best[j]))
+            for key, b in zip(keys, best):
+                decision = self._decision_for(float(b))
+                self._memo_store(key, decision)
+                for i in fresh_idxs[key]:
+                    decisions[i] = decision
         return decisions  # type: ignore[return-value]
 
 

@@ -44,10 +44,14 @@ from __future__ import annotations
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..net.link import SharedLink
 from ..net.topology import NetworkPath
 from ..net.traces import stable_trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (fleet imports cdn)
+    from .fleet import SRResultCache
 
 __all__ = [
     "ASSIGNMENT_POLICIES",
@@ -58,6 +62,7 @@ __all__ = [
     "CDNTopology",
     "assign_sessions",
     "uniform_cdn",
+    "wait_percentile",
 ]
 
 #: Supported viewer → edge assignment policies.
@@ -202,13 +207,23 @@ class EncodeQueue:
 
     def wait_percentile(self, pct: float) -> float:
         """Nearest-rank percentile of recorded queue waits (0 if no jobs)."""
-        if not 0.0 <= pct <= 100.0:
-            raise ValueError("pct must be in [0, 100]")
-        if not self.waits:
-            return 0.0
-        ordered = sorted(self.waits)
-        rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1)))))
-        return ordered[rank]
+        return wait_percentile(self.waits, pct)
+
+
+def wait_percentile(waits: list[float], pct: float) -> float:
+    """Nearest-rank percentile of a wait sample (0 if empty).
+
+    The one percentile rule every report path shares — the sharded fleet
+    merges per-shard encode waits and must reproduce the single-process
+    numbers exactly, so the formula lives here rather than on the queue.
+    """
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("pct must be in [0, 100]")
+    if not waits:
+        return 0.0
+    ordered = sorted(waits)
+    rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
 
 
 class OriginServer:
@@ -254,12 +269,20 @@ class OriginServer:
 
 @dataclass
 class EdgeNode:
-    """One edge site: backhaul from origin, access to viewers, chunk cache."""
+    """One edge site: backhaul from origin, access to viewers, chunk cache.
+
+    ``sr_cache`` is the edge's private SR-result cache, populated by
+    ``simulate_fleet(..., sr_cache="per-edge")`` (created on demand if
+    left ``None``): co-watching viewers of the *same edge* share SR
+    results without any cross-edge — and, under the sharded executor,
+    cross-process — traffic.
+    """
 
     name: str
     backhaul: SharedLink
     access: SharedLink
     cache: EdgeChunkCache = field(default_factory=EdgeChunkCache)
+    sr_cache: "SRResultCache | None" = None
 
     def __post_init__(self) -> None:
         if self.backhaul is self.access:

@@ -42,7 +42,7 @@ from ..metrics.qoe import QoEWeights, aggregate_qoe
 from ..net.link import SharedLink
 from ..net.topology import NetworkPath, PathScheduler
 from ..net.traces import NetworkTrace
-from .cdn import CDNTopology
+from .cdn import CDNTopology, wait_percentile
 from .abr import AbrController, SRQualityModel
 from .chunks import VideoSpec
 from .latency import SRLatency, ZERO_LATENCY
@@ -164,6 +164,10 @@ class FleetReport:
     makespan: float  # virtual seconds, first join → last download completion
     n_abandoned: int = 0
     abandon_rate: float = 0.0
+    #: per-edge SR-result hit rates (``sr_cache="per-edge"`` only),
+    #: topology edge order; ``cache_hit_rate`` is then request-weighted
+    #: across the edges
+    sr_edge_hit_rates: tuple[float, ...] = ()
     #: bytes that crossed an origin → edge backhaul (cold misses + startup)
     origin_egress_bytes: int = 0
     #: chunk misses that attached to an in-flight fill (request coalescing)
@@ -191,6 +195,9 @@ class FleetResult:
     topology: CDNTopology | None = None
     #: viewer → edge index per session (empty without a topology)
     assignment: list[int] = field(default_factory=list)
+    #: per-session virtual completion instants (last download finish),
+    #: session order — what the sharded executor merges makespans from
+    end_times: list[float] = field(default_factory=list)
 
 
 def _batched_decisions(
@@ -224,6 +231,67 @@ def _batched_decisions(
     return out
 
 
+def build_fleet_report(
+    results: list[SessionResult],
+    sessions: list[FleetSession],
+    end_times: list[float],
+    *,
+    origin_egress: int | None,
+    edge_stats: list[tuple[int, int, int, int]],
+    edge_hit_rates: tuple[float, ...],
+    encode_waits: list[float],
+    sr_hits: int,
+    sr_misses: int,
+    sr_edge_hit_rates: tuple[float, ...],
+) -> FleetReport:
+    """One :class:`FleetReport` from plain per-run aggregates.
+
+    The single aggregation rulebook: :func:`simulate_fleet` feeds it the
+    statistics read off its live topology objects, the sharded executor
+    (:mod:`repro.streaming.shard`) feeds it the merged per-shard sums —
+    both paths share every formula, which is what the ``workers=1``
+    bit-exact parity rests on.  ``edge_stats`` rows are ``(hits, misses,
+    coalesced, coalesced_bytes)`` in topology edge order;
+    ``origin_egress=None`` means "no edges — every byte left the origin"
+    (the single-link mode).
+    """
+    agg = aggregate_qoe(
+        [r.qoe for r in results],
+        [r.stall_seconds for r in results],
+        [r.watched_seconds for r in results],
+    )
+    first_join = min(s.join_time for s in sessions)
+    n_abandoned = sum(1 for r in results if r.abandoned)
+    total_bytes = sum(r.total_bytes for r in results)
+    lookups = sum(h + m for h, m, _, _ in edge_stats)
+    edge_hits = sum(h for h, _, _, _ in edge_stats)
+    sr_total = sr_hits + sr_misses
+    return FleetReport(
+        n_sessions=len(results),
+        mean_qoe=agg["mean_qoe"],
+        p5_qoe=agg["p5_qoe"],
+        p95_qoe=agg["p95_qoe"],
+        stall_ratio=agg["stall_ratio"],
+        total_stall_seconds=agg["total_stall_seconds"],
+        total_bytes=total_bytes,
+        mean_quality=sum(r.mean_quality for r in results) / len(results),
+        cache_hit_rate=sr_hits / sr_total if sr_total else 0.0,
+        makespan=max(end_times) - first_join,
+        n_abandoned=n_abandoned,
+        abandon_rate=n_abandoned / len(results),
+        sr_edge_hit_rates=sr_edge_hit_rates,
+        origin_egress_bytes=(
+            total_bytes if origin_egress is None else origin_egress
+        ),
+        coalesced_fills=sum(c for _, _, c, _ in edge_stats),
+        coalesced_bytes=sum(b for _, _, _, b in edge_stats),
+        edge_hit_rate=edge_hits / lookups if lookups else 0.0,
+        edge_hit_rates=edge_hit_rates,
+        encode_wait_p50=wait_percentile(encode_waits, 50.0),
+        encode_wait_p95=wait_percentile(encode_waits, 95.0),
+    )
+
+
 def _chunk_key(req: DownloadRequest) -> tuple | None:
     """Edge-cache / encode-queue key of a cacheable chunk request.
 
@@ -240,9 +308,10 @@ def simulate_fleet(
     sessions: list[FleetSession],
     trace: NetworkTrace | None = None,
     policy: str = "fair",
-    sr_cache: SRResultCache | None = None,
+    sr_cache: SRResultCache | str | None = None,
     topology: CDNTopology | None = None,
     engine: str = "vector",
+    assignment: list[int] | None = None,
 ) -> FleetResult:
     """Run a fleet of sessions over a shared serving topology.
 
@@ -255,6 +324,20 @@ def simulate_fleet(
     :class:`~repro.net.topology.PathScheduler` implementation
     (``"vector"`` array math by default, ``"scalar"`` the bit-exact
     reference oracle).
+
+    ``sr_cache`` may be a shared :class:`SRResultCache`, ``None`` (no SR
+    sharing), or the string ``"per-edge"`` (topology mode only): each
+    :class:`~repro.streaming.cdn.EdgeNode` then carries its own SR-result
+    cache, sessions share SR work only with co-watchers on their edge,
+    and the report gains per-edge SR hit rates — the configuration the
+    process-parallel shard executor runs, since it needs no cross-shard
+    cache traffic.
+
+    ``assignment`` overrides the topology's viewer → edge policy with a
+    precomputed per-session edge index.  The shard executor uses this to
+    pin a sub-fleet to the assignment computed over the *full* session
+    list (the ``static`` policy hashes the session's position, so
+    re-deriving it on a re-indexed subset would disagree).
 
     The scheduler advances virtual time event to event: it asks the path
     scheduler for the next instant any link's fluid allocation can
@@ -281,6 +364,45 @@ def simulate_fleet(
             "carry their own sharing policies (set them at construction, "
             "e.g. uniform_cdn(policy=...))"
         )
+    if topology is None:
+        assert trace is not None
+        if assignment is not None:
+            raise ValueError("assignment requires a topology")
+        base_path: NetworkPath | None = NetworkPath(
+            (SharedLink(trace, policy=policy),), name="bottleneck"
+        )
+        assignment = []
+    else:
+        base_path = None
+        if assignment is None:
+            assignment = topology.assign(sessions)
+        else:
+            assignment = list(assignment)
+            if len(assignment) != len(sessions):
+                raise ValueError(
+                    f"assignment names {len(assignment)} sessions, "
+                    f"fleet has {len(sessions)}"
+                )
+            if any(not 0 <= e < len(topology.edges) for e in assignment):
+                raise ValueError(
+                    f"assignment edge indices must be in [0, "
+                    f"{len(topology.edges)})"
+                )
+    per_edge_sr = isinstance(sr_cache, str)
+    if per_edge_sr:
+        if sr_cache != "per-edge":
+            raise ValueError(
+                f"unknown sr_cache mode {sr_cache!r}; pass an "
+                "SRResultCache, None, or 'per-edge'"
+            )
+        if topology is None:
+            raise ValueError("sr_cache='per-edge' requires a topology")
+        for edge in topology.edges:
+            if edge.sr_cache is None:
+                edge.sr_cache = SRResultCache()
+        session_sr_caches = [topology.edges[e].sr_cache for e in assignment]
+    else:
+        session_sr_caches = [sr_cache] * len(sessions)
     machines = [
         SessionMachine(
             s.spec,
@@ -290,21 +412,12 @@ def simulate_fleet(
             config=s.config,
             qoe_weights=s.qoe_weights,
             start_time=s.join_time,
-            sr_cache=sr_cache,
+            sr_cache=session_sr_caches[sid],
             churn=s.churn,
         )
-        for s in sessions
+        for sid, s in enumerate(sessions)
     ]
     sched = PathScheduler(engine=engine)
-    if topology is None:
-        assert trace is not None
-        base_path: NetworkPath | None = NetworkPath(
-            (SharedLink(trace, policy=policy),), name="bottleneck"
-        )
-        assignment: list[int] = []
-    else:
-        base_path = None
-        assignment = topology.assign(sessions)
     #: flows that must fill an edge cache on completion: sid -> (edge idx, key, bytes)
     pending_fill: dict[int, tuple] = {}
     #: requests coalesced onto an in-flight fill: (edge idx, key) -> [(sid, req)]
@@ -456,56 +569,48 @@ def simulate_fleet(
     results = [m.result for m in machines]
     assert all(r is not None for r in results), "fleet left unfinished sessions"
     assert not fill_waiters, "fleet left coalesced requests waiting"
-    agg = aggregate_qoe(
-        [r.qoe for r in results],
-        [r.stall_seconds for r in results],
-        [r.watched_seconds for r in results],
-    )
-    first_join = min(s.join_time for s in sessions)
-    n_abandoned = sum(1 for r in results if r.abandoned)
-    total_bytes = sum(r.total_bytes for r in results)
     if topology is not None:
+        edge_stats = [
+            (e.cache.hits, e.cache.misses, e.cache.coalesced,
+             e.cache.coalesced_bytes)
+            for e in topology.edges
+        ]
         edge_hit_rates = tuple(e.cache.hit_rate for e in topology.edges)
-        lookups = sum(e.cache.hits + e.cache.misses for e in topology.edges)
-        edge_hits = sum(e.cache.hits for e in topology.edges)
-        edge_hit_rate = edge_hits / lookups if lookups else 0.0
-        encode_p50 = topology.origin.queue.wait_percentile(50.0)
-        encode_p95 = topology.origin.queue.wait_percentile(95.0)
-        coalesced_fills = sum(e.cache.coalesced for e in topology.edges)
-        coalesced_bytes = sum(e.cache.coalesced_bytes for e in topology.edges)
+        encode_waits = list(topology.origin.queue.waits)
+        egress: int | None = origin_egress
     else:
-        # No edges: every byte leaves the origin.
-        origin_egress = total_bytes
+        # No edges: every byte leaves the origin (egress=None sentinel).
+        edge_stats = []
         edge_hit_rates = ()
-        edge_hit_rate = 0.0
-        encode_p50 = encode_p95 = 0.0
-        coalesced_fills = coalesced_bytes = 0
-    report = FleetReport(
-        n_sessions=len(results),
-        mean_qoe=agg["mean_qoe"],
-        p5_qoe=agg["p5_qoe"],
-        p95_qoe=agg["p95_qoe"],
-        stall_ratio=agg["stall_ratio"],
-        total_stall_seconds=agg["total_stall_seconds"],
-        total_bytes=total_bytes,
-        mean_quality=sum(r.mean_quality for r in results) / len(results),
-        cache_hit_rate=sr_cache.hit_rate if sr_cache is not None else 0.0,
-        makespan=max(end_times) - first_join,
-        n_abandoned=n_abandoned,
-        abandon_rate=n_abandoned / len(results),
-        origin_egress_bytes=origin_egress,
-        coalesced_fills=coalesced_fills,
-        coalesced_bytes=coalesced_bytes,
-        edge_hit_rate=edge_hit_rate,
+        encode_waits = []
+        egress = None
+    if per_edge_sr:
+        assert topology is not None
+        sr_hits = sum(e.sr_cache.hits for e in topology.edges)
+        sr_misses = sum(e.sr_cache.misses for e in topology.edges)
+        sr_edge_hit_rates = tuple(e.sr_cache.hit_rate for e in topology.edges)
+    else:
+        sr_hits = sr_cache.hits if sr_cache is not None else 0
+        sr_misses = sr_cache.misses if sr_cache is not None else 0
+        sr_edge_hit_rates = ()
+    report = build_fleet_report(
+        results,
+        sessions,
+        end_times,
+        origin_egress=egress,
+        edge_stats=edge_stats,
         edge_hit_rates=edge_hit_rates,
-        encode_wait_p50=encode_p50,
-        encode_wait_p95=encode_p95,
+        encode_waits=encode_waits,
+        sr_hits=sr_hits,
+        sr_misses=sr_misses,
+        sr_edge_hit_rates=sr_edge_hit_rates,
     )
     return FleetResult(
         sessions=results,
         report=report,
-        sr_cache=sr_cache,
+        sr_cache=None if per_edge_sr else sr_cache,
         session_specs=list(sessions),
         topology=topology,
         assignment=assignment,
+        end_times=end_times,
     )

@@ -26,6 +26,7 @@ identical fleet reports, which the replay test enforces.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -110,6 +111,17 @@ class DiurnalArrivals:
     windows can sweep a whole virtual day: with ``day_seconds=240`` the
     prime-time peak lands 200 s into a 240 s window.  ``phase_hours``
     sets the hour of virtual midnight at ``t=0``.
+
+    ``days`` extends the process over several virtual days: it is the
+    default :meth:`times` window (``days * day_seconds``), the span
+    multi-day fleet runs simulate.  ``autoscale`` is the arrival-rate
+    autoscale hook — a deterministic callable mapping the 0-based
+    simulated day number to a non-negative rate multiplier, so a run can
+    model day-over-day growth (``lambda day: 1.1 ** day``) or a weekend
+    dip without touching the intra-day curve.  With a hook set,
+    :meth:`times` thins day by day against an envelope tightened to that
+    day's multiplier (see its docstring) — still exact, without the mass
+    rejection a single whole-window envelope would cost under growth.
     """
 
     mean_rate_hz: float
@@ -117,6 +129,8 @@ class DiurnalArrivals:
     day_seconds: float = 86_400.0
     phase_hours: float = 0.0
     seed: int = 0
+    days: float = 1.0
+    autoscale: "Callable[[int], float] | None" = None
 
     def __post_init__(self) -> None:
         if self.mean_rate_hz <= 0:
@@ -139,10 +153,30 @@ class DiurnalArrivals:
                 f"DiurnalArrivals.day_seconds must be positive, got "
                 f"{self.day_seconds!r}"
             )
+        if self.days <= 0:
+            raise ValueError(
+                f"DiurnalArrivals.days must be positive, got {self.days!r}"
+            )
 
     @cached_property
     def _curve_mean(self) -> float:
         return sum(self.curve) / len(self.curve)
+
+    @property
+    def span_seconds(self) -> float:
+        """The process's full extent: ``days`` virtual days."""
+        return self.days * self.day_seconds
+
+    def _day_scale(self, day: int) -> float:
+        if self.autoscale is None:
+            return 1.0
+        scale = float(self.autoscale(day))
+        if scale < 0.0:
+            raise ValueError(
+                f"autoscale must return a non-negative multiplier, got "
+                f"{scale!r} for day {day}"
+            )
+        return scale
 
     def rate_at(self, t: float) -> float:
         """Instantaneous arrival rate (joins/s) at virtual time ``t``."""
@@ -152,23 +186,51 @@ class DiurnalArrivals:
         # Float modulo can return exactly 24.0 for tiny negative
         # dividends ((-1e-18) % 24.0 == 24.0); wrap the index too.
         return (
-            self.mean_rate_hz * self.curve[int(hours) % 24] / self._curve_mean
+            self.mean_rate_hz
+            * self.curve[int(hours) % 24]
+            / self._curve_mean
+            * self._day_scale(int(t // self.day_seconds))
         )
 
-    def times(self, window: float) -> np.ndarray:
-        """Arrival timestamps in ``[0, window]`` via thinning."""
+    def times(self, window: float | None = None) -> np.ndarray:
+        """Arrival timestamps in ``[0, window]`` via thinning.
+
+        ``window`` defaults to the process's full ``days``-day span.
+        Without an autoscale hook one global envelope covers the whole
+        window (the original, replay-stable stream).  With a hook the
+        envelope is tightened day by day — restricting a Poisson process
+        to disjoint intervals keeps the draw exact, and a growth-shaped
+        hook (say ``1.2**day`` over 30 days) would otherwise reject all
+        but ~1/200 of the candidates drawn for the early days.
+        """
+        if window is None:
+            window = self.span_seconds
         if window <= 0:
             raise ValueError(f"window must be positive, got {window!r}")
         rng = np.random.default_rng(self.seed)
-        peak = self.mean_rate_hz * max(self.curve) / self._curve_mean
+        base_peak = self.mean_rate_hz * max(self.curve) / self._curve_mean
         out: list[float] = []
-        t = 0.0
-        while True:
-            t += rng.exponential(1.0 / peak)
-            if t > window:
-                return np.asarray(out)
-            if rng.random() * peak < self.rate_at(t):
-                out.append(t)
+        if self.autoscale is None:
+            t = 0.0
+            while True:
+                t += rng.exponential(1.0 / base_peak)
+                if t > window:
+                    return np.asarray(out)
+                if rng.random() * base_peak < self.rate_at(t):
+                    out.append(t)
+        day = 0
+        while day * self.day_seconds < window:
+            day_end = min((day + 1) * self.day_seconds, window)
+            peak = base_peak * self._day_scale(day)
+            t = day * self.day_seconds
+            while peak > 0.0:
+                t += rng.exponential(1.0 / peak)
+                if t > day_end:
+                    break
+                if rng.random() * peak < self.rate_at(t):
+                    out.append(t)
+            day += 1
+        return np.asarray(out)
 
 
 @dataclass(frozen=True)

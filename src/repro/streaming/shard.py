@@ -1,0 +1,472 @@
+"""Process-parallel fleet sharding: partition a CDN by edge, run shards
+concurrently, merge one :class:`~repro.streaming.fleet.FleetReport`.
+
+The vectorized event engine (PR 4) and the deduplicated decision pass
+still run one Python process; past a few thousand viewers the single
+process is the ceiling the ROADMAP names.  This module pulls the first
+scale-out lever: a :class:`~repro.streaming.cdn.CDNTopology` is
+*edge-partitionable* — each viewer's flows touch only its own edge's
+access and backhaul links, so a worker that owns a disjoint set of edges
+(with their viewers, chunk caches, and per-edge SR caches) can drive its
+own :class:`~repro.net.topology.PathScheduler` with no communication
+until the final merge:
+
+* :func:`partition_topology` plans the split — edges balanced across
+  shards by assigned viewer count (deterministic greedy, ties by edge
+  index), the origin's encode workers divided among shards, and one
+  child seed per shard spawned from ``numpy``'s
+  :class:`~numpy.random.SeedSequence` so any stochastic session
+  component a shard hosts draws an independent, reproducible stream;
+* :func:`shard_fleet` executes the plan — each shard is a completely
+  ordinary :func:`~repro.streaming.fleet.simulate_fleet` call over a
+  deep-copied sub-topology, run in a ``concurrent.futures`` process
+  pool — and merges the per-shard outcomes into one
+  :class:`~repro.streaming.fleet.FleetResult` whose aggregates (origin
+  egress, per-edge hit rates, encode-wait percentiles, abandon rate,
+  makespan) are computed over the union exactly as the single-process
+  path computes them.
+
+**The origin-partitioning approximation.**  Edges never interact through
+links (each edge owns its backhaul), but cold misses from *all* edges
+contend for the origin's bounded encode pool.  Sharding partitions that
+pool: a shard's cold misses queue only behind its own shard's, and each
+(video, chunk, density) variant is encoded once *per shard that needs
+it* rather than once globally.  With ``workers=1`` the partition is the
+whole pool and ``shard_fleet`` is **bit-exact** with ``simulate_fleet``
+(enforced by the hypothesis parity grid in
+``tests/streaming/test_shard.py`` — the shard executor's entry in the
+oracle-parity convention alongside kNN backends, the vectorized MPC,
+and the PathScheduler engines).  Likewise, a plain shared
+:class:`~repro.streaming.fleet.SRResultCache` cannot span processes, so
+multi-worker runs copy it per shard; pass ``sr_cache="per-edge"`` (the
+recommended sharded configuration) and the partition is lossless —
+every SR share that a per-edge cache would have served still happens.
+
+Everything is deterministic given (sessions, topology, workers, seed):
+the plan is a pure function of its inputs, shards are merged in shard
+order, and each shard is itself a deterministic simulation.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cdn import CDNTopology, OriginServer
+from .fleet import (
+    FleetResult,
+    FleetSession,
+    SRResultCache,
+    build_fleet_report,
+    simulate_fleet,
+)
+from .simulator import SessionResult
+
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "partition_topology",
+    "shard_fleet",
+]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's slice of the fleet: edges, viewers, encode share."""
+
+    index: int
+    #: global edge indices this shard owns (ascending)
+    edge_indices: tuple[int, ...]
+    #: global session indices this shard simulates (ascending — original
+    #: relative order, so per-shard event tie-breaks match the
+    #: single-process scheduler)
+    session_indices: tuple[int, ...]
+    #: this shard's slice of the origin's encode worker pool
+    n_encode_workers: int
+    #: child seed spawned from the plan's root seed
+    seed: int
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The deterministic partition :func:`shard_fleet` executes."""
+
+    shards: tuple[Shard, ...]
+    #: global viewer → edge assignment (computed once, over the full
+    #: session list, so policies that hash the viewer's position agree
+    #: with the unsharded run)
+    assignment: tuple[int, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+def partition_topology(
+    topology: CDNTopology,
+    sessions: list[FleetSession],
+    workers: int,
+    *,
+    assignment: list[int] | None = None,
+    seed: int = 0,
+) -> ShardPlan:
+    """Partition a topology's edges (and their viewers) across workers.
+
+    Edges are dealt to shards by a deterministic greedy balance on
+    assigned viewer count (heaviest edge first; ties broken by edge
+    index, shards by current load then shard index).  ``workers`` is
+    capped at the edge count — an edge is the unit of isolation and
+    cannot be split.  The origin's encode workers are divided as evenly
+    as possible, every shard keeping at least one.  Child seeds come
+    from ``SeedSequence(seed).spawn``, one per shard.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if not sessions:
+        raise ValueError("fleet needs at least one session")
+    if assignment is None:
+        assignment = topology.assign(sessions)
+    elif len(assignment) != len(sessions):
+        raise ValueError(
+            f"assignment names {len(assignment)} sessions, "
+            f"fleet has {len(sessions)}"
+        )
+    n_edges = len(topology.edges)
+    if any(not 0 <= e < n_edges for e in assignment):
+        raise ValueError(f"assignment edge indices must be in [0, {n_edges})")
+    n_shards = min(workers, n_edges)
+
+    edge_load = [0] * n_edges
+    for e in assignment:
+        edge_load[e] += 1
+    shard_edges: list[list[int]] = [[] for _ in range(n_shards)]
+    shard_load = [0] * n_shards
+    # Ties prefer the shard holding fewer edges, so zero-viewer edges
+    # spread out instead of piling onto one shard — and, because an
+    # edgeless shard always wins the tie, every shard ends up owning at
+    # least one edge (n_shards is capped at the edge count above).
+    for e in sorted(range(n_edges), key=lambda e: (-edge_load[e], e)):
+        s = min(
+            range(n_shards),
+            key=lambda s: (shard_load[s], len(shard_edges[s]), s),
+        )
+        shard_edges[s].append(e)
+        shard_load[s] += edge_load[e]
+
+    by_edge: dict[int, int] = {}
+    for s, edges in enumerate(shard_edges):
+        edges.sort()
+        for e in edges:
+            by_edge[e] = s
+    shard_sessions: list[list[int]] = [[] for _ in range(n_shards)]
+    for sid, e in enumerate(assignment):
+        shard_sessions[by_edge[e]].append(sid)
+
+    pool = topology.origin.queue.n_workers
+    base, extra = divmod(pool, n_shards)
+    encode_share = [max(1, base + (1 if s < extra else 0)) for s in range(n_shards)]
+
+    seeds = [
+        int(child.generate_state(1)[0])
+        for child in np.random.SeedSequence(seed).spawn(n_shards)
+    ]
+    shards = tuple(
+        Shard(
+            index=s,
+            edge_indices=tuple(shard_edges[s]),
+            session_indices=tuple(shard_sessions[s]),
+            n_encode_workers=encode_share[s],
+            seed=seeds[s],
+        )
+        for s in range(n_shards)
+    )
+    return ShardPlan(shards=shards, assignment=tuple(assignment))
+
+
+@dataclass
+class _ShardTask:
+    """Everything one worker process needs (picklable, self-contained)."""
+
+    shard: Shard
+    sessions: list[FleetSession]
+    topology: CDNTopology
+    #: session → *local* edge index, shard session order
+    assignment: list[int]
+    sr_cache: SRResultCache | str | None
+    engine: str
+
+
+@dataclass
+class _ShardOutcome:
+    """What one worker sends back to the merge (picklable)."""
+
+    shard_index: int
+    session_indices: tuple[int, ...]
+    results: list[SessionResult]
+    end_times: list[float]
+    origin_egress: int
+    encode_waits: list[float]
+    #: per owned edge, global-index order:
+    #: (hits, misses, coalesced, coalesced_bytes)
+    edge_stats: list[tuple[int, int, int, int]]
+    #: per owned edge: chunk-cache hit rate (matches EdgeChunkCache.hit_rate)
+    edge_hit_rates: list[float]
+    #: SR-result cache tallies: per owned edge under "per-edge", else the
+    #: single (hits, misses) of the shard's copy (empty when no SR cache)
+    sr_stats: list[tuple[int, int]] = field(default_factory=list)
+    sr_edge_hit_rates: list[float] = field(default_factory=list)
+
+
+def _run_shard(task: _ShardTask) -> _ShardOutcome:
+    """Simulate one shard; runs in a worker process (or inline)."""
+    result = simulate_fleet(
+        task.sessions,
+        topology=task.topology,
+        sr_cache=task.sr_cache,
+        engine=task.engine,
+        assignment=task.assignment,
+    )
+    topo = task.topology
+    edge_stats = [
+        (e.cache.hits, e.cache.misses, e.cache.coalesced, e.cache.coalesced_bytes)
+        for e in topo.edges
+    ]
+    if task.sr_cache == "per-edge":
+        sr_stats = [(e.sr_cache.hits, e.sr_cache.misses) for e in topo.edges]
+        sr_edge_hit_rates = [e.sr_cache.hit_rate for e in topo.edges]
+    elif isinstance(task.sr_cache, SRResultCache):
+        sr_stats = [(task.sr_cache.hits, task.sr_cache.misses)]
+        sr_edge_hit_rates = []
+    else:
+        sr_stats = []
+        sr_edge_hit_rates = []
+    return _ShardOutcome(
+        shard_index=task.shard.index,
+        session_indices=task.shard.session_indices,
+        results=result.sessions,
+        end_times=result.end_times,
+        origin_egress=result.report.origin_egress_bytes,
+        encode_waits=list(topo.origin.queue.waits),
+        edge_stats=edge_stats,
+        edge_hit_rates=[e.cache.hit_rate for e in topo.edges],
+        sr_stats=sr_stats,
+        sr_edge_hit_rates=sr_edge_hit_rates,
+    )
+
+
+def _make_task(
+    shard: Shard,
+    sessions: list[FleetSession],
+    topology: CDNTopology,
+    plan: ShardPlan,
+    sr_cache: SRResultCache | str | None,
+    engine: str,
+    *,
+    copy_sr: bool,
+) -> _ShardTask:
+    """Materialize one shard's task: sub-topology, sub-fleet, local map.
+
+    The caller's topology is never mutated: each shard deep-copies the
+    edges it owns and builds a fresh origin holding its slice of the
+    encode pool.  All run statistics come back in the outcome.
+    """
+    local_edge = {e: i for i, e in enumerate(shard.edge_indices)}
+    sub_topology = CDNTopology(
+        edges=tuple(copy.deepcopy(topology.edges[e]) for e in shard.edge_indices),
+        origin=OriginServer(
+            n_encode_workers=shard.n_encode_workers,
+            encode_seconds=topology.origin.encode_seconds,
+        ),
+        assignment=topology.assignment,
+    )
+    cache: SRResultCache | str | None = sr_cache
+    if copy_sr and isinstance(sr_cache, SRResultCache):
+        cache = copy.deepcopy(sr_cache)
+        # The copy keeps the caller's cached results but must report only
+        # this run's traffic — summing N copies of pre-existing counters
+        # in the merge would count the caller's history once per shard.
+        cache.hits = 0
+        cache.misses = 0
+    return _ShardTask(
+        shard=shard,
+        sessions=[sessions[i] for i in shard.session_indices],
+        topology=sub_topology,
+        assignment=[local_edge[plan.assignment[i]] for i in shard.session_indices],
+        sr_cache=cache,
+        engine=engine,
+    )
+
+
+def _empty_outcome(shard: Shard, task: _ShardTask) -> _ShardOutcome:
+    """A viewer-less shard: nothing ran, every statistic is zero."""
+    n = len(shard.edge_indices)
+    per_edge_sr = task.sr_cache == "per-edge"
+    return _ShardOutcome(
+        shard_index=shard.index,
+        session_indices=(),
+        results=[],
+        end_times=[],
+        origin_egress=0,
+        encode_waits=[],
+        edge_stats=[(0, 0, 0, 0)] * n,
+        edge_hit_rates=[0.0] * n,
+        sr_stats=[(0, 0)] * n if per_edge_sr else [],
+        sr_edge_hit_rates=[0.0] * n if per_edge_sr else [],
+    )
+
+
+def shard_fleet(
+    sessions: list[FleetSession],
+    topology: CDNTopology,
+    *,
+    workers: int = 1,
+    sr_cache: SRResultCache | str | None = None,
+    engine: str = "vector",
+    assignment: list[int] | None = None,
+    seed: int = 0,
+    start_method: str | None = None,
+) -> FleetResult:
+    """Run a fleet over a CDN, sharded across worker processes.
+
+    The public entry point of the sharded executor; accepts the same
+    fleet and topology :func:`~repro.streaming.fleet.simulate_fleet`
+    takes (topology mode only — a single shared link cannot be
+    partitioned) plus ``workers``.  ``workers=1`` runs the one shard
+    inline and is bit-exact with ``simulate_fleet``; more workers run
+    one OS process per shard (see the module docstring for the origin
+    and SR-cache partitioning semantics).  ``seed`` feeds the plan's
+    per-shard :class:`~numpy.random.SeedSequence` children; the current
+    session dynamics are fully deterministic, so it only matters for
+    stochastic session components a future shard may host — reruns with
+    the same (sessions, topology, workers, seed) are identical either
+    way.  ``start_method`` picks the ``multiprocessing`` start method
+    (default: ``fork`` where available, else the platform default —
+    ``fork`` skips re-importing the scientific stack in every worker).
+
+    Unlike ``simulate_fleet``, the caller's ``topology`` is left
+    untouched (workers mutate private copies), so every statistic must
+    be read from the returned report rather than the topology's caches.
+    """
+    if not sessions:
+        raise ValueError("fleet needs at least one session")
+    if topology is None:
+        raise ValueError(
+            "shard_fleet partitions a CDNTopology; for a single shared "
+            "link use simulate_fleet(trace=...)"
+        )
+    plan = partition_topology(
+        topology, sessions, workers, assignment=assignment, seed=seed
+    )
+    copy_sr = plan.n_shards > 1
+    tasks = [
+        _make_task(
+            shard, sessions, topology, plan, sr_cache, engine, copy_sr=copy_sr
+        )
+        for shard in plan.shards
+    ]
+    live = [t for t in tasks if t.sessions]
+    if plan.n_shards == 1:
+        outcomes = [_run_shard(tasks[0])]
+    else:
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else multiprocessing.get_start_method()
+            )
+        ctx = multiprocessing.get_context(start_method)
+        max_workers = min(len(live), os.cpu_count() or 1) or 1
+        with ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx) as pool:
+            ran = list(pool.map(_run_shard, live))
+        by_index = {o.shard_index: o for o in ran}
+        outcomes = [
+            by_index.get(t.shard.index) or _empty_outcome(t.shard, t)
+            for t in tasks
+        ]
+    return _merge(outcomes, plan, sessions, topology, sr_cache)
+
+
+def _merge(
+    outcomes: list[_ShardOutcome],
+    plan: ShardPlan,
+    sessions: list[FleetSession],
+    topology: CDNTopology,
+    sr_cache: SRResultCache | str | None,
+) -> FleetResult:
+    """Fold per-shard outcomes into one fleet-level result.
+
+    Per-session and per-edge data are scattered back to original order,
+    then the report comes from the same
+    :func:`~repro.streaming.fleet.build_fleet_report` the single-process
+    path uses — one aggregation rulebook, so the ``workers=1`` path
+    reproduces its numbers bit for bit.
+    """
+    results: list[SessionResult | None] = [None] * len(sessions)
+    end_times: list[float] = [0.0] * len(sessions)
+    per_edge = len(topology.edges)
+    edge_stats = [(0, 0, 0, 0)] * per_edge
+    edge_hit_rates = [0.0] * per_edge
+    sr_edge_hit_rates = [0.0] * per_edge
+    sr_hits = sr_misses = 0
+    origin_egress = 0
+    encode_waits: list[float] = []
+    per_edge_sr = sr_cache == "per-edge"
+    for outcome, shard in zip(outcomes, plan.shards):
+        for sid, res, end in zip(
+            outcome.session_indices, outcome.results, outcome.end_times
+        ):
+            results[sid] = res
+            end_times[sid] = end
+        for e, stats, rate in zip(
+            shard.edge_indices, outcome.edge_stats, outcome.edge_hit_rates
+        ):
+            edge_stats[e] = stats
+            edge_hit_rates[e] = rate
+        if per_edge_sr:
+            for e, (h, m), rate in zip(
+                shard.edge_indices, outcome.sr_stats, outcome.sr_edge_hit_rates
+            ):
+                sr_hits += h
+                sr_misses += m
+                sr_edge_hit_rates[e] = rate
+        else:
+            for h, m in outcome.sr_stats:
+                sr_hits += h
+                sr_misses += m
+        origin_egress += outcome.origin_egress
+        encode_waits.extend(outcome.encode_waits)
+    assert all(r is not None for r in results), "sharded fleet lost sessions"
+
+    report = build_fleet_report(
+        results,  # type: ignore[arg-type]
+        sessions,
+        end_times,
+        origin_egress=origin_egress,
+        edge_stats=edge_stats,
+        edge_hit_rates=tuple(edge_hit_rates),
+        encode_waits=encode_waits,
+        sr_hits=sr_hits,
+        sr_misses=sr_misses,
+        sr_edge_hit_rates=tuple(sr_edge_hit_rates) if per_edge_sr else (),
+    )
+    return FleetResult(
+        sessions=results,  # type: ignore[arg-type]
+        report=report,
+        # A single inline shard ran against the caller's cache instance
+        # (simulate_fleet semantics); multi-worker copies cannot be
+        # handed back meaningfully.
+        sr_cache=(
+            sr_cache
+            if plan.n_shards == 1 and isinstance(sr_cache, SRResultCache)
+            else None
+        ),
+        session_specs=list(sessions),
+        topology=topology,
+        assignment=list(plan.assignment),
+        end_times=end_times,
+    )

@@ -151,6 +151,64 @@ class TestScalarVectorParity:
         )
 
 
+class TestDecisionDedup:
+    """decide_batch's row dedup + memo against the evaluate-every-row path."""
+
+    def ctxs_with_duplicates(self):
+        grid = [make_ctx(t, b, p) for t, b, p in CTX_GRID]
+        # Steady-state shape: co-watching viewers produce value-identical
+        # contexts (fresh objects, equal floats).
+        dupes = [make_ctx(25.0, 2.5, 0.15) for _ in range(6)]
+        return grid + dupes + [make_ctx(40.0, 1.0, 0.5, n_chunks=1)]
+
+    def test_dedup_parity_within_1e9(self):
+        """With dedup on vs off, every decision agrees to 1e-9 (identical
+        rows collapse losslessly; the quantization quanta sit far below
+        the grid spacing)."""
+        ctxs = self.ctxs_with_duplicates()
+        mpc = MPC_FACTORIES["continuous"](measured_latency())
+        deduped = mpc.decide_batch(ctxs)
+        ref_mpc = MPC_FACTORIES["continuous"](measured_latency())
+        ref_mpc.dedup = False
+        reference = ref_mpc.decide_batch(ctxs)
+        assert len(deduped) == len(reference)
+        for a, b in zip(deduped, reference):
+            assert abs(a.density - b.density) <= ATOL
+            assert abs(a.sr_ratio - b.sr_ratio) <= ATOL
+
+    def test_identical_rows_share_one_tensor_row(self):
+        mpc = MPC_FACTORIES["continuous"](measured_latency())
+        ctxs = [make_ctx(25.0, 2.5, 0.15) for _ in range(8)]
+        decisions = mpc.decide_batch(ctxs)
+        assert mpc.decide_rows == 8
+        assert mpc.decide_unique == 1
+        assert len(set(d.density for d in decisions)) == 1
+
+    def test_memo_answers_repeat_calls(self):
+        """A later batch that re-poses a decided row never re-enters the
+        tensor pass — and gets the identical decision."""
+        mpc = MPC_FACTORIES["continuous"](measured_latency())
+        first = mpc.decide_batch([make_ctx(t, 2.0, None) for t in (10.0, 20.0)])
+        assert mpc.decide_memo_hits == 0
+        second = mpc.decide_batch([make_ctx(t, 2.0, None) for t in (10.0, 20.0)])
+        assert mpc.decide_memo_hits == 2
+        assert first == second
+
+    def test_memo_capacity_bounded(self):
+        mpc = MPC_FACTORIES["continuous"](measured_latency())
+        mpc._memo_capacity = 4
+        for t in (5.0, 10.0, 15.0, 20.0, 25.0, 30.0):
+            mpc.decide_batch([make_ctx(t, 1.0, None)])
+        assert len(mpc._decision_memo) == 4
+
+    def test_dedup_off_evaluates_every_row(self):
+        mpc = MPC_FACTORIES["continuous"](measured_latency())
+        mpc.dedup = False
+        mpc.decide_batch([make_ctx(25.0, 2.5, 0.15) for _ in range(5)])
+        assert mpc.decide_rows == 0          # counters untouched off-path
+        assert len(mpc._decision_memo) == 0
+
+
 class TestBatchHelpers:
     """The batched building blocks agree with their scalar forms."""
 

@@ -577,3 +577,66 @@ class TestDiurnalArrivals:
             DiurnalArrivals(mean_rate_hz=1.0, day_seconds=0.0)
         with pytest.raises(ValueError, match="window"):
             DiurnalArrivals(mean_rate_hz=1.0).times(0.0)
+        with pytest.raises(ValueError, match="days"):
+            DiurnalArrivals(mean_rate_hz=1.0, days=0.0)
+        bad = DiurnalArrivals(
+            mean_rate_hz=1.0, day_seconds=10.0, autoscale=lambda day: -1.0
+        )
+        with pytest.raises(ValueError, match="non-negative multiplier"):
+            bad.rate_at(0.0)
+
+
+class TestMultiDayDiurnal:
+    """days= spans several virtual days; autoscale shapes them."""
+
+    def test_days_sets_the_default_window(self):
+        arr = DiurnalArrivals(mean_rate_hz=2.0, day_seconds=60.0, days=3.0, seed=1)
+        assert arr.span_seconds == 180.0
+        t = arr.times()
+        assert t.max() > 60.0          # arrivals continue past day one
+        assert t.max() <= 180.0
+        assert (arr.times() == t).all()  # still deterministic
+
+    def test_multiday_wraps_the_daily_curve(self):
+        """Day 2 repeats day 1's shape: same curve hour, same rate."""
+        arr = DiurnalArrivals(mean_rate_hz=1.0, day_seconds=24.0, days=2.0)
+        for hour in (0.5, 6.5, 20.5):
+            assert arr.rate_at(24.0 + hour) == pytest.approx(arr.rate_at(hour))
+
+    def test_autoscale_scales_each_day(self):
+        arr = DiurnalArrivals(
+            mean_rate_hz=1.0,
+            day_seconds=24.0,
+            days=3.0,
+            autoscale=lambda day: (1.0, 2.0, 0.0)[day],
+        )
+        base = DiurnalArrivals(mean_rate_hz=1.0, day_seconds=24.0)
+        assert arr.rate_at(3.0) == pytest.approx(base.rate_at(3.0))
+        assert arr.rate_at(27.0) == pytest.approx(2.0 * base.rate_at(3.0))
+        assert arr.rate_at(51.0) == 0.0
+
+    def test_autoscale_growth_shifts_arrival_mass(self):
+        """Day-over-day growth concentrates arrivals in later days."""
+        grown = DiurnalArrivals(
+            mean_rate_hz=4.0, day_seconds=50.0, days=2.0, seed=3,
+            autoscale=lambda day: float(1 + 9 * day),
+        )
+        t = grown.times()
+        assert len(t) > 0
+        day2 = (t > 50.0).sum()
+        assert day2 > 3 * (t <= 50.0).sum()
+
+    def test_all_zero_autoscale_yields_no_arrivals(self):
+        arr = DiurnalArrivals(
+            mean_rate_hz=1.0, day_seconds=10.0, days=2.0,
+            autoscale=lambda day: 0.0,
+        )
+        assert len(arr.times()) == 0
+
+    def test_autoscale_none_is_unchanged_sampling(self):
+        """Adding the hook without using it replays the original stream."""
+        plain = DiurnalArrivals(mean_rate_hz=2.0, day_seconds=100.0, seed=4)
+        spanned = DiurnalArrivals(
+            mean_rate_hz=2.0, day_seconds=100.0, seed=4, days=1.0
+        )
+        assert (plain.times(100.0) == spanned.times()).all()

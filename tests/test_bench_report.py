@@ -18,12 +18,24 @@ RAW_NAMES = (
     "test_bench_single_link_fleet",
     "test_bench_cdn_fleet",
     "test_bench_decide_batch",
+    "test_bench_decide_batch_memoized",
     "test_bench_decide_single",
     "test_bench_scalar_reference",
 )
 
+#: the sharded pair scales with min_s but keeps a healthy 4x ratio, so
+#: the parallel gate stays green unless a test tampers with it.
+SHARDED_NAMES = {
+    "test_bench_sharded_baseline": 1.0,
+    "test_bench_sharded_fleet": 0.25,
+}
+
 
 def raw_json(min_s=0.1, machine="x86_64"):
+    stats = {name: min_s for name in RAW_NAMES}
+    stats.update(
+        {name: min_s * f for name, f in SHARDED_NAMES.items()}
+    )
     return {
         "machine_info": {
             "machine": machine,
@@ -31,8 +43,8 @@ def raw_json(min_s=0.1, machine="x86_64"):
             "python_version": "3.11.7",
         },
         "benchmarks": [
-            {"name": name, "stats": {"min": min_s, "mean": min_s * 1.1, "rounds": 3}}
-            for name in RAW_NAMES
+            {"name": name, "stats": {"min": s, "mean": s * 1.1, "rounds": 3}}
+            for name, s in stats.items()
         ],
     }
 
@@ -52,6 +64,7 @@ class TestBuildReports:
         mpc = reports["BENCH_mpc.json"]
         assert set(mpc["benchmarks"]) == {
             "test_bench_decide_batch",
+            "test_bench_decide_batch_memoized",
             "test_bench_decide_single",
             "test_bench_scalar_reference",
         }
@@ -67,6 +80,26 @@ class TestBuildReports:
         floors = reports["BENCH_fleet.json"]["floors"]
         assert floors["test_bench_single_link_fleet"] == fleet_mod.SINGLE_LINK_FLOOR
         assert floors["test_bench_cdn_fleet"] == fleet_mod.CDN_FLOOR
+        assert floors["test_bench_sharded_fleet"] == fleet_mod.SHARD_FLOOR
+        assert (
+            floors["test_bench_sharded_baseline"]
+            == fleet_mod.SHARD_BASELINE_FLOOR
+        )
+
+    def test_fleet_sharded_row(self):
+        """The parallel path has its own trajectory row: throughput for
+        both worker counts plus the end-to-end scaling ratio."""
+        reports = bench_report.build_reports(raw_json(min_s=0.1))
+        fleet = reports["BENCH_fleet.json"]
+        sharded = fleet["fleet_sharded"]
+        assert sharded["speedup_x"] == pytest.approx(4.0)
+        assert sharded["workers"] >= 2
+        assert sharded["speedup_floor_x"] >= 2.0
+        assert sharded["cpu_count"] >= 1
+        par = fleet["benchmarks"]["test_bench_sharded_fleet"]
+        assert par["content_s_per_wall_s"] == pytest.approx(
+            fleet["content_seconds_sharded"] / 0.025
+        )
 
     def test_missing_benchmark_fails_loudly(self):
         with pytest.raises(SystemExit, match="missing"):
@@ -117,6 +150,38 @@ class TestRegressionGate:
     def test_no_baseline_means_no_trajectory_failures(self, tmp_path):
         reports = bench_report.build_reports(raw_json(min_s=0.05))
         assert bench_report.check_regressions(reports, tmp_path, 0.3) == ([], [])
+
+    def test_lost_sharded_speedup_fails_on_parallel_hardware(self, tmp_path):
+        """A speedup under the floor fails the gate wherever the workers
+        could actually run in parallel (cpu_count recorded at build)."""
+        reports = bench_report.build_reports(raw_json(min_s=0.01))
+        sharded = reports["BENCH_fleet.json"]["fleet_sharded"]
+        sharded["speedup_x"] = 1.3
+        sharded["cpu_count"] = 8
+        failures, _ = bench_report.check_regressions(reports, tmp_path, 0.3)
+        assert any("1.30x" in f and "under its floor" in f for f in failures)
+
+    def test_lost_sharded_speedup_noted_not_failed_on_few_cpus(self, tmp_path):
+        """The same regression on a 1-CPU box cannot be distinguished
+        from missing parallelism: visible note, no failure."""
+        reports = bench_report.build_reports(raw_json(min_s=0.01))
+        sharded = reports["BENCH_fleet.json"]["fleet_sharded"]
+        sharded["speedup_x"] = 1.3
+        sharded["cpu_count"] = 1
+        failures, notes = bench_report.check_regressions(reports, tmp_path, 0.3)
+        assert failures == []
+        assert any("parallel gate skipped" in n for n in notes)
+
+    def test_floor_scale_does_not_relax_the_speedup_ratio(self, tmp_path, monkeypatch):
+        """BENCH_FLOOR_SCALE compensates slow hardware; a scaling ratio
+        is hardware-normalized, so the env knob must not weaken it."""
+        monkeypatch.setenv("BENCH_FLOOR_SCALE", "0.1")
+        reports = bench_report.build_reports(raw_json(min_s=0.01))
+        sharded = reports["BENCH_fleet.json"]["fleet_sharded"]
+        sharded["speedup_x"] = 1.3
+        sharded["cpu_count"] = 8
+        failures, _ = bench_report.check_regressions(reports, tmp_path, 0.3)
+        assert any("under its floor 2x" in f for f in failures)
 
 
 class TestMain:
