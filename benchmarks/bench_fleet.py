@@ -163,6 +163,43 @@ def test_thousand_session_cdn_slow():
     assert rate >= 0.5 * CDN_FLOOR * FLOOR_SCALE
 
 
+@pytest.mark.slow
+def test_chaos_fleet_slow():
+    """Nightly chaos lane: 600 viewers, an edge outage, control plane on.
+
+    Catches wall-time blowups in the fault/monitoring path (the
+    per-interval health sweep and outage evacuation are new work the
+    plain fleet never does) and a silent loss of failover: the outage
+    must re-steer a nonzero viewer share.  The floor is half the CDN
+    bar — chaos runs pay for retries and control ticks.
+    """
+    from repro.streaming import ControlPlane, EdgeOutage, FaultSchedule
+
+    n = 600
+    spec = VideoSpec(
+        name="bench-chaos", n_frames=SECONDS * 30, fps=30,
+        points_per_frame=100_000,
+    )
+    sessions = make_fleet(n, spec, join_spacing=0.05, n_grid=8, horizon=2)
+    topo = make_cdn(
+        SMOKE, n, n_edges=8, mbps_per_session=4.0, assignment="least-loaded"
+    )
+    faults = FaultSchedule((EdgeOutage(edge=0, start=8.0, duration=10.0),))
+    t0 = time.perf_counter()
+    result = simulate_fleet(
+        sessions, topology=topo, sr_cache=SRResultCache(),
+        faults=faults, controller=ControlPlane(),
+    )
+    wall = time.perf_counter() - t0
+    rep = result.report
+    rate = n * SECONDS / wall
+    print(f"\n600-viewer chaos fleet: {wall:.1f} s ({rate:.0f} content-s/s, "
+          f"{rep.sessions_resteered} re-steered, dip {rep.qoe_dip_depth:.2f})")
+    assert rep.faults_injected == 1
+    assert rep.sessions_resteered > 0
+    assert rate >= 0.5 * CDN_FLOOR * FLOOR_SCALE
+
+
 def test_bench_single_link_fleet(benchmark):
     """Absolute cost of the 100-session single-bottleneck fleet.
 

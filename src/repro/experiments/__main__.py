@@ -35,6 +35,7 @@ from . import (
     run_fig17_measured,
     run_fig18_device,
     run_fleet_cdn,
+    run_fleet_chaos,
     run_fleet_scaling,
     run_memory_usage,
     run_population_fleet,
@@ -68,6 +69,7 @@ REGISTRY = {
     "fleet": run_fleet_scaling,
     "fleet-population": run_population_fleet,
     "fleet-cdn": run_fleet_cdn,
+    "fleet-chaos": run_fleet_chaos,
 }
 
 
@@ -103,6 +105,11 @@ def main(argv: list[str] | None = None) -> int:
         "--days", type=int, default=None, metavar="N",
         help="virtual days for multi-day diurnal experiments (fleet-cdn); "
         "default: 1",
+    )
+    parser.add_argument(
+        "--control-interval", type=float, default=None, metavar="S",
+        help="virtual seconds between control-plane ticks for experiments "
+        "that run one (fleet-chaos); default: 5",
     )
     parser.add_argument(
         "--report", metavar="FILE", default=None,
@@ -142,6 +149,8 @@ def main(argv: list[str] | None = None) -> int:
         cfg_bits.append(f"workers={args.workers}")
     if args.days is not None:
         cfg_bits.append(f"days={args.days}")
+    if args.control_interval is not None:
+        cfg_bits.append(f"control_interval={args.control_interval:g}")
     if args.diurnal:
         cfg_bits.append("diurnal")
     cfg = f" ({', '.join(cfg_bits)})" if cfg_bits else ""
@@ -159,6 +168,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["workers"] = args.workers
         if args.days is not None and "days" in params:
             kwargs["days"] = args.days
+        if args.control_interval is not None and "control_interval" in params:
+            kwargs["control_interval"] = args.control_interval
         t0 = time.time()
         try:
             rendered = fn(scale, **kwargs).render()

@@ -1,0 +1,185 @@
+"""Closed-loop control plane under fault injection — chaos scenarios.
+
+The fleet-cdn experiment measures a healthy CDN; operations are about
+the unhealthy days.  This experiment runs the same Zipf-skewed VoLUT
+population through :func:`~repro.streaming.fleet.simulate_fleet` with
+first-class fault events (:mod:`repro.streaming.faults`) and the
+closed-loop control plane (:mod:`repro.streaming.control`), and reports
+the recovery story an SRE reads after an incident:
+
+* ``resteer`` — sessions moved to another edge (outage failover plus the
+  controller's saturation re-steering);
+* ``dip`` / ``recover_s`` — QoE-per-chunk drop below the pre-fault
+  baseline and the virtual seconds until health returns to tolerance
+  (``inf`` renders when the run never recovers in-window);
+* ``resizes`` — encode-pool scaling actions (the slow-encode row starves
+  the pool so the controller must grow it);
+* the ``qoe-autoscale`` row closes the arrival loop: a degraded day-1
+  run feeds a :class:`~repro.streaming.control.QoEArrivalAutoscaler`,
+  whose learned scale then thins day-2 arrivals through the existing
+  ``DiurnalArrivals.autoscale`` hook.
+
+Every scenario is paired with the controller off/on where the contrast
+is interesting; fault-free controller-on runs are bit-exact with the
+plain simulator on everything but the tick counter (the parity test in
+``tests/streaming/test_control.py`` enforces it).
+"""
+
+from __future__ import annotations
+
+from ..streaming.control import ControlPlane, ControlPolicy, QoEArrivalAutoscaler
+from ..streaming.faults import (
+    BackhaulDegradation,
+    EdgeOutage,
+    FaultSchedule,
+    FlashCrowd,
+)
+from ..streaming.fleet import SRResultCache, simulate_fleet
+from ..streaming.population import DiurnalArrivals
+from .common import SMOKE, ResultTable, Scale
+from .fleet_cdn import make_cdn
+from .workloads import make_population
+
+__all__ = ["run_fleet_chaos"]
+
+
+def _controller(interval: float, autoscaler=None) -> ControlPlane:
+    return ControlPlane(ControlPolicy(interval=interval), autoscaler=autoscaler)
+
+
+def run_fleet_chaos(
+    scale: Scale = SMOKE,
+    n_sessions: int = 200,
+    skew: float = 1.2,
+    n_edges: int = 4,
+    mbps_per_session: float = 6.0,
+    sr_cache_size: int = 4096,
+    control_interval: float = 5.0,
+) -> ResultTable:
+    """Fault scenarios with the control plane off vs on."""
+    window = float(scale.stream_seconds)
+    table = ResultTable(
+        title="Chaos: faults and the closed-loop control plane",
+        columns=[
+            "scenario",
+            "ctrl",
+            "resteer",
+            "ticks",
+            "resizes",
+            "dip",
+            "recover_s",
+            "enc_p95_s",
+            "mean_qoe",
+            "stall_ratio",
+        ],
+        notes=(
+            f"{n_sessions} viewers, Zipf skew {skew:g}, {n_edges} edges, "
+            f"{mbps_per_session:g} Mbps/viewer, control interval "
+            f"{control_interval:g}s; outage kills edge 0 for a quarter of "
+            "the window, dip/recover_s are QoE-per-chunk depth below the "
+            "pre-fault baseline and virtual seconds back to tolerance."
+        ),
+    )
+    sessions = make_population(scale, n_sessions, skew=skew)
+
+    def row(scenario: str, ctrl: str, rep) -> None:
+        table.add(
+            scenario=scenario,
+            ctrl=ctrl,
+            resteer=rep.sessions_resteered,
+            ticks=rep.control_ticks,
+            resizes=rep.encode_pool_resizes,
+            dip=round(rep.qoe_dip_depth, 2),
+            recover_s=round(rep.time_to_recover_s, 1),
+            enc_p95_s=round(rep.encode_wait_p95, 3),
+            mean_qoe=round(rep.mean_qoe, 2),
+            stall_ratio=round(rep.stall_ratio, 4),
+        )
+
+    def run(fleet, *, assignment="least-loaded", faults=None, ctrl=False,
+            n_encode_workers=8, encode_seconds=0.05):
+        topo = make_cdn(
+            scale, len(fleet), n_edges=n_edges,
+            mbps_per_session=mbps_per_session, assignment=assignment,
+            n_encode_workers=n_encode_workers, encode_seconds=encode_seconds,
+        )
+        return simulate_fleet(
+            fleet, topology=topo,
+            sr_cache=SRResultCache(capacity=sr_cache_size),
+            faults=faults,
+            controller=_controller(control_interval) if ctrl else None,
+        ).report
+
+    # (a) fault-free reference, controller off then on — the default
+    # policy still acts on a healthy fleet (shrinks the idle encode pool,
+    # trims hot-spot edges), so the pair shows the controller's footprint
+    # without faults.
+    row("baseline", "off", run(sessions))
+    row("baseline", "on", run(sessions, ctrl=True))
+
+    # (b) edge outage mid-run: failover re-steering with and without the
+    # control plane rebalancing afterwards.
+    outage = FaultSchedule(
+        (EdgeOutage(edge=0, start=0.4 * window, duration=0.25 * window),)
+    )
+    for ctrl in ("off", "on"):
+        rep = run(sessions, faults=outage, ctrl=ctrl == "on")
+        if rep.sessions_resteered == 0:
+            # The nightly smoke runs this experiment for exactly this
+            # guarantee: a dead edge's viewers must fail over.
+            raise RuntimeError(
+                "edge-outage scenario re-steered no sessions — failover "
+                "is broken"
+            )
+        row("edge-outage", ctrl, rep)
+
+    # (c) backhaul brownout: edge 0 at 20% capacity for a third of the window.
+    degr = FaultSchedule(
+        (BackhaulDegradation(
+            edge=0, start=0.3 * window, duration=window / 3.0, factor=0.2,
+        ),)
+    )
+    row("backhaul-degr", "on", run(sessions, faults=degr, ctrl=True))
+
+    # (d) flash crowd: +25% viewers piling onto one video over a 5s ramp.
+    crowd = FaultSchedule(
+        (FlashCrowd(
+            spec=sessions[0].spec, start=0.3 * window,
+            n_viewers=max(1, len(sessions) // 4), ramp_seconds=5.0,
+        ),)
+    )
+    row(
+        "flash-crowd", "on",
+        run(crowd.expand_population(sessions), faults=crowd, ctrl=True),
+    )
+
+    # (e) starved encode pool (one worker, 10x slower transcode): the
+    # controller has to grow the pool on encode-wait p95.
+    row(
+        "slow-encode", "on",
+        run(sessions, ctrl=True, n_encode_workers=1, encode_seconds=0.5),
+    )
+
+    # (f) close the arrival loop: a brownout day feeds the QoE autoscaler,
+    # whose learned scale thins the next day's arrivals through the
+    # DiurnalArrivals.autoscale hook.
+    autoscaler = QoEArrivalAutoscaler(day_seconds=window)
+    day1 = make_population(scale, n_sessions, skew=skew, diurnal=True)
+    rep = simulate_fleet(
+        day1,
+        topology=make_cdn(
+            scale, len(day1), n_edges=n_edges,
+            mbps_per_session=mbps_per_session, assignment="least-loaded",
+        ),
+        sr_cache=SRResultCache(capacity=sr_cache_size),
+        faults=degr,
+        controller=_controller(control_interval, autoscaler=autoscaler),
+    ).report
+    rate = 1.2 * n_sessions / window
+    scaled = DiurnalArrivals(
+        mean_rate_hz=rate, day_seconds=window, days=2.0,
+        autoscale=autoscaler,
+    ).times()
+    day2 = int((scaled >= window).sum())
+    row(f"qoe-autoscale d2x{autoscaler(1):.2f} n{day2}", "on", rep)
+    return table

@@ -53,6 +53,7 @@ def make_population(
     seed: int = 0,
     diurnal: bool = False,
     days: int = 1,
+    autoscale=None,
 ) -> list[FleetSession]:
     """A Zipf-catalog, churn-enabled viewer population of VoLUT clients.
 
@@ -63,9 +64,14 @@ def make_population(
     stretches the run over several such virtual days (implies the
     diurnal process — a multi-day homogeneous run is just a longer
     window), spreading the same ``n_sessions`` across the whole span.
+    ``autoscale`` is handed to the diurnal process's per-day rate hook —
+    the lever a :class:`~repro.streaming.control.QoEArrivalAutoscaler`
+    closes the arrival loop through.
     """
     if days < 1:
         raise ValueError(f"days must be >= 1, got {days}")
+    if autoscale is not None and not (diurnal or days > 1):
+        raise ValueError("autoscale needs the diurnal arrival process")
     ctrl, qm, lat = volut_client(n_grid, horizon)
     catalog = synthetic_catalog(
         n_videos,
@@ -81,7 +87,8 @@ def make_population(
     rate = 1.2 * n_sessions / span
     if diurnal or days > 1:
         arrivals: PoissonArrivals | DiurnalArrivals = DiurnalArrivals(
-            mean_rate_hz=rate, day_seconds=window, days=float(days), seed=seed
+            mean_rate_hz=rate, day_seconds=window, days=float(days), seed=seed,
+            autoscale=autoscale,
         )
     else:
         arrivals = PoissonArrivals(rate_hz=rate, seed=seed)

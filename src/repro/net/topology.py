@@ -252,6 +252,28 @@ class PathScheduler:
     def n_flows(self) -> int:
         return len(self._flows)
 
+    def has_flow(self, flow_id: int) -> bool:
+        """True iff ``flow_id`` is currently in flight."""
+        return flow_id in self._flows
+
+    def cancel(self, flow_id: int) -> None:
+        """Withdraw an in-flight transfer without completing it.
+
+        The fault-injection hook: an edge outage kills every transfer
+        riding the dead edge's links mid-flight, and the fleet driver
+        re-issues them on the failover path.  Bits already drained stay
+        counted in ``delivered_bits`` (they did cross the links); the
+        flow simply never reports a :class:`Completion`.  Cancelling at
+        an arbitrary instant is safe for the remaining pool: the solo
+        fast path only engages for a flow that has drained nothing,
+        which after a cancellation can only be a flow still inside its
+        RTT/encode gate — alone from here on, its closed form is exact.
+        """
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            raise KeyError(f"flow {flow_id} is not in flight")
+        self._remove(flow)
+
     def busy(self) -> bool:
         """True while any transfer is unfinished."""
         return bool(self._flows)

@@ -41,6 +41,7 @@ events, in flow-id order.
 
 from __future__ import annotations
 
+import math
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -104,6 +105,8 @@ class EdgeChunkCache:
         self.evictions = 0
         #: backhaul fills actually opened (cold misses that pulled bytes)
         self.fills = 0
+        #: fills cancelled mid-flight (edge outages) — never landed
+        self.aborted_fills = 0
         #: misses that attached to an in-flight fill instead of pulling
         self.coalesced = 0
         self.coalesced_bytes = 0
@@ -136,6 +139,46 @@ class EdgeChunkCache:
             raise ValueError(f"no fill in flight for {key!r}")
         self.coalesced += 1
         self.coalesced_bytes += nbytes
+
+    def abort_fill(self, key: tuple) -> None:
+        """Drop the in-flight marker for a fill that will never land.
+
+        The fault-injection hook: an edge outage cancels the backhaul
+        transfer mid-flight, so the next request for ``key`` must open a
+        fresh fill instead of coalescing onto a ghost.  ``fills`` keeps
+        counting the aborted pull (bytes did start moving);
+        ``aborted_fills`` tallies how many never completed.
+        """
+        if key in self._pending:
+            self._pending.discard(key)
+            self.aborted_fills += 1
+
+    def drop_all(self) -> None:
+        """Forget every resident variant and in-flight fill (counters kept).
+
+        What an edge node restarting after an outage looks like: the
+        cache comes back empty and cold, but the run's hit/miss history
+        still happened.
+        """
+        self.aborted_fills += len(self._pending)
+        self._entries.clear()
+        self._pending.clear()
+        self.used_bytes = 0
+
+    def reset(self) -> None:
+        """Restore as-constructed state: empty cache, zeroed counters."""
+        self._entries.clear()
+        self._pending.clear()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.hit_bytes = 0
+        self.miss_bytes = 0
+        self.evictions = 0
+        self.fills = 0
+        self.aborted_fills = 0
+        self.coalesced = 0
+        self.coalesced_bytes = 0
 
     def insert(self, key: tuple, nbytes: int, ready: float) -> None:
         """Record a completed fill: ``key`` resident from ``ready`` on.
@@ -185,8 +228,34 @@ class EncodeQueue:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.n_workers = int(n_workers)
+        self._initial_workers = self.n_workers
         self._free_at = [0.0] * self.n_workers
         self.waits: list[float] = []
+
+    def resize(self, n_workers: int, at_time: float = 0.0) -> None:
+        """Grow or shrink the worker pool mid-run (the control-plane hook).
+
+        New workers come free at ``at_time``; shrinking retires the
+        *idlest* workers first (earliest free time — a busy worker
+        finishes its in-flight encode before leaving).  Recorded waits
+        are untouched: the report's percentiles cover the whole run.
+        """
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        n_workers = int(n_workers)
+        if n_workers > self.n_workers:
+            self._free_at.extend(
+                [float(at_time)] * (n_workers - self.n_workers)
+            )
+        elif n_workers < self.n_workers:
+            self._free_at = sorted(self._free_at)[self.n_workers - n_workers:]
+        self.n_workers = n_workers
+
+    def reset(self) -> None:
+        """Restore as-constructed state: original pool size, all idle."""
+        self.n_workers = self._initial_workers
+        self._free_at = [0.0] * self.n_workers
+        self.waits.clear()
 
     def submit(self, at_time: float, cost: float) -> float:
         """Ready time of an encode job submitted at ``at_time``."""
@@ -216,14 +285,18 @@ def wait_percentile(waits: list[float], pct: float) -> float:
     The one percentile rule every report path shares — the sharded fleet
     merges per-shard encode waits and must reproduce the single-process
     numbers exactly, so the formula lives here rather than on the queue.
+    Half ranks round *up* explicitly (``floor(x + 0.5)``): Python's
+    ``round`` is half-to-even, which made p50 over an even sample pick
+    the lower or upper neighbor depending on the sample size's parity —
+    inconsistent with the documented nearest-rank convention.
     """
     if not 0.0 <= pct <= 100.0:
         raise ValueError("pct must be in [0, 100]")
     if not waits:
         return 0.0
     ordered = sorted(waits)
-    rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1)))))
-    return ordered[rank]
+    rank = int(math.floor(pct / 100.0 * (len(ordered) - 1) + 0.5))
+    return ordered[max(0, min(len(ordered) - 1, rank))]
 
 
 class OriginServer:
@@ -265,6 +338,11 @@ class OriginServer:
     @property
     def n_encoded(self) -> int:
         return len(self._variants)
+
+    def reset(self) -> None:
+        """Restore as-constructed state: no variants, a fresh queue."""
+        self.queue.reset()
+        self._variants.clear()
 
 
 @dataclass
@@ -321,6 +399,26 @@ class CDNTopology:
     def assign(self, sessions) -> list[int]:
         """Edge index for each session under this topology's policy."""
         return assign_sessions(sessions, len(self.edges), self.assignment)
+
+    def reset(self) -> None:
+        """Restore as-constructed serving state for a fresh run.
+
+        ``simulate_fleet`` mutates the live topology (warm chunk caches,
+        hit/miss/fill counters, encoded variants, recorded encode waits,
+        per-link ``delivered_bits``, per-edge SR caches), so a second
+        run over the same object would silently report merged stats.
+        The fleet driver calls this at start; callers who *want* to
+        inspect a run's state must read it before the next run.  Edge
+        objects keep their identity — only their mutable serving state
+        is cleared; installed per-edge SR caches stay installed, reset.
+        """
+        for edge in self.edges:
+            edge.cache.reset()
+            if edge.sr_cache is not None:
+                edge.sr_cache.reset()
+            edge.backhaul.delivered_bits = 0.0
+            edge.access.delivered_bits = 0.0
+        self.origin.reset()
 
 
 def _stable_hash(text: str) -> int:

@@ -1,0 +1,345 @@
+"""First-class fault events for fleet simulations (chaos scenarios).
+
+The ROADMAP's "closed-loop control plane + chaos scenarios" item asks
+for fault injection as population/topology events rather than hand-built
+one-off topologies.  This module defines the three fault kinds the
+operations literature stresses a CDN with, scheduled in virtual time
+against a :class:`~repro.streaming.cdn.CDNTopology`:
+
+* :class:`EdgeOutage` — an edge site goes dark for a window.  The fleet
+  driver re-steers every viewer assigned to it onto the least-loaded
+  live edge (failover re-assignment), cancels the dead edge's in-flight
+  transfers and re-issues them from the outage instant, and drops the
+  edge's cache contents (a restarted node comes back cold).
+* :class:`BackhaulDegradation` — an edge's origin→edge backhaul loses
+  capacity for a window (a congested or flapping transit path).
+  Modeled as a pure trace transformation (:class:`DegradedTrace`), so
+  the scheduler's segment-exact integration stays exact through the
+  window boundaries.
+* :class:`FlashCrowd` — a step of extra viewers piling onto one content
+  (the premiere/breaking-news pattern).  Crowd viewers are materialized
+  as ordinary sessions *before* the run via
+  :meth:`FaultSchedule.expand_population`; the schedule entry tells the
+  recovery tracker where the load step lands.
+
+A :class:`FaultSchedule` bundles the events, validates them against a
+topology, and answers the two questions the executors ask: which
+instants the event loop must wake at (:meth:`boundary_times`) and
+whether the schedule survives edge-partitioning
+(:meth:`shardable` — only backhaul degradations do; outages and flash
+crowds re-steer viewers across edges, which a shard cannot see).
+
+An empty schedule is falsy and ``simulate_fleet`` treats it exactly as
+``faults=None`` — the disabled mode is bit-exact with the unfaulted
+simulator (the control plane's entry in the oracle-parity convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from .chunks import VideoSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (fleet imports faults)
+    from .fleet import FleetSession
+
+__all__ = [
+    "EdgeOutage",
+    "BackhaulDegradation",
+    "FlashCrowd",
+    "FaultSchedule",
+    "DegradedTrace",
+    "flash_crowd_sessions",
+]
+
+
+@dataclass(frozen=True)
+class EdgeOutage:
+    """Edge ``edge`` serves nothing during ``[start, start + duration)``."""
+
+    edge: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.edge < 0:
+            raise ValueError(f"edge index must be >= 0, got {self.edge}")
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start!r}")
+        if not self.duration > 0:
+            raise ValueError(
+                f"duration must be positive, got {self.duration!r}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class BackhaulDegradation:
+    """Edge ``edge``'s backhaul capacity is scaled by ``factor`` during
+    ``[start, start + duration)``.
+
+    ``factor`` must be positive (a zero-capacity link would stall flows
+    forever — model a total loss as an :class:`EdgeOutage` instead);
+    factors above 1.0 are allowed (burst capacity).  Overlapping windows
+    on the same edge compose multiplicatively.
+    """
+
+    edge: int
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.edge < 0:
+            raise ValueError(f"edge index must be >= 0, got {self.edge}")
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start!r}")
+        if not self.duration > 0:
+            raise ValueError(
+                f"duration must be positive, got {self.duration!r}"
+            )
+        if not self.factor > 0:
+            raise ValueError(
+                f"factor must be positive (use EdgeOutage for a total "
+                f"loss), got {self.factor!r}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """``n_viewers`` extra sessions of ``spec`` joining from ``start``.
+
+    Joins are spread evenly over ``[start, start + ramp_seconds]`` (a
+    step with a short ramp, the shape measured flash crowds have).  The
+    sessions themselves must be materialized into the fleet's session
+    list before the run — :meth:`FaultSchedule.expand_population` does
+    that from a template session; the schedule entry marks the window
+    for the recovery metrics.
+    """
+
+    spec: VideoSpec
+    start: float
+    n_viewers: int
+    ramp_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start!r}")
+        if self.n_viewers < 1:
+            raise ValueError(
+                f"n_viewers must be >= 1, got {self.n_viewers}"
+            )
+        if self.ramp_seconds < 0:
+            raise ValueError(
+                f"ramp_seconds must be non-negative, got {self.ramp_seconds!r}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.ramp_seconds
+
+
+#: The event kinds a :class:`FaultSchedule` accepts.
+FAULT_KINDS = (EdgeOutage, BackhaulDegradation, FlashCrowd)
+
+
+def flash_crowd_sessions(
+    crowd: FlashCrowd, template: FleetSession
+) -> list[FleetSession]:
+    """Materialize one flash crowd as fleet sessions cloning ``template``.
+
+    Every crowd viewer runs the template's controller/latency/config
+    stack on the crowd's content, joining at evenly spaced instants over
+    the ramp — deterministic, so a crowd run replays exactly.
+    """
+    out = []
+    for i in range(crowd.n_viewers):
+        frac = i / crowd.n_viewers
+        out.append(
+            replace(
+                template,
+                spec=crowd.spec,
+                join_time=crowd.start + frac * crowd.ramp_seconds,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A validated set of fault events for one fleet run.
+
+    Empty schedules are falsy; ``simulate_fleet(faults=FaultSchedule())``
+    is bit-exact with ``faults=None``.
+    """
+
+    events: tuple = ()
+
+    def __post_init__(self) -> None:
+        for ev in self.events:
+            if not isinstance(ev, FAULT_KINDS):
+                raise TypeError(
+                    f"unknown fault event {type(ev).__name__}; pick from "
+                    f"{tuple(k.__name__ for k in FAULT_KINDS)}"
+                )
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    @property
+    def outages(self) -> tuple[EdgeOutage, ...]:
+        return tuple(e for e in self.events if isinstance(e, EdgeOutage))
+
+    @property
+    def degradations(self) -> tuple[BackhaulDegradation, ...]:
+        return tuple(
+            e for e in self.events if isinstance(e, BackhaulDegradation)
+        )
+
+    @property
+    def crowds(self) -> tuple[FlashCrowd, ...]:
+        return tuple(e for e in self.events if isinstance(e, FlashCrowd))
+
+    def shardable(self) -> bool:
+        """True iff the schedule survives edge-partitioning.
+
+        Backhaul degradations touch one edge's private link and can be
+        serialized into shard plans; outages and flash crowds move
+        viewers *between* edges, which a shard cannot represent.
+        """
+        return all(
+            isinstance(e, BackhaulDegradation) for e in self.events
+        )
+
+    def validate_topology(self, n_edges: int) -> None:
+        """Reject schedules the topology cannot host.
+
+        Checks edge indices, and that every instant of every outage
+        leaves at least one live edge to fail over to (concurrent
+        outages may not cover the whole topology).
+        """
+        for ev in self.events:
+            edge = getattr(ev, "edge", None)
+            if edge is not None and edge >= n_edges:
+                raise ValueError(
+                    f"{type(ev).__name__} names edge {edge}; topology has "
+                    f"{n_edges} edges"
+                )
+        outages = self.outages
+        for ev in outages:
+            dark = {
+                o.edge
+                for o in outages
+                if o.start <= ev.start < o.end
+            }
+            if len(dark) >= n_edges:
+                raise ValueError(
+                    f"outages cover all {n_edges} edges at t={ev.start!r}; "
+                    "no live edge remains to fail over to"
+                )
+
+    def boundary_times(self) -> list[float]:
+        """Sorted unique instants the fleet event loop must wake at.
+
+        Only outage starts/ends need loop events (re-steering and flow
+        cancellation mutate scheduler state); degradations act through
+        :class:`DegradedTrace` (the trace's own segment boundaries stop
+        the fluid integration) and flash crowds are ordinary sessions.
+        """
+        times = set()
+        for ev in self.outages:
+            times.add(ev.start)
+            times.add(ev.end)
+        return sorted(times)
+
+    def expand_population(
+        self, sessions: list[FleetSession], template: FleetSession | None = None
+    ) -> list[FleetSession]:
+        """``sessions`` plus every flash crowd's viewers (new list).
+
+        ``template`` defaults to the first session.  Call this before
+        handing the fleet to an executor — ``simulate_fleet`` does not
+        create sessions itself.
+        """
+        out = list(sessions)
+        if not self.crowds:
+            return out
+        if template is None:
+            if not sessions:
+                raise ValueError(
+                    "expand_population needs a template session for flash "
+                    "crowds (got an empty session list and no template)"
+                )
+            template = sessions[0]
+        for crowd in self.crowds:
+            out.extend(flash_crowd_sessions(crowd, template))
+        return out
+
+
+class DegradedTrace:
+    """A bandwidth trace view with time-windowed capacity scaling.
+
+    Wraps any trace implementing the :class:`~repro.net.traces.NetworkTrace`
+    interface and multiplies its capacity by each window's factor while
+    virtual time is inside ``[start, end)`` — windows compose
+    multiplicatively where they overlap.  ``time_to_next_change`` is
+    capped at the next window boundary, so the schedulers' piecewise-
+    constant integration remains segment-exact through a degradation.
+
+    Windows are *absolute* virtual times (they do not loop with the
+    base trace's period — a fault happens once, at a wall-clock instant).
+    """
+
+    def __init__(
+        self, base, windows: list[tuple[float, float, float]]
+    ) -> None:
+        for start, end, factor in windows:
+            if start < 0 or not end > start:
+                raise ValueError(
+                    f"window must satisfy 0 <= start < end, got "
+                    f"({start!r}, {end!r})"
+                )
+            if not factor > 0:
+                raise ValueError(
+                    f"window factor must be positive, got {factor!r}"
+                )
+        self.base = base
+        self.windows = sorted(windows)
+        self.rtt = base.rtt
+        self.name = f"degraded({getattr(base, 'name', 'trace')})"
+
+    @property
+    def duration(self) -> float:
+        return self.base.duration
+
+    def _factor(self, t: float) -> float:
+        f = 1.0
+        for start, end, factor in self.windows:
+            if start <= t < end:
+                f *= factor
+        return f
+
+    def bandwidth_at(self, t: float) -> float:
+        return self.base.bandwidth_at(t) * self._factor(t)
+
+    def time_to_next_change(self, t: float) -> float:
+        dt = self.base.time_to_next_change(t)
+        for start, end, _ in self.windows:
+            if t < start:
+                dt = min(dt, start - t)
+            elif t < end:
+                dt = min(dt, end - t)
+        return dt

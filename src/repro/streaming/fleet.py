@@ -35,8 +35,9 @@ by parity tests).
 from __future__ import annotations
 
 import heapq
+import math
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 
 from ..metrics.qoe import QoEWeights, aggregate_qoe
 from ..net.link import SharedLink
@@ -45,6 +46,8 @@ from ..net.traces import NetworkTrace
 from .cdn import CDNTopology, wait_percentile
 from .abr import AbrController, SRQualityModel
 from .chunks import VideoSpec
+from .control import ControlPlane, FleetView, RecoveryTracker
+from .faults import DegradedTrace, FaultSchedule
 from .latency import SRLatency, ZERO_LATENCY
 from .simulator import (
     AbandonPolicy,
@@ -60,8 +63,18 @@ __all__ = [
     "SRResultCache",
     "FleetReport",
     "FleetResult",
+    "OpsStats",
     "simulate_fleet",
 ]
+
+#: Stall weight in the control plane's health signal — matches the default
+#: :class:`~repro.metrics.qoe.QoEWeights` gamma, so "health" tracks the
+#: same trade-off the QoE report scores.
+_HEALTH_STALL_WEIGHT = 2.0
+
+#: Monitor cadence (virtual seconds) when faults are injected without a
+#: controller — the recovery tracker still needs samples.
+_DEFAULT_SAMPLE_INTERVAL = 1.0
 
 
 @dataclass
@@ -138,6 +151,12 @@ class SRResultCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def reset(self) -> None:
+        """Return to the as-constructed state (entries and counters)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -181,6 +200,37 @@ class FleetReport:
     #: encode-queue wait percentiles over cold chunk variants (seconds)
     encode_wait_p50: float = 0.0
     encode_wait_p95: float = 0.0
+    # -- control plane / fault injection (defaults = no faults, no controller)
+    #: viewers moved to another edge (outage failover + controller re-steers)
+    sessions_resteered: int = 0
+    #: fault events the run was configured with
+    faults_injected: int = 0
+    #: control-plane intervals that actually fired
+    control_ticks: int = 0
+    #: encode-pool resize actions the controller issued
+    encode_pool_resizes: int = 0
+    #: health drop below the pre-fault baseline (QoE-per-chunk units)
+    qoe_dip_depth: float = 0.0
+    #: virtual seconds from first fault to health back within tolerance of
+    #: baseline; 0.0 = no measurable dip, ``inf`` = never recovered in-run
+    time_to_recover_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class OpsStats:
+    """Control-plane and fault-recovery aggregates for one fleet run.
+
+    Carried separately from the plain serving aggregates so the sharded
+    executor can merge them explicitly; :func:`build_fleet_report` folds
+    them into the :class:`FleetReport` fields of the same names.
+    """
+
+    sessions_resteered: int = 0
+    faults_injected: int = 0
+    control_ticks: int = 0
+    encode_pool_resizes: int = 0
+    qoe_dip_depth: float = 0.0
+    time_to_recover_s: float = 0.0
 
 
 @dataclass
@@ -243,6 +293,7 @@ def build_fleet_report(
     sr_hits: int,
     sr_misses: int,
     sr_edge_hit_rates: tuple[float, ...],
+    ops: OpsStats | None = None,
 ) -> FleetReport:
     """One :class:`FleetReport` from plain per-run aggregates.
 
@@ -253,8 +304,11 @@ def build_fleet_report(
     bit-exact parity rests on.  ``edge_stats`` rows are ``(hits, misses,
     coalesced, coalesced_bytes)`` in topology edge order;
     ``origin_egress=None`` means "no edges — every byte left the origin"
-    (the single-link mode).
+    (the single-link mode).  ``ops`` carries the control-plane / fault
+    aggregates when the run injected faults or ran a controller.
     """
+    if ops is None:
+        ops = OpsStats()
     agg = aggregate_qoe(
         [r.qoe for r in results],
         [r.stall_seconds for r in results],
@@ -289,6 +343,12 @@ def build_fleet_report(
         edge_hit_rates=edge_hit_rates,
         encode_wait_p50=wait_percentile(encode_waits, 50.0),
         encode_wait_p95=wait_percentile(encode_waits, 95.0),
+        sessions_resteered=ops.sessions_resteered,
+        faults_injected=ops.faults_injected,
+        control_ticks=ops.control_ticks,
+        encode_pool_resizes=ops.encode_pool_resizes,
+        qoe_dip_depth=ops.qoe_dip_depth,
+        time_to_recover_s=ops.time_to_recover_s,
     )
 
 
@@ -312,6 +372,8 @@ def simulate_fleet(
     topology: CDNTopology | None = None,
     engine: str = "vector",
     assignment: list[int] | None = None,
+    faults: FaultSchedule | None = None,
+    controller: ControlPlane | None = None,
 ) -> FleetResult:
     """Run a fleet of sessions over a shared serving topology.
 
@@ -353,6 +415,26 @@ def simulate_fleet(
     the origin to have the encoded variant (bounded encode workers),
     travels backhaul + access, and fills the edge cache when the transfer
     completes.
+
+    ``faults`` injects chaos events (topology mode only): edge outages
+    cancel the dead edge's in-flight transfers, fail its viewers over to
+    the least-loaded live edge and restart the edge cold; backhaul
+    degradations scale an edge's backhaul trace through a
+    :class:`~repro.streaming.faults.DegradedTrace` window; flash-crowd
+    entries only inform the recovery metrics (materialize their sessions
+    first via :meth:`~repro.streaming.faults.FaultSchedule.expand_population`).
+    ``controller`` runs a :class:`~repro.streaming.control.ControlPlane`
+    every control interval on a sampled :class:`FleetView` — encode-pool
+    resizing, saturation re-steering, QoE-driven arrival autoscale
+    feedback.  Both default to off, and the disabled configuration is
+    bit-exact with the plain simulator: control ticks piggyback on
+    instants the event loop already wakes at, so monitoring alone never
+    perturbs the fluid-flow arithmetic (a parity test enforces this).
+
+    A topology handed to ``simulate_fleet`` is reset to its
+    as-constructed state first (caches cold, counters zeroed, encode pool
+    at its configured size), so reusing one topology object across runs
+    measures each run from cold rather than silently warm-starting.
     """
     if not sessions:
         raise ValueError("fleet needs at least one session")
@@ -364,6 +446,13 @@ def simulate_fleet(
             "carry their own sharing policies (set them at construction, "
             "e.g. uniform_cdn(policy=...))"
         )
+    if faults is not None and not faults:
+        faults = None  # empty schedule ≡ no faults (parity convention)
+    if (faults is not None or controller is not None) and topology is None:
+        raise ValueError(
+            "faults and controller require a topology (fault events and "
+            "control actions are defined against CDN edges)"
+        )
     if topology is None:
         assert trace is not None
         if assignment is not None:
@@ -374,6 +463,9 @@ def simulate_fleet(
         assignment = []
     else:
         base_path = None
+        topology.reset()
+        if faults is not None:
+            faults.validate_topology(len(topology.edges))
         if assignment is None:
             assignment = topology.assign(sessions)
         else:
@@ -423,6 +515,49 @@ def simulate_fleet(
     #: requests coalesced onto an in-flight fill: (edge idx, key) -> [(sid, req)]
     fill_waiters: dict[tuple, list[tuple[int, DownloadRequest]]] = {}
     origin_egress = 0
+
+    # -- fault / control runtime -------------------------------------------
+    n_edges = len(topology.edges) if topology is not None else 0
+    outage_bounds = faults.boundary_times() if faults is not None else []
+    next_bound = 0
+    edge_down = [False] * n_edges
+    #: outage handling needs to know which flows ride which edge; the
+    #: bookkeeping is gated so fault-free runs skip every extra dict op
+    track_live = bool(outage_bounds)
+    #: in-flight downloads: sid -> (request, edge the flow was routed via)
+    live_req: dict[int, tuple[DownloadRequest, int]] = {}
+    #: virtual seconds a session already spent on attempts an outage killed
+    retry_offset: dict[int, float] = {}
+    resteered_total = 0
+    monitor = faults is not None or controller is not None
+    ticks0 = resizes0 = 0
+    if controller is not None:
+        sample_interval = controller.policy.interval
+        ticks0 = controller.ticks
+        resizes0 = controller.encode_resizes
+    else:
+        sample_interval = _DEFAULT_SAMPLE_INTERVAL
+    tracker = (
+        RecoveryTracker(min(ev.start for ev in faults.events))
+        if faults is not None
+        else None
+    )
+    next_sample = sample_interval
+    prev_live = (0, 0.0, 0.0)
+    encode_waits_seen = 0
+    # Degradations act purely through the trace wrapper: the scheduler's
+    # piecewise integration segments at the window boundaries on its own,
+    # so no loop events are injected.  Restored in the finally below so a
+    # reused topology is never left wearing a fault.
+    wrapped_links: list[tuple[SharedLink, NetworkTrace]] = []
+    if faults is not None and faults.degradations:
+        deg_windows: dict[int, list[tuple[float, float, float]]] = {}
+        for d in faults.degradations:
+            deg_windows.setdefault(d.edge, []).append((d.start, d.end, d.factor))
+        for e, wins in sorted(deg_windows.items()):
+            link = topology.edges[e].backhaul
+            wrapped_links.append((link, link.trace))
+            link.trace = DegradedTrace(link.trace, wins)
     #: topology requests dated beyond the current event, ordered by
     #: (start_time, session id).  Cache lookups and encode reservations
     #: are *stateful and time-stamped*, so a future-dated request (a
@@ -445,6 +580,8 @@ def simulate_fleet(
         edge = topology.edges[edge_idx]
         key = _chunk_key(req)
         if key is not None and edge.cache.lookup(key, req.nbytes, req.start_time):
+            if track_live:
+                live_req[sid] = (req, edge_idx)
             sched.add_flow(
                 sid, req.nbytes, req.start_time, edge.hit_path,
                 weight=sessions[sid].weight,
@@ -467,6 +604,8 @@ def simulate_fleet(
                 edge.cache.begin_fill(key)
             pending_fill[sid] = (edge_idx, key, req.nbytes)
         origin_egress += req.nbytes
+        if track_live:
+            live_req[sid] = (req, edge_idx)
         sched.add_flow(
             sid, req.nbytes, req.start_time, edge.miss_path,
             weight=sessions[sid].weight, extra_delay=delay,
@@ -498,6 +637,76 @@ def simulate_fleet(
         else:
             dispatch(sid, req)
 
+    def _health_sample() -> float | None:
+        """Fleet health since the last sample, from the machines' live
+        counters: QoE-per-chunk with the default stall weight.  None when
+        no chunk landed in the interval (nothing to score)."""
+        nonlocal prev_live
+        chunks = 0
+        qsum = 0.0
+        stall = 0.0
+        for m in machines:
+            chunks += m.live_chunks
+            qsum += m.live_quality_sum
+            stall += m.live_stall
+        d_chunks = chunks - prev_live[0]
+        d_qsum = qsum - prev_live[1]
+        d_stall = stall - prev_live[2]
+        prev_live = (chunks, qsum, stall)
+        if d_chunks == 0:
+            return None
+        return (d_qsum - _HEALTH_STALL_WEIGHT * d_stall) / d_chunks
+
+    def _evacuate(edge_idx: int, t: float) -> None:
+        """Fail edge ``edge_idx`` over at instant ``t``: re-steer its
+        viewers to the least-loaded live edges, cancel its in-flight
+        transfers and re-issue them from ``t`` (time already spent counts
+        against the session via ``retry_offset``), restart its cache cold.
+        """
+        nonlocal resteered_total
+        assert topology is not None and faults is not None
+        edge = topology.edges[edge_idx]
+        # Outstanding work riding the dead edge, captured before any
+        # re-assignment: in-flight transfers and parked coalesced waiters.
+        riding = sorted(
+            sid for sid, (_, e) in live_req.items() if e == edge_idx
+        )
+        retries = [(sid, live_req.pop(sid)[0]) for sid in riding]
+        for k in [k for k in fill_waiters if k[0] == edge_idx]:
+            retries.extend(fill_waiters.pop(k))
+        live = [e for e in range(n_edges) if not edge_down[e]]
+        load = [0] * n_edges
+        for sid, m in enumerate(machines):
+            if not m.finished:
+                load[assignment[sid]] += 1
+        for sid, m in enumerate(machines):
+            if m.finished or assignment[sid] != edge_idx:
+                continue
+            target = min(live, key=lambda e: (load[e], e))
+            load[edge_idx] -= 1
+            load[target] += 1
+            assignment[sid] = target
+            if per_edge_sr:
+                machines[sid].sr_cache = topology.edges[target].sr_cache
+            resteered_total += 1
+        for sid in riding:
+            sched.cancel(sid)
+            pending_fill.pop(sid, None)
+        # A restarted edge comes back cold: drop contents and in-flight
+        # fill markers (their backhaul transfers were just cancelled).
+        edge.cache.drop_all()
+        # Re-issue the orphaned requests against each session's new edge.
+        # Requests dated at/after the outage re-run unchanged; requests
+        # already in flight restart here, carrying their sunk time.
+        for sid, req in sorted(retries):
+            if req.start_time >= t:
+                queue(sid, req)
+            else:
+                retry_offset[sid] = (
+                    retry_offset.get(sid, 0.0) + (t - req.start_time)
+                )
+                queue(sid, dc_replace(req, start_time=t))
+
     # Every session needs its first ABR decision at join time — the widest
     # batch of the run (startup-bytes sessions enter via a transfer first).
     # Decisions are pure functions of their context, so resolving them all
@@ -514,17 +723,24 @@ def simulate_fleet(
 
     now = 0.0
     end_times = [0.0] * len(machines)
-    while sched.busy() or deferred:
+    try:
+      while sched.busy() or deferred:
         events = []
         if sched.busy():
             events.append(sched.next_event(now))
         if deferred:
             events.append(max(deferred[0][0], now))
+        if next_bound < len(outage_bounds):
+            # Outage boundaries mutate scheduler state, so the loop must
+            # wake exactly at them (degradations and crowds need no event).
+            events.append(max(outage_bounds[next_bound], now))
         t = min(events)
         clock = t
         needs_decision: list[int] = []
         if sched.busy():
             for done in sched.advance(now, t):
+                if track_live:
+                    live_req.pop(done.flow_id, None)
                 fill = pending_fill.pop(done.flow_id, None)
                 if fill is not None:
                     edge_idx, key, nbytes = fill
@@ -536,6 +752,8 @@ def simulate_fleet(
                     # gated to the fill's landing instant (the elapsed
                     # time still counts from its own request).
                     for wsid, wreq in fill_waiters.pop((edge_idx, key), ()):
+                        if track_live:
+                            live_req[wsid] = (wreq, edge_idx)
                         gate = done.finish_time - (
                             wreq.start_time + edge.hit_path.rtt
                         )
@@ -544,7 +762,10 @@ def simulate_fleet(
                             weight=sessions[wsid].weight,
                             extra_delay=max(gate, 0.0),
                         )
-                req = machines[done.flow_id].advance(done.elapsed)
+                elapsed = done.elapsed
+                if track_live:
+                    elapsed += retry_offset.pop(done.flow_id, 0.0)
+                req = machines[done.flow_id].advance(elapsed)
                 if isinstance(req, DecisionRequest):
                     needs_decision.append(done.flow_id)
                 elif req is not None:
@@ -553,6 +774,75 @@ def simulate_fleet(
                     end_times[done.flow_id] = done.finish_time
         for sid, req in _batched_decisions(machines, needs_decision):
             queue(sid, req)
+        if next_bound < len(outage_bounds) and outage_bounds[next_bound] <= t:
+            # Bank any solo flow's progress before surgery on the flow set
+            # (same contract as the deferred release below).
+            sched.sync(t)
+            while (
+                next_bound < len(outage_bounds)
+                and outage_bounds[next_bound] <= t
+            ):
+                tb = outage_bounds[next_bound]
+                next_bound += 1
+                newly_down = []
+                for e in range(n_edges):
+                    down = any(
+                        o.edge == e and o.start <= tb < o.end
+                        for o in faults.outages
+                    )
+                    if down and not edge_down[e]:
+                        newly_down.append(e)
+                    edge_down[e] = down
+                for e in newly_down:
+                    _evacuate(e, t)
+        if monitor and t >= next_sample:
+            # Control ticks piggyback on instants the loop already wakes
+            # at — never injected — so pure monitoring cannot split a
+            # fluid advance interval (the bit-exactness of the disabled /
+            # no-op configurations rests on this).
+            health = _health_sample()
+            if tracker is not None and health is not None:
+                tracker.sample(t, health)
+            if controller is not None:
+                assert topology is not None
+                loads = [0] * n_edges
+                by_edge: dict[int, list[int]] = {
+                    e: [] for e in range(n_edges)
+                }
+                for sid, m in enumerate(machines):
+                    if not m.finished:
+                        by_edge[assignment[sid]].append(sid)
+                        loads[assignment[sid]] += 1
+                waits = topology.origin.queue.waits
+                new_waits = tuple(waits[encode_waits_seen:])
+                encode_waits_seen = len(waits)
+                actions = controller.tick(
+                    FleetView(
+                        now=t,
+                        edge_load=tuple(loads),
+                        edge_down=tuple(edge_down),
+                        sessions_by_edge={
+                            e: tuple(ids) for e, ids in by_edge.items()
+                        },
+                        encode_waits=new_waits,
+                        encode_workers=topology.origin.queue.n_workers,
+                        health=health,
+                    )
+                )
+                if actions.encode_workers is not None:
+                    topology.origin.queue.resize(
+                        actions.encode_workers, at_time=t
+                    )
+                for sid, target in actions.resteer:
+                    if machines[sid].finished or edge_down[target]:
+                        continue
+                    assignment[sid] = target
+                    if per_edge_sr:
+                        machines[sid].sr_cache = topology.edges[target].sr_cache
+                    resteered_total += 1
+            next_sample = (
+                math.floor(t / sample_interval) + 1
+            ) * sample_interval
         # Release deferred requests due by t only after the fills that
         # completed *at* t are inserted: a chunk resident at the instant
         # a request goes out counts as a hit (ready <= at_time).
@@ -565,10 +855,40 @@ def simulate_fleet(
                 _, sid, req = heapq.heappop(deferred)
                 dispatch(sid, req)
         now = t
+    finally:
+        for link, orig in wrapped_links:
+            link.trace = orig
+    if tracker is not None:
+        # Close the monitoring stream so a recovery that completes after
+        # the last sample instant is still observed.
+        health = _health_sample()
+        if health is not None:
+            tracker.sample(now, health)
 
     results = [m.result for m in machines]
     assert all(r is not None for r in results), "fleet left unfinished sessions"
     assert not fill_waiters, "fleet left coalesced requests waiting"
+    ops = None
+    if monitor:
+        if controller is not None and controller.autoscaler is not None:
+            controller.autoscaler.finish()
+        dip, recover = (
+            tracker.metrics() if tracker is not None else (0.0, 0.0)
+        )
+        ops = OpsStats(
+            sessions_resteered=resteered_total,
+            faults_injected=len(faults) if faults is not None else 0,
+            control_ticks=(
+                controller.ticks - ticks0 if controller is not None else 0
+            ),
+            encode_pool_resizes=(
+                controller.encode_resizes - resizes0
+                if controller is not None
+                else 0
+            ),
+            qoe_dip_depth=dip,
+            time_to_recover_s=recover,
+        )
     if topology is not None:
         edge_stats = [
             (e.cache.hits, e.cache.misses, e.cache.coalesced,
@@ -604,6 +924,7 @@ def simulate_fleet(
         sr_hits=sr_hits,
         sr_misses=sr_misses,
         sr_edge_hit_rates=sr_edge_hit_rates,
+        ops=ops,
     )
     return FleetResult(
         sessions=results,

@@ -192,6 +192,24 @@ class DiurnalArrivals:
             * self._day_scale(int(t // self.day_seconds))
         )
 
+    def _rate_in_day(self, t: float, day: int) -> float:
+        """:meth:`rate_at` with the day index pinned (day-sliced thinning).
+
+        A candidate landing exactly on ``day_end`` belongs to the day
+        whose envelope proposed it, but ``int(t // day_seconds)`` rolls
+        over to the next day there — thinning the boundary candidate
+        against the wrong day's autoscale.  Mirrors :meth:`rate_at`'s
+        expression order exactly, so interior candidates are thinned
+        bit-identically.
+        """
+        hours = (t / self.day_seconds * 24.0 + self.phase_hours) % 24.0
+        return (
+            self.mean_rate_hz
+            * self.curve[int(hours) % 24]
+            / self._curve_mean
+            * self._day_scale(day)
+        )
+
     def times(self, window: float | None = None) -> np.ndarray:
         """Arrival timestamps in ``[0, window]`` via thinning.
 
@@ -227,7 +245,7 @@ class DiurnalArrivals:
                 t += rng.exponential(1.0 / peak)
                 if t > day_end:
                     break
-                if rng.random() * peak < self.rate_at(t):
+                if rng.random() * peak < self._rate_in_day(t, day):
                     out.append(t)
             day += 1
         return np.asarray(out)
@@ -373,6 +391,11 @@ def build_population(
     a shared controller is what lets the fleet scheduler resolve
     simultaneous decisions in one vectorized ``decide_batch`` pass.
     """
+    if max_sessions is not None and max_sessions < 1:
+        # Validate before slicing: truncating to zero sessions used to
+        # surface as "arrival process produced no arrivals", blaming the
+        # process for a bad cap.
+        raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
     join_times = np.asarray(arrivals.times(window), dtype=np.float64)
     if max_sessions is not None:
         join_times = join_times[:max_sessions]

@@ -53,14 +53,16 @@ import copy
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 
 import numpy as np
 
 from .cdn import CDNTopology, OriginServer
+from .faults import FaultSchedule
 from .fleet import (
     FleetResult,
     FleetSession,
+    OpsStats,
     SRResultCache,
     build_fleet_report,
     simulate_fleet,
@@ -199,6 +201,9 @@ class _ShardTask:
     assignment: list[int]
     sr_cache: SRResultCache | str | None
     engine: str
+    #: this shard's slice of the fault schedule, edges re-indexed to the
+    #: sub-topology (shardable schedules only — backhaul degradations)
+    faults: FaultSchedule | None = None
 
 
 @dataclass
@@ -220,6 +225,11 @@ class _ShardOutcome:
     #: single (hits, misses) of the shard's copy (empty when no SR cache)
     sr_stats: list[tuple[int, int]] = field(default_factory=list)
     sr_edge_hit_rates: list[float] = field(default_factory=list)
+    #: fault-recovery aggregates of this shard's run (zeros when no
+    #: fault touched the shard)
+    faults_injected: int = 0
+    qoe_dip_depth: float = 0.0
+    time_to_recover_s: float = 0.0
 
 
 def _run_shard(task: _ShardTask) -> _ShardOutcome:
@@ -230,6 +240,7 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         sr_cache=task.sr_cache,
         engine=task.engine,
         assignment=task.assignment,
+        faults=task.faults,
     )
     topo = task.topology
     edge_stats = [
@@ -256,6 +267,9 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         edge_hit_rates=[e.cache.hit_rate for e in topo.edges],
         sr_stats=sr_stats,
         sr_edge_hit_rates=sr_edge_hit_rates,
+        faults_injected=result.report.faults_injected,
+        qoe_dip_depth=result.report.qoe_dip_depth,
+        time_to_recover_s=result.report.time_to_recover_s,
     )
 
 
@@ -268,14 +282,26 @@ def _make_task(
     engine: str,
     *,
     copy_sr: bool,
+    faults: FaultSchedule | None = None,
 ) -> _ShardTask:
     """Materialize one shard's task: sub-topology, sub-fleet, local map.
 
     The caller's topology is never mutated: each shard deep-copies the
     edges it owns and builds a fresh origin holding its slice of the
-    encode pool.  All run statistics come back in the outcome.
+    encode pool.  All run statistics come back in the outcome.  A
+    (shardable) fault schedule is sliced to the events on owned edges,
+    re-indexed to the sub-topology.
     """
     local_edge = {e: i for i, e in enumerate(shard.edge_indices)}
+    sub_faults = None
+    if faults is not None:
+        owned = tuple(
+            dc_replace(ev, edge=local_edge[ev.edge])
+            for ev in faults.events
+            if ev.edge in local_edge
+        )
+        if owned:
+            sub_faults = FaultSchedule(owned)
     sub_topology = CDNTopology(
         edges=tuple(copy.deepcopy(topology.edges[e]) for e in shard.edge_indices),
         origin=OriginServer(
@@ -299,11 +325,18 @@ def _make_task(
         assignment=[local_edge[plan.assignment[i]] for i in shard.session_indices],
         sr_cache=cache,
         engine=engine,
+        faults=sub_faults,
     )
 
 
 def _empty_outcome(shard: Shard, task: _ShardTask) -> _ShardOutcome:
-    """A viewer-less shard: nothing ran, every statistic is zero."""
+    """A viewer-less shard: nothing ran, every statistic is zero.
+
+    Fault events owned by the shard still count as injected — a
+    degradation on a viewerless edge has no observable effect, but
+    ``simulate_fleet`` reports every scheduled event and the merged
+    count must match it.
+    """
     n = len(shard.edge_indices)
     per_edge_sr = task.sr_cache == "per-edge"
     return _ShardOutcome(
@@ -317,6 +350,7 @@ def _empty_outcome(shard: Shard, task: _ShardTask) -> _ShardOutcome:
         edge_hit_rates=[0.0] * n,
         sr_stats=[(0, 0)] * n if per_edge_sr else [],
         sr_edge_hit_rates=[0.0] * n if per_edge_sr else [],
+        faults_injected=len(task.faults) if task.faults is not None else 0,
     )
 
 
@@ -330,6 +364,7 @@ def shard_fleet(
     assignment: list[int] | None = None,
     seed: int = 0,
     start_method: str | None = None,
+    faults: FaultSchedule | None = None,
 ) -> FleetResult:
     """Run a fleet over a CDN, sharded across worker processes.
 
@@ -351,6 +386,13 @@ def shard_fleet(
     Unlike ``simulate_fleet``, the caller's ``topology`` is left
     untouched (workers mutate private copies), so every statistic must
     be read from the returned report rather than the topology's caches.
+
+    ``faults`` accepts only *shardable* schedules — backhaul
+    degradations, which touch one edge's private link and serialize
+    cleanly into each shard's plan.  Edge outages and flash crowds move
+    viewers between edges (and therefore between shards), which the
+    partition cannot represent; they are rejected explicitly rather
+    than silently approximated — run those through ``simulate_fleet``.
     """
     if not sessions:
         raise ValueError("fleet needs at least one session")
@@ -359,13 +401,25 @@ def shard_fleet(
             "shard_fleet partitions a CDNTopology; for a single shared "
             "link use simulate_fleet(trace=...)"
         )
+    if faults is not None and not faults:
+        faults = None  # empty schedule ≡ no faults (parity convention)
+    if faults is not None:
+        if not faults.shardable():
+            raise ValueError(
+                "shard_fleet only accepts shardable fault schedules "
+                "(backhaul degradations); edge outages and flash crowds "
+                "re-steer viewers across shard boundaries — run them "
+                "through simulate_fleet"
+            )
+        faults.validate_topology(len(topology.edges))
     plan = partition_topology(
         topology, sessions, workers, assignment=assignment, seed=seed
     )
     copy_sr = plan.n_shards > 1
     tasks = [
         _make_task(
-            shard, sessions, topology, plan, sr_cache, engine, copy_sr=copy_sr
+            shard, sessions, topology, plan, sr_cache, engine,
+            copy_sr=copy_sr, faults=faults,
         )
         for shard in plan.shards
     ]
@@ -442,6 +496,18 @@ def _merge(
         encode_waits.extend(outcome.encode_waits)
     assert all(r is not None for r in results), "sharded fleet lost sessions"
 
+    # Fault events are partitioned exactly once across shards, so the
+    # counts sum; the fleet's dip/recovery is the worst shard's (shards
+    # share no links, so each recovers independently).
+    faults_injected = sum(o.faults_injected for o in outcomes)
+    ops = None
+    if faults_injected:
+        ops = OpsStats(
+            faults_injected=faults_injected,
+            qoe_dip_depth=max(o.qoe_dip_depth for o in outcomes),
+            time_to_recover_s=max(o.time_to_recover_s for o in outcomes),
+        )
+
     report = build_fleet_report(
         results,  # type: ignore[arg-type]
         sessions,
@@ -453,6 +519,7 @@ def _merge(
         sr_hits=sr_hits,
         sr_misses=sr_misses,
         sr_edge_hit_rates=tuple(sr_edge_hit_rates) if per_edge_sr else (),
+        ops=ops,
     )
     return FleetResult(
         sessions=results,  # type: ignore[arg-type]

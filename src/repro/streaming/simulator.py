@@ -227,6 +227,11 @@ class SessionMachine:
         self.sr_cache = sr_cache
         self.churn = churn
         self.result: SessionResult | None = None
+        # Live telemetry the fleet control plane samples mid-run (pure
+        # counters — updating them cannot perturb the session arithmetic).
+        self.live_chunks = 0
+        self.live_quality_sum = 0.0
+        self.live_stall = 0.0
         self._gen = self._run()
         try:
             self.pending: DownloadRequest | DecisionRequest | None = next(
@@ -358,6 +363,9 @@ class SessionMachine:
             est.observe(nbytes * 8.0 / dl if nbytes > 0 and dl > 0 else est.estimate())
             q = qm.quality(decision.density, decision.sr_ratio) * cfg.quality_factor
             records.append(ChunkRecord(quality=q, stall=stall, bytes_downloaded=nbytes))
+            self.live_chunks += 1
+            self.live_quality_sum += q
+            self.live_stall += stall
             prev_quality = q
             watched_seconds += chunk.duration
             total_stall += stall

@@ -98,6 +98,28 @@ class TestCLI:
         ) == 0
         assert seen == {"n_sessions": 50, "workers": 4, "days": 3}
 
+    def test_control_interval_flag_reaches_fleet_chaos(
+        self, monkeypatch, capsys
+    ):
+        """--control-interval is forwarded to experiments accepting it."""
+        seen = {}
+
+        class FakeTable:
+            def render(self):
+                return "fake table"
+
+        def fake_run(scale, control_interval=5.0):
+            seen["control_interval"] = control_interval
+            return FakeTable()
+
+        monkeypatch.setitem(REGISTRY, "fleet-chaos", fake_run)
+        assert main(["fleet-chaos", "--control-interval", "2.5"]) == 0
+        assert seen["control_interval"] == 2.5
+        assert "(control_interval=2.5)" in capsys.readouterr().out
+        seen.clear()
+        assert main(["fleet-chaos"]) == 0
+        assert seen["control_interval"] == 5.0
+
     def test_config_echoed_in_pass_fail_lines(self, monkeypatch, capsys):
         """Nightly logs must identify the failing configuration: the
         --sessions/--workers values appear on the per-experiment line

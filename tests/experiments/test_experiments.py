@@ -16,6 +16,7 @@ from repro.experiments import (
     run_fig17_measured,
     run_fig18_device,
     run_fleet_cdn,
+    run_fleet_chaos,
     run_fleet_scaling,
     run_memory_usage,
     run_sr_quality,
@@ -193,6 +194,50 @@ class TestFleetCDN:
 
     def test_starved_encoder_shows_queue_waits(self, table):
         assert table.rows[-1]["enc_p95_s"] > table.rows[4]["enc_p95_s"]
+
+
+class TestFleetChaos:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_fleet_chaos(TINY, n_sessions=48, n_edges=3)
+
+    def test_all_scenarios_reported(self, table):
+        scenarios = table.column("scenario")
+        assert scenarios[:6] == [
+            "baseline", "baseline", "edge-outage", "edge-outage",
+            "backhaul-degr", "flash-crowd",
+        ]
+        assert scenarios[6] == "slow-encode"
+        assert scenarios[7].startswith("qoe-autoscale")
+
+    def test_outage_resteers_and_recovers(self, table):
+        """The acceptance demonstration: an edge outage re-steers a
+        nonzero viewer share and the fleet recovers in finite time."""
+        import math
+
+        for row in table.rows:
+            if row["scenario"] != "edge-outage":
+                continue
+            assert row["resteer"] > 0
+            assert math.isfinite(row["recover_s"])
+
+    def test_fault_free_baseline_reports_no_faults(self, table):
+        off = table.rows[0]
+        assert off["resteer"] == 0 and off["ticks"] == 0
+        assert off["dip"] == 0.0 and off["recover_s"] == 0.0
+
+    def test_controller_ticks_only_when_enabled(self, table):
+        for row in table.rows:
+            assert (row["ticks"] > 0) == (row["ctrl"] == "on")
+
+    def test_slow_encode_forces_pool_resizes(self, table):
+        assert table.lookup(scenario="slow-encode")["resizes"] > 0
+
+    def test_autoscale_row_learned_a_day2_scale(self, table):
+        row = table.rows[7]
+        # The label carries the learned multiplier: "qoe-autoscale d2x0.75 nNN"
+        scale = float(row["scenario"].split("d2x")[1].split()[0])
+        assert 0.0 < scale <= 1.0
 
 
 class TestAblation:

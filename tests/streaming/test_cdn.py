@@ -20,6 +20,7 @@ from repro.streaming import (
     simulate_fleet,
     uniform_cdn,
 )
+from repro.streaming.cdn import wait_percentile
 
 from .helpers import FixedDensity, spec, sr_lat
 
@@ -411,6 +412,39 @@ class TestEdgeChunkCache:
         with pytest.raises(ValueError):
             EdgeChunkCache(capacity_bytes=-1)
 
+    def test_abort_fill_clears_the_inflight_marker(self):
+        cache = EdgeChunkCache(capacity_bytes=1000)
+        cache.begin_fill(("v", 0, 0.5))
+        cache.abort_fill(("v", 0, 0.5))
+        assert cache.aborted_fills == 1
+        with pytest.raises(ValueError, match="no fill in flight"):
+            cache.attach(("v", 0, 0.5), 100)
+        cache.abort_fill(("v", 9, 0.5))  # nothing in flight: no-op
+        assert cache.aborted_fills == 1
+
+    def test_drop_all_cold_restarts_but_keeps_history(self):
+        cache = EdgeChunkCache(capacity_bytes=1000)
+        cache.insert(("v", 0, 0.5), 100, ready=0.0)
+        assert cache.lookup(("v", 0, 0.5), 100, at_time=1.0)
+        cache.begin_fill(("v", 1, 0.5))
+        cache.drop_all()
+        assert len(cache) == 0 and cache.used_bytes == 0
+        assert cache.aborted_fills == 1  # the pending fill never lands
+        assert cache.hits == 1 and cache.fills == 1  # history survives
+        assert not cache.lookup(("v", 0, 0.5), 100, at_time=2.0)
+
+    def test_reset_restores_constructed_state(self):
+        cache = EdgeChunkCache(capacity_bytes=1000)
+        cache.insert(("v", 0, 0.5), 100, ready=0.0)
+        cache.lookup(("v", 0, 0.5), 100, at_time=1.0)
+        cache.lookup(("v", 1, 0.5), 100, at_time=1.0)
+        cache.begin_fill(("v", 1, 0.5))
+        cache.reset()
+        assert len(cache) == 0 and cache.used_bytes == 0
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.fills == 0 and cache.aborted_fills == 0
+        assert cache.hit_rate == 0.0
+
 
 class TestEncodeQueue:
     def test_workers_bound_concurrency(self):
@@ -447,6 +481,71 @@ class TestEncodeQueue:
             EncodeQueue(1).wait_percentile(101.0)
         with pytest.raises(ValueError):
             OriginServer(encode_seconds=-0.1)
+        with pytest.raises(ValueError):
+            EncodeQueue(2).resize(0)
+
+    def test_wait_percentile_half_ranks_round_up(self):
+        # Regression: round() is half-to-even, so the p50 of an even
+        # sample flipped between the lower and upper neighbor depending
+        # on the sample size's parity.  Nearest-rank now rounds half up.
+        assert wait_percentile([0.0, 10.0], 50.0) == 10.0
+        assert wait_percentile([0.0, 10.0, 20.0, 30.0], 50.0) == 20.0
+        assert wait_percentile(
+            [0.0, 10.0, 20.0, 30.0, 40.0, 50.0], 50.0
+        ) == 30.0
+        assert wait_percentile([0.0, 10.0, 20.0], 50.0) == 10.0  # exact rank
+        assert wait_percentile([], 95.0) == 0.0
+
+    def test_queue_percentile_shares_the_module_formula(self):
+        q = EncodeQueue(n_workers=1)
+        for _ in range(4):
+            q.submit(0.0, 1.0)
+        for pct in (0.0, 50.0, 95.0, 100.0):
+            assert q.wait_percentile(pct) == wait_percentile(q.waits, pct)
+
+    def test_resize_grows_and_shrinks_the_pool(self):
+        q = EncodeQueue(n_workers=1)
+        assert q.submit(0.0, 1.0) == 1.0
+        assert q.submit(0.0, 1.0) == 2.0   # queued behind worker 0
+        q.resize(2, at_time=0.5)
+        assert q.submit(0.5, 1.0) == 1.5   # the new worker starts at 0.5
+        q.resize(1, at_time=0.5)
+        # Shrinking retires the idlest worker: the survivor is busy
+        # until t=2, so the next job queues behind it.
+        assert q.submit(0.5, 1.0) == 3.0
+
+    def test_reset_restores_original_pool(self):
+        q = EncodeQueue(n_workers=2)
+        q.submit(0.0, 5.0)
+        q.resize(8)
+        q.reset()
+        assert q.n_workers == 2
+        assert q.waits == []
+        assert q.submit(0.0, 1.0) == 1.0   # all workers idle again
+
+
+class TestTopologyReset:
+    def test_reset_restores_serving_state(self):
+        topo = uniform_cdn(
+            2, access_mbps=50.0, backhaul_mbps=40.0,
+            n_encode_workers=2, encode_seconds=0.1,
+        )
+        edge = topo.edges[0]
+        edge.sr_cache = SRResultCache(capacity=8)
+        edge.cache.insert(("v", 0, 0.5), 100, ready=0.0)
+        edge.cache.lookup(("v", 0, 0.5), 100, at_time=1.0)
+        edge.sr_cache.acquire(("v", 0, 0.5, 2), at_time=0.0, cost=0.1)
+        edge.backhaul.delivered_bits = 1e6
+        edge.access.delivered_bits = 1e6
+        topo.origin.variant_ready(("v", 0, 0.5), 0.0)
+        topo.reset()
+        assert len(edge.cache) == 0 and edge.cache.hits == 0
+        assert edge.sr_cache is not None  # stays installed, but cold
+        assert edge.sr_cache.misses == 0
+        assert edge.backhaul.delivered_bits == 0.0
+        assert edge.access.delivered_bits == 0.0
+        assert topo.origin.n_encoded == 0
+        assert topo.origin.queue.waits == []
 
 
 class TestAssignment:
@@ -632,6 +731,36 @@ class TestMultiDayDiurnal:
             autoscale=lambda day: 0.0,
         )
         assert len(arr.times()) == 0
+
+    def test_day_boundary_candidate_thinned_against_its_own_day(
+        self, monkeypatch
+    ):
+        """Regression: a candidate landing exactly on its day's end was
+        thinned against the NEXT day's autoscale — ``int(t // day_seconds)``
+        rolls over right at the boundary — so a dark following day
+        silently swallowed the boundary arrival.
+        """
+
+        class ScriptedRng:
+            def __init__(self, seed):
+                # First candidate lands exactly on day 0's end; the next
+                # draw overshoots every window.
+                self._gaps = iter([10.0, 1e12])
+
+            def exponential(self, scale):
+                return next(self._gaps)
+
+            def random(self):
+                return 0.0  # accept whenever the thinned rate is positive
+
+        monkeypatch.setattr(
+            "repro.streaming.population.np.random.default_rng", ScriptedRng
+        )
+        arr = DiurnalArrivals(
+            mean_rate_hz=1.0, curve=(1.0,) * 24, day_seconds=10.0, days=2.0,
+            autoscale=lambda day: (1.0, 0.0)[day],
+        )
+        assert arr.times().tolist() == [10.0]
 
     def test_autoscale_none_is_unchanged_sampling(self):
         """Adding the hook without using it replays the original stream."""

@@ -1,0 +1,282 @@
+"""Control plane: policies, tick actions, autoscaler, recovery metrics, parity."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.streaming import (
+    ControlPlane,
+    ControlPolicy,
+    FleetView,
+    QoEArrivalAutoscaler,
+    RecoveryTracker,
+    simulate_fleet,
+    uniform_cdn,
+)
+
+from .helpers import FixedDensity, spec, sr_lat
+
+
+def fleet(n=8, seconds=20, stagger=0.4):
+    from repro.streaming import FleetSession
+
+    return [
+        FleetSession(
+            spec=spec(seconds=seconds, name="vid"),
+            controller=FixedDensity(0.4),
+            sr_latency=sr_lat(),
+            join_time=stagger * i,
+        )
+        for i in range(n)
+    ]
+
+
+def cdn(n_edges=3, **kw):
+    kw.setdefault("access_mbps", 50.0)
+    kw.setdefault("backhaul_mbps", 40.0)
+    kw.setdefault("n_encode_workers", 4)
+    kw.setdefault("encode_seconds", 0.02)
+    return uniform_cdn(n_edges, **kw)
+
+
+def view(**kw):
+    kw.setdefault("now", 5.0)
+    kw.setdefault("edge_load", (1, 1, 1))
+    kw.setdefault("edge_down", (False, False, False))
+    kw.setdefault("sessions_by_edge", {0: (0,), 1: (1,), 2: (2,)})
+    kw.setdefault("encode_waits", ())
+    kw.setdefault("encode_workers", 4)
+    kw.setdefault("health", None)
+    return FleetView(**kw)
+
+
+class TestControlPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            ControlPolicy(interval=0.0)
+        with pytest.raises(ValueError, match="encode_wait_low"):
+            ControlPolicy(encode_wait_low=1.0, encode_wait_high=0.5)
+        with pytest.raises(ValueError, match="min_encode_workers"):
+            ControlPolicy(min_encode_workers=0)
+        with pytest.raises(ValueError, match="max_encode_workers"):
+            ControlPolicy(min_encode_workers=4, max_encode_workers=2)
+        with pytest.raises(ValueError, match="saturation_factor"):
+            ControlPolicy(saturation_factor=1.0)
+        with pytest.raises(ValueError, match="max_resteers"):
+            ControlPolicy(max_resteers_per_tick=-1)
+
+
+class TestControlPlaneTick:
+    def test_grows_encode_pool_on_high_wait(self):
+        plane = ControlPlane(ControlPolicy(encode_wait_high=0.5))
+        actions = plane.tick(
+            view(encode_waits=(1.0, 2.0, 3.0), encode_workers=4)
+        )
+        assert actions.encode_workers == 8
+        assert plane.encode_resizes == 1
+        assert plane.ticks == 1
+
+    def test_shrinks_idle_encode_pool(self):
+        plane = ControlPlane(ControlPolicy(encode_wait_low=0.01))
+        actions = plane.tick(
+            view(encode_waits=(0.0, 0.0, 0.0), encode_workers=8)
+        )
+        assert actions.encode_workers == 4
+
+    def test_respects_pool_bounds(self):
+        plane = ControlPlane(
+            ControlPolicy(min_encode_workers=2, max_encode_workers=8)
+        )
+        assert plane.tick(
+            view(encode_waits=(9.0,), encode_workers=8)
+        ).encode_workers is None
+        assert plane.tick(
+            view(encode_waits=(0.0,), encode_workers=2)
+        ).encode_workers is None
+
+    def test_resteers_off_saturated_edge(self):
+        plane = ControlPlane(ControlPolicy(saturation_factor=2.0))
+        actions = plane.tick(view(
+            edge_load=(9, 1, 2),
+            sessions_by_edge={0: (0, 1, 2, 3, 4, 5, 6, 7, 8), 1: (9,), 2: (10, 11)},
+        ))
+        assert actions.resteer
+        # Lowest session ids move first, to the least-loaded live edge.
+        assert actions.resteer[0] == (0, 1)
+        assert plane.resteered == len(actions.resteer)
+
+    def test_never_steers_to_a_dark_edge(self):
+        # With one edge dark only two are live, so the threshold (factor x
+        # live-mean) needs a factor < 2 to be reachable at all.
+        plane = ControlPlane(ControlPolicy(saturation_factor=1.5))
+        actions = plane.tick(view(
+            edge_load=(9, 0, 2),
+            edge_down=(False, True, False),
+            sessions_by_edge={0: tuple(range(9)), 2: (10, 11)},
+        ))
+        assert actions.resteer
+        assert all(target == 2 for _, target in actions.resteer)
+
+    def test_resteer_budget(self):
+        plane = ControlPlane(
+            ControlPolicy(saturation_factor=2.0, max_resteers_per_tick=2)
+        )
+        actions = plane.tick(view(
+            edge_load=(20, 1, 1),
+            sessions_by_edge={0: tuple(range(20)), 1: (20,), 2: (21,)},
+        ))
+        assert len(actions.resteer) == 2
+
+    def test_inf_thresholds_never_act(self):
+        plane = ControlPlane(ControlPolicy(
+            encode_wait_high=math.inf, encode_wait_low=0.0,
+            saturation_factor=math.inf,
+        ))
+        actions = plane.tick(view(
+            edge_load=(50, 0, 0),
+            sessions_by_edge={0: tuple(range(50))},
+            encode_waits=(100.0,) * 20,
+            encode_workers=4,
+        ))
+        assert not actions
+
+
+class TestQoEArrivalAutoscaler:
+    def test_unhealthy_day_scales_next_day_down(self):
+        auto = QoEArrivalAutoscaler(day_seconds=100.0, target_health=0.5)
+        for t in range(0, 100, 10):
+            auto.observe(float(t), -2.0)
+        auto.finish()
+        assert auto(0) == 1.0
+        assert auto(1) == pytest.approx(0.75)
+        assert auto.day_health(0) is None  # consumed by finish()
+
+    def test_healthy_day_relaxes_back_capped_at_max(self):
+        auto = QoEArrivalAutoscaler(day_seconds=100.0, target_health=0.5)
+        auto.observe(50.0, 3.0)
+        auto.finish()
+        assert auto(1) == 1.0  # capped at max_scale
+
+    def test_rolling_days_plan_while_running(self):
+        auto = QoEArrivalAutoscaler(day_seconds=10.0, target_health=0.5)
+        auto.observe(5.0, -1.0)
+        assert auto(1) == 1.0  # day 0 still open
+        auto.observe(15.0, 2.0)  # first day-1 sample closes day 0
+        assert auto(1) == pytest.approx(0.75)
+        assert auto.day_health(1) == pytest.approx(2.0)
+
+    def test_floor(self):
+        auto = QoEArrivalAutoscaler(
+            day_seconds=10.0, target_health=0.5, min_scale=0.7
+        )
+        auto.observe(5.0, -9.0)
+        auto.finish()
+        assert auto(1) == pytest.approx(0.75)
+        # A second terrible day keeps shrinking but never below the floor.
+        auto._scales[5] = 0.8
+        auto.observe(55.0, -9.0)
+        auto.finish()
+        assert auto(6) == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="day_seconds"):
+            QoEArrivalAutoscaler(day_seconds=0.0)
+        with pytest.raises(ValueError, match="step"):
+            QoEArrivalAutoscaler(day_seconds=1.0, step=1.0)
+        with pytest.raises(ValueError, match="min_scale"):
+            QoEArrivalAutoscaler(day_seconds=1.0, min_scale=0.0)
+
+
+class TestRecoveryTracker:
+    def test_dip_and_recovery(self):
+        tr = RecoveryTracker(fault_start=10.0, tolerance=0.1)
+        for t, h in [(2.0, 4.0), (6.0, 4.2), (12.0, 1.0), (16.0, 2.0),
+                     (20.0, 4.1), (24.0, 4.2)]:
+            tr.sample(t, h)
+        assert tr.baseline == pytest.approx(4.1)
+        dip, recover = tr.metrics()
+        assert dip == pytest.approx(3.1)
+        assert recover == pytest.approx(10.0)  # healthy again at t=20
+
+    def test_never_recovers_is_inf(self):
+        tr = RecoveryTracker(fault_start=10.0)
+        for t, h in [(5.0, 4.0), (12.0, 1.0), (20.0, 1.5)]:
+            tr.sample(t, h)
+        dip, recover = tr.metrics()
+        assert dip == pytest.approx(3.0)
+        assert math.isinf(recover)
+
+    def test_no_dip_is_zero(self):
+        tr = RecoveryTracker(fault_start=10.0, tolerance=0.5)
+        for t, h in [(5.0, 4.0), (12.0, 3.8), (20.0, 4.0)]:
+            tr.sample(t, h)
+        assert tr.metrics() == (pytest.approx(0.2), 0.0)
+
+    def test_no_post_fault_samples(self):
+        tr = RecoveryTracker(fault_start=10.0)
+        tr.sample(5.0, 4.0)
+        assert tr.metrics() == (0.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fault_start"):
+            RecoveryTracker(fault_start=-1.0)
+        with pytest.raises(ValueError, match="tolerance"):
+            RecoveryTracker(fault_start=0.0, tolerance=-0.1)
+
+
+class TestNoOpControllerParity:
+    def test_noop_controller_is_bit_exact_modulo_ticks(self):
+        sessions = fleet(6)
+        topo = cdn()
+        base = simulate_fleet(sessions, topology=topo)
+        noop = ControlPlane(ControlPolicy(
+            interval=2.0, encode_wait_high=math.inf, encode_wait_low=0.0,
+            saturation_factor=math.inf,
+        ))
+        ctrl = simulate_fleet(sessions, topology=topo, controller=noop)
+        assert ctrl.report.control_ticks > 0
+        assert dataclasses.replace(ctrl.report, control_ticks=0) == base.report
+        assert ctrl.sessions == base.sessions
+        assert ctrl.end_times == base.end_times
+
+    def test_controller_requires_topology(self):
+        from repro.net import stable_trace
+
+        with pytest.raises(ValueError, match="require a topology"):
+            simulate_fleet(
+                fleet(2), stable_trace(80.0, duration=600.0),
+                controller=ControlPlane(),
+            )
+
+
+class TestClosedLoopEndToEnd:
+    def test_starved_encode_pool_is_grown(self):
+        from repro.streaming import FleetSession
+
+        # Distinct content per viewer: nothing coalesces, so one slow
+        # encode worker backs up and the controller must grow the pool.
+        sessions = [
+            FleetSession(
+                spec=spec(seconds=20, name=f"vid{i}"),
+                controller=FixedDensity(0.4),
+                sr_latency=sr_lat(),
+                join_time=0.2 * i,
+            )
+            for i in range(10)
+        ]
+        topo = cdn(n_encode_workers=1, encode_seconds=0.5)
+        plane = ControlPlane(ControlPolicy(interval=1.0))
+        rep = simulate_fleet(
+            sessions, topology=topo, controller=plane
+        ).report
+        assert rep.encode_pool_resizes > 0
+        assert any("encode pool 1 -> 2" in line for line in plane.log)
+        assert rep.control_ticks == plane.ticks
+
+    def test_counters_are_per_run_deltas(self):
+        sessions = fleet(4)
+        plane = ControlPlane(ControlPolicy(interval=2.0))
+        a = simulate_fleet(sessions, topology=cdn(), controller=plane).report
+        b = simulate_fleet(sessions, topology=cdn(), controller=plane).report
+        assert a.control_ticks == b.control_ticks > 0

@@ -1,0 +1,260 @@
+"""Fault injection: schedules, degraded traces, outage failover, sharding."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.net import stable_trace
+from repro.net.traces import lte_trace
+from repro.streaming import (
+    BackhaulDegradation,
+    EdgeOutage,
+    FaultSchedule,
+    FlashCrowd,
+    DegradedTrace,
+    flash_crowd_sessions,
+    simulate_fleet,
+    uniform_cdn,
+)
+
+from .helpers import FixedDensity, spec, sr_lat
+
+
+def fleet(n=8, seconds=20, stagger=0.4):
+    return [
+        dataclasses.replace(
+            base_session(seconds=seconds), join_time=stagger * i
+        )
+        for i in range(n)
+    ]
+
+
+def base_session(seconds=20):
+    from repro.streaming import FleetSession
+
+    return FleetSession(
+        spec=spec(seconds=seconds, name="vid"),
+        controller=FixedDensity(0.4),
+        sr_latency=sr_lat(),
+    )
+
+
+def cdn(n_edges=3, **kw):
+    kw.setdefault("access_mbps", 50.0)
+    kw.setdefault("backhaul_mbps", 40.0)
+    kw.setdefault("n_encode_workers", 2)
+    kw.setdefault("encode_seconds", 0.02)
+    return uniform_cdn(n_edges, **kw)
+
+
+class TestEventValidation:
+    def test_outage_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="edge"):
+            EdgeOutage(edge=-1, start=0.0, duration=1.0)
+        with pytest.raises(ValueError, match="start"):
+            EdgeOutage(edge=0, start=-1.0, duration=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            EdgeOutage(edge=0, start=0.0, duration=0.0)
+
+    def test_degradation_rejects_zero_factor(self):
+        with pytest.raises(ValueError, match="EdgeOutage"):
+            BackhaulDegradation(edge=0, start=0.0, duration=1.0, factor=0.0)
+
+    def test_flash_crowd_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="n_viewers"):
+            FlashCrowd(spec=spec(), start=0.0, n_viewers=0)
+        with pytest.raises(ValueError, match="ramp"):
+            FlashCrowd(spec=spec(), start=0.0, n_viewers=1, ramp_seconds=-1.0)
+
+    def test_schedule_rejects_unknown_events(self):
+        with pytest.raises(TypeError, match="unknown fault event"):
+            FaultSchedule(("not a fault",))
+
+    def test_schedule_rejects_out_of_range_edge(self):
+        sched = FaultSchedule((EdgeOutage(edge=5, start=1.0, duration=1.0),))
+        with pytest.raises(ValueError, match="edge 5"):
+            sched.validate_topology(3)
+
+    def test_schedule_rejects_total_darkness(self):
+        sched = FaultSchedule((
+            EdgeOutage(edge=0, start=1.0, duration=5.0),
+            EdgeOutage(edge=1, start=2.0, duration=5.0),
+        ))
+        with pytest.raises(ValueError, match="no live edge"):
+            sched.validate_topology(2)
+        sched.validate_topology(3)  # a third edge survives
+
+    def test_schedule_properties_and_shardable(self):
+        o = EdgeOutage(edge=0, start=1.0, duration=2.0)
+        d = BackhaulDegradation(edge=1, start=1.0, duration=2.0, factor=0.5)
+        c = FlashCrowd(spec=spec(), start=3.0, n_viewers=2)
+        sched = FaultSchedule((o, d, c))
+        assert sched.outages == (o,)
+        assert sched.degradations == (d,)
+        assert sched.crowds == (c,)
+        assert len(sched) == 3 and bool(sched)
+        assert not sched.shardable()
+        assert FaultSchedule((d,)).shardable()
+        assert not FaultSchedule()
+
+    def test_boundary_times_only_outages(self):
+        sched = FaultSchedule((
+            EdgeOutage(edge=0, start=4.0, duration=2.0),
+            BackhaulDegradation(edge=1, start=1.0, duration=9.0, factor=0.5),
+            EdgeOutage(edge=1, start=4.0, duration=3.0),
+        ))
+        assert sched.boundary_times() == [4.0, 6.0, 7.0]
+
+
+class TestDegradedTrace:
+    def test_scales_inside_window_only(self):
+        base = stable_trace(10.0, duration=100.0)
+        t = DegradedTrace(base, [(5.0, 10.0, 0.25)])
+        assert t.bandwidth_at(2.0) == base.bandwidth_at(2.0)
+        assert t.bandwidth_at(7.0) == pytest.approx(0.25 * base.bandwidth_at(7.0))
+        assert t.bandwidth_at(10.0) == base.bandwidth_at(10.0)  # end exclusive
+        assert t.rtt == base.rtt
+        assert t.duration == base.duration
+
+    def test_overlapping_windows_compose(self):
+        base = stable_trace(10.0, duration=100.0)
+        t = DegradedTrace(base, [(0.0, 10.0, 0.5), (5.0, 15.0, 0.5)])
+        assert t.bandwidth_at(7.0) == pytest.approx(0.25 * base.bandwidth_at(7.0))
+
+    def test_time_to_next_change_caps_at_window_boundaries(self):
+        base = stable_trace(10.0, duration=100.0)
+        t = DegradedTrace(base, [(5.0, 10.0, 0.25)])
+        assert t.time_to_next_change(2.0) == pytest.approx(3.0)
+        assert t.time_to_next_change(6.0) == pytest.approx(4.0)
+        # A varying base keeps its own (nearer) boundaries.
+        lte = lte_trace()
+        tv = DegradedTrace(lte, [(1e6, 2e6, 0.5)])
+        assert tv.time_to_next_change(0.0) == lte.time_to_next_change(0.0)
+
+    def test_rejects_bad_windows(self):
+        base = stable_trace(10.0, duration=100.0)
+        with pytest.raises(ValueError, match="start < end"):
+            DegradedTrace(base, [(5.0, 5.0, 0.5)])
+        with pytest.raises(ValueError, match="factor"):
+            DegradedTrace(base, [(0.0, 5.0, 0.0)])
+
+
+class TestFlashCrowds:
+    def test_sessions_clone_template_onto_crowd_content(self):
+        template = base_session()
+        crowd = FlashCrowd(
+            spec=spec(seconds=30, name="hot"), start=10.0, n_viewers=4,
+            ramp_seconds=2.0,
+        )
+        out = flash_crowd_sessions(crowd, template)
+        assert len(out) == 4
+        assert [s.join_time for s in out] == [10.0, 10.5, 11.0, 11.5]
+        assert all(s.spec.name == "hot" for s in out)
+        assert all(s.controller is template.controller for s in out)
+
+    def test_expand_population(self):
+        sessions = fleet(3)
+        crowd = FlashCrowd(spec=spec(name="hot"), start=5.0, n_viewers=2)
+        out = FaultSchedule((crowd,)).expand_population(sessions)
+        assert len(out) == 5
+        assert out[:3] == sessions
+        # No crowds: a plain copy.
+        assert FaultSchedule().expand_population(sessions) == sessions
+        with pytest.raises(ValueError, match="template"):
+            FaultSchedule((crowd,)).expand_population([])
+
+
+class TestOutageEndToEnd:
+    def test_outage_resteers_and_recovers(self):
+        sessions = fleet(9)
+        sched = FaultSchedule((EdgeOutage(edge=0, start=4.0, duration=6.0),))
+        result = simulate_fleet(
+            sessions, topology=cdn(), assignment=[i % 3 for i in range(9)],
+            faults=sched,
+        )
+        rep = result.report
+        assert rep.faults_injected == 1
+        assert rep.sessions_resteered > 0
+        # Every viewer moved off the dead edge and every session finished.
+        assert all(e != 0 for e in result.assignment)
+        assert all(r is not None for r in result.sessions)
+        assert rep.qoe_dip_depth >= 0.0
+
+    def test_outage_run_is_deterministic(self):
+        sessions = fleet(9)
+        sched = FaultSchedule((EdgeOutage(edge=0, start=4.0, duration=6.0),))
+        a = simulate_fleet(sessions, topology=cdn(), faults=sched)
+        b = simulate_fleet(sessions, topology=cdn(), faults=sched)
+        assert a.report == b.report
+        assert a.sessions == b.sessions
+
+    def test_outage_slows_the_fleet(self):
+        sessions = fleet(9)
+        base = simulate_fleet(
+            sessions, topology=cdn(), assignment=[i % 3 for i in range(9)]
+        ).report
+        hit = simulate_fleet(
+            sessions, topology=cdn(), assignment=[i % 3 for i in range(9)],
+            faults=FaultSchedule((EdgeOutage(edge=0, start=4.0, duration=6.0),)),
+        ).report
+        assert hit.mean_qoe <= base.mean_qoe
+
+    def test_outage_requires_topology(self):
+        trace = stable_trace(80.0, duration=600.0)
+        with pytest.raises(ValueError, match="require a topology"):
+            simulate_fleet(
+                fleet(2), trace,
+                faults=FaultSchedule(
+                    (EdgeOutage(edge=0, start=1.0, duration=1.0),)
+                ),
+            )
+
+
+class TestDegradationEndToEnd:
+    def test_degradation_perturbs_and_restores(self):
+        sessions = fleet(6)
+        topo = cdn()
+        base = simulate_fleet(sessions, topology=topo).report
+        sched = FaultSchedule((
+            BackhaulDegradation(edge=0, start=2.0, duration=6.0, factor=0.1),
+        ))
+        hit = simulate_fleet(sessions, topology=topo, faults=sched).report
+        assert hit != base
+        assert hit.faults_injected == 1
+        # The wrapper came off: a re-run without faults matches the baseline.
+        for edge in topo.edges:
+            assert not isinstance(edge.backhaul.trace, DegradedTrace)
+        again = simulate_fleet(sessions, topology=topo).report
+        assert again == base
+
+
+class TestDisabledModeParity:
+    def test_empty_schedule_is_bit_exact(self):
+        sessions = fleet(6)
+        topo = cdn()
+        a = simulate_fleet(sessions, topology=topo)
+        b = simulate_fleet(sessions, topology=topo, faults=FaultSchedule())
+        assert a.report == b.report
+        assert a.sessions == b.sessions
+        assert a.end_times == b.end_times
+
+    def test_topology_reuse_is_bit_exact(self):
+        # Regression: simulate_fleet used to warm-start from the previous
+        # run's caches/encode state when handed the same topology object.
+        sessions = fleet(6)
+        topo = cdn()
+        a = simulate_fleet(sessions, topology=topo, sr_cache="per-edge")
+        b = simulate_fleet(sessions, topology=topo, sr_cache="per-edge")
+        assert a.report == b.report
+        assert a.sessions == b.sessions
+
+    def test_fault_metrics_default_to_zero(self):
+        rep = simulate_fleet(fleet(3), topology=cdn()).report
+        assert rep.sessions_resteered == 0
+        assert rep.faults_injected == 0
+        assert rep.control_ticks == 0
+        assert rep.encode_pool_resizes == 0
+        assert rep.qoe_dip_depth == 0.0
+        assert rep.time_to_recover_s == 0.0
+        assert not math.isinf(rep.time_to_recover_s)

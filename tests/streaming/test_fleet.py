@@ -223,6 +223,42 @@ class TestBandwidthConservation:
         assert crowd.report.mean_qoe < solo.report.mean_qoe
 
 
+class TestChunkKey:
+    """Edge-cache keys quantize density the same way SR-cache keys do."""
+
+    def req(self, density, chunk_index=0):
+        from repro.streaming.simulator import DownloadRequest
+
+        return DownloadRequest(
+            start_time=0.0, nbytes=100, video="v",
+            chunk_index=chunk_index, density=density,
+        )
+
+    def test_planner_jitter_collapses_to_one_variant(self):
+        from repro.streaming.fleet import _chunk_key
+
+        a = _chunk_key(self.req(0.5))
+        b = _chunk_key(self.req(0.5 + 1e-9))
+        assert a == b == ("v", 0, 0.5)
+        assert _chunk_key(self.req(0.5004)) == a      # rounds down
+        assert _chunk_key(self.req(0.5006)) != a      # a real new variant
+
+    def test_matches_sr_cache_key_rounding(self):
+        # The SR-result cache key rounds density with round(d, 3)
+        # (simulator.py); the edge-cache key must agree or one SR result
+        # maps onto several encoded variants.
+        from repro.streaming.fleet import _chunk_key
+
+        for density in (1 / 3, 0.1 + 0.2, 0.0005, 0.9995):
+            assert _chunk_key(self.req(density))[2] == round(density, 3)
+
+    def test_startup_payload_is_not_cacheable(self):
+        from repro.streaming.fleet import _chunk_key
+        from repro.streaming.simulator import DownloadRequest
+
+        assert _chunk_key(DownloadRequest(start_time=0.0, nbytes=10)) is None
+
+
 class TestSRCache:
     def test_co_watching_hits(self):
         """A later viewer of the same chunks pays zero SR time."""

@@ -270,6 +270,29 @@ class TestBuildPopulation:
         )
         assert len(sessions) == 4
 
+    def test_max_sessions_below_one_rejected_up_front(self):
+        # Regression: max_sessions=0 used to sample the whole arrival
+        # process and then quietly return an empty population.
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="max_sessions"):
+                build_population(
+                    synthetic_catalog(3),
+                    TraceArrivals((0.0, 1.0)),
+                    10.0,
+                    FixedDensity(0.5),
+                    max_sessions=bad,
+                )
+
+    def test_max_sessions_of_one_is_allowed(self):
+        sessions = build_population(
+            synthetic_catalog(3),
+            TraceArrivals((0.0, 1.0, 2.0)),
+            10.0,
+            FixedDensity(0.5),
+            max_sessions=1,
+        )
+        assert len(sessions) == 1
+
     def test_empty_window_rejected(self):
         with pytest.raises(ValueError, match="no arrivals"):
             build_population(

@@ -211,6 +211,70 @@ class TestMultiWorker:
         assert 0.0 <= result.report.cache_hit_rate <= 1.0
 
 
+class TestShardedFaults:
+    """Fault schedules under the sharded executor: degradations shard,
+    anything that re-steers viewers across shard boundaries is rejected."""
+
+    def degradation(self, edge=0):
+        from repro.streaming import BackhaulDegradation, FaultSchedule
+
+        return FaultSchedule((
+            BackhaulDegradation(edge=edge, start=2.0, duration=4.0, factor=0.2),
+        ))
+
+    def test_workers_one_degradation_parity(self):
+        sessions = make_sessions(6)
+        faults = self.degradation()
+        ref = simulate_fleet(
+            sessions, topology=make_topology(2), faults=faults
+        )
+        sharded = shard_fleet(
+            make_sessions(6), make_topology(2), workers=1, faults=faults
+        )
+        assert sharded.report == ref.report
+        assert_sessions_identical(ref, sharded)
+        assert sharded.report.faults_injected == 1
+
+    def test_multiworker_degradations_partitioned_once(self):
+        from repro.streaming import BackhaulDegradation, FaultSchedule
+
+        faults = FaultSchedule((
+            BackhaulDegradation(edge=0, start=2.0, duration=4.0, factor=0.2),
+            BackhaulDegradation(edge=2, start=3.0, duration=4.0, factor=0.5),
+        ))
+        result = shard_fleet(
+            make_sessions(9), make_topology(3), workers=3, faults=faults
+        )
+        assert result.report.faults_injected == 2
+        assert result.report.n_sessions == 9
+
+    def test_outage_rejected_with_guidance(self):
+        from repro.streaming import EdgeOutage, FaultSchedule
+
+        faults = FaultSchedule((EdgeOutage(edge=0, start=2.0, duration=2.0),))
+        with pytest.raises(ValueError, match="simulate_fleet"):
+            shard_fleet(make_sessions(4), make_topology(2), workers=2,
+                        faults=faults)
+
+    def test_flash_crowd_rejected(self):
+        from repro.streaming import FlashCrowd, FaultSchedule
+
+        faults = FaultSchedule((
+            FlashCrowd(spec=spec(6), start=2.0, n_viewers=3),
+        ))
+        with pytest.raises(ValueError, match="simulate_fleet"):
+            shard_fleet(make_sessions(4), make_topology(2), workers=2,
+                        faults=faults)
+
+    def test_empty_schedule_is_plain_sharding(self):
+        from repro.streaming import FaultSchedule
+
+        a = shard_fleet(make_sessions(5), make_topology(2), workers=2)
+        b = shard_fleet(make_sessions(5), make_topology(2), workers=2,
+                        faults=FaultSchedule())
+        assert a.report == b.report
+
+
 class TestPartition:
     def sessions(self, n):
         return [
