@@ -31,7 +31,7 @@ import os
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -109,6 +109,8 @@ def build_reports(raw: dict) -> dict[str, dict]:
     shard_content = fleet_mod.SHARD_CONTENT_SECONDS
     shard_base["content_s_per_wall_s"] = shard_content / shard_base["min_s"]
     shard_par["content_s_per_wall_s"] = shard_content / shard_par["min_s"]
+    columnar = need("test_bench_fleet_columnar")
+    columnar["content_s_per_wall_s"] = shard_content / columnar["min_s"]
 
     machine = _machine_fingerprint(raw)
     fleet = {
@@ -123,6 +125,7 @@ def build_reports(raw: dict) -> dict[str, dict]:
             "test_bench_cdn_fleet": fleet_mod.CDN_FLOOR,
             "test_bench_sharded_baseline": fleet_mod.SHARD_BASELINE_FLOOR,
             "test_bench_sharded_fleet": fleet_mod.SHARD_FLOOR,
+            "test_bench_fleet_columnar": fleet_mod.COLUMNAR_FLOOR,
         },
         # The parallel-path gate: end-to-end speedup of the 4-worker run
         # over the single-process run on the same workload.  cpu_count
@@ -138,11 +141,30 @@ def build_reports(raw: dict) -> dict[str, dict]:
             "min_cpus": fleet_mod.SHARD_SPEEDUP_MIN_CPUS,
             "cpu_count": _cpu_count(raw),
         },
+        # The columnar-engine gate: single-process throughput on the same
+        # workload, expressed as a multiple of the *committed* machine
+        # baseline floor.  The ratio is hardware-honest without a second
+        # timed run — the baseline floor is the bar the machine engine
+        # must clear on the same box — and is relaxed by
+        # BENCH_FLOOR_SCALE exactly like the absolute floors, since its
+        # numerator is a wall-clock measurement.
+        "fleet_columnar": {
+            "n_sessions": fleet_mod.SHARD_SESSIONS,
+            "n_edges": fleet_mod.SHARD_EDGES,
+            "workers": 1,
+            "baseline_floor": fleet_mod.SHARD_BASELINE_FLOOR,
+            "ratio_floor_x": fleet_mod.COLUMNAR_SPEEDUP_FLOOR,
+            "ratio_vs_baseline_floor_x": (
+                columnar["content_s_per_wall_s"]
+                / fleet_mod.SHARD_BASELINE_FLOOR
+            ),
+        },
         "benchmarks": {
             "test_bench_single_link_fleet": single,
             "test_bench_cdn_fleet": cdn,
             "test_bench_sharded_baseline": shard_base,
             "test_bench_sharded_fleet": shard_par,
+            "test_bench_fleet_columnar": columnar,
         },
     }
     mpc = {
@@ -212,6 +234,21 @@ def check_regressions(
                     f"{filename}: sharded speedup {speedup:.2f}x under "
                     f"{floor:g}x but only {sharded['cpu_count']} CPU(s) "
                     f"< {sharded['min_cpus']} — parallel gate skipped"
+                )
+        columnar = report.get("fleet_columnar")
+        if columnar is not None:
+            # Measured throughput over a committed floor: the numerator
+            # is wall-clock, so BENCH_FLOOR_SCALE grants the same slack
+            # as the absolute floors (unlike the sharded ratio, whose
+            # numerator and denominator come from the same box).
+            ratio = columnar["ratio_vs_baseline_floor_x"]
+            floor = columnar["ratio_floor_x"]
+            if ratio < floor * floor_scale:
+                failures.append(
+                    f"{filename}: columnar engine at {ratio:.2f}x the "
+                    f"committed machine baseline floor "
+                    f"({columnar['baseline_floor']:.0f} content-s/s) is "
+                    f"under its {floor:g}x ratio gate x{floor_scale:g}"
                 )
         baseline_path = out_dir / filename
         if not baseline_path.exists():

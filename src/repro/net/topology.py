@@ -50,6 +50,7 @@ The property tests in ``tests/net/test_topology.py`` enforce this.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -61,6 +62,7 @@ from .link import (
     _FINISH_RTOL,
     _finish_threshold,
 )
+from .traces import NetworkTrace
 
 __all__ = ["NetworkPath", "PathScheduler", "SCHEDULER_ENGINES", "path_download_time"]
 
@@ -186,8 +188,10 @@ class PathScheduler:
     default) runs each step as array math over all flows at once,
     ``"scalar"`` keeps the per-flow Python loops as the reference oracle.
     Both produce bit-identical :class:`Completion` streams (see module
-    docstring); ``delivered_bits`` totals may differ in the last ulp
-    because the vector engine accumulates them with one ``np.sum``.
+    docstring); ``delivered_bits`` totals may differ in the last ulps
+    because the vector engine accumulates the pool total with ``np.sum``
+    and charges per-link bits once per flow as it leaves the pool
+    (completion or cancellation) instead of per event step.
     """
 
     def __init__(self, engine: str = "vector") -> None:
@@ -301,10 +305,13 @@ class PathScheduler:
             return
         solo.remaining_bits -= drained
         self.delivered_bits += drained
-        self._account(solo, drained)
         solo.solo_elapsed = None
         if self.engine == "vector":
+            # Per-link accounting is deferred to ``_remove`` (crossed =
+            # total - remaining at removal), which covers this drain.
             self._vec.write_remaining(solo)
+        else:
+            self._account(solo, drained)
 
     # ------------------------------------------------------------------
     def _solo_flow(self) -> _PathFlow | None:
@@ -318,6 +325,11 @@ class PathScheduler:
         if len(self._flows) != 1:
             return None
         flow = next(iter(self._flows.values()))
+        if self.engine == "vector" and flow.slot >= 0:
+            # The vector engine leaves object-side ``remaining_bits``
+            # stale between events (see ``_advance_vector``); refresh the
+            # one candidate before the untouched-solo check.
+            flow.remaining_bits = float(self._vec.remaining[flow.slot])
         if flow.remaining_bits != flow.total_bits:
             return None
         if flow.solo_elapsed is not None and flow.solo_elapsed != flow.solo_elapsed:
@@ -443,16 +455,49 @@ class PathScheduler:
 
     # ------------------------------------------------------------------
     # Vector engine: one array pass per event step.
-    def _vec_alloc(self, now: float):
-        """Active slots, their min-over-hops rates, and active link indices.
+    def _link_seg(self, li: int, now: float) -> tuple[float, float]:
+        """``(bandwidth, time-to-next-change)`` for link ``li`` at ``now``.
 
-        Cached on ``(now, state version)`` so the ``next_event`` →
-        ``advance`` pair of one event step computes the allocation once.
-        Every float expression mirrors the scalar engine operation for
-        operation: fair denominators are integer counts (exact in any
-        summation order), weighted denominators fall back to an
-        insertion-order Python sum (NumPy's pairwise reduction diverges
-        from ``sum`` at 8+ flows), shares are ``cap / denom`` or
+        Plain :class:`NetworkTrace` lookups dominate the per-event cost at
+        fleet scale (two bisect calls per active link per event), so the
+        current segment is cached per link and revalidated with one
+        ``fmod`` and two comparisons.  Every returned value reproduces the
+        trace methods' float expressions exactly — ``bandwidth_at`` is a
+        cached segment constant, ``time_to_next_change`` is the same
+        ``nxt - local`` subtraction — so scalar/vector engine parity is
+        untouched.  Wrapped traces (e.g. fault-injection
+        ``DegradedTrace``) have time-varying composition and fall back to
+        the trace methods.
+        """
+        trace = self._vec.link_list[li].trace
+        if type(trace) is not NetworkTrace:
+            return trace.bandwidth_at(now), trace.time_to_next_change(now)
+        local = now % trace._duration
+        seg = self._vec.seg_cache.get(li)
+        if seg is None or seg[0] is not trace or not (seg[1] <= local < seg[2]):
+            ts = trace._ts_list
+            i = bisect_right(ts, local)
+            hi = ts[i] if i < len(ts) else trace._duration
+            seg = (trace, ts[i - 1], hi, trace._bw_list[i - 1])
+            self._vec.seg_cache[li] = seg
+        return seg[3], seg[2] - local
+
+    def _vec_alloc(self, now: float):
+        """Active slots, their rates, and the active links' event horizon.
+
+        Returns ``(idx, rates, min_ttc)`` where ``min_ttc`` is the
+        smallest time-to-next-change over links carrying active flows
+        (``inf`` when none) — stashed here because the capacity lookup
+        already touches each active link's trace segment, and
+        ``min(now + ttc_i) == now + min(ttc_i)`` bit-exactly (adding the
+        same ``now`` is monotone), so ``_next_event_vector`` never
+        re-queries the traces.  Cached on ``(now, state version)`` so the
+        ``next_event`` → ``advance`` pair of one event step computes the
+        allocation once.  Every float expression mirrors the scalar
+        engine operation for operation: fair denominators are integer
+        counts (exact in any summation order), weighted denominators fall
+        back to an insertion-order Python sum (NumPy's pairwise reduction
+        diverges from ``sum`` at 8+ flows), shares are ``cap / denom`` or
         ``(cap * w) / denom``, and the per-flow rate is an
         order-insensitive min over the hop axis.
         """
@@ -465,13 +510,13 @@ class PathScheduler:
         act = v.alive[:n] & (v.data_start[:n] <= now) & (v.remaining[:n] > 0.0)
         idx = act.nonzero()[0]
         if idx.size == 0:
-            out = (idx, _EMPTY, [])
+            out = (idx, _EMPTY, np.inf)
         elif len(v.link_list) == 2:
             # One real link in the pool (the classic single-bottleneck
             # fleet): every active flow shares it, so the whole incidence
             # machinery collapses to one share computation.
             link = v.link_list[1]
-            capacity = link.trace.bandwidth_at(now)
+            capacity, min_ttc = self._link_seg(1, now)
             if link.policy == "weighted":
                 denom = 0.0
                 for f in self._link_flows[id(link)].values():
@@ -480,7 +525,7 @@ class PathScheduler:
                 rates = capacity * v.weight[idx] / denom
             else:
                 rates = np.full(idx.size, capacity / float(idx.size))
-            out = (idx, rates, [1])
+            out = (idx, rates, min_ttc)
         else:
             rows = v.hops[idx]
             counts = np.bincount(rows.ravel(), minlength=len(v.link_list))
@@ -489,8 +534,11 @@ class PathScheduler:
             active_links = (np.nonzero(counts[1:])[0] + 1).tolist()
             cap = np.empty(len(v.link_list))
             cap[0] = np.inf
+            min_ttc = np.inf
             for li in active_links:
-                cap[li] = v.link_list[li].trace.bandwidth_at(now)
+                cap[li], ttc = self._link_seg(li, now)
+                if ttc < min_ttc:
+                    min_ttc = ttc
             if v.weighted_links:
                 for li in v.weighted_links:
                     if counts[li]:
@@ -507,7 +555,7 @@ class PathScheduler:
             else:
                 numer = cap[rows]
             rates = (numer / denom[rows]).min(axis=1)
-            out = (idx, rates, active_links)
+            out = (idx, rates, min_ttc)
         v.alloc_cache = (key, out)
         return out
 
@@ -524,10 +572,9 @@ class PathScheduler:
         # complete as soon as their data start elapses.
         for f in v.finished:
             best = min(best, max(f.data_start, now))
-        idx, rates, active_links = self._vec_alloc(now)
-        for li in active_links:
-            trace = v.link_list[li].trace
-            best = min(best, now + trace.time_to_next_change(now))
+        idx, rates, min_ttc = self._vec_alloc(now)
+        if min_ttc < np.inf:
+            best = min(best, now + min_ttc)
         if idx.size:
             best = min(best, (now + v.remaining[idx] / rates).min())
         return float(best)
@@ -541,36 +588,24 @@ class PathScheduler:
             cur = v.remaining[idx]
             drained = np.minimum(rates * dt, cur)
             after = cur - drained
-            thresh = np.maximum(_FINISH_RTOL * v.total[idx], _FINISH_ATOL)
-            flush = after <= thresh
+            flush = after <= v.thresh[idx]
             total_bits = float(drained.sum())
+            # Flow objects are NOT mirrored here: per-link delivered-bits
+            # accounting and the object-side ``remaining_bits`` are
+            # materialized lazily — per link when a flow leaves the pool
+            # (``_remove``), per object in ``_solo_flow``/``sync``.  The
+            # old per-event mirror loop was O(active flows) of Python per
+            # event step and dominated large-fleet wall time.
             if flush.any():
-                residue = after[flush]
-                accounted = drained + np.where(flush, after, 0.0)
-                total_bits += float(residue.sum())
+                total_bits += float(after[flush].sum())
                 after[flush] = 0.0
-            else:
-                accounted = drained
+                flow_of = v.flow_of
+                for s in idx[flush].tolist():
+                    f = flow_of[s]
+                    f.remaining_bits = 0.0
+                    finished.append(f)
             self.delivered_bits += total_bits
             v.remaining[idx] = after
-            if len(v.link_list) == 2:
-                v.link_list[1].delivered_bits += total_bits
-            else:
-                rows = v.hops[idx]
-                per_link = np.bincount(
-                    rows.ravel(),
-                    weights=np.repeat(accounted, rows.shape[1]),
-                    minlength=len(v.link_list),
-                )
-                for li in per_link[1:].nonzero()[0].tolist():
-                    v.link_list[li + 1].delivered_bits += float(per_link[li + 1])
-            # Mirror remaining into the flow objects so the solo fast
-            # path and sync() (which read objects) stay coherent.
-            flow_of = v.flow_of
-            for s, r in zip(idx.tolist(), after.tolist()):
-                flow_of[s].remaining_bits = r
-                if r == 0.0:
-                    finished.append(flow_of[s])
             v.version += 1
         # Flows can complete two ways: drained to zero above, or already
         # empty (zero-byte transfers, sync-drained solos) once their
@@ -598,6 +633,19 @@ class PathScheduler:
             link.delivered_bits += bits
 
     def _remove(self, flow: _PathFlow) -> None:
+        if self.engine == "vector" and flow.slot >= 0:
+            # Deferred per-link accounting: everything the flow drained
+            # over its lifetime crosses each hop exactly once, charged as
+            # it leaves the pool (completion or cancellation).  The solo
+            # fast path accounts explicitly before removing, but such a
+            # flow is untouched (remaining == total), so its crossed
+            # bits here are zero — no double counting.
+            rem = float(self._vec.remaining[flow.slot])
+            flow.remaining_bits = rem
+            crossed = flow.total_bits - rem
+            if crossed > 0.0:
+                for link in flow.path.links:
+                    link.delivered_bits += crossed
         del self._flows[flow.flow_id]
         for link in flow.path.links:
             del self._link_flows[id(link)][flow.flow_id]
@@ -630,6 +678,10 @@ class _VectorState:
         self.remaining = np.zeros(cap)
         self.total = np.zeros(cap)
         self.weight = np.zeros(cap)
+        #: per-flow finish threshold, precomputed at add time (the value
+        #: ``max(_FINISH_RTOL * total, _FINISH_ATOL)`` the scalar engine
+        #: derives per event)
+        self.thresh = np.zeros(cap)
         self.alive = np.zeros(cap, dtype=bool)
         self.hops = np.zeros((cap, 2), dtype=np.intp)
         #: index 0 reserved as the padding sentinel
@@ -645,6 +697,9 @@ class _VectorState:
         #: bumped on any state change; keys the allocation cache
         self.version = 0
         self.alloc_cache: tuple | None = None
+        #: per-link current trace segment, ``li -> (trace, lo, hi, bw)``
+        #: in trace-local time; revalidated by ``_link_seg``
+        self.seg_cache: dict[int, tuple] = {}
 
     def add(self, flow: _PathFlow) -> None:
         links = flow.path.links
@@ -676,6 +731,7 @@ class _VectorState:
         self.remaining[s] = flow.remaining_bits
         self.total[s] = flow.total_bits
         self.weight[s] = flow.weight
+        self.thresh[s] = max(_FINISH_RTOL * flow.total_bits, _FINISH_ATOL)
         row = self.hops[s]
         row[:] = 0
         for j, link in enumerate(links):
@@ -719,6 +775,7 @@ class _VectorState:
         self.remaining = doubled(self.remaining)
         self.total = doubled(self.total)
         self.weight = doubled(self.weight)
+        self.thresh = doubled(self.thresh)
         self.alive = doubled(self.alive)
         self.hops = doubled(self.hops)
         self.flow_of.extend([None] * (len(self.alive) - len(self.flow_of)))

@@ -38,12 +38,22 @@ __all__ = [
     "DiscreteMPC",
     "BufferBased",
     "YUZU_DENSITY_LEVELS",
+    "COARSE_DEDUP_QUANTA",
 ]
 
 #: Fetch densities reachable with YuZu's discrete SR options.  The paper
 #: lists them as factor pairs (1x2, 2x2, 1x3, 1x4, 4x1, 2x1), i.e. end-to-end
 #: ratios {2, 3, 4} — so a discrete client can never fetch below 1/4 density.
 YUZU_DENSITY_LEVELS = (1.0, 1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0)
+
+#: Coarse decision-dedup quanta preset for ``dedup_quanta=``: 10 kbps on
+#: throughput, 0.1 s on buffer level, 0.01 on prev quality.  Merges many
+#: more steady-state rows per tensor pass than the conservative default;
+#: the resulting QoE perturbation is bounded (test-pinned at <5% relative
+#: mean-QoE drift on a 600-viewer CDN fleet, see
+#: ``tests/streaming/test_columnar.py``).  Use when decision-pass wall
+#: time matters more than exact-default fidelity.
+COARSE_DEDUP_QUANTA = (-4, 1, 2)
 
 
 class SRQualityModel:
@@ -165,6 +175,22 @@ class AbrController:
         """
         return [self.decide(ctx) for ctx in ctxs]
 
+    def decide_columns(self, batch) -> list[Decision]:
+        """Decide for a columnar batch (``DecisionColumns``).
+
+        The columnar fleet engine hands decision state over as parallel
+        columns instead of context objects.  The default materializes
+        every row and defers to :meth:`decide_batch`; MPC controllers
+        override it to build dedup keys straight from the columns so
+        memo-hit and duplicate rows never allocate a context at all.
+        Must be equivalent to deciding each row's
+        :meth:`~repro.streaming.columnar.DecisionColumns.context` — the
+        columnar oracle-parity grid relies on it.
+        """
+        return self.decide_batch(
+            [batch.context(i) for i in range(len(batch))]
+        )
+
 
 class _MPCBase(AbrController):
     """Shared horizon-planning logic (Eq. 10 maximization)."""
@@ -178,6 +204,7 @@ class _MPCBase(AbrController):
         horizon: int = 5,
         safety: float = 0.9,
         fetch_fraction: float = 1.0,
+        dedup_quanta: tuple[int, int, int] | None = None,
     ):
         cand = np.asarray(candidates, dtype=np.float64)
         if cand.ndim != 1 or len(cand) == 0:
@@ -208,6 +235,20 @@ class _MPCBase(AbrController):
         #: recover the one-tensor-row-per-context reference path (the
         #: dedup parity test pins the two against each other).
         self.dedup = True
+        if dedup_quanta is not None:
+            if len(dedup_quanta) != 3:
+                raise ValueError(
+                    "dedup_quanta must be (tput, buffer, prev) decimal "
+                    f"counts, got {dedup_quanta!r}"
+                )
+            # Instance overrides of the conservative class-level quanta
+            # (see the block comment above _dedup_key).  Coarser quanta
+            # merge more rows per tensor pass at the price of a bounded
+            # QoE perturbation — COARSE_DEDUP_QUANTA documents the
+            # measured bound.
+            self._TPUT_DECIMALS = int(dedup_quanta[0])
+            self._BUFFER_DECIMALS = int(dedup_quanta[1])
+            self._PREV_DECIMALS = int(dedup_quanta[2])
         #: decision memo: quantized state -> Decision, bounded LRU
         self._decision_memo: OrderedDict[tuple, Decision] = OrderedDict()
         self._memo_capacity = 1 << 16
@@ -404,12 +445,25 @@ class _MPCBase(AbrController):
                     decisions[i] = self._decision_for(float(best[j]))
             return decisions  # type: ignore[return-value]
 
-        self.decide_rows += len(ctxs)
+        return self._decide_keyed(
+            [self._dedup_key(ctx) for ctx in ctxs], lambda i: ctxs[i]
+        )
+
+    def _decide_keyed(self, keys: list[tuple], ctx_of) -> list[Decision]:
+        """Dedup/memo decision core, shared by both row representations.
+
+        ``keys`` are :meth:`_dedup_key`-shaped tuples, one per row;
+        ``ctx_of(i)`` lazily materializes row ``i`` as an
+        :class:`AbrContext` — it is called only for the representative
+        row of each fresh key, which is what lets the columnar engine
+        skip context construction for memo hits and duplicates entirely.
+        """
+        decisions: list[Decision | None] = [None] * len(keys)
+        self.decide_rows += len(keys)
         memo = self._decision_memo
         fresh_order: list[tuple] = []        # unique unseen keys, first-seen order
         fresh_idxs: dict[tuple, list[int]] = {}
-        for i, ctx in enumerate(ctxs):
-            key = self._dedup_key(ctx)
+        for i, key in enumerate(keys):
             hit = memo.get(key)
             if hit is not None:
                 memo.move_to_end(key)
@@ -426,18 +480,49 @@ class _MPCBase(AbrController):
         by_horizon: dict[int, list[tuple]] = {}
         for key in fresh_order:
             by_horizon.setdefault(len(key[3]), []).append(key)
-        for keys in by_horizon.values():
+        for group in by_horizon.values():
             # The representative row is the first context that produced
             # the key; duplicates inherit its decision verbatim.
-            reps = [ctxs[fresh_idxs[key][0]] for key in keys]
+            reps = [ctx_of(fresh_idxs[key][0]) for key in group]
             values = self._batch_plan_values(reps)
             best = self.candidates[np.argmax(values, axis=1)]
-            for key, b in zip(keys, best):
+            for key, b in zip(group, best):
                 decision = self._decision_for(float(b))
                 self._memo_store(key, decision)
                 for i in fresh_idxs[key]:
                     decisions[i] = decision
         return decisions  # type: ignore[return-value]
+
+    def decide_columns(self, batch) -> list[Decision]:
+        """Columnar decide: dedup keys built straight from the columns.
+
+        Bit-identical to :meth:`decide_batch` over the batch's
+        materialized contexts — the key tuples are value-identical (same
+        ``round`` calls, chunk windows from the fleet-wide tuple cache
+        compare equal to freshly sliced ones), so memo state is even
+        interchangeable between engines — but memo-hit and duplicate
+        rows never allocate an :class:`AbrContext` at all.
+        """
+        if not self.dedup:
+            return self.decide_batch(
+                [batch.context(i) for i in range(len(batch))]
+            )
+        td = self._TPUT_DECIMALS
+        bd = self._BUFFER_DECIMALS
+        pd = self._PREV_DECIMALS
+        h = self.horizon
+        keys = []
+        for i in range(len(batch)):
+            prev = batch.prev[i]
+            keys.append(
+                (
+                    round(batch.tput[i], td),
+                    round(batch.buffer[i], bd),
+                    None if prev is None else round(prev, pd),
+                    batch.window(i, h),
+                )
+            )
+        return self._decide_keyed(keys, batch.context)
 
 
 class ContinuousMPC(_MPCBase):
@@ -459,13 +544,14 @@ class ContinuousMPC(_MPCBase):
         horizon: int = 5,
         safety: float = 0.9,
         fetch_fraction: float = 1.0,
+        dedup_quanta: tuple[int, int, int] | None = None,
     ):
         if not 0 < min_density < 1:
             raise ValueError("min_density must be in (0, 1)")
         grid = np.geomspace(min_density, 1.0, n_grid)
         super().__init__(
             grid, quality_model, qoe_model, sr_latency, horizon, safety,
-            fetch_fraction,
+            fetch_fraction, dedup_quanta,
         )
 
 
@@ -480,9 +566,11 @@ class DiscreteMPC(_MPCBase):
         levels: tuple[float, ...] = YUZU_DENSITY_LEVELS,
         horizon: int = 5,
         safety: float = 0.9,
+        dedup_quanta: tuple[int, int, int] | None = None,
     ):
         super().__init__(
-            np.asarray(levels), quality_model, qoe_model, sr_latency, horizon, safety
+            np.asarray(levels), quality_model, qoe_model, sr_latency,
+            horizon, safety, dedup_quanta=dedup_quanta,
         )
 
 

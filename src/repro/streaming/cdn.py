@@ -140,6 +140,26 @@ class EdgeChunkCache:
         self.coalesced += 1
         self.coalesced_bytes += nbytes
 
+    def void_hit(self, nbytes: int) -> None:
+        """Retract a counted hit whose access transfer never completed.
+
+        An edge outage cancels the serve mid-flight: the viewer never got
+        the bytes, and the retry is counted on its own lookup.  Leaving
+        the phantom charge would double-bill the chunk against delivered
+        totals (byte conservation) and inflate :attr:`hit_rate`.
+        """
+        self.hits -= 1
+        self.hit_bytes -= nbytes
+
+    def void_coalesced(self, nbytes: int) -> None:
+        """Retract a counted coalesced attach whose fill was cancelled.
+
+        Same credit-back contract as :meth:`void_hit`, for requests that
+        rode (or were parked behind) a backhaul fill an outage killed.
+        """
+        self.coalesced -= 1
+        self.coalesced_bytes -= nbytes
+
     def abort_fill(self, key: tuple) -> None:
         """Drop the in-flight marker for a fill that will never land.
 

@@ -193,18 +193,26 @@ class ControlPlane:
         if len(live) >= 2 and pol.max_resteers_per_tick > 0:
             load = list(view.edge_load)
             mean_load = sum(load[e] for e in live) / len(live)
-            threshold = (
-                math.inf
-                if math.isinf(pol.saturation_factor)
-                else max(pol.saturation_factor * mean_load, 2.0)
-            )
+            factor = pol.saturation_factor
+
+            def saturated(x: int) -> bool:
+                # Exactly as ControlPolicy documents: load exceeds
+                # saturation_factor x the live mean *and* is >= 2 (the
+                # floor keeps near-empty edges from thrashing; it is a
+                # lower bound on saturation, not a second multiplier).
+                return (
+                    not math.isinf(factor)
+                    and x >= 2
+                    and x > factor * mean_load
+                )
+
             budget = pol.max_resteers_per_tick
             for e in live:
-                if budget <= 0 or load[e] <= threshold:
+                if budget <= 0 or not saturated(load[e]):
                     continue
                 movable = view.sessions_by_edge.get(e, ())
                 for sid in movable:
-                    if budget <= 0 or load[e] <= threshold:
+                    if budget <= 0 or not saturated(load[e]):
                         break
                     target = min(
                         (x for x in live if x != e),
@@ -337,10 +345,23 @@ class RecoveryTracker:
 
     @property
     def baseline(self) -> float:
+        """Healthy-fleet reference the dip is measured against.
+
+        Mean of the pre-fault samples.  When the first fault starts at or
+        before the first health sample there is no pre-fault record at
+        all — a fault-at-t=0 schedule, or onset inside the first
+        monitoring interval.  Falling back to 0.0 there would measure the
+        dip against an arbitrary floor (``qoe_dip_depth`` silently reads
+        as ~0 however hard the fleet was hit), so the first *post-onset*
+        sample stands in instead: the closest available proxy for
+        where health started from.
+        """
         pre = [h for t, h in self.samples if t < self.fault_start]
-        if not pre:
-            return 0.0
-        return sum(pre) / len(pre)
+        if pre:
+            return sum(pre) / len(pre)
+        if self.samples:
+            return self.samples[0][1]
+        return 0.0
 
     def metrics(self) -> tuple[float, float]:
         """``(qoe_dip_depth, time_to_recover_s)`` for the run."""

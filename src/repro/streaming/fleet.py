@@ -46,6 +46,7 @@ from ..net.traces import NetworkTrace
 from .cdn import CDNTopology, wait_percentile
 from .abr import AbrController, SRQualityModel
 from .chunks import VideoSpec
+from .columnar import NEEDS_DECISION, ColumnarFleet
 from .control import ControlPlane, FleetView, RecoveryTracker
 from .faults import DegradedTrace, FaultSchedule
 from .latency import SRLatency, ZERO_LATENCY
@@ -75,6 +76,12 @@ _HEALTH_STALL_WEIGHT = 2.0
 #: Monitor cadence (virtual seconds) when faults are injected without a
 #: controller — the recovery tracker still needs samples.
 _DEFAULT_SAMPLE_INTERVAL = 1.0
+
+#: How an in-flight download's bytes were charged at dispatch — the class
+#: of counter an outage cancellation must credit back (see ``live_req``).
+_CHARGE_HIT = 0
+_CHARGE_ORIGIN = 1
+_CHARGE_COALESCED = 2
 
 
 @dataclass
@@ -374,6 +381,7 @@ def simulate_fleet(
     assignment: list[int] | None = None,
     faults: FaultSchedule | None = None,
     controller: ControlPlane | None = None,
+    fleet_engine: str = "machine",
 ) -> FleetResult:
     """Run a fleet of sessions over a shared serving topology.
 
@@ -386,6 +394,19 @@ def simulate_fleet(
     :class:`~repro.net.topology.PathScheduler` implementation
     (``"vector"`` array math by default, ``"scalar"`` the bit-exact
     reference oracle).
+
+    ``fleet_engine`` selects the *session* layer independently of the
+    network scheduler: ``"machine"`` (default) advances one
+    :class:`~repro.streaming.simulator.SessionMachine` generator per
+    viewer and is the bit-exact oracle; ``"columnar"`` runs the same
+    transitions over the struct-of-arrays
+    :class:`~repro.streaming.columnar.ColumnarFleet` state — no
+    per-session generators, contexts, or record objects on the hot loop —
+    and must reproduce the machine engine result for result (the sixth
+    oracle-parity instance, ``tests/streaming/test_columnar.py``).  The
+    columnar engine supports every serving mode except edge *outages*
+    (whose evacuation/retry bookkeeping still rides machine objects);
+    degradations, flash crowds, and a live controller all work.
 
     ``sr_cache`` may be a shared :class:`SRResultCache`, ``None`` (no SR
     sharing), or the string ``"per-edge"`` (topology mode only): each
@@ -446,8 +467,23 @@ def simulate_fleet(
             "carry their own sharing policies (set them at construction, "
             "e.g. uniform_cdn(policy=...))"
         )
+    if fleet_engine not in ("machine", "columnar"):
+        raise ValueError(
+            f"unknown fleet_engine {fleet_engine!r}; expected 'machine' "
+            "or 'columnar'"
+        )
     if faults is not None and not faults:
         faults = None  # empty schedule ≡ no faults (parity convention)
+    if (
+        fleet_engine == "columnar"
+        and faults is not None
+        and faults.outages
+    ):
+        raise ValueError(
+            "fleet_engine='columnar' does not support edge outages yet "
+            "(evacuation/retry bookkeeping rides the machine engine); "
+            "use fleet_engine='machine' for outage schedules"
+        )
     if (faults is not None or controller is not None) and topology is None:
         raise ValueError(
             "faults and controller require a topology (fault events and "
@@ -495,20 +531,27 @@ def simulate_fleet(
         session_sr_caches = [topology.edges[e].sr_cache for e in assignment]
     else:
         session_sr_caches = [sr_cache] * len(sessions)
-    machines = [
-        SessionMachine(
-            s.spec,
-            s.controller,
-            sr_latency=s.sr_latency,
-            quality_model=s.quality_model,
-            config=s.config,
-            qoe_weights=s.qoe_weights,
-            start_time=s.join_time,
-            sr_cache=session_sr_caches[sid],
-            churn=s.churn,
+    if fleet_engine == "columnar":
+        cols: ColumnarFleet | None = ColumnarFleet(
+            sessions, session_sr_caches
         )
-        for sid, s in enumerate(sessions)
-    ]
+        machines: list[SessionMachine] = []
+    else:
+        cols = None
+        machines = [
+            SessionMachine(
+                s.spec,
+                s.controller,
+                sr_latency=s.sr_latency,
+                quality_model=s.quality_model,
+                config=s.config,
+                qoe_weights=s.qoe_weights,
+                start_time=s.join_time,
+                sr_cache=session_sr_caches[sid],
+                churn=s.churn,
+            )
+            for sid, s in enumerate(sessions)
+        ]
     sched = PathScheduler(engine=engine)
     #: flows that must fill an edge cache on completion: sid -> (edge idx, key, bytes)
     pending_fill: dict[int, tuple] = {}
@@ -524,8 +567,12 @@ def simulate_fleet(
     #: outage handling needs to know which flows ride which edge; the
     #: bookkeeping is gated so fault-free runs skip every extra dict op
     track_live = bool(outage_bounds)
-    #: in-flight downloads: sid -> (request, edge the flow was routed via)
-    live_req: dict[int, tuple[DownloadRequest, int]] = {}
+    #: in-flight downloads: sid -> (request, edge the flow was routed via,
+    #: how the bytes were charged at dispatch — origin egress, cache hit,
+    #: or coalesced attach.  An outage cancelling the transfer credits the
+    #: matching counter back, so the re-issued attempt does not count its
+    #: bytes against delivered totals twice.
+    live_req: dict[int, tuple[DownloadRequest, int, int]] = {}
     #: virtual seconds a session already spent on attempts an outage killed
     retry_offset: dict[int, float] = {}
     resteered_total = 0
@@ -581,7 +628,7 @@ def simulate_fleet(
         key = _chunk_key(req)
         if key is not None and edge.cache.lookup(key, req.nbytes, req.start_time):
             if track_live:
-                live_req[sid] = (req, edge_idx)
+                live_req[sid] = (req, edge_idx, _CHARGE_HIT)
             sched.add_flow(
                 sid, req.nbytes, req.start_time, edge.hit_path,
                 weight=sessions[sid].weight,
@@ -605,7 +652,7 @@ def simulate_fleet(
             pending_fill[sid] = (edge_idx, key, req.nbytes)
         origin_egress += req.nbytes
         if track_live:
-            live_req[sid] = (req, edge_idx)
+            live_req[sid] = (req, edge_idx, _CHARGE_ORIGIN)
         sched.add_flow(
             sid, req.nbytes, req.start_time, edge.miss_path,
             weight=sessions[sid].weight, extra_delay=delay,
@@ -642,13 +689,16 @@ def simulate_fleet(
         counters: QoE-per-chunk with the default stall weight.  None when
         no chunk landed in the interval (nothing to score)."""
         nonlocal prev_live
-        chunks = 0
-        qsum = 0.0
-        stall = 0.0
-        for m in machines:
-            chunks += m.live_chunks
-            qsum += m.live_quality_sum
-            stall += m.live_stall
+        if cols is not None:
+            chunks, qsum, stall = cols.live_totals()
+        else:
+            chunks = 0
+            qsum = 0.0
+            stall = 0.0
+            for m in machines:
+                chunks += m.live_chunks
+                qsum += m.live_quality_sum
+                stall += m.live_stall
         d_chunks = chunks - prev_live[0]
         d_qsum = qsum - prev_live[1]
         d_stall = stall - prev_live[2]
@@ -663,17 +713,42 @@ def simulate_fleet(
         transfers and re-issue them from ``t`` (time already spent counts
         against the session via ``retry_offset``), restart its cache cold.
         """
-        nonlocal resteered_total
+        nonlocal resteered_total, origin_egress
         assert topology is not None and faults is not None
         edge = topology.edges[edge_idx]
         # Outstanding work riding the dead edge, captured before any
         # re-assignment: in-flight transfers and parked coalesced waiters.
+        # Each cancelled transfer hands back whatever it was charged at
+        # dispatch — origin egress, cache hit bytes, or a coalesced attach
+        # — so the re-issued attempt, billed on its own dispatch, never
+        # counts one delivered chunk's bytes twice.
         riding = sorted(
-            sid for sid, (_, e) in live_req.items() if e == edge_idx
+            sid for sid, (_, e, _) in live_req.items() if e == edge_idx
         )
-        retries = [(sid, live_req.pop(sid)[0]) for sid in riding]
+        retries = []
+        for sid in riding:
+            req, _, kind = live_req.pop(sid)
+            if kind == _CHARGE_ORIGIN:
+                origin_egress -= req.nbytes
+            elif kind == _CHARGE_HIT:
+                edge.cache.void_hit(req.nbytes)
+            else:
+                edge.cache.void_coalesced(req.nbytes)
+            retries.append((sid, req))
         for k in [k for k in fill_waiters if k[0] == edge_idx]:
-            retries.extend(fill_waiters.pop(k))
+            for wsid, wreq in fill_waiters.pop(k):
+                edge.cache.void_coalesced(wreq.nbytes)
+                retries.append((wsid, wreq))
+        # Viewers whose join still lies beyond the end of this outage
+        # (chained across back-to-back outage spans on the edge) will
+        # find it healthy again — failing them over now would permanently
+        # strand them on another edge for no reason.
+        until = t
+        for start, end in sorted(
+            (o.start, o.end) for o in faults.outages if o.edge == edge_idx
+        ):
+            if start <= until:
+                until = max(until, end)
         live = [e for e in range(n_edges) if not edge_down[e]]
         load = [0] * n_edges
         for sid, m in enumerate(machines):
@@ -681,6 +756,8 @@ def simulate_fleet(
                 load[assignment[sid]] += 1
         for sid, m in enumerate(machines):
             if m.finished or assignment[sid] != edge_idx:
+                continue
+            if sessions[sid].join_time >= until:
                 continue
             target = min(live, key=lambda e: (load[e], e))
             load[edge_idx] -= 1
@@ -712,17 +789,24 @@ def simulate_fleet(
     # Decisions are pure functions of their context, so resolving them all
     # up front is safe; the *requests* they unblock go through queue(),
     # which holds future-dated ones until virtual time catches up.
-    first_decisions = []
-    for sid, machine in enumerate(machines):
-        if isinstance(machine.pending, DownloadRequest):
-            queue(sid, machine.pending)
-        elif isinstance(machine.pending, DecisionRequest):
-            first_decisions.append(sid)
-    for sid, req in _batched_decisions(machines, first_decisions):
-        queue(sid, req)
+    if cols is not None:
+        startup_reqs, first_decisions = cols.initial_requests()
+        for sid, req in startup_reqs:
+            queue(sid, req)
+        for sid, req in cols.decide(first_decisions):
+            queue(sid, req)
+    else:
+        first_decisions = []
+        for sid, machine in enumerate(machines):
+            if isinstance(machine.pending, DownloadRequest):
+                queue(sid, machine.pending)
+            elif isinstance(machine.pending, DecisionRequest):
+                first_decisions.append(sid)
+        for sid, req in _batched_decisions(machines, first_decisions):
+            queue(sid, req)
 
     now = 0.0
-    end_times = [0.0] * len(machines)
+    end_times = [0.0] * len(sessions)
     try:
       while sched.busy() or deferred:
         events = []
@@ -753,7 +837,7 @@ def simulate_fleet(
                     # time still counts from its own request).
                     for wsid, wreq in fill_waiters.pop((edge_idx, key), ()):
                         if track_live:
-                            live_req[wsid] = (wreq, edge_idx)
+                            live_req[wsid] = (wreq, edge_idx, _CHARGE_COALESCED)
                         gate = done.finish_time - (
                             wreq.start_time + edge.hit_path.rtt
                         )
@@ -765,6 +849,13 @@ def simulate_fleet(
                 elapsed = done.elapsed
                 if track_live:
                     elapsed += retry_offset.pop(done.flow_id, 0.0)
+                if cols is not None:
+                    nxt = cols.advance_download(done.flow_id, elapsed)
+                    if nxt is NEEDS_DECISION:
+                        needs_decision.append(done.flow_id)
+                    else:
+                        end_times[done.flow_id] = done.finish_time
+                    continue
                 req = machines[done.flow_id].advance(elapsed)
                 if isinstance(req, DecisionRequest):
                     needs_decision.append(done.flow_id)
@@ -772,7 +863,12 @@ def simulate_fleet(
                     queue(done.flow_id, req)
                 else:
                     end_times[done.flow_id] = done.finish_time
-        for sid, req in _batched_decisions(machines, needs_decision):
+        unblocked = (
+            cols.decide(needs_decision)
+            if cols is not None
+            else _batched_decisions(machines, needs_decision)
+        )
+        for sid, req in unblocked:
             queue(sid, req)
         if next_bound < len(outage_bounds) and outage_bounds[next_bound] <= t:
             # Bank any solo flow's progress before surgery on the flow set
@@ -809,8 +905,13 @@ def simulate_fleet(
                 by_edge: dict[int, list[int]] = {
                     e: [] for e in range(n_edges)
                 }
-                for sid, m in enumerate(machines):
-                    if not m.finished:
+                finished_flags = (
+                    cols.finished_flags()
+                    if cols is not None
+                    else [m.finished for m in machines]
+                )
+                for sid, fin in enumerate(finished_flags):
+                    if not fin:
                         by_edge[assignment[sid]].append(sid)
                         loads[assignment[sid]] += 1
                 waits = topology.origin.queue.waits
@@ -834,11 +935,15 @@ def simulate_fleet(
                         actions.encode_workers, at_time=t
                     )
                 for sid, target in actions.resteer:
-                    if machines[sid].finished or edge_down[target]:
+                    if finished_flags[sid] or edge_down[target]:
                         continue
                     assignment[sid] = target
                     if per_edge_sr:
-                        machines[sid].sr_cache = topology.edges[target].sr_cache
+                        new_cache = topology.edges[target].sr_cache
+                        if cols is not None:
+                            cols.sr_caches[sid] = new_cache
+                        else:
+                            machines[sid].sr_cache = new_cache
                     resteered_total += 1
             next_sample = (
                 math.floor(t / sample_interval) + 1
@@ -865,8 +970,14 @@ def simulate_fleet(
         if health is not None:
             tracker.sample(now, health)
 
-    results = [m.result for m in machines]
-    assert all(r is not None for r in results), "fleet left unfinished sessions"
+    if cols is not None:
+        assert cols.all_finished(), "fleet left unfinished sessions"
+        results = cols.finalize()
+    else:
+        results = [m.result for m in machines]
+        assert all(
+            r is not None for r in results
+        ), "fleet left unfinished sessions"
     assert not fill_waiters, "fleet left coalesced requests waiting"
     ops = None
     if monitor:

@@ -204,6 +204,8 @@ class _ShardTask:
     #: this shard's slice of the fault schedule, edges re-indexed to the
     #: sub-topology (shardable schedules only — backhaul degradations)
     faults: FaultSchedule | None = None
+    #: session layer: "machine" objects or the "columnar" array engine
+    fleet_engine: str = "machine"
 
 
 @dataclass
@@ -241,6 +243,7 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         engine=task.engine,
         assignment=task.assignment,
         faults=task.faults,
+        fleet_engine=task.fleet_engine,
     )
     topo = task.topology
     edge_stats = [
@@ -283,6 +286,7 @@ def _make_task(
     *,
     copy_sr: bool,
     faults: FaultSchedule | None = None,
+    fleet_engine: str = "machine",
 ) -> _ShardTask:
     """Materialize one shard's task: sub-topology, sub-fleet, local map.
 
@@ -326,6 +330,7 @@ def _make_task(
         sr_cache=cache,
         engine=engine,
         faults=sub_faults,
+        fleet_engine=fleet_engine,
     )
 
 
@@ -365,6 +370,7 @@ def shard_fleet(
     seed: int = 0,
     start_method: str | None = None,
     faults: FaultSchedule | None = None,
+    fleet_engine: str = "machine",
 ) -> FleetResult:
     """Run a fleet over a CDN, sharded across worker processes.
 
@@ -382,6 +388,9 @@ def shard_fleet(
     way.  ``start_method`` picks the ``multiprocessing`` start method
     (default: ``fork`` where available, else the platform default —
     ``fork`` skips re-importing the scientific stack in every worker).
+    ``fleet_engine`` is forwarded to each shard's ``simulate_fleet``
+    (``"columnar"`` runs the struct-of-arrays session layer in every
+    worker).
 
     Unlike ``simulate_fleet``, the caller's ``topology`` is left
     untouched (workers mutate private copies), so every statistic must
@@ -419,7 +428,7 @@ def shard_fleet(
     tasks = [
         _make_task(
             shard, sessions, topology, plan, sr_cache, engine,
-            copy_sr=copy_sr, faults=faults,
+            copy_sr=copy_sr, faults=faults, fleet_engine=fleet_engine,
         )
         for shard in plan.shards
     ]

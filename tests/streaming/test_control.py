@@ -141,6 +141,28 @@ class TestControlPlaneTick:
         ))
         assert not actions
 
+    def test_small_fleet_saturation_matches_docstring(self):
+        """The docstring promises "load exceeds factor x mean (and >= 2)".
+        An absolute ``max(..., 2.0)`` floor used to creep in instead,
+        silently disabling re-steering for small fleets: load 2 vs mean 1
+        exceeds 1.5 x mean and meets the >= 2 guard, so it must act."""
+        plane = ControlPlane(ControlPolicy(saturation_factor=1.5))
+        actions = plane.tick(view(
+            edge_load=(2, 0, 0),
+            sessions_by_edge={0: (0, 1)},
+        ))
+        assert actions.resteer == [(0, 1)]
+
+    def test_single_session_edge_is_never_saturated(self):
+        """The >= 2 guard: one viewer on an otherwise idle fleet is not a
+        hotspot, no matter how aggressive the factor."""
+        plane = ControlPlane(ControlPolicy(saturation_factor=1.1))
+        actions = plane.tick(view(
+            edge_load=(1, 0, 0),
+            sessions_by_edge={0: (0,)},
+        ))
+        assert not actions.resteer
+
 
 class TestQoEArrivalAutoscaler:
     def test_unhealthy_day_scales_next_day_down(self):
@@ -216,6 +238,24 @@ class TestRecoveryTracker:
     def test_no_post_fault_samples(self):
         tr = RecoveryTracker(fault_start=10.0)
         tr.sample(5.0, 4.0)
+        assert tr.metrics() == (0.0, 0.0)
+
+    def test_fault_at_time_zero_uses_first_sample_as_baseline(self):
+        """A fault starting at t=0 leaves no pre-fault samples.  The
+        baseline used to collapse to 0.0, so any recovery (health >=
+        -tolerance) registered instantly and the dip was clamped to 0.
+        The first post-onset sample now anchors the baseline instead."""
+        tr = RecoveryTracker(fault_start=0.0)
+        for t, h in [(0.5, 1.0), (1.5, 0.2), (2.5, 1.0)]:
+            tr.sample(t, h)
+        assert tr.baseline == pytest.approx(1.0)
+        dip, recover = tr.metrics()
+        assert dip == pytest.approx(0.8)
+        assert recover == pytest.approx(2.5)
+
+    def test_fault_at_time_zero_no_samples(self):
+        tr = RecoveryTracker(fault_start=0.0)
+        assert tr.baseline == 0.0
         assert tr.metrics() == (0.0, 0.0)
 
     def test_validation(self):

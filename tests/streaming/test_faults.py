@@ -258,3 +258,78 @@ class TestDisabledModeParity:
         assert rep.qoe_dip_depth == 0.0
         assert rep.time_to_recover_s == 0.0
         assert not math.isinf(rep.time_to_recover_s)
+
+
+class TestOutageAccounting:
+    """Regression tests for chaos-path accounting (PR 7 satellites)."""
+
+    def test_byte_conservation_under_outage(self):
+        """Flows cancelled mid-transfer by an outage used to leave their
+        full origin-egress charge on the books even though the retry was
+        billed again on another edge.  With the credit-back, conservation
+        holds on fault runs exactly as it does fault-free."""
+        sessions = fleet(9)
+        topo = cdn()
+        sched = FaultSchedule((EdgeOutage(edge=0, start=4.0, duration=6.0),))
+        result = simulate_fleet(
+            sessions,
+            topology=topo,
+            assignment=[i % 3 for i in range(9)],
+            faults=sched,
+        )
+        rep = result.report
+        assert rep.sessions_resteered > 0
+        hit_bytes = sum(e.cache.hit_bytes for e in topo.edges)
+        coalesced = sum(e.cache.coalesced_bytes for e in topo.edges)
+        assert rep.coalesced_bytes == coalesced
+        assert (
+            rep.origin_egress_bytes + hit_bytes + coalesced == rep.total_bytes
+        )
+
+    def test_late_joiner_keeps_assignment_after_outage_ends(self):
+        """_evacuate used to fail over *every* viewer assigned to the dark
+        edge, including ones whose join_time is after the outage ends.
+        Those viewers never see the outage and must keep their edge."""
+        sessions = [
+            dataclasses.replace(base_session(seconds=8), join_time=t)
+            for t in (0.0, 1.0, 5.0, 12.0)
+        ]
+        sched = FaultSchedule((EdgeOutage(edge=0, start=4.0, duration=6.0),))
+        result = simulate_fleet(
+            sessions,
+            topology=cdn(),
+            assignment=[0, 1, 0, 0],
+            faults=sched,
+        )
+        # Joined before/during the outage window: moved off edge 0.
+        assert result.assignment[0] != 0
+        assert result.assignment[2] != 0
+        # Joined at t=12, after the outage ended at t=10: stays put.
+        assert result.assignment[3] == 0
+        assert result.report.sessions_resteered == 2
+        assert all(r is not None for r in result.sessions)
+
+    def test_chained_outages_extend_the_failover_window(self):
+        """Back-to-back outage spans on one edge behave as a single dark
+        window: a viewer joining during the *second* span is re-steered
+        by the first span's evacuation pass."""
+        sessions = [
+            dataclasses.replace(base_session(seconds=8), join_time=t)
+            for t in (0.0, 8.0, 12.0)
+        ]
+        sched = FaultSchedule((
+            EdgeOutage(edge=0, start=4.0, duration=3.0),
+            EdgeOutage(edge=0, start=7.0, duration=3.0),
+        ))
+        result = simulate_fleet(
+            sessions,
+            topology=cdn(),
+            assignment=[0, 0, 0],
+            faults=sched,
+        )
+        # t=0 and t=8 joiners fall inside the chained [4, 10) window.
+        assert result.assignment[0] != 0
+        assert result.assignment[1] != 0
+        # t=12 joiner arrives after the chain ends.
+        assert result.assignment[2] == 0
+        assert all(r is not None for r in result.sessions)

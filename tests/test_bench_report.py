@@ -24,10 +24,12 @@ RAW_NAMES = (
 )
 
 #: the sharded pair scales with min_s but keeps a healthy 4x ratio, so
-#: the parallel gate stays green unless a test tampers with it.
+#: the parallel gate stays green unless a test tampers with it; the
+#: columnar lane rides at half the baseline's wall time.
 SHARDED_NAMES = {
     "test_bench_sharded_baseline": 1.0,
     "test_bench_sharded_fleet": 0.25,
+    "test_bench_fleet_columnar": 0.5,
 }
 
 
@@ -85,6 +87,10 @@ class TestBuildReports:
             floors["test_bench_sharded_baseline"]
             == fleet_mod.SHARD_BASELINE_FLOOR
         )
+        assert floors["test_bench_fleet_columnar"] == fleet_mod.COLUMNAR_FLOOR
+        assert fleet_mod.COLUMNAR_FLOOR == (
+            fleet_mod.COLUMNAR_SPEEDUP_FLOOR * fleet_mod.SHARD_BASELINE_FLOOR
+        )
 
     def test_fleet_sharded_row(self):
         """The parallel path has its own trajectory row: throughput for
@@ -100,6 +106,21 @@ class TestBuildReports:
         assert par["content_s_per_wall_s"] == pytest.approx(
             fleet["content_seconds_sharded"] / 0.025
         )
+
+    def test_fleet_columnar_row(self):
+        """The columnar engine's trajectory row carries the throughput
+        ratio against the committed machine baseline floor."""
+        reports = bench_report.build_reports(raw_json(min_s=0.1))
+        fleet = reports["BENCH_fleet.json"]
+        columnar = fleet["fleet_columnar"]
+        rate = fleet["content_seconds_sharded"] / 0.05
+        assert columnar["workers"] == 1
+        assert columnar["ratio_floor_x"] >= 2.0
+        assert columnar["ratio_vs_baseline_floor_x"] == pytest.approx(
+            rate / columnar["baseline_floor"]
+        )
+        bench = fleet["benchmarks"]["test_bench_fleet_columnar"]
+        assert bench["content_s_per_wall_s"] == pytest.approx(rate)
 
     def test_missing_benchmark_fails_loudly(self):
         with pytest.raises(SystemExit, match="missing"):
@@ -171,6 +192,29 @@ class TestRegressionGate:
         failures, notes = bench_report.check_regressions(reports, tmp_path, 0.3)
         assert failures == []
         assert any("parallel gate skipped" in n for n in notes)
+
+    def test_lost_columnar_ratio_fails(self, tmp_path):
+        """Columnar throughput under 2x the committed machine baseline
+        floor fails the gate on any hardware — no CPU-count condition,
+        since both engines run single-process."""
+        reports = bench_report.build_reports(raw_json(min_s=0.01))
+        columnar = reports["BENCH_fleet.json"]["fleet_columnar"]
+        columnar["ratio_vs_baseline_floor_x"] = 1.4
+        failures, _ = bench_report.check_regressions(reports, tmp_path, 0.3)
+        assert any(
+            "columnar engine at 1.40x" in f and "ratio gate" in f
+            for f in failures
+        )
+
+    def test_columnar_ratio_respects_floor_scale(self, tmp_path, monkeypatch):
+        """The columnar ratio's numerator is a wall-clock measurement, so
+        slow-runner slack applies (unlike the sharded same-box ratio)."""
+        reports = bench_report.build_reports(raw_json(min_s=0.01))
+        columnar = reports["BENCH_fleet.json"]["fleet_columnar"]
+        columnar["ratio_vs_baseline_floor_x"] = 1.4
+        monkeypatch.setenv("BENCH_FLOOR_SCALE", "0.5")
+        failures, _ = bench_report.check_regressions(reports, tmp_path, 0.3)
+        assert not any("ratio gate" in f for f in failures)
 
     def test_floor_scale_does_not_relax_the_speedup_ratio(self, tmp_path, monkeypatch):
         """BENCH_FLOOR_SCALE compensates slow hardware; a scaling ratio
