@@ -9,9 +9,14 @@ and a flash crowd piling onto one video.  Each faulty run is repeated
 with the closed-loop control plane on — encode-pool autoscaling,
 saturation re-steering — and the recovery metrics are printed: how deep
 QoE-per-chunk dipped below the pre-fault baseline and how many virtual
-seconds until it came back.
+seconds until it came back.  The run closes with the hot loop's
+wall-clock phase breakdown; ``--trace-out FILE`` also records the
+edge-outage controller-on run's structured event trace (Chrome
+trace-event JSON for Perfetto, or a JSONL event log with a ``.jsonl``
+suffix).
 
 Run:  python examples/chaos_demo.py [--sessions 120] [--interval 5]
+                                    [--trace-out trace.json]
 """
 
 import argparse
@@ -20,6 +25,7 @@ import time
 
 from repro.experiments import make_cdn, make_population
 from repro.experiments.common import SMOKE
+from repro.obs import Telemetry, write_chrome_trace, write_jsonl
 from repro.streaming import (
     BackhaulDegradation,
     ControlPlane,
@@ -51,13 +57,17 @@ def main() -> None:
                         help="target number of viewer arrivals")
     parser.add_argument("--interval", type=float, default=5.0,
                         help="virtual seconds between control-plane ticks")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the edge-outage ctrl=on event trace "
+                        "(Chrome trace JSON; .jsonl for the event log)")
     args = parser.parse_args()
+    telemetry = Telemetry(trace=args.trace_out is not None, metrics=False)
 
     window = float(SMOKE.stream_seconds)
     sessions = make_population(SMOKE, args.sessions)
     print(f"{len(sessions)} viewers over a 4-edge CDN, {window:.0f}s window\n")
 
-    def run(fleet, faults=None, ctrl=False):
+    def run(fleet, faults=None, ctrl=False, traced=False):
         topo = make_cdn(
             SMOKE, len(fleet), n_edges=4, assignment="least-loaded"
         )
@@ -69,6 +79,7 @@ def main() -> None:
         rep = simulate_fleet(
             fleet, topology=topo, sr_cache=SRResultCache(),
             faults=faults, controller=controller,
+            telemetry=telemetry if traced else None,
         ).report
         return rep, time.time() - t0
 
@@ -79,7 +90,7 @@ def main() -> None:
         (EdgeOutage(edge=0, start=0.4 * window, duration=0.25 * window),)
     )
     for ctrl in (False, True):
-        rep, dt = run(sessions, faults=outage, ctrl=ctrl)
+        rep, dt = run(sessions, faults=outage, ctrl=ctrl, traced=ctrl)
         show(f"edge-outage ctrl={'on' if ctrl else 'off'}", rep)
 
     degr = FaultSchedule(
@@ -98,6 +109,15 @@ def main() -> None:
     )
     rep, dt = run(crowd.expand_population(sessions), faults=crowd, ctrl=True)
     show("flash-crowd ctrl=on", rep)
+
+    print("\nedge-outage ctrl=on phase breakdown (wall-clock self time):")
+    print(telemetry.profiler.report())
+    if args.trace_out:
+        if args.trace_out.endswith(".jsonl"):
+            n = write_jsonl(telemetry.tracer, args.trace_out)
+        else:
+            n = write_chrome_trace(telemetry.tracer, args.trace_out)
+        print(f"trace: {n} events -> {args.trace_out}")
 
     print(
         "\nfaults are virtual-time events: reruns with the same schedule "

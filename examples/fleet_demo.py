@@ -6,15 +6,21 @@ same video, joining a shared link at staggered times.  A shared LRU
 SR-result cache lets co-watching clients reuse each other's
 super-resolution output.  Prints the operator-facing aggregate report
 (mean/p5/p95 QoE, stall ratio, cache hit rate) for a congested and an
-overprovisioned link, plus a weighted-share comparison.
+overprovisioned link, plus a weighted-share comparison, and closes with
+the hot loop's wall-clock phase breakdown (scheduler / advance /
+planner self-time).  ``--trace-out FILE`` also records the congested
+run's structured event trace — Chrome trace-event JSON you can open in
+Perfetto, or a JSONL event log with a ``.jsonl`` suffix.
 
 Run:  python examples/fleet_demo.py [--sessions 100] [--seconds 20]
+                                    [--trace-out trace.json]
 """
 
 import argparse
 import time
 
 from repro.net import stable_trace
+from repro.obs import Telemetry, write_chrome_trace, write_jsonl
 from repro.streaming import SRResultCache, VideoSpec, simulate_fleet
 from repro.experiments import make_fleet
 
@@ -35,7 +41,11 @@ def main() -> None:
                         help="number of concurrent sessions")
     parser.add_argument("--seconds", type=int, default=20,
                         help="video length per session")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the congested run's event trace "
+                        "(Chrome trace JSON; .jsonl for the event log)")
     args = parser.parse_args()
+    telemetry = Telemetry(trace=args.trace_out is not None, metrics=False)
 
     spec = VideoSpec(
         name="longdress",
@@ -55,6 +65,7 @@ def main() -> None:
             make_fleet(args.sessions, spec, join_spacing=0.25),
             stable_trace(mbps, duration=float(4 * args.seconds)),
             sr_cache=cache,
+            telemetry=telemetry if label.startswith("congested") else None,
         )
         show(label, result.report)
         print(f"  [{time.time() - t0:.1f}s wall, makespan "
@@ -78,6 +89,15 @@ def main() -> None:
     if standard:
         line += f"  standard {sum(r.qoe for r in standard) / len(standard):8.2f}"
     print(line)
+
+    print("\ncongested-run phase breakdown (wall-clock self time):")
+    print(telemetry.profiler.report())
+    if args.trace_out:
+        if args.trace_out.endswith(".jsonl"):
+            n = write_jsonl(telemetry.tracer, args.trace_out)
+        else:
+            n = write_chrome_trace(telemetry.tracer, args.trace_out)
+        print(f"trace: {n} events -> {args.trace_out}")
 
 
 if __name__ == "__main__":

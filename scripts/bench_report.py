@@ -19,7 +19,13 @@ copies are refreshed manually when a PR intentionally moves the numbers.
 Usage::
 
     PYTHONPATH=src python scripts/bench_report.py raw.json [--out-dir .]
-        [--tolerance 0.3] [--no-check]
+        [--tolerance 0.3] [--no-check] [--phases bench-phases.json]
+
+Schema history: v4 added the telemetry lane — the optional
+``test_bench_fleet_telemetry`` row, the ``fleet_telemetry`` overhead
+gate, and the ``phases`` wall-clock breakdown dumped by the benchmark
+via ``BENCH_PHASES_OUT`` and fed in with ``--phases``.  All v4 fields
+are optional on read, so committed v3 baselines still compare cleanly.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ import os
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -84,8 +90,14 @@ def _stats(raw_bench: dict) -> dict:
     }
 
 
-def build_reports(raw: dict) -> dict[str, dict]:
-    """Distill raw pytest-benchmark output into the per-suite documents."""
+def build_reports(raw: dict, phases: dict | None = None) -> dict[str, dict]:
+    """Distill raw pytest-benchmark output into the per-suite documents.
+
+    ``phases`` is the optional profiler dump the telemetry benchmark
+    writes under ``BENCH_PHASES_OUT`` — folded verbatim into the fleet
+    document so the committed trajectory records where the hot loop's
+    wall time went, not just how much there was.
+    """
     by_name = {b["name"]: b for b in raw.get("benchmarks", [])}
 
     def need(name: str) -> dict:
@@ -167,6 +179,24 @@ def build_reports(raw: dict) -> dict[str, dict]:
             "test_bench_fleet_columnar": columnar,
         },
     }
+    # The telemetry lane (schema v4) is optional on read so raw JSONs
+    # produced before the lane existed — and committed v3 baselines —
+    # still post-process cleanly.
+    if "test_bench_fleet_telemetry" in by_name:
+        telemetry = _stats(by_name["test_bench_fleet_telemetry"])
+        telemetry["content_s_per_wall_s"] = shard_content / telemetry["min_s"]
+        fleet["benchmarks"]["test_bench_fleet_telemetry"] = telemetry
+        # The observability gate: tracing + profiling on the acceptance
+        # workload, as a multiple of the untraced single-process run
+        # from the same raw JSON (same box, same session).
+        fleet["fleet_telemetry"] = {
+            "n_sessions": fleet_mod.SHARD_SESSIONS,
+            "workers": 1,
+            "overhead_x": telemetry["min_s"] / shard_base["min_s"],
+            "overhead_budget_x": fleet_mod.TELEMETRY_OVERHEAD_X,
+        }
+    if phases:
+        fleet["phases"] = phases
     mpc = {
         "schema": SCHEMA_VERSION,
         "suite": "mpc",
@@ -250,6 +280,18 @@ def check_regressions(
                     f"({columnar['baseline_floor']:.0f} content-s/s) is "
                     f"under its {floor:g}x ratio gate x{floor_scale:g}"
                 )
+        telemetry = report.get("fleet_telemetry")
+        if telemetry is not None:
+            # A same-box ratio (traced vs untraced run from one raw
+            # JSON), so — like the sharded speedup — it is not relaxed
+            # by BENCH_FLOOR_SCALE.
+            overhead = telemetry["overhead_x"]
+            budget = telemetry["overhead_budget_x"]
+            if overhead > budget:
+                failures.append(
+                    f"{filename}: enabled telemetry costs {overhead:.2f}x "
+                    f"the untraced fleet run, over its {budget:g}x budget"
+                )
         baseline_path = out_dir / filename
         if not baseline_path.exists():
             continue
@@ -289,11 +331,23 @@ def main(argv: list[str] | None = None) -> int:
         "--no-check", action="store_true",
         help="only rewrite the BENCH files, skip the regression gate",
     )
+    parser.add_argument(
+        "--phases", default=None, metavar="FILE",
+        help="profiler phase breakdown written by the telemetry "
+        "benchmark (BENCH_PHASES_OUT); folded into BENCH_fleet.json",
+    )
     args = parser.parse_args(argv)
 
     raw = json.loads(Path(args.raw_json).read_text())
+    phases = None
+    if args.phases:
+        phases_path = Path(args.phases)
+        if phases_path.exists():
+            phases = json.loads(phases_path.read_text())
+        else:
+            print(f"note: phases file {phases_path} missing — skipped")
     out_dir = Path(args.out_dir)
-    reports = build_reports(raw)
+    reports = build_reports(raw, phases=phases)
     failures: list[str] = []
     notes: list[str] = []
     if not args.no_check:

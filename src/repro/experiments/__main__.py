@@ -36,6 +36,7 @@ from . import (
     run_fig18_device,
     run_fleet_cdn,
     run_fleet_chaos,
+    run_fleet_obs,
     run_fleet_scaling,
     run_memory_usage,
     run_population_fleet,
@@ -70,6 +71,7 @@ REGISTRY = {
     "fleet-population": run_population_fleet,
     "fleet-cdn": run_fleet_cdn,
     "fleet-chaos": run_fleet_chaos,
+    "fleet-obs": run_fleet_obs,
 }
 
 
@@ -110,6 +112,22 @@ def main(argv: list[str] | None = None) -> int:
         "--control-interval", type=float, default=None, metavar="S",
         help="virtual seconds between control-plane ticks for experiments "
         "that run one (fleet-chaos); default: 5",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a structured event trace for experiments that record "
+        "one (fleet-chaos, fleet-obs): Chrome trace-event JSON by "
+        "default, JSONL event log with a .jsonl suffix",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write a Prometheus-style text dump of the metrics registry "
+        "for experiments that keep one (fleet-obs)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable the wall-clock phase profiler for experiments that "
+        "support it (fleet-obs; on by default there)",
     )
     parser.add_argument(
         "--report", metavar="FILE", default=None,
@@ -170,6 +188,12 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["days"] = args.days
         if args.control_interval is not None and "control_interval" in params:
             kwargs["control_interval"] = args.control_interval
+        if args.trace_out is not None and "trace_out" in params:
+            kwargs["trace_out"] = args.trace_out
+        if args.metrics_out is not None and "metrics_out" in params:
+            kwargs["metrics_out"] = args.metrics_out
+        if args.profile and "profile" in params:
+            kwargs["profile"] = True
         t0 = time.time()
         try:
             rendered = fn(scale, **kwargs).render()

@@ -27,6 +27,9 @@ plain simulator on everything but the tick counter (the parity test in
 
 from __future__ import annotations
 
+from ..obs import Telemetry
+from ..obs.events import ops_from_events
+from ..obs.export import write_chrome_trace, write_jsonl
 from ..streaming.control import ControlPlane, ControlPolicy, QoEArrivalAutoscaler
 from ..streaming.faults import (
     BackhaulDegradation,
@@ -55,8 +58,17 @@ def run_fleet_chaos(
     mbps_per_session: float = 6.0,
     sr_cache_size: int = 4096,
     control_interval: float = 5.0,
+    trace_out: str | None = None,
 ) -> ResultTable:
-    """Fault scenarios with the control plane off vs on."""
+    """Fault scenarios with the control plane off vs on.
+
+    ``trace_out`` re-runs the edge-outage controller-on scenario with a
+    :class:`~repro.obs.Telemetry` tracer, verifies the conservation law
+    (the report's ops counters must equal the
+    :func:`~repro.obs.events.ops_from_events` fold over the stream), and
+    writes the events as Chrome trace-event JSON (Perfetto-loadable;
+    a ``.jsonl`` suffix switches to the JSONL event log).
+    """
     window = float(scale.stream_seconds)
     table = ResultTable(
         title="Chaos: faults and the closed-loop control plane",
@@ -97,7 +109,7 @@ def run_fleet_chaos(
         )
 
     def run(fleet, *, assignment="least-loaded", faults=None, ctrl=False,
-            n_encode_workers=8, encode_seconds=0.05):
+            n_encode_workers=8, encode_seconds=0.05, telemetry=None):
         topo = make_cdn(
             scale, len(fleet), n_edges=n_edges,
             mbps_per_session=mbps_per_session, assignment=assignment,
@@ -108,6 +120,7 @@ def run_fleet_chaos(
             sr_cache=SRResultCache(capacity=sr_cache_size),
             faults=faults,
             controller=_controller(control_interval) if ctrl else None,
+            telemetry=telemetry,
         ).report
 
     # (a) fault-free reference, controller off then on — the default
@@ -123,7 +136,11 @@ def run_fleet_chaos(
         (EdgeOutage(edge=0, start=0.4 * window, duration=0.25 * window),)
     )
     for ctrl in ("off", "on"):
-        rep = run(sessions, faults=outage, ctrl=ctrl == "on")
+        telemetry = Telemetry(metrics=False, profile=False) if (
+            trace_out and ctrl == "on"
+        ) else None
+        rep = run(sessions, faults=outage, ctrl=ctrl == "on",
+                  telemetry=telemetry)
         if rep.sessions_resteered == 0:
             # The nightly smoke runs this experiment for exactly this
             # guarantee: a dead edge's viewers must fail over.
@@ -132,6 +149,26 @@ def run_fleet_chaos(
                 "is broken"
             )
         row("edge-outage", ctrl, rep)
+        if telemetry is not None:
+            fold = ops_from_events(telemetry.tracer)
+            actual = {
+                "sessions_resteered": rep.sessions_resteered,
+                "faults_injected": rep.faults_injected,
+                "control_ticks": rep.control_ticks,
+                "encode_pool_resizes": rep.encode_pool_resizes,
+            }
+            if fold != actual:
+                raise RuntimeError(
+                    f"trace/report conservation violated: fold={fold} "
+                    f"report={actual}"
+                )
+            if trace_out.endswith(".jsonl"):
+                n = write_jsonl(telemetry.tracer, trace_out)
+            else:
+                n = write_chrome_trace(telemetry.tracer, trace_out)
+            table.notes += (
+                f" edge-outage/on trace: {n} events -> {trace_out}."
+            )
 
     # (c) backhaul brownout: edge 0 at 20% capacity for a third of the window.
     degr = FaultSchedule(

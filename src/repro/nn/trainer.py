@@ -32,6 +32,7 @@ class TrainConfig:
     shuffle: bool = True
     seed: int = 0
     log_every: int = 0  # 0 = silent
+    log_fn: Callable[[str], None] = print  # sink for log_every lines
 
 
 @dataclass
@@ -87,5 +88,5 @@ class Trainer:
             epoch_loss = total / seen
             result.epoch_losses.append(epoch_loss)
             if cfg.log_every and (epoch + 1) % cfg.log_every == 0:
-                print(f"epoch {epoch + 1:4d}  loss {epoch_loss:.6f}")
+                cfg.log_fn(f"epoch {epoch + 1:4d}  loss {epoch_loss:.6f}")
         return result

@@ -1,0 +1,258 @@
+"""Structured virtual-time event tracing for fleet runs.
+
+A :class:`Tracer` collects typed :class:`TraceEvent` records as the
+fleet simulator executes: session lifecycle (start / finish / abandon),
+chunk progress (decision / fetch / complete / stall / retry), edge-cache
+activity (hit / miss / coalesce / void), origin encode activity
+(enqueue / resize), fault injection (outage / degradation / crowd,
+plus the evacuation an outage triggers), and control-plane activity
+(tick / resize / re-steer).  Emission sites live in the subsystems that
+own the state — ``fleet.py`` (driver), ``columnar.py`` (columnar
+engine), ``cdn.py`` (caches and encode queue), ``control.py``
+(controller), ``faults.py`` (schedules) — each guarded by a single
+``tracer is not None`` check, so a run without a tracer executes the
+exact pre-telemetry instruction stream (the disabled-tracer parity
+test pins this).
+
+Events are *virtual-time* stamped: ``t`` is simulation seconds, not
+wall clock.  Each tracer assigns a monotonically increasing ``seq`` so
+merging several shard-tagged streams (:func:`merge_events`) is total
+and deterministic: sort by ``(t, shard, seq)``.
+
+:func:`ops_from_events` folds an event stream back into the
+control-plane counters :class:`~repro.streaming.fleet.OpsStats`
+carries — the conservation law the chaos trace test enforces
+(``report counters == fold over the event stream``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "merge_events",
+    "ops_from_events",
+    # event kinds
+    "EV_SESSION_START",
+    "EV_SESSION_FINISH",
+    "EV_SESSION_ABANDON",
+    "EV_SESSION_RESTEER",
+    "EV_CHUNK_DECISION",
+    "EV_CHUNK_FETCH",
+    "EV_CHUNK_COMPLETE",
+    "EV_CHUNK_STALL",
+    "EV_CHUNK_RETRY",
+    "EV_CACHE_HIT",
+    "EV_CACHE_MISS",
+    "EV_CACHE_COALESCE",
+    "EV_CACHE_VOID",
+    "EV_ENCODE_ENQUEUE",
+    "EV_ENCODE_RESIZE",
+    "EV_FAULT_OUTAGE",
+    "EV_FAULT_DEGRADATION",
+    "EV_FAULT_CROWD",
+    "EV_OUTAGE_EVACUATE",
+    "EV_CONTROL_TICK",
+    "EV_CONTROL_RESIZE",
+    "EV_CONTROL_RESTEER",
+]
+
+# -- session lifecycle --------------------------------------------------
+EV_SESSION_START = "session.start"
+EV_SESSION_FINISH = "session.finish"
+EV_SESSION_ABANDON = "session.abandon"
+#: a viewer moved to another edge (``reason``: ``"outage"`` failover or
+#: a ``"control"`` saturation re-steer the driver applied)
+EV_SESSION_RESTEER = "session.resteer"
+
+# -- chunk progress -----------------------------------------------------
+EV_CHUNK_DECISION = "chunk.decision"
+EV_CHUNK_FETCH = "chunk.fetch"
+EV_CHUNK_COMPLETE = "chunk.complete"
+EV_CHUNK_STALL = "chunk.stall"
+#: a transfer an outage cancelled, re-issued from the outage instant
+EV_CHUNK_RETRY = "chunk.retry"
+
+# -- edge chunk cache ---------------------------------------------------
+EV_CACHE_HIT = "cache.hit"
+EV_CACHE_MISS = "cache.miss"
+EV_CACHE_COALESCE = "cache.coalesce"
+#: a counted hit/coalesce credited back (its transfer never completed)
+EV_CACHE_VOID = "cache.void"
+
+# -- origin encode pool -------------------------------------------------
+EV_ENCODE_ENQUEUE = "encode.enqueue"
+EV_ENCODE_RESIZE = "encode.resize"
+
+# -- fault injection ----------------------------------------------------
+EV_FAULT_OUTAGE = "fault.outage"
+EV_FAULT_DEGRADATION = "fault.degradation"
+EV_FAULT_CROWD = "fault.crowd"
+EV_OUTAGE_EVACUATE = "outage.evacuate"
+
+# -- control plane ------------------------------------------------------
+EV_CONTROL_TICK = "control.tick"
+EV_CONTROL_RESIZE = "control.resize"
+EV_CONTROL_RESTEER = "control.resteer"
+
+#: kinds that count as one injected fault each (mirrors
+#: ``FleetReport.faults_injected`` = ``len(FaultSchedule)``)
+FAULT_EVENT_KINDS = (EV_FAULT_OUTAGE, EV_FAULT_DEGRADATION, EV_FAULT_CROWD)
+
+
+class TraceEvent:
+    """One virtual-time event.  ``data`` holds kind-specific fields."""
+
+    __slots__ = ("t", "kind", "session", "shard", "seq", "data")
+
+    def __init__(
+        self,
+        t: float,
+        kind: str,
+        session: int | None,
+        shard: int | None,
+        seq: int,
+        data: dict | None,
+    ) -> None:
+        self.t = t
+        self.kind = kind
+        self.session = session
+        self.shard = shard
+        self.seq = seq
+        self.data = data
+
+    def to_dict(self) -> dict:
+        """JSON-ready flat dict (the JSONL exporter's row shape)."""
+        out: dict = {"t": self.t, "kind": self.kind}
+        if self.session is not None:
+            out["session"] = self.session
+        if self.shard is not None:
+            out["shard"] = self.shard
+        if self.data:
+            out.update(self.data)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" {self.data}" if self.data else ""
+        sid = f" sid={self.session}" if self.session is not None else ""
+        return f"<TraceEvent t={self.t:.3f} {self.kind}{sid}{extra}>"
+
+
+def _sort_key(ev: TraceEvent) -> tuple:
+    return (ev.t, -1 if ev.shard is None else ev.shard, ev.seq)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records for one run (or one shard).
+
+    ``emit`` is the only hot-path method and does no I/O — exporters
+    (:mod:`repro.obs.export`) consume the finished stream.  ``shard``
+    tags every event when the tracer runs inside a shard worker, so
+    merged streams stay attributable.
+
+    Storage is deliberately two-tier.  ``emit`` appends a plain tuple
+    ``(t, kind, session, shard, seq, data)`` — tuples and small dicts
+    of atoms are *untracked* by CPython's cyclic GC after they survive
+    one collection, so a multi-hundred-thousand-event run does not make
+    every gen-2 pass walk the whole trace (class instances are always
+    tracked; storing :class:`TraceEvent` objects directly measurably
+    slowed the 2k-viewer bench lane through GC alone).  The ``events``
+    property materializes the tuples into :class:`TraceEvent` objects
+    once, on first read, and caches them — exporters and tests see the
+    same object API as before, paid for outside the simulation loop.
+    """
+
+    __slots__ = ("_records", "_events", "shard", "_seq")
+
+    def __init__(self, shard: int | None = None) -> None:
+        self._records: list[tuple] = []
+        self._events: list[TraceEvent] = []
+        self.shard = shard
+        self._seq = 0
+
+    def emit(
+        self, t: float, kind: str, session: int | None = None, **data
+    ) -> None:
+        """Record one event at virtual time ``t``."""
+        self._seq += 1
+        self._records.append(
+            (t, kind, session, self.shard, self._seq, data or None)
+        )
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The recorded events, materialized and cached.
+
+        Repeated reads return the same list (and the same objects —
+        the sharded executor's id-globalization mutates them in place).
+        """
+        done = len(self._events)
+        if done != len(self._records):
+            self._events.extend(
+                TraceEvent(*record) for record in self._records[done:]
+            )
+        return self._events
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of ``kind``."""
+        return sum(1 for record in self._records if record[1] == kind)
+
+    def counts(self) -> dict[str, int]:
+        """Event count per kind."""
+        return dict(_Counter(record[1] for record in self._records))
+
+    def absorb(self, streams: list[list[TraceEvent]]) -> None:
+        """Merge shard event streams into this tracer, virtual-time ordered.
+
+        The sharded executor calls this with one list per shard; events
+        keep their shard tags and per-shard sequence numbers, and the
+        merged stream is totally ordered by ``(t, shard, seq)``.
+        """
+        # Extend the compact tier so counts stay consistent; the events
+        # property re-materializes the suffix on next read.
+        self._records.extend(
+            (ev.t, ev.kind, ev.session, ev.shard, ev.seq, ev.data)
+            for ev in merge_events(streams)
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+def merge_events(streams: list[list[TraceEvent]]) -> list[TraceEvent]:
+    """Flatten shard event streams into one virtual-time-ordered list.
+
+    Total and deterministic: ties at the same instant break by shard
+    index, then by each stream's own emission order (``seq``).
+    """
+    out: list[TraceEvent] = []
+    for stream in streams:
+        out.extend(stream)
+    out.sort(key=_sort_key)
+    return out
+
+
+def ops_from_events(events) -> dict[str, int]:
+    """Fold an event stream into the ``OpsStats`` counters it implies.
+
+    The conservation law the chaos-trace test enforces: a run's report
+    counters must equal this fold over its own event stream —
+    ``sessions_resteered`` counts :data:`EV_SESSION_RESTEER` (outage
+    failover plus applied controller re-steers), ``faults_injected``
+    counts scheduled ``fault.*`` events, ``control_ticks`` counts
+    :data:`EV_CONTROL_TICK`, and ``encode_pool_resizes`` counts
+    :data:`EV_CONTROL_RESIZE` (resize *actions*; the queue's own
+    :data:`EV_ENCODE_RESIZE` records the applications).
+    """
+    counts = _Counter(ev.kind for ev in events)
+    return {
+        "sessions_resteered": counts[EV_SESSION_RESTEER],
+        "faults_injected": sum(counts[k] for k in FAULT_EVENT_KINDS),
+        "control_ticks": counts[EV_CONTROL_TICK],
+        "encode_pool_resizes": counts[EV_CONTROL_RESIZE],
+    }

@@ -50,6 +50,14 @@ from typing import TYPE_CHECKING
 from ..net.link import SharedLink
 from ..net.topology import NetworkPath
 from ..net.traces import stable_trace
+from ..obs.events import (
+    EV_CACHE_COALESCE,
+    EV_CACHE_HIT,
+    EV_CACHE_MISS,
+    EV_CACHE_VOID,
+    EV_ENCODE_ENQUEUE,
+    EV_ENCODE_RESIZE,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (fleet imports cdn)
     from .fleet import SRResultCache
@@ -110,6 +118,10 @@ class EdgeChunkCache:
         #: misses that attached to an in-flight fill instead of pulling
         self.coalesced = 0
         self.coalesced_bytes = 0
+        #: wired (with this cache's edge index) by the fleet driver when
+        #: tracing; unwired in its ``finally``
+        self.tracer = None
+        self.edge: int | None = None
 
     def lookup(self, key: tuple, nbytes: int, at_time: float) -> bool:
         """True (and bump LRU/stats) iff ``key`` is resident at ``at_time``."""
@@ -118,9 +130,17 @@ class EdgeChunkCache:
             self._entries.move_to_end(key)
             self.hits += 1
             self.hit_bytes += nbytes
+            if self.tracer is not None:
+                self.tracer.emit(
+                    at_time, EV_CACHE_HIT, edge=self.edge, nbytes=nbytes
+                )
             return True
         self.misses += 1
         self.miss_bytes += nbytes
+        if self.tracer is not None:
+            self.tracer.emit(
+                at_time, EV_CACHE_MISS, edge=self.edge, nbytes=nbytes
+            )
         return False
 
     # -- in-flight fill tracking (request coalescing) ------------------
@@ -133,14 +153,18 @@ class EdgeChunkCache:
         self._pending.add(key)
         self.fills += 1
 
-    def attach(self, key: tuple, nbytes: int) -> None:
+    def attach(self, key: tuple, nbytes: int, at_time: float = 0.0) -> None:
         """Record a miss that coalesced onto the in-flight fill of ``key``."""
         if key not in self._pending:
             raise ValueError(f"no fill in flight for {key!r}")
         self.coalesced += 1
         self.coalesced_bytes += nbytes
+        if self.tracer is not None:
+            self.tracer.emit(
+                at_time, EV_CACHE_COALESCE, edge=self.edge, nbytes=nbytes
+            )
 
-    def void_hit(self, nbytes: int) -> None:
+    def void_hit(self, nbytes: int, at_time: float = 0.0) -> None:
         """Retract a counted hit whose access transfer never completed.
 
         An edge outage cancels the serve mid-flight: the viewer never got
@@ -150,8 +174,13 @@ class EdgeChunkCache:
         """
         self.hits -= 1
         self.hit_bytes -= nbytes
+        if self.tracer is not None:
+            self.tracer.emit(
+                at_time, EV_CACHE_VOID, edge=self.edge, what="hit",
+                nbytes=nbytes,
+            )
 
-    def void_coalesced(self, nbytes: int) -> None:
+    def void_coalesced(self, nbytes: int, at_time: float = 0.0) -> None:
         """Retract a counted coalesced attach whose fill was cancelled.
 
         Same credit-back contract as :meth:`void_hit`, for requests that
@@ -159,6 +188,11 @@ class EdgeChunkCache:
         """
         self.coalesced -= 1
         self.coalesced_bytes -= nbytes
+        if self.tracer is not None:
+            self.tracer.emit(
+                at_time, EV_CACHE_VOID, edge=self.edge, what="coalesced",
+                nbytes=nbytes,
+            )
 
     def abort_fill(self, key: tuple) -> None:
         """Drop the in-flight marker for a fill that will never land.
@@ -251,6 +285,8 @@ class EncodeQueue:
         self._initial_workers = self.n_workers
         self._free_at = [0.0] * self.n_workers
         self.waits: list[float] = []
+        #: wired by the fleet driver when tracing; unwired in its finally
+        self.tracer = None
 
     def resize(self, n_workers: int, at_time: float = 0.0) -> None:
         """Grow or shrink the worker pool mid-run (the control-plane hook).
@@ -263,6 +299,11 @@ class EncodeQueue:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         n_workers = int(n_workers)
+        if self.tracer is not None:
+            self.tracer.emit(
+                float(at_time), EV_ENCODE_RESIZE,
+                workers_from=self.n_workers, workers_to=n_workers,
+            )
         if n_workers > self.n_workers:
             self._free_at.extend(
                 [float(at_time)] * (n_workers - self.n_workers)
@@ -288,7 +329,17 @@ class EncodeQueue:
         ready = start + cost
         self._free_at[worker] = ready
         self.waits.append(start - at_time)
+        if self.tracer is not None:
+            self.tracer.emit(
+                at_time, EV_ENCODE_ENQUEUE, wait=start - at_time,
+                workers=self.n_workers,
+            )
         return ready
+
+    def busy_at(self, t: float) -> int:
+        """Workers still busy with an in-flight encode at virtual ``t``
+        (the queue-depth gauge the metrics sampler records)."""
+        return sum(1 for free in self._free_at if free > t)
 
     @property
     def n_jobs(self) -> int:

@@ -48,6 +48,12 @@ import math
 import numpy as np
 
 from ..metrics.qoe import ChunkRecord, session_qoe
+from ..obs.events import (
+    EV_CHUNK_COMPLETE,
+    EV_CHUNK_STALL,
+    EV_SESSION_ABANDON,
+    EV_SESSION_FINISH,
+)
 from .abr import AbrContext, Decision, SRQualityModel
 from .simulator import DownloadRequest, SessionConfig, SessionResult
 
@@ -252,6 +258,10 @@ class ColumnarFleet:
         #: chunk-window tuples for MPC dedup keys, fleet-wide
         self._win_cache: dict[tuple, tuple] = {}
 
+        #: wired by ``simulate_fleet`` when tracing; emission sites are
+        #: pure observation, so a tracer cannot perturb the column math
+        self.tracer = None
+
     # ------------------------------------------------------------------
     def initial_requests(self) -> tuple[list, list[int]]:
         """Session starts: startup transfers + first-decision session ids.
@@ -394,16 +404,31 @@ class ColumnarFleet:
         total_stall = float(self.total_stall[sid]) + stall
         self.total_stall[sid] = total_stall
 
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                dl_finish, EV_CHUNK_COMPLETE, session=sid,
+                quality=q, stall=stall, elapsed=elapsed,
+            )
+            if stall > 0.0:
+                tracer.emit(
+                    dl_finish, EV_CHUNK_STALL, session=sid, seconds=stall
+                )
+
         if total_stall > self.churn_total[sid] or stall > self.churn_single[
             sid
         ]:
             self.abandoned[sid] = True
             self.stage[sid] = _DONE
+            if tracer is not None:
+                tracer.emit(dl_finish, EV_SESSION_ABANDON, session=sid)
             return None
         i += 1
         self.chunk_i[sid] = i
         if i == len(self.chunks[sid]):
             self.stage[sid] = _DONE
+            if tracer is not None:
+                tracer.emit(dl_finish, EV_SESSION_FINISH, session=sid)
             return None
         self._prep_decision(sid)
         return NEEDS_DECISION

@@ -41,6 +41,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..obs.events import EV_CONTROL_RESIZE, EV_CONTROL_RESTEER, EV_CONTROL_TICK
 from .cdn import wait_percentile
 
 __all__ = [
@@ -154,12 +155,19 @@ class ControlPlane:
         self.encode_resizes = 0
         self.resteered = 0
         self.log: list[str] = []
+        #: wired by the fleet driver when tracing; unwired in its finally
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def tick(self, view: FleetView) -> ControlActions:
         """One control interval: observe ``view``, emit actions."""
         pol = self.policy
         self.ticks += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                view.now, EV_CONTROL_TICK, health=view.health,
+                workers=view.encode_workers,
+            )
         actions = ControlActions()
 
         # Encode-pool autoscaling on interval p95 wait.
@@ -181,6 +189,12 @@ class ControlPlane:
                 )
             if actions.encode_workers is not None:
                 self.encode_resizes += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        view.now, EV_CONTROL_RESIZE,
+                        workers_from=view.encode_workers,
+                        workers_to=actions.encode_workers,
+                    )
                 self.log.append(
                     f"t={view.now:.1f} encode pool {view.encode_workers} -> "
                     f"{actions.encode_workers} (interval p95 wait {p95:.3f}s)"
@@ -226,6 +240,15 @@ class ControlPlane:
                     budget -= 1
             if actions.resteer:
                 self.resteered += len(actions.resteer)
+                if self.tracer is not None:
+                    # The controller's *intent*; the driver emits one
+                    # ``session.resteer`` per re-steer it actually applies
+                    # (finished or dark-target pairs are skipped there).
+                    for sid, target in actions.resteer:
+                        self.tracer.emit(
+                            view.now, EV_CONTROL_RESTEER, session=sid,
+                            target=target,
+                        )
                 self.log.append(
                     f"t={view.now:.1f} re-steered {len(actions.resteer)} "
                     f"session(s) off saturated edge(s)"

@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
+from ..obs.events import EV_FAULT_CROWD, EV_FAULT_DEGRADATION, EV_FAULT_OUTAGE
 from .chunks import VideoSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (fleet imports faults)
@@ -249,6 +250,35 @@ class FaultSchedule:
                 raise ValueError(
                     f"outages cover all {n_edges} edges at t={ev.start!r}; "
                     "no live edge remains to fail over to"
+                )
+
+    def emit_scheduled(self, tracer) -> None:
+        """Emit one ``fault.*`` trace event per scheduled fault, at its
+        onset instant.
+
+        The fleet driver calls this once at run start (schedules are
+        frozen, so emitting up front and stamping each event with its
+        onset is equivalent to emitting live).  One event per schedule
+        entry mirrors ``FleetReport.faults_injected == len(schedule)`` —
+        the conservation law :func:`repro.obs.events.ops_from_events`
+        folds back out of the stream.
+        """
+        for ev in self.events:
+            if isinstance(ev, EdgeOutage):
+                tracer.emit(
+                    ev.start, EV_FAULT_OUTAGE, edge=ev.edge,
+                    duration=ev.duration,
+                )
+            elif isinstance(ev, BackhaulDegradation):
+                tracer.emit(
+                    ev.start, EV_FAULT_DEGRADATION, edge=ev.edge,
+                    duration=ev.duration, factor=ev.factor,
+                )
+            else:
+                assert isinstance(ev, FlashCrowd)
+                tracer.emit(
+                    ev.start, EV_FAULT_CROWD, viewers=ev.n_viewers,
+                    ramp=ev.ramp_seconds,
                 )
 
     def boundary_times(self) -> list[float]:

@@ -38,8 +38,22 @@ import heapq
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace as dc_replace
+from typing import TYPE_CHECKING
 
 from ..metrics.qoe import QoEWeights, aggregate_qoe
+from ..obs.events import (
+    EV_CHUNK_COMPLETE,
+    EV_CHUNK_DECISION,
+    EV_CHUNK_FETCH,
+    EV_CHUNK_RETRY,
+    EV_CHUNK_STALL,
+    EV_OUTAGE_EVACUATE,
+    EV_SESSION_ABANDON,
+    EV_SESSION_FINISH,
+    EV_SESSION_RESTEER,
+    EV_SESSION_START,
+)
+from ..obs.profiler import NULL_PROFILER
 from ..net.link import SharedLink
 from ..net.topology import NetworkPath, PathScheduler
 from ..net.traces import NetworkTrace
@@ -58,6 +72,9 @@ from .simulator import (
     SessionMachine,
     SessionResult,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from ..obs import Telemetry
 
 __all__ = [
     "FleetSession",
@@ -371,6 +388,46 @@ def _chunk_key(req: DownloadRequest) -> tuple | None:
     return (req.video, req.chunk_index, round(req.density, 3))
 
 
+class _FleetSampler:
+    """Interval health sampler, optionally recording into a registry.
+
+    Health is QoE-per-chunk over the chunks completed since the previous
+    sample, with the default stall weight — sequential float arithmetic
+    identical to the pre-telemetry ``_health_sample`` closure, so running
+    with a metrics registry attached (or none) cannot perturb the value
+    the control plane's :class:`~repro.streaming.control.FleetView` and
+    the :class:`~repro.streaming.control.RecoveryTracker` read.  When a
+    registry is present every sample also lands in its ``fleet.health``
+    time series — the single source downstream consumers read.
+    """
+
+    __slots__ = ("_prev", "_series")
+
+    def __init__(self, registry) -> None:
+        self._prev = (0, 0.0, 0.0)
+        self._series = (
+            registry.timeseries("fleet.health")
+            if registry is not None
+            else None
+        )
+
+    def health_sample(
+        self, t: float, chunks: int, qsum: float, stall: float
+    ) -> float | None:
+        """Health over the interval ending at ``t``; None when no chunk
+        landed in it (nothing to score)."""
+        d_chunks = chunks - self._prev[0]
+        d_qsum = qsum - self._prev[1]
+        d_stall = stall - self._prev[2]
+        self._prev = (chunks, qsum, stall)
+        if d_chunks == 0:
+            return None
+        health = (d_qsum - _HEALTH_STALL_WEIGHT * d_stall) / d_chunks
+        if self._series is not None:
+            self._series.record(t, health)
+        return health
+
+
 def simulate_fleet(
     sessions: list[FleetSession],
     trace: NetworkTrace | None = None,
@@ -382,6 +439,7 @@ def simulate_fleet(
     faults: FaultSchedule | None = None,
     controller: ControlPlane | None = None,
     fleet_engine: str = "machine",
+    telemetry: "Telemetry | None" = None,
 ) -> FleetResult:
     """Run a fleet of sessions over a shared serving topology.
 
@@ -452,6 +510,19 @@ def simulate_fleet(
     instants the event loop already wakes at, so monitoring alone never
     perturbs the fluid-flow arithmetic (a parity test enforces this).
 
+    ``telemetry`` attaches a :class:`~repro.obs.Telemetry` bundle: its
+    tracer collects typed virtual-time events from every subsystem (the
+    driver wires it into the edge caches, the origin encode queue, the
+    columnar engine, and the controller for the duration of the run, and
+    unwires it on exit), its metrics registry receives the interval
+    samples (health proxy, buffer occupancy, per-edge load, encode
+    busy/workers), and its profiler wraps the hot loop's four stages
+    (``scheduler`` / ``advance`` / ``planner`` / ``control``) in
+    wall-clock spans.  Each layer toggles independently; ``None`` (the
+    default) executes the exact pre-telemetry instruction stream, and
+    the enabled tracer is bit-exact with the disabled one (the seventh
+    oracle-parity instance).
+
     A topology handed to ``simulate_fleet`` is reset to its
     as-constructed state first (caches cold, counters zeroed, encode pool
     at its configured size), so reusing one topology object across runs
@@ -489,6 +560,13 @@ def simulate_fleet(
             "faults and controller require a topology (fault events and "
             "control actions are defined against CDN edges)"
         )
+    tracer = telemetry.tracer if telemetry is not None else None
+    metrics = telemetry.metrics if telemetry is not None else None
+    prof = (
+        telemetry.profiler
+        if telemetry is not None and telemetry.profiler is not None
+        else NULL_PROFILER
+    )
     if topology is None:
         assert trace is not None
         if assignment is not None:
@@ -535,6 +613,7 @@ def simulate_fleet(
         cols: ColumnarFleet | None = ColumnarFleet(
             sessions, session_sr_caches
         )
+        cols.tracer = tracer
         machines: list[SessionMachine] = []
     else:
         cols = None
@@ -552,6 +631,27 @@ def simulate_fleet(
             )
             for sid, s in enumerate(sessions)
         ]
+    if tracer is not None:
+        # Wire the tracer into the stateful subsystems for this run only
+        # (the finally below unwires it, so a reused topology or
+        # controller never keeps emitting into a finished run's stream).
+        if topology is not None:
+            for e_idx, edge in enumerate(topology.edges):
+                edge.cache.tracer = tracer
+                edge.cache.edge = e_idx
+            topology.origin.queue.tracer = tracer
+        if controller is not None:
+            controller.tracer = tracer
+        for sid, s in enumerate(sessions):
+            if topology is not None:
+                tracer.emit(
+                    s.join_time, EV_SESSION_START, session=sid,
+                    edge=assignment[sid],
+                )
+            else:
+                tracer.emit(s.join_time, EV_SESSION_START, session=sid)
+        if faults is not None:
+            faults.emit_scheduled(tracer)
     sched = PathScheduler(engine=engine)
     #: flows that must fill an edge cache on completion: sid -> (edge idx, key, bytes)
     pending_fill: dict[int, tuple] = {}
@@ -577,6 +677,10 @@ def simulate_fleet(
     retry_offset: dict[int, float] = {}
     resteered_total = 0
     monitor = faults is not None or controller is not None
+    #: a metrics registry alone also wants the interval samples — the
+    #: sample block is pure observation, so widening the gate cannot
+    #: perturb the run (same argument as monitoring without a controller)
+    sampling = monitor or metrics is not None
     ticks0 = resizes0 = 0
     if controller is not None:
         sample_interval = controller.policy.interval
@@ -590,7 +694,7 @@ def simulate_fleet(
         else None
     )
     next_sample = sample_interval
-    prev_live = (0, 0.0, 0.0)
+    sampler = _FleetSampler(metrics)
     encode_waits_seen = 0
     # Degradations act purely through the trace wrapper: the scheduler's
     # piecewise integration segments at the window boundaries on its own,
@@ -617,6 +721,11 @@ def simulate_fleet(
     def dispatch(sid: int, req: DownloadRequest) -> None:
         nonlocal origin_egress
         if base_path is not None:
+            if tracer is not None:
+                tracer.emit(
+                    req.start_time, EV_CHUNK_FETCH, session=sid,
+                    route="link", nbytes=req.nbytes,
+                )
             sched.add_flow(
                 sid, req.nbytes, req.start_time, base_path,
                 weight=sessions[sid].weight,
@@ -629,6 +738,11 @@ def simulate_fleet(
         if key is not None and edge.cache.lookup(key, req.nbytes, req.start_time):
             if track_live:
                 live_req[sid] = (req, edge_idx, _CHARGE_HIT)
+            if tracer is not None:
+                tracer.emit(
+                    req.start_time, EV_CHUNK_FETCH, session=sid,
+                    route="hit", edge=edge_idx, nbytes=req.nbytes,
+                )
             sched.add_flow(
                 sid, req.nbytes, req.start_time, edge.hit_path,
                 weight=sessions[sid].weight,
@@ -640,8 +754,13 @@ def simulate_fleet(
                 # Another viewer is already pulling this chunk: coalesce.
                 # The request parks until that one backhaul transfer
                 # lands, then streams from the edge over the access link.
-                edge.cache.attach(key, req.nbytes)
+                edge.cache.attach(key, req.nbytes, at_time=req.start_time)
                 fill_waiters.setdefault((edge_idx, key), []).append((sid, req))
+                if tracer is not None:
+                    tracer.emit(
+                        req.start_time, EV_CHUNK_FETCH, session=sid,
+                        route="coalesce", edge=edge_idx, nbytes=req.nbytes,
+                    )
                 return
             # Cold chunk: the origin must hold the encoded variant before
             # the backhaul transfer starts (bounded transcode workers).
@@ -653,6 +772,12 @@ def simulate_fleet(
         origin_egress += req.nbytes
         if track_live:
             live_req[sid] = (req, edge_idx, _CHARGE_ORIGIN)
+        if tracer is not None:
+            tracer.emit(
+                req.start_time, EV_CHUNK_FETCH, session=sid,
+                route="origin", edge=edge_idx, nbytes=req.nbytes,
+                delay=delay,
+            )
         sched.add_flow(
             sid, req.nbytes, req.start_time, edge.miss_path,
             weight=sessions[sid].weight, extra_delay=delay,
@@ -684,28 +809,29 @@ def simulate_fleet(
         else:
             dispatch(sid, req)
 
-    def _health_sample() -> float | None:
-        """Fleet health since the last sample, from the machines' live
-        counters: QoE-per-chunk with the default stall weight.  None when
-        no chunk landed in the interval (nothing to score)."""
-        nonlocal prev_live
+    def queue_decided(pairs: list[tuple[int, DownloadRequest]]) -> None:
+        """Queue freshly decided requests, tracing each decision."""
+        for sid, req in pairs:
+            if tracer is not None:
+                tracer.emit(
+                    req.start_time, EV_CHUNK_DECISION, session=sid,
+                    chunk=req.chunk_index, nbytes=req.nbytes,
+                )
+            queue(sid, req)
+
+    def _live_totals() -> tuple[int, float, float]:
+        """Fleet-wide live counters, summed in session order (the exact
+        sequential float order both engines pin)."""
         if cols is not None:
-            chunks, qsum, stall = cols.live_totals()
-        else:
-            chunks = 0
-            qsum = 0.0
-            stall = 0.0
-            for m in machines:
-                chunks += m.live_chunks
-                qsum += m.live_quality_sum
-                stall += m.live_stall
-        d_chunks = chunks - prev_live[0]
-        d_qsum = qsum - prev_live[1]
-        d_stall = stall - prev_live[2]
-        prev_live = (chunks, qsum, stall)
-        if d_chunks == 0:
-            return None
-        return (d_qsum - _HEALTH_STALL_WEIGHT * d_stall) / d_chunks
+            return cols.live_totals()
+        chunks = 0
+        qsum = 0.0
+        stall = 0.0
+        for m in machines:
+            chunks += m.live_chunks
+            qsum += m.live_quality_sum
+            stall += m.live_stall
+        return chunks, qsum, stall
 
     def _evacuate(edge_idx: int, t: float) -> None:
         """Fail edge ``edge_idx`` over at instant ``t``: re-steer its
@@ -731,14 +857,19 @@ def simulate_fleet(
             if kind == _CHARGE_ORIGIN:
                 origin_egress -= req.nbytes
             elif kind == _CHARGE_HIT:
-                edge.cache.void_hit(req.nbytes)
+                edge.cache.void_hit(req.nbytes, at_time=t)
             else:
-                edge.cache.void_coalesced(req.nbytes)
+                edge.cache.void_coalesced(req.nbytes, at_time=t)
             retries.append((sid, req))
         for k in [k for k in fill_waiters if k[0] == edge_idx]:
             for wsid, wreq in fill_waiters.pop(k):
-                edge.cache.void_coalesced(wreq.nbytes)
+                edge.cache.void_coalesced(wreq.nbytes, at_time=t)
                 retries.append((wsid, wreq))
+        if tracer is not None:
+            tracer.emit(
+                t, EV_OUTAGE_EVACUATE, edge=edge_idx,
+                cancelled=len(retries),
+            )
         # Viewers whose join still lies beyond the end of this outage
         # (chained across back-to-back outage spans on the edge) will
         # find it healthy again — failing them over now would permanently
@@ -766,6 +897,11 @@ def simulate_fleet(
             if per_edge_sr:
                 machines[sid].sr_cache = topology.edges[target].sr_cache
             resteered_total += 1
+            if tracer is not None:
+                tracer.emit(
+                    t, EV_SESSION_RESTEER, session=sid, reason="outage",
+                    from_edge=edge_idx, to_edge=target,
+                )
         for sid in riding:
             sched.cancel(sid)
             pending_fill.pop(sid, None)
@@ -776,6 +912,8 @@ def simulate_fleet(
         # Requests dated at/after the outage re-run unchanged; requests
         # already in flight restart here, carrying their sunk time.
         for sid, req in sorted(retries):
+            if tracer is not None:
+                tracer.emit(t, EV_CHUNK_RETRY, session=sid, nbytes=req.nbytes)
             if req.start_time >= t:
                 queue(sid, req)
             else:
@@ -793,8 +931,7 @@ def simulate_fleet(
         startup_reqs, first_decisions = cols.initial_requests()
         for sid, req in startup_reqs:
             queue(sid, req)
-        for sid, req in cols.decide(first_decisions):
-            queue(sid, req)
+        queue_decided(cols.decide(first_decisions))
     else:
         first_decisions = []
         for sid, machine in enumerate(machines):
@@ -802,27 +939,38 @@ def simulate_fleet(
                 queue(sid, machine.pending)
             elif isinstance(machine.pending, DecisionRequest):
                 first_decisions.append(sid)
-        for sid, req in _batched_decisions(machines, first_decisions):
-            queue(sid, req)
+        queue_decided(_batched_decisions(machines, first_decisions))
 
     now = 0.0
     end_times = [0.0] * len(sessions)
+    # Pre-bound phase spans: with profiling disabled each is the shared
+    # no-op context manager, so the loop keeps one shape either way.
+    ph_sched = prof.phase("scheduler")
+    ph_advance = prof.phase("advance")
+    ph_planner = prof.phase("planner")
+    ph_control = prof.phase("control")
     try:
       while sched.busy() or deferred:
-        events = []
-        if sched.busy():
-            events.append(sched.next_event(now))
-        if deferred:
-            events.append(max(deferred[0][0], now))
-        if next_bound < len(outage_bounds):
-            # Outage boundaries mutate scheduler state, so the loop must
-            # wake exactly at them (degradations and crowds need no event).
-            events.append(max(outage_bounds[next_bound], now))
-        t = min(events)
-        clock = t
+        with ph_sched:
+            events = []
+            if sched.busy():
+                events.append(sched.next_event(now))
+            if deferred:
+                events.append(max(deferred[0][0], now))
+            if next_bound < len(outage_bounds):
+                # Outage boundaries mutate scheduler state, so the loop
+                # must wake exactly at them (degradations and crowds need
+                # no event).
+                events.append(max(outage_bounds[next_bound], now))
+            t = min(events)
+            clock = t
+            # advance() returns a materialized completion list, so the
+            # fluid advance (scheduler phase) profiles separately from
+            # the session transitions it unblocks (advance phase).
+            completions = sched.advance(now, t) if sched.busy() else ()
         needs_decision: list[int] = []
-        if sched.busy():
-            for done in sched.advance(now, t):
+        with ph_advance:
+            for done in completions:
                 if track_live:
                     live_req.pop(done.flow_id, None)
                 fill = pending_fill.pop(done.flow_id, None)
@@ -856,21 +1004,53 @@ def simulate_fleet(
                     else:
                         end_times[done.flow_id] = done.finish_time
                     continue
-                req = machines[done.flow_id].advance(elapsed)
+                m = machines[done.flow_id]
+                if tracer is None:
+                    req = m.advance(elapsed)
+                else:
+                    # Live counters are pure telemetry, so diffing them
+                    # across the transition recovers the chunk record
+                    # without touching the generator's arithmetic.
+                    lc0 = m.live_chunks
+                    lq0 = m.live_quality_sum
+                    ls0 = m.live_stall
+                    req = m.advance(elapsed)
+                    if m.live_chunks > lc0:
+                        d_stall = m.live_stall - ls0
+                        tracer.emit(
+                            done.finish_time, EV_CHUNK_COMPLETE,
+                            session=done.flow_id,
+                            quality=m.live_quality_sum - lq0,
+                            stall=d_stall, elapsed=elapsed,
+                        )
+                        if d_stall > 0.0:
+                            tracer.emit(
+                                done.finish_time, EV_CHUNK_STALL,
+                                session=done.flow_id, seconds=d_stall,
+                            )
+                    if m.finished:
+                        assert m.result is not None
+                        tracer.emit(
+                            done.finish_time,
+                            EV_SESSION_ABANDON
+                            if m.result.abandoned
+                            else EV_SESSION_FINISH,
+                            session=done.flow_id,
+                        )
                 if isinstance(req, DecisionRequest):
                     needs_decision.append(done.flow_id)
                 elif req is not None:
                     queue(done.flow_id, req)
                 else:
                     end_times[done.flow_id] = done.finish_time
-        unblocked = (
-            cols.decide(needs_decision)
-            if cols is not None
-            else _batched_decisions(machines, needs_decision)
-        )
-        for sid, req in unblocked:
-            queue(sid, req)
+        with ph_planner:
+            queue_decided(
+                cols.decide(needs_decision)
+                if cols is not None
+                else _batched_decisions(machines, needs_decision)
+            )
         if next_bound < len(outage_bounds) and outage_bounds[next_bound] <= t:
+          with ph_control:
             # Bank any solo flow's progress before surgery on the flow set
             # (same contract as the deferred release below).
             sched.sync(t)
@@ -891,25 +1071,62 @@ def simulate_fleet(
                     edge_down[e] = down
                 for e in newly_down:
                     _evacuate(e, t)
-        if monitor and t >= next_sample:
+        if sampling and t >= next_sample:
+          with ph_control:
             # Control ticks piggyback on instants the loop already wakes
             # at — never injected — so pure monitoring cannot split a
             # fluid advance interval (the bit-exactness of the disabled /
             # no-op configurations rests on this).
-            health = _health_sample()
+            health = sampler.health_sample(t, *_live_totals())
             if tracker is not None and health is not None:
                 tracker.sample(t, health)
+            finished_flags: list[bool] = []
+            if metrics is not None or controller is not None:
+                finished_flags = (
+                    cols.finished_flags()
+                    if cols is not None
+                    else [m.finished for m in machines]
+                )
+            if metrics is not None:
+                active = 0
+                buf_sum = 0.0
+                if cols is not None:
+                    levels = cols.level
+                    for sid, fin in enumerate(finished_flags):
+                        if not fin:
+                            active += 1
+                            buf_sum += float(levels[sid])
+                else:
+                    for sid, fin in enumerate(finished_flags):
+                        if not fin:
+                            active += 1
+                            buf_sum += machines[sid].live_buffer_level
+                metrics.timeseries("fleet.active_sessions").record(t, active)
+                metrics.timeseries("fleet.buffer_level").record(
+                    t, buf_sum / active if active else 0.0
+                )
+                if topology is not None:
+                    mloads = [0] * n_edges
+                    for sid, fin in enumerate(finished_flags):
+                        if not fin:
+                            mloads[assignment[sid]] += 1
+                    for e in range(n_edges):
+                        metrics.timeseries(f"edge.load.{e}").record(
+                            t, mloads[e]
+                        )
+                    oqueue = topology.origin.queue
+                    metrics.timeseries("origin.encode_busy").record(
+                        t, oqueue.busy_at(t)
+                    )
+                    metrics.gauge("origin.encode_workers").set(
+                        oqueue.n_workers
+                    )
             if controller is not None:
                 assert topology is not None
                 loads = [0] * n_edges
                 by_edge: dict[int, list[int]] = {
                     e: [] for e in range(n_edges)
                 }
-                finished_flags = (
-                    cols.finished_flags()
-                    if cols is not None
-                    else [m.finished for m in machines]
-                )
                 for sid, fin in enumerate(finished_flags):
                     if not fin:
                         by_edge[assignment[sid]].append(sid)
@@ -937,6 +1154,12 @@ def simulate_fleet(
                 for sid, target in actions.resteer:
                     if finished_flags[sid] or edge_down[target]:
                         continue
+                    if tracer is not None:
+                        tracer.emit(
+                            t, EV_SESSION_RESTEER, session=sid,
+                            reason="control", from_edge=assignment[sid],
+                            to_edge=target,
+                        )
                     assignment[sid] = target
                     if per_edge_sr:
                         new_cache = topology.edges[target].sr_cache
@@ -952,6 +1175,7 @@ def simulate_fleet(
         # completed *at* t are inserted: a chunk resident at the instant
         # a request goes out counts as a hit (ready <= at_time).
         if deferred and deferred[0][0] <= t:
+          with ph_advance:
             # A release injects flows outside the completion-driven
             # pattern the solo fast path assumes — bank any solo flow's
             # progress up to t first, or it would restart from scratch.
@@ -963,11 +1187,21 @@ def simulate_fleet(
     finally:
         for link, orig in wrapped_links:
             link.trace = orig
-    if tracker is not None:
+        if tracer is not None:
+            # Unwire the tracer so a reused topology/controller never
+            # emits into a finished run's stream.
+            if topology is not None:
+                for edge in topology.edges:
+                    edge.cache.tracer = None
+                    edge.cache.edge = None
+                topology.origin.queue.tracer = None
+            if controller is not None:
+                controller.tracer = None
+    if sampling:
         # Close the monitoring stream so a recovery that completes after
         # the last sample instant is still observed.
-        health = _health_sample()
-        if health is not None:
+        health = sampler.health_sample(now, *_live_totals())
+        if tracker is not None and health is not None:
             tracker.sample(now, health)
 
     if cols is not None:

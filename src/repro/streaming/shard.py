@@ -57,6 +57,7 @@ from dataclasses import dataclass, field, replace as dc_replace
 
 import numpy as np
 
+from ..obs import Telemetry
 from .cdn import CDNTopology, OriginServer
 from .faults import FaultSchedule
 from .fleet import (
@@ -206,6 +207,11 @@ class _ShardTask:
     faults: FaultSchedule | None = None
     #: session layer: "machine" objects or the "columnar" array engine
     fleet_engine: str = "machine"
+    #: collect a shard-tagged event stream / phase-profiler totals for
+    #: the caller's telemetry (metrics registries stay per-process and
+    #: are not merged)
+    trace: bool = False
+    profile: bool = False
 
 
 @dataclass
@@ -232,10 +238,47 @@ class _ShardOutcome:
     faults_injected: int = 0
     qoe_dip_depth: float = 0.0
     time_to_recover_s: float = 0.0
+    #: shard-tagged trace events, session/edge ids rewritten to global
+    #: indices (empty unless the task asked for tracing)
+    events: list = field(default_factory=list)
+    #: wall-clock phase profiler totals/counts of this shard's run
+    phase_totals: dict = field(default_factory=dict)
+    phase_counts: dict = field(default_factory=dict)
+
+
+#: event-data keys naming an edge index (rewritten local → global when a
+#: shard's stream is handed back to the merge)
+_EDGE_DATA_KEYS = ("edge", "from_edge", "to_edge")
+
+
+def _globalize_events(events, task: _ShardTask) -> list:
+    """Rewrite a shard stream's local session/edge ids to global indices.
+
+    A shard simulates its sessions as ``0..n-1`` over a sub-topology
+    whose edges are renumbered from zero; the merged trace must speak
+    the caller's indices or two shards' ``session 0`` collide.
+    """
+    sids = task.shard.session_indices
+    edges = task.shard.edge_indices
+    for ev in events:
+        if ev.session is not None:
+            ev.session = sids[ev.session]
+        if ev.data:
+            for key in _EDGE_DATA_KEYS:
+                local = ev.data.get(key)
+                if local is not None:
+                    ev.data[key] = edges[local]
+    return events
 
 
 def _run_shard(task: _ShardTask) -> _ShardOutcome:
     """Simulate one shard; runs in a worker process (or inline)."""
+    telemetry = None
+    if task.trace or task.profile:
+        telemetry = Telemetry(
+            trace=task.trace, metrics=False, profile=task.profile,
+            shard=task.shard.index,
+        )
     result = simulate_fleet(
         task.sessions,
         topology=task.topology,
@@ -244,6 +287,7 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         assignment=task.assignment,
         faults=task.faults,
         fleet_engine=task.fleet_engine,
+        telemetry=telemetry,
     )
     topo = task.topology
     edge_stats = [
@@ -273,6 +317,21 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         faults_injected=result.report.faults_injected,
         qoe_dip_depth=result.report.qoe_dip_depth,
         time_to_recover_s=result.report.time_to_recover_s,
+        events=(
+            _globalize_events(telemetry.tracer.events, task)
+            if telemetry is not None and telemetry.tracer is not None
+            else []
+        ),
+        phase_totals=(
+            dict(telemetry.profiler.totals)
+            if telemetry is not None and telemetry.profiler is not None
+            else {}
+        ),
+        phase_counts=(
+            dict(telemetry.profiler.counts)
+            if telemetry is not None and telemetry.profiler is not None
+            else {}
+        ),
     )
 
 
@@ -287,6 +346,8 @@ def _make_task(
     copy_sr: bool,
     faults: FaultSchedule | None = None,
     fleet_engine: str = "machine",
+    trace: bool = False,
+    profile: bool = False,
 ) -> _ShardTask:
     """Materialize one shard's task: sub-topology, sub-fleet, local map.
 
@@ -331,6 +392,8 @@ def _make_task(
         engine=engine,
         faults=sub_faults,
         fleet_engine=fleet_engine,
+        trace=trace,
+        profile=profile,
     )
 
 
@@ -371,6 +434,7 @@ def shard_fleet(
     start_method: str | None = None,
     faults: FaultSchedule | None = None,
     fleet_engine: str = "machine",
+    telemetry: Telemetry | None = None,
 ) -> FleetResult:
     """Run a fleet over a CDN, sharded across worker processes.
 
@@ -402,6 +466,16 @@ def shard_fleet(
     viewers between edges (and therefore between shards), which the
     partition cannot represent; they are rejected explicitly rather
     than silently approximated — run those through ``simulate_fleet``.
+
+    ``telemetry`` threads the observability stack through the shards:
+    each worker runs its own shard-tagged
+    :class:`~repro.obs.events.Tracer` and
+    :class:`~repro.obs.profiler.PhaseProfiler` (mirroring whichever of
+    the caller's layers are enabled), and the merge rewrites local
+    session/edge ids to global indices, absorbs the streams in
+    virtual-time order, and sums the phase totals.  The metrics layer
+    is per-process ring buffers and is *not* merged — a sharded run
+    leaves the caller's registry untouched.
     """
     if not sessions:
         raise ValueError("fleet needs at least one session")
@@ -425,10 +499,13 @@ def shard_fleet(
         topology, sessions, workers, assignment=assignment, seed=seed
     )
     copy_sr = plan.n_shards > 1
+    trace = telemetry is not None and telemetry.tracer is not None
+    profile = telemetry is not None and telemetry.profiler is not None
     tasks = [
         _make_task(
             shard, sessions, topology, plan, sr_cache, engine,
             copy_sr=copy_sr, faults=faults, fleet_engine=fleet_engine,
+            trace=trace, profile=profile,
         )
         for shard in plan.shards
     ]
@@ -451,6 +528,14 @@ def shard_fleet(
             by_index.get(t.shard.index) or _empty_outcome(t.shard, t)
             for t in tasks
         ]
+    if trace:
+        telemetry.tracer.absorb([o.events for o in outcomes])
+    if profile:
+        for o in outcomes:
+            for name, seconds in o.phase_totals.items():
+                telemetry.profiler.add(
+                    name, seconds, calls=o.phase_counts.get(name, 1)
+                )
     return _merge(outcomes, plan, sessions, topology, sr_cache)
 
 

@@ -232,6 +232,10 @@ class SessionMachine:
         self.live_chunks = 0
         self.live_quality_sum = 0.0
         self.live_stall = 0.0
+        #: playback-buffer level after the last chunk entered it (the
+        #: buffer itself is generator-local; the metrics sampler reads
+        #: this mirror for the fleet's buffer-occupancy gauge)
+        self.live_buffer_level = 0.0
         self._gen = self._run()
         try:
             self.pending: DownloadRequest | DecisionRequest | None = next(
@@ -366,6 +370,7 @@ class SessionMachine:
             self.live_chunks += 1
             self.live_quality_sum += q
             self.live_stall += stall
+            self.live_buffer_level = buf.level
             prev_quality = q
             watched_seconds += chunk.duration
             total_stall += stall

@@ -6,8 +6,10 @@ import math
 import pytest
 
 from repro.streaming import (
+    BackhaulDegradation,
     ControlPlane,
     ControlPolicy,
+    FaultSchedule,
     FleetView,
     QoEArrivalAutoscaler,
     RecoveryTracker,
@@ -263,6 +265,91 @@ class TestRecoveryTracker:
             RecoveryTracker(fault_start=-1.0)
         with pytest.raises(ValueError, match="tolerance"):
             RecoveryTracker(fault_start=0.0, tolerance=-0.1)
+
+    def test_disjoint_fault_windows_track_the_deepest_dip(self):
+        """Two separated faults, the second one worse: the dip is the
+        global post-onset floor and recovery is dated from *that* floor,
+        not from the first window's shallower dip."""
+        tr = RecoveryTracker(fault_start=10.0, tolerance=0.1)
+        for t, h in [
+            (2.0, 4.0), (6.0, 4.0),        # baseline 4.0
+            (12.0, 3.0), (16.0, 4.0),      # window 1: shallow dip, recovers
+            (30.0, 1.0), (34.0, 2.0),      # window 2: deeper dip...
+            (38.0, 4.0),                   # ...recovered at t=38
+        ]:
+            tr.sample(t, h)
+        dip, recover = tr.metrics()
+        assert dip == pytest.approx(3.0)
+        # dated from the second window's floor (t=30), not the interim
+        # recovery at t=16
+        assert recover == pytest.approx(28.0)
+
+    def test_interim_recovery_does_not_mask_a_terminal_dip(self):
+        """Health recovers between windows but the run ends inside the
+        second window still degraded — time_to_recover must be inf even
+        though a within-tolerance sample exists after the onset."""
+        tr = RecoveryTracker(fault_start=10.0, tolerance=0.1)
+        for t, h in [
+            (5.0, 4.0),
+            (12.0, 2.5), (16.0, 4.0),      # first dip, full recovery
+            (30.0, 0.5), (34.0, 1.0),      # second dip, run ends degraded
+        ]:
+            tr.sample(t, h)
+        dip, recover = tr.metrics()
+        assert dip == pytest.approx(3.5)
+        assert math.isinf(recover)
+
+    def test_fleet_run_never_recovering_reports_inf(self):
+        """End-to-end: a crushing brownout covering the whole tail of
+        the run (no live edge to fail over to) leaves no recovered
+        sample, so the report carries inf."""
+        sessions = fleet(6, seconds=20)
+        ends = simulate_fleet(sessions, topology=cdn()).end_times
+        horizon = max(ends)
+        degr = FaultSchedule(tuple(
+            BackhaulDegradation(
+                edge=e, start=0.3 * horizon, duration=100 * horizon,
+                factor=0.01,
+            )
+            for e in range(3)
+        ))
+        rep = simulate_fleet(
+            sessions, topology=cdn(), faults=degr
+        ).report
+        assert rep.qoe_dip_depth > 0
+        assert math.isinf(rep.time_to_recover_s)
+
+
+class TestFleetViewMetricsSource:
+    """The controller's FleetView and the metrics registry sample the
+    same instants from the same live state."""
+
+    def test_view_and_registry_agree(self):
+        from repro.obs import Telemetry
+
+        tel = Telemetry(trace=False, profile=False)
+        controller = ControlPlane(ControlPolicy(interval=1.0))
+        result = simulate_fleet(
+            fleet(8), topology=cdn(), controller=controller, telemetry=tel,
+        )
+        rep = result.report
+        series = tel.metrics.series
+        assert rep.control_ticks > 0
+        # one sample per control tick, on the tick instants
+        assert len(series["fleet.active_sessions"]) == rep.control_ticks
+        assert len(series["fleet.buffer_level"]) == rep.control_ticks
+        for e in range(3):
+            assert len(series[f"edge.load.{e}"]) == rep.control_ticks
+        # the registry's per-edge loads partition the active sessions —
+        # exactly the FleetView invariant (edge_load sums to live count)
+        loads = [series[f"edge.load.{e}"].items() for e in range(3)]
+        for i, (t, active) in enumerate(
+            series["fleet.active_sessions"].items()
+        ):
+            assert sum(loads[e][i][1] for e in range(3)) == active
+        # the health series feeds the same sampler the recovery tracker
+        # and the controller's view read
+        assert len(series["fleet.health"]) >= rep.control_ticks - 1
 
 
 class TestNoOpControllerParity:

@@ -1,0 +1,393 @@
+"""Telemetry: tracer/metrics/profiler units, exporters, the disabled-
+tracer parity grid, and the chaos-trace conservation law."""
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.events import (
+    EV_CHUNK_COMPLETE,
+    EV_CONTROL_TICK,
+    EV_SESSION_RESTEER,
+    EV_SESSION_START,
+    TraceEvent,
+    Tracer,
+    merge_events,
+    ops_from_events,
+)
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry, TimeSeries
+from repro.obs.profiler import NULL_PROFILER, PhaseProfiler
+from repro.streaming import (
+    BackhaulDegradation,
+    ControlPlane,
+    ControlPolicy,
+    EdgeOutage,
+    FaultSchedule,
+    FleetSession,
+    simulate_fleet,
+    uniform_cdn,
+)
+
+from .helpers import FixedDensity, spec, sr_lat
+
+
+def fleet(n=8, seconds=20, stagger=0.4):
+    return [
+        FleetSession(
+            spec=spec(seconds=seconds, name="vid"),
+            controller=FixedDensity(0.4),
+            sr_latency=sr_lat(),
+            join_time=stagger * i,
+        )
+        for i in range(n)
+    ]
+
+
+def cdn(n_edges=3, **kw):
+    kw.setdefault("access_mbps", 50.0)
+    kw.setdefault("backhaul_mbps", 40.0)
+    kw.setdefault("n_encode_workers", 4)
+    kw.setdefault("encode_seconds", 0.02)
+    return uniform_cdn(n_edges, **kw)
+
+
+def chaos_kwargs(telemetry=None):
+    """One edge outage plus the control plane — every event family fires."""
+    return dict(
+        topology=cdn(3),
+        faults=FaultSchedule(
+            (EdgeOutage(edge=0, start=2.0, duration=4.0),)
+        ),
+        controller=ControlPlane(ControlPolicy(interval=1.0)),
+        telemetry=telemetry,
+    )
+
+
+class TestTracer:
+    def test_emit_orders_and_counts(self):
+        tr = Tracer()
+        tr.emit(1.0, "a.x", session=0)
+        tr.emit(0.5, "a.y", session=1, nbytes=10)
+        tr.emit(1.0, "a.x")
+        assert len(tr) == 3
+        assert tr.count("a.x") == 2
+        assert tr.counts() == {"a.x": 2, "a.y": 1}
+        # seq increases in emission order regardless of timestamps
+        assert [ev.seq for ev in tr] == [1, 2, 3]
+
+    def test_to_dict_flattens_data(self):
+        tr = Tracer(shard=2)
+        tr.emit(3.5, "chunk.fetch", session=7, edge=1, nbytes=100)
+        d = tr.events[0].to_dict()
+        assert d == {
+            "t": 3.5, "kind": "chunk.fetch", "session": 7, "shard": 2,
+            "edge": 1, "nbytes": 100,
+        }
+
+    def test_merge_is_total_and_deterministic(self):
+        a = Tracer(shard=0)
+        b = Tracer(shard=1)
+        for t in (1.0, 2.0, 2.0):
+            a.emit(t, "a")
+        for t in (0.5, 2.0):
+            b.emit(t, "b")
+        merged = merge_events([b.events, a.events])
+        key = [(ev.t, ev.shard, ev.seq) for ev in merged]
+        assert key == sorted(key)
+        # ties at t=2.0 break by shard index, then seq
+        assert [ev.kind for ev in merged] == ["b", "a", "a", "a", "b"]
+        # absorbing the same streams yields the same order
+        sink = Tracer()
+        sink.absorb([a.events, b.events])
+        assert [(e.t, e.shard, e.seq) for e in sink] == key
+
+    def test_ops_fold_empty_stream(self):
+        assert ops_from_events([]) == {
+            "sessions_resteered": 0,
+            "faults_injected": 0,
+            "control_ticks": 0,
+            "encode_pool_resizes": 0,
+        }
+
+
+class TestMetrics:
+    def test_counter_only_goes_up(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError, match="Gauge"):
+            c.inc(-1.0)
+
+    def test_gauge_and_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("y")
+        g.set(4)
+        assert reg.gauge("y") is g
+        assert reg.gauge("y").value == 4.0
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("w", bounds=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+        # cumulative le semantics: every bucket counts all values <= bound
+        assert h.cumulative() == [1, 2, 3]
+        with pytest.raises(ValueError, match="ascending"):
+            reg.histogram("bad", bounds=(1.0, 0.1))
+
+    def test_timeseries_ring_wraps(self):
+        ts = TimeSeries("s", capacity=4)
+        assert ts.last is None
+        for i in range(6):
+            ts.record(float(i), float(i * 10))
+        assert len(ts) == 4
+        assert ts.items() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0), (5.0, 50.0)]
+        assert ts.last == (5.0, 50.0)
+
+
+class TestProfiler:
+    def test_nested_self_time(self):
+        p = PhaseProfiler()
+        with p.phase("outer"):
+            with p.phase("inner"):
+                sum(range(1000))
+        assert p.counts == {"outer": 1, "inner": 1}
+        assert p.totals["outer"] >= 0.0
+        assert p.totals["inner"] >= 0.0
+        # self-time accounting: the phases partition the total
+        assert p.total_seconds == pytest.approx(
+            p.totals["outer"] + p.totals["inner"]
+        )
+
+    def test_breakdown_and_report(self):
+        p = PhaseProfiler()
+        p.add("a", 3.0, calls=10)
+        p.add("b", 1.0, calls=5)
+        p.add("a", 1.0, calls=2)
+        bd = p.breakdown()
+        assert list(bd) == ["a", "b"]  # descending self-time
+        assert bd["a"] == {"seconds": 4.0, "calls": 12, "pct": 80.0}
+        rep = p.report()
+        assert "a" in rep and "80.0%" in rep and "total" in rep
+
+    def test_null_profiler_is_inert(self):
+        span = NULL_PROFILER.phase("anything")
+        with span:
+            pass
+        # every phase shares one stateless no-op span
+        assert NULL_PROFILER.phase("other") is span
+
+    def test_reentrant_phase_rejected_state_stays_sane(self):
+        p = PhaseProfiler()
+        ph = p.phase("x")
+        with ph:
+            pass
+        with ph:
+            pass
+        assert p.counts["x"] == 2
+
+
+class TestExporters:
+    def make_tracer(self):
+        tr = Tracer()
+        tr.emit(0.0, EV_SESSION_START, session=0, edge=1)
+        tr.emit(2.0, EV_CHUNK_COMPLETE, session=0, quality=1.5, elapsed=0.5)
+        tr.emit(3.0, EV_CONTROL_TICK, health=0.9, workers=4)
+        return tr
+
+    def test_jsonl_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        n = write_jsonl(self.make_tracer(), str(path))
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert n == len(rows) == 3
+        assert rows[0]["kind"] == EV_SESSION_START
+        assert rows[1]["elapsed"] == 0.5
+
+    def test_chrome_trace_shapes(self):
+        doc = chrome_trace(self.make_tracer())
+        events = doc["traceEvents"]
+        by_name = {}
+        for ev in events:
+            by_name.setdefault(ev["name"], []).append(ev)
+        # a chunk completion with elapsed becomes a duration slice
+        (slice_,) = by_name[EV_CHUNK_COMPLETE]
+        assert slice_["ph"] == "X"
+        assert slice_["dur"] == pytest.approx(0.5e6)
+        assert slice_["ts"] == pytest.approx(1.5e6)
+        # session events ride the session's own track, fleet events tid 0
+        (start,) = by_name[EV_SESSION_START]
+        assert start["ph"] == "i" and start["tid"] == 1
+        (tick,) = by_name[EV_CONTROL_TICK]
+        assert tick["tid"] == 0
+        assert any(ev["ph"] == "M" for ev in events)
+
+    def test_chrome_trace_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(self.make_tracer(), str(path))
+        doc = json.loads(path.read_text())
+        # metadata records don't count toward the reported event total
+        assert n == 3
+        assert len(doc["traceEvents"]) > n
+
+    def test_prometheus_text(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("fleet.chunks").inc(7)
+        reg.gauge("origin.encode_workers").set(4)
+        h = reg.histogram("encode.wait", bounds=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        reg.timeseries("fleet.health").record(12.5, 0.75)
+        text = prometheus_text(reg)
+        assert "fleet_chunks 7" in text
+        assert "origin_encode_workers 4" in text
+        assert 'encode_wait_bucket{le="0.1"} 1' in text
+        assert 'encode_wait_bucket{le="+Inf"} 2' in text
+        assert "encode_wait_sum 5.05" in text
+        assert "encode_wait_count 2" in text
+        assert "fleet_health 0.75 12500" in text
+        path = tmp_path / "metrics.txt"
+        write_prometheus(reg, str(path))
+        assert path.read_text() == text
+
+
+class TestTelemetry:
+    def test_layers_toggle_independently(self):
+        full = Telemetry()
+        assert full.tracer is not None
+        assert full.metrics is not None
+        assert full.profiler is not None
+        off = Telemetry(trace=False, metrics=False, profile=False)
+        assert off.tracer is None
+        assert off.metrics is None
+        assert off.profiler is None
+        sharded = Telemetry(trace=True, metrics=False, shard=3)
+        assert sharded.tracer.shard == 3
+
+
+class TestTelemetryDisabledParity:
+    """Oracle-parity instance 7: telemetry never perturbs a run.
+
+    ``telemetry=None``, a fully-disabled ``Telemetry``, and every layer
+    enabled must produce bit-identical reports — all emission sites are
+    pure observation.
+    """
+
+    @pytest.mark.parametrize("fleet_engine", ["machine", "columnar"])
+    def test_plain_cdn_run(self, fleet_engine):
+        def run(telemetry):
+            return simulate_fleet(
+                fleet(n=6), topology=cdn(3), fleet_engine=fleet_engine,
+                telemetry=telemetry,
+            ).report
+
+        base = run(None)
+        assert run(Telemetry(trace=False, metrics=False, profile=False)) == base
+        assert run(Telemetry()) == base
+
+    @pytest.mark.parametrize("fleet_engine", ["machine", "columnar"])
+    def test_faulted_controlled_run(self, fleet_engine):
+        # The columnar engine rejects outages, so it gets the brownout.
+        if fleet_engine == "machine":
+            faults = FaultSchedule(
+                (EdgeOutage(edge=0, start=2.0, duration=4.0),)
+            )
+        else:
+            faults = FaultSchedule(
+                (BackhaulDegradation(
+                    edge=0, start=2.0, duration=4.0, factor=0.25,
+                ),)
+            )
+
+        def run(telemetry):
+            return simulate_fleet(
+                fleet(n=8), topology=cdn(3), faults=faults,
+                controller=ControlPlane(ControlPolicy(interval=1.0)),
+                fleet_engine=fleet_engine, telemetry=telemetry,
+            ).report
+
+        base = run(None)
+        assert run(Telemetry()) == base
+
+
+class TestConservation:
+    """The chaos acceptance law: report counters == the event-stream fold."""
+
+    def fold_matches(self, rep, events):
+        fold = ops_from_events(events)
+        assert fold["sessions_resteered"] == rep.sessions_resteered
+        assert fold["faults_injected"] == rep.faults_injected
+        assert fold["control_ticks"] == rep.control_ticks
+        assert fold["encode_pool_resizes"] == rep.encode_pool_resizes
+
+    def test_chaos_counters_reconstruct(self):
+        tel = Telemetry()
+        rep = simulate_fleet(fleet(n=10), **chaos_kwargs(tel)).report
+        assert rep.sessions_resteered > 0  # the outage must hit someone
+        assert rep.control_ticks > 0
+        self.fold_matches(rep, tel.tracer)
+
+    def test_chrome_trace_reconstructs(self, tmp_path):
+        tel = Telemetry()
+        rep = simulate_fleet(fleet(n=10), **chaos_kwargs(tel)).report
+        path = tmp_path / "chaos.json"
+        write_chrome_trace(tel.tracer, str(path))
+        doc = json.loads(path.read_text())
+        names = [
+            ev["name"] for ev in doc["traceEvents"] if ev["ph"] != "M"
+        ]
+        assert names.count("session.resteer") == rep.sessions_resteered
+        assert names.count("fault.outage") == rep.faults_injected
+        assert names.count("control.tick") == rep.control_ticks
+        assert names.count("control.resize") == rep.encode_pool_resizes
+        assert names.count("outage.evacuate") == 1
+
+    def test_fetches_balance_completes_and_retries(self):
+        tel = Telemetry()
+        simulate_fleet(fleet(n=10), **chaos_kwargs(tel))
+        c = tel.tracer.counts()
+        # every fetch either completes or was cancelled and re-issued
+        assert c["chunk.fetch"] == c["chunk.complete"] + c.get("chunk.retry", 0)
+        assert c["chunk.decision"] == c["chunk.complete"]
+        assert c["session.start"] == 10
+        assert (
+            c.get("session.finish", 0) + c.get("session.abandon", 0) == 10
+        )
+
+
+class TestMetricsWiring:
+    def test_series_sampled_on_control_cadence(self):
+        tel = Telemetry()
+        result = simulate_fleet(fleet(n=8), **chaos_kwargs(tel))
+        rep = result.report
+        series = tel.metrics.series
+        assert len(series["fleet.active_sessions"]) == rep.control_ticks
+        for e in range(3):
+            assert len(series[f"edge.load.{e}"]) == rep.control_ticks
+        # per-edge loads partition the active sessions at every sample
+        loads = [series[f"edge.load.{e}"].items() for e in range(3)]
+        for i, (t, active) in enumerate(
+            series["fleet.active_sessions"].items()
+        ):
+            assert sum(loads[e][i][1] for e in range(3)) == active
+            assert all(loads[e][i][0] == t for e in range(3))
+        assert tel.metrics.gauge("origin.encode_workers").value == (
+            result.topology.origin.queue.n_workers
+        )
+
+    def test_metrics_alone_sample_without_controller(self):
+        tel = Telemetry(trace=False, profile=False)
+        simulate_fleet(fleet(n=6), topology=cdn(3), telemetry=tel)
+        assert len(tel.metrics.series["fleet.active_sessions"]) > 0
+        assert len(tel.metrics.series["fleet.health"]) > 0

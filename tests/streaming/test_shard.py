@@ -211,6 +211,108 @@ class TestMultiWorker:
         assert 0.0 <= result.report.cache_hit_rate <= 1.0
 
 
+class TestShardedTelemetry:
+    """Shard-tagged event streams must merge in virtual-time order with
+    nothing lost or invented across the shard boundary."""
+
+    def sessions(self, n=12):
+        return [
+            FleetSession(
+                spec=spec(6, name=f"v{i % 4}"),
+                controller=FixedDensity(0.4),
+                join_time=1.0 * i,
+            )
+            for i in range(n)
+        ]
+
+    def run(self, workers, telemetry=None, n=12):
+        from repro.streaming import BackhaulDegradation, FaultSchedule
+
+        return shard_fleet(
+            self.sessions(n),
+            make_topology(3, assignment="popularity", encode_seconds=0.05),
+            workers=workers,
+            faults=FaultSchedule((
+                BackhaulDegradation(
+                    edge=0, start=2.0, duration=4.0, factor=0.2,
+                ),
+            )),
+            telemetry=telemetry,
+        )
+
+    def test_merged_stream_is_virtual_time_ordered(self):
+        from repro.obs import Telemetry
+        from repro.obs.events import _sort_key
+
+        tel = Telemetry(metrics=False)
+        self.run(3, telemetry=tel)
+        events = tel.tracer.events
+        assert events
+        assert {ev.shard for ev in events} == {0, 1, 2}
+        keys = [_sort_key(ev) for ev in events]
+        assert keys == sorted(keys)
+
+    def test_event_counts_conserved_across_shard_boundary(self):
+        """Sharding must neither drop nor duplicate events: every kind's
+        count equals the sum of the per-shard streams, session ids cover
+        the whole fleet exactly once, and the lifecycle balance (starts
+        == finishes + abandons, fetches == completes) holds on the
+        merged stream just as it does in one process."""
+        from repro.obs import Telemetry
+        from repro.obs.events import ops_from_events
+
+        tel = Telemetry(metrics=False)
+        result = self.run(3, telemetry=tel, n=12)
+        c = tel.tracer.counts()
+        by_shard: dict[int, dict[str, int]] = {}
+        for ev in tel.tracer:
+            by_shard.setdefault(ev.shard, {}).setdefault(ev.kind, 0)
+            by_shard[ev.shard][ev.kind] += 1
+        for kind, total in c.items():
+            assert total == sum(s.get(kind, 0) for s in by_shard.values())
+        starts = [ev.session for ev in tel.tracer if ev.kind == "session.start"]
+        assert sorted(starts) == list(range(12))
+        assert c["session.start"] == 12
+        assert c.get("session.finish", 0) + c.get("session.abandon", 0) == 12
+        assert c["chunk.fetch"] == c["chunk.complete"]
+        assert c["chunk.decision"] == c["chunk.complete"]
+        # the degradation is partitioned to exactly one shard's stream
+        fold = ops_from_events(tel.tracer)
+        assert fold["faults_injected"] == result.report.faults_injected == 1
+
+    def test_edge_ids_globalized(self):
+        """Shard-local edge indices must come back as the caller's
+        global indices: every edge named in the merged stream exists in
+        the topology, and edge 2 (a different shard than edge 0) still
+        appears."""
+        from repro.obs import Telemetry
+
+        tel = Telemetry(metrics=False)
+        self.run(3, telemetry=tel)
+        edges = {
+            ev.data["edge"]
+            for ev in tel.tracer
+            if ev.data and "edge" in ev.data
+        }
+        assert edges <= {0, 1, 2}
+        assert len(edges) == 3
+
+    def test_profiler_sums_worker_phase_totals(self):
+        from repro.obs import Telemetry
+
+        tel = Telemetry(trace=False, metrics=False)
+        self.run(2, telemetry=tel)
+        assert tel.profiler.totals.keys() >= {"scheduler", "advance", "planner"}
+        assert tel.profiler.total_seconds > 0
+
+    def test_workers_one_report_unchanged_by_telemetry(self):
+        from repro.obs import Telemetry
+
+        base = self.run(1)
+        traced = self.run(1, telemetry=Telemetry())
+        assert traced.report == base.report
+
+
 class TestShardedFaults:
     """Fault schedules under the sharded executor: degradations shard,
     anything that re-steers viewers across shard boundaries is rejected."""

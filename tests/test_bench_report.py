@@ -33,11 +33,15 @@ SHARDED_NAMES = {
 }
 
 
-def raw_json(min_s=0.1, machine="x86_64"):
+def raw_json(min_s=0.1, machine="x86_64", telemetry=True):
     stats = {name: min_s for name in RAW_NAMES}
     stats.update(
         {name: min_s * f for name, f in SHARDED_NAMES.items()}
     )
+    if telemetry:
+        # Traced run at 5% over the untraced baseline — inside the 10%
+        # budget.
+        stats["test_bench_fleet_telemetry"] = min_s * 1.05
     return {
         "machine_info": {
             "machine": machine,
@@ -121,6 +125,39 @@ class TestBuildReports:
         )
         bench = fleet["benchmarks"]["test_bench_fleet_columnar"]
         assert bench["content_s_per_wall_s"] == pytest.approx(rate)
+
+    def test_fleet_telemetry_row(self):
+        """The traced lane's trajectory row carries the overhead ratio
+        against the untraced single-process run from the same raw JSON."""
+        reports = bench_report.build_reports(raw_json(min_s=0.1))
+        fleet = reports["BENCH_fleet.json"]
+        telemetry = fleet["fleet_telemetry"]
+        assert telemetry["workers"] == 1
+        assert telemetry["overhead_x"] == pytest.approx(1.05)
+        assert telemetry["overhead_budget_x"] > 1.0
+        bench = fleet["benchmarks"]["test_bench_fleet_telemetry"]
+        assert bench["content_s_per_wall_s"] == pytest.approx(
+            fleet["content_seconds_sharded"] / 0.105
+        )
+
+    def test_raw_without_telemetry_lane_still_builds(self):
+        """Raw JSONs from before the telemetry lane (schema v3 era)
+        post-process cleanly — the v4 fields are optional on read."""
+        reports = bench_report.build_reports(raw_json(telemetry=False))
+        fleet = reports["BENCH_fleet.json"]
+        assert "fleet_telemetry" not in fleet
+        assert "test_bench_fleet_telemetry" not in fleet["benchmarks"]
+        assert "phases" not in fleet
+
+    def test_phases_folded_into_fleet_report(self):
+        phases = {
+            "workload": "sharded w1 2000x8s",
+            "wall_s": 20.0,
+            "phases": {"scheduler": {"seconds": 10.0, "calls": 5, "pct": 50.0}},
+        }
+        reports = bench_report.build_reports(raw_json(), phases=phases)
+        assert reports["BENCH_fleet.json"]["phases"] == phases
+        assert "phases" not in reports["BENCH_mpc.json"]
 
     def test_missing_benchmark_fails_loudly(self):
         with pytest.raises(SystemExit, match="missing"):
@@ -216,6 +253,37 @@ class TestRegressionGate:
         failures, _ = bench_report.check_regressions(reports, tmp_path, 0.3)
         assert not any("ratio gate" in f for f in failures)
 
+    def test_telemetry_over_budget_fails(self, tmp_path):
+        """Enabled-telemetry overhead past its budget fails the gate on
+        any hardware — a same-box ratio, like the sharded speedup."""
+        reports = bench_report.build_reports(raw_json(min_s=0.01))
+        telemetry = reports["BENCH_fleet.json"]["fleet_telemetry"]
+        telemetry["overhead_x"] = 1.4
+        failures, _ = bench_report.check_regressions(reports, tmp_path, 0.3)
+        assert any(
+            "telemetry costs 1.40x" in f and "budget" in f for f in failures
+        )
+
+    def test_telemetry_budget_ignores_floor_scale(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_FLOOR_SCALE", "0.1")
+        reports = bench_report.build_reports(raw_json(min_s=0.01))
+        reports["BENCH_fleet.json"]["fleet_telemetry"]["overhead_x"] = 1.4
+        failures, _ = bench_report.check_regressions(reports, tmp_path, 0.3)
+        assert any("telemetry costs 1.40x" in f for f in failures)
+
+    def test_schema3_baseline_still_compares(self, tmp_path):
+        """A committed v3 baseline (no telemetry row, no phases) gates
+        the shared rows and silently skips the v4-only ones."""
+        old = bench_report.build_reports(raw_json(min_s=0.05, telemetry=False))
+        for name, report in old.items():
+            report["schema"] = 3
+            (tmp_path / name).write_text(json.dumps(report))
+        new = bench_report.build_reports(raw_json(min_s=0.05))
+        assert bench_report.check_regressions(new, tmp_path, 0.3) == ([], [])
+        slow = bench_report.build_reports(raw_json(min_s=0.08))
+        failures, _ = bench_report.check_regressions(slow, tmp_path, 0.3)
+        assert any("over the committed baseline" in f for f in failures)
+
     def test_floor_scale_does_not_relax_the_speedup_ratio(self, tmp_path, monkeypatch):
         """BENCH_FLOOR_SCALE compensates slow hardware; a scaling ratio
         is hardware-normalized, so the env knob must not weaken it."""
@@ -247,6 +315,26 @@ class TestMain:
             )
             == 0
         )
+
+    def test_phases_flag_folds_file_and_tolerates_absence(self, tmp_path):
+        raw_path = tmp_path / "raw.json"
+        raw_path.write_text(json.dumps(raw_json(min_s=0.05)))
+        phases_path = tmp_path / "bench-phases.json"
+        phases_path.write_text(json.dumps({"wall_s": 1.0, "phases": {}}))
+        rc = bench_report.main(
+            [str(raw_path), "--out-dir", str(tmp_path),
+             "--phases", str(phases_path)]
+        )
+        assert rc == 0
+        doc = json.loads((tmp_path / "BENCH_fleet.json").read_text())
+        assert doc["phases"] == {"wall_s": 1.0, "phases": {}}
+        # A named-but-missing phases file is a note, not a crash (the
+        # benchmark lane may not have run).
+        rc = bench_report.main(
+            [str(raw_path), "--out-dir", str(tmp_path), "--no-check",
+             "--phases", str(tmp_path / "nope.json")]
+        )
+        assert rc == 0
 
     def test_committed_bench_files_match_schema(self):
         """The files at the repo root stay loadable and current-schema."""

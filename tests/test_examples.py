@@ -41,12 +41,32 @@ class TestExamples:
         assert proc.returncode == 0, proc.stderr
         assert "1.61 GB" in proc.stdout
 
-    def test_fleet_demo(self):
-        proc = run("fleet_demo.py", "--sessions", "40", "--seconds", "10")
+    def test_fleet_demo(self, tmp_path):
+        trace = tmp_path / "fleet-trace.json"
+        proc = run(
+            "fleet_demo.py", "--sessions", "40", "--seconds", "10",
+            "--trace-out", str(trace),
+        )
         assert proc.returncode == 0, proc.stderr
         assert "congested" in proc.stdout
         assert "weighted (10% premium @4x)" in proc.stdout
         assert "cache hit" in proc.stdout
+        assert "phase breakdown" in proc.stdout
+        assert "scheduler" in proc.stdout
+        assert trace.exists()
+        assert '"traceEvents"' in trace.read_text()[:100]
+
+    def test_chaos_demo(self, tmp_path):
+        trace = tmp_path / "chaos-trace.jsonl"
+        proc = run(
+            "chaos_demo.py", "--sessions", "30", "--trace-out", str(trace),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "edge-outage ctrl=on" in proc.stdout
+        assert "phase breakdown" in proc.stdout
+        assert trace.exists()
+        first = trace.read_text().splitlines()[0]
+        assert '"kind"' in first and '"t"' in first
 
     def test_population_demo(self):
         proc = run("population_demo.py", "--sessions", "30", "--seconds", "8")
