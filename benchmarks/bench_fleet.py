@@ -21,7 +21,7 @@ engine — or a future topology feature — regresses fleet wall time:
   configurations carry absolute throughput floors;
 * the **columnar** lane (PR 7) runs the same 2000-viewer workload
   single-process on the struct-of-arrays session engine
-  (``fleet_engine="columnar"``) and must clear ≥2x the committed
+  (``session_engine="columnar"``) and must clear ≥2x the committed
   machine-engine baseline floor (measured ~710 content-s/s, 2.4x the
   floor; the machine engine measures ~730 on the same box — the wall
   times sit at parity because the shared scheduler and MPC planner
@@ -34,6 +34,11 @@ engine — or a future topology feature — regresses fleet wall time:
   zero-overhead-when-disabled design promises for the *enabled* path.
   ``BENCH_PHASES_OUT`` (set by CI) dumps the profiler's phase
   breakdown as JSON for ``scripts/bench_report.py``;
+* the **BOLA-columnar** lane (PR 9) swaps the MPC planner for the
+  policy zoo's BOLA controller on the same 2000-viewer columnar run —
+  the cheap-policy configuration an operator A/B would sweep — and
+  holds its own committed floor (BOLA skips horizon planning, so this
+  lane is the roofline of the session engine itself);
 * the ``benchmark``-fixture lanes track the absolute costs and feed the
   committed ``BENCH_fleet.json`` trajectory (see
   ``scripts/bench_report.py``).
@@ -102,6 +107,17 @@ SHARD_SPEEDUP_MIN_CPUS = 4
 #: the doubled committed bar and the array-backed session state.
 COLUMNAR_SPEEDUP_FLOOR = 2.0
 COLUMNAR_FLOOR = COLUMNAR_SPEEDUP_FLOOR * SHARD_BASELINE_FLOOR
+
+#: content-s/s floor for the BOLA-columnar lane (PR 9): the acceptance
+#: workload with the policy zoo's BOLA controller replacing the MPC
+#: planner, on the columnar session engine.  BOLA decides from a closed
+#: form over the cached candidate grid — no horizon search — so this
+#: lane measures the session engine and scheduler with the decision
+#: cost mostly gone.  Measured ~860 content-s/s on the reference box
+#: (vs ~710 for the MPC columnar lane), so the floor carries ~25% local
+#: headroom — the same margin as the columnar floor — and CI relaxes it
+#: by BENCH_FLOOR_SCALE like every other absolute floor here.
+BOLA_COLUMNAR_FLOOR = 700.0
 
 #: wall-clock budget for running the acceptance workload with the full
 #: telemetry stack on (event tracing + phase profiler), as a multiple of
@@ -337,7 +353,7 @@ def _run_columnar():
     topo = make_cdn(SMOKE, SHARD_SESSIONS, n_edges=SHARD_EDGES)
     return shard_fleet(
         sessions, topo, workers=1, sr_cache="per-edge",
-        fleet_engine="columnar",
+        session_engine="columnar",
     )
 
 
@@ -378,6 +394,52 @@ def test_columnar_throughput_floor():
         f"{SHARD_BASELINE_FLOOR:.0f}, under the "
         f"{COLUMNAR_SPEEDUP_FLOOR:g}x gate "
         f"(floor {COLUMNAR_FLOOR:.0f} x{FLOOR_SCALE:g})"
+    )
+
+
+def _run_bola_columnar():
+    """The acceptance workload with BOLA swapped in for the MPC planner."""
+    sessions = make_population(SMOKE, SHARD_SESSIONS, diurnal=True, abr="bola")
+    topo = make_cdn(SMOKE, SHARD_SESSIONS, n_edges=SHARD_EDGES)
+    return shard_fleet(
+        sessions, topo, workers=1, sr_cache="per-edge",
+        session_engine="columnar",
+    )
+
+
+_BOLA_COLUMNAR_WALL: dict[int, float] = {}
+
+
+def _timed_bola_columnar() -> float:
+    with _quiesced_gc():
+        t0 = time.perf_counter()
+        _run_bola_columnar()
+        wall = time.perf_counter() - t0
+    _BOLA_COLUMNAR_WALL[1] = min(wall, _BOLA_COLUMNAR_WALL.get(1, float("inf")))
+    return wall
+
+
+def test_bench_fleet_bola_columnar(benchmark):
+    """Absolute cost of the 2000-viewer run with the zoo's BOLA policy on
+    the columnar session engine, single process (1 round — the workload
+    runs tens of seconds)."""
+    benchmark.pedantic(_timed_bola_columnar, rounds=1, iterations=1)
+
+
+def test_bola_columnar_throughput_floor():
+    """The BOLA-columnar configuration holds its committed floor.
+
+    With horizon planning gone, the run is bounded by the scheduler and
+    session engine — a regression here is an engine regression that the
+    MPC lanes could mask behind planner cost.
+    """
+    wall = _BOLA_COLUMNAR_WALL.get(1) or _timed_bola_columnar()
+    rate = SHARD_CONTENT_SECONDS / wall
+    print(f"\nbola-columnar fleet {SHARD_SESSIONS}x{SECONDS}s: {wall:.1f}s "
+          f"({rate:.0f} content-s/s)")
+    assert rate >= BOLA_COLUMNAR_FLOOR * FLOOR_SCALE, (
+        f"BOLA-columnar fleet regressed: {rate:.0f} content-s/s "
+        f"(floor {BOLA_COLUMNAR_FLOOR:.0f} x{FLOOR_SCALE:g})"
     )
 
 

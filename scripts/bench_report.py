@@ -24,8 +24,10 @@ Usage::
 Schema history: v4 added the telemetry lane — the optional
 ``test_bench_fleet_telemetry`` row, the ``fleet_telemetry`` overhead
 gate, and the ``phases`` wall-clock breakdown dumped by the benchmark
-via ``BENCH_PHASES_OUT`` and fed in with ``--phases``.  All v4 fields
-are optional on read, so committed v3 baselines still compare cleanly.
+via ``BENCH_PHASES_OUT`` and fed in with ``--phases``.  v5 added the
+policy-zoo lane: the optional ``test_bench_fleet_bola_columnar`` row
+and its committed floor.  All v4/v5 fields are optional on read, so
+committed baselines written by older schemas still compare cleanly.
 """
 
 from __future__ import annotations
@@ -37,7 +39,7 @@ import os
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -195,6 +197,16 @@ def build_reports(raw: dict, phases: dict | None = None) -> dict[str, dict]:
             "overhead_x": telemetry["min_s"] / shard_base["min_s"],
             "overhead_budget_x": fleet_mod.TELEMETRY_OVERHEAD_X,
         }
+    # The policy-zoo lane (schema v5): BOLA on the columnar engine —
+    # optional on read for the same reason as the telemetry row, and its
+    # floor rides along so the floor gate covers it when present.
+    if "test_bench_fleet_bola_columnar" in by_name:
+        bola = _stats(by_name["test_bench_fleet_bola_columnar"])
+        bola["content_s_per_wall_s"] = shard_content / bola["min_s"]
+        fleet["benchmarks"]["test_bench_fleet_bola_columnar"] = bola
+        fleet["floors"]["test_bench_fleet_bola_columnar"] = (
+            fleet_mod.BOLA_COLUMNAR_FLOOR
+        )
     if phases:
         fleet["phases"] = phases
     mpc = {

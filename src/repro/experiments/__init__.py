@@ -14,6 +14,7 @@ from .fig4_uniformity import run_fig4
 from .fleet_cdn import make_cdn, run_fleet_cdn
 from .fleet_chaos import run_fleet_chaos
 from .fleet_obs import run_fleet_obs
+from .fleet_policies import run_fleet_policies
 from .fleet_scaling import make_fleet, run_fleet_scaling, run_population_fleet
 from .workloads import make_population, volut_client, volut_latency_model
 from .interp_speed import run_fig11_device, run_fig11_measured
@@ -43,6 +44,7 @@ __all__ = [
     "run_fleet_cdn",
     "run_fleet_chaos",
     "run_fleet_obs",
+    "run_fleet_policies",
     "make_fleet",
     "make_population",
     "make_cdn",

@@ -37,6 +37,7 @@ from . import (
     run_fleet_cdn,
     run_fleet_chaos,
     run_fleet_obs,
+    run_fleet_policies,
     run_fleet_scaling,
     run_memory_usage,
     run_population_fleet,
@@ -72,6 +73,7 @@ REGISTRY = {
     "fleet-cdn": run_fleet_cdn,
     "fleet-chaos": run_fleet_chaos,
     "fleet-obs": run_fleet_obs,
+    "fleet-policies": run_fleet_policies,
 }
 
 
@@ -97,6 +99,13 @@ def main(argv: list[str] | None = None) -> int:
         "--sessions", type=int, default=None, metavar="N",
         help="viewer count for experiments that take one (fleet-cdn, "
         "fleet-population); default: each experiment's own",
+    )
+    parser.add_argument(
+        "--abr", metavar="NAME", default=None,
+        help="ABR controller for experiments that build a viewer "
+        "population (fleet, fleet-population, fleet-cdn, fleet-chaos, "
+        "fleet-obs): a repro.streaming.policies registry name; "
+        "default: each experiment's own (continuous-mpc)",
     )
     parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -155,6 +164,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         _list_experiments(sys.stderr)
         return 2
+    if args.abr is not None:
+        from ..streaming.policies import available_policies
+
+        if args.abr not in available_policies():
+            print(f"unknown ABR policy: {args.abr!r}", file=sys.stderr)
+            print("available policies:", file=sys.stderr)
+            for name in available_policies():
+                print(f"  {name}", file=sys.stderr)
+            return 2
     names = list(REGISTRY) if args.all else args.names
 
     scale = PAPER if args.scale == "paper" else SMOKE
@@ -169,6 +187,8 @@ def main(argv: list[str] | None = None) -> int:
         cfg_bits.append(f"days={args.days}")
     if args.control_interval is not None:
         cfg_bits.append(f"control_interval={args.control_interval:g}")
+    if args.abr is not None:
+        cfg_bits.append(f"abr={args.abr}")
     if args.diurnal:
         cfg_bits.append("diurnal")
     cfg = f" ({', '.join(cfg_bits)})" if cfg_bits else ""
@@ -184,6 +204,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["n_sessions"] = args.sessions
         if args.workers is not None and "workers" in params:
             kwargs["workers"] = args.workers
+        if args.abr is not None and "abr" in params:
+            kwargs["abr"] = args.abr
         if args.days is not None and "days" in params:
             kwargs["days"] = args.days
         if args.control_interval is not None and "control_interval" in params:

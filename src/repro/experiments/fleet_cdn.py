@@ -73,6 +73,7 @@ def run_fleet_cdn(
     diurnal: bool = False,
     days: int = 1,
     workers: int = 0,
+    abr: str = "continuous-mpc",
 ) -> ResultTable:
     """Run the population through CDN variants; report edge-side aggregates.
 
@@ -107,7 +108,7 @@ def run_fleet_cdn(
         ),
     )
     sessions = make_population(
-        scale, n_sessions, skew=skew, diurnal=diurnal, days=days
+        scale, n_sessions, skew=skew, diurnal=diurnal, days=days, abr=abr
     )
 
     def row(topology: str, assign: str, rep) -> None:

@@ -59,6 +59,7 @@ def run_fleet_chaos(
     sr_cache_size: int = 4096,
     control_interval: float = 5.0,
     trace_out: str | None = None,
+    abr: str = "continuous-mpc",
 ) -> ResultTable:
     """Fault scenarios with the control plane off vs on.
 
@@ -92,7 +93,7 @@ def run_fleet_chaos(
             "pre-fault baseline and virtual seconds back to tolerance."
         ),
     )
-    sessions = make_population(scale, n_sessions, skew=skew)
+    sessions = make_population(scale, n_sessions, skew=skew, abr=abr)
 
     def row(scenario: str, ctrl: str, rep) -> None:
         table.add(
@@ -201,7 +202,7 @@ def run_fleet_chaos(
     # whose learned scale thins the next day's arrivals through the
     # DiurnalArrivals.autoscale hook.
     autoscaler = QoEArrivalAutoscaler(day_seconds=window)
-    day1 = make_population(scale, n_sessions, skew=skew, diurnal=True)
+    day1 = make_population(scale, n_sessions, skew=skew, diurnal=True, abr=abr)
     rep = simulate_fleet(
         day1,
         topology=make_cdn(

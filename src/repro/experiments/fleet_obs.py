@@ -44,10 +44,11 @@ def run_fleet_obs(
     trace_out: str | None = None,
     metrics_out: str | None = None,
     profile: bool = True,
+    abr: str = "continuous-mpc",
 ) -> ResultTable:
     """One fully-instrumented chaos run; see the module docstring."""
     window = float(scale.stream_seconds)
-    sessions = make_population(scale, n_sessions, skew=skew)
+    sessions = make_population(scale, n_sessions, skew=skew, abr=abr)
     faults = FaultSchedule((
         EdgeOutage(edge=0, start=0.4 * window, duration=0.25 * window),
         BackhaulDegradation(

@@ -35,6 +35,7 @@ def make_fleet(
     join_spacing: float = 0.5,
     n_grid: int = 16,
     horizon: int = 3,
+    abr: str = "continuous-mpc",
 ) -> list[FleetSession]:
     """``n_sessions`` identical VoLUT clients with staggered joins.
 
@@ -45,7 +46,7 @@ def make_fleet(
     """
     if n_sessions <= 0:
         raise ValueError("need at least one session")
-    ctrl, qm, lat = volut_client(n_grid, horizon)
+    ctrl, qm, lat = volut_client(n_grid, horizon, abr=abr)
     return [
         FleetSession(
             spec=spec,
@@ -66,6 +67,7 @@ def run_fleet_scaling(
     sr_cache_size: int = 4096,
     population_sessions: int = 200,
     population_mbps_per_session: float = 6.0,
+    abr: str = "continuous-mpc",
 ) -> ResultTable:
     """Sweep fleet size on a fixed bottleneck; report aggregate QoE.
 
@@ -104,7 +106,9 @@ def run_fleet_scaling(
     trace = stable_trace(link_mbps, duration=float(scale.stream_seconds * 4))
     for n in fleet_sizes:
         cache = SRResultCache(capacity=sr_cache_size)
-        result = simulate_fleet(make_fleet(n, spec), trace, policy=policy, sr_cache=cache)
+        result = simulate_fleet(
+            make_fleet(n, spec, abr=abr), trace, policy=policy, sr_cache=cache
+        )
         rep = result.report
         table.add(
             n_sessions=n,
@@ -119,7 +123,7 @@ def run_fleet_scaling(
             mbps_per_session=round(link_mbps / n, 1),
         )
     if population_sessions > 0:
-        sessions = make_population(scale, population_sessions)
+        sessions = make_population(scale, population_sessions, abr=abr)
         cache = SRResultCache(capacity=sr_cache_size)
         pop_trace = stable_trace(
             population_mbps_per_session * len(sessions),
@@ -150,6 +154,7 @@ def run_population_fleet(
     mbps_per_session: float = 6.0,
     stall_patience: float = 12.0,
     diurnal: bool = False,
+    abr: str = "continuous-mpc",
 ) -> ResultTable:
     """Sweep catalog popularity skew for a churn-enabled viewer population.
 
@@ -183,7 +188,7 @@ def run_population_fleet(
     for skew in skews:
         sessions = make_population(
             scale, n_sessions, skew=skew, stall_patience=stall_patience,
-            diurnal=diurnal,
+            diurnal=diurnal, abr=abr,
         )
         cache = SRResultCache()
         trace = stable_trace(

@@ -11,9 +11,10 @@ benchmarks) agree on what "a VoLUT viewer" is.
 from __future__ import annotations
 
 from ..metrics.qoe import QoEModel
-from ..streaming.abr import ContinuousMPC, SRQualityModel
+from ..streaming.abr import AbrController, ContinuousMPC, SRQualityModel
 from ..streaming.fleet import FleetSession
 from ..streaming.latency import MeasuredSRLatency
+from ..streaming.policies import get_policy
 from ..streaming.population import (
     DiurnalArrivals,
     PoissonArrivals,
@@ -32,12 +33,26 @@ def volut_latency_model() -> MeasuredSRLatency:
 
 
 def volut_client(
-    n_grid: int, horizon: int
-) -> tuple[ContinuousMPC, SRQualityModel, MeasuredSRLatency]:
-    """One shared VoLUT client stack: controller + quality/latency models."""
+    n_grid: int, horizon: int, abr: str = "continuous-mpc"
+) -> tuple[AbrController, SRQualityModel, MeasuredSRLatency]:
+    """One shared VoLUT client stack: controller + quality/latency models.
+
+    ``abr`` names a controller in the
+    :mod:`repro.streaming.policies` registry (``continuous-mpc`` — the
+    historical default — ``discrete-mpc``, ``bola``, ``throughput``,
+    ``hybrid``, ...); all are built over the same quality and measured
+    LUT latency models so an A/B varies only the decision rule.
+    """
     qm = SRQualityModel()
     lat = volut_latency_model()
-    ctrl = ContinuousMPC(qm, QoEModel(), lat, n_grid=n_grid, horizon=horizon)
+    ctrl = get_policy(
+        abr,
+        quality_model=qm,
+        qoe_model=QoEModel(),
+        sr_latency=lat,
+        n_grid=n_grid,
+        horizon=horizon,
+    )
     return ctrl, qm, lat
 
 
@@ -50,6 +65,7 @@ def make_population(
     stall_patience: float = 12.0,
     n_grid: int = 16,
     horizon: int = 3,
+    abr: str = "continuous-mpc",
     seed: int = 0,
     diurnal: bool = False,
     days: int = 1,
@@ -66,13 +82,16 @@ def make_population(
     window), spreading the same ``n_sessions`` across the whole span.
     ``autoscale`` is handed to the diurnal process's per-day rate hook —
     the lever a :class:`~repro.streaming.control.QoEArrivalAutoscaler`
-    closes the arrival loop through.
+    closes the arrival loop through.  ``abr`` swaps the controller (a
+    :mod:`repro.streaming.policies` registry name) while arrivals and
+    catalog stay pinned to ``seed`` — every policy in an A/B sees the
+    same viewers at the same times.
     """
     if days < 1:
         raise ValueError(f"days must be >= 1, got {days}")
     if autoscale is not None and not (diurnal or days > 1):
         raise ValueError("autoscale needs the diurnal arrival process")
-    ctrl, qm, lat = volut_client(n_grid, horizon)
+    ctrl, qm, lat = volut_client(n_grid, horizon, abr=abr)
     catalog = synthetic_catalog(
         n_videos,
         seconds=scale.stream_seconds,

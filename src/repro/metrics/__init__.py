@@ -7,7 +7,14 @@ from .chamfer import (
     p2p_distances,
 )
 from .psnr import image_mse, image_psnr, mean_image_psnr
-from .qoe import ChunkRecord, QoEModel, QoEWeights, aggregate_qoe, session_qoe
+from .qoe import (
+    ChunkRecord,
+    QoEModel,
+    QoEWeights,
+    aggregate_qoe,
+    bootstrap_ci,
+    session_qoe,
+)
 from .temporal import flicker_index, temporal_chamfer
 from .uniformity import coverage_radius, local_density_cv, nn_distance_cv
 
@@ -27,6 +34,7 @@ __all__ = [
     "ChunkRecord",
     "session_qoe",
     "aggregate_qoe",
+    "bootstrap_ci",
     "temporal_chamfer",
     "flicker_index",
 ]

@@ -18,7 +18,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["QoEWeights", "ChunkRecord", "QoEModel", "session_qoe", "aggregate_qoe"]
+__all__ = [
+    "QoEWeights",
+    "ChunkRecord",
+    "QoEModel",
+    "session_qoe",
+    "aggregate_qoe",
+    "bootstrap_ci",
+]
 
 
 @dataclass(frozen=True)
@@ -200,3 +207,34 @@ def aggregate_qoe(
         "total_stall_seconds": total_stall,
         "n_sessions": float(len(qoes)),
     }
+
+
+def bootstrap_ci(
+    values: list[float] | np.ndarray,
+    *,
+    n_boot: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean of ``values``.
+
+    Resamples the per-session values with replacement ``n_boot`` times
+    (seeded :func:`numpy.random.default_rng`, so reruns are identical)
+    and returns the (lo, hi) percentile interval of the resampled means.
+    This is how the policy-zoo A/B reports uncertainty on mean QoE:
+    nonparametric, so the heavy left tail a stall-prone policy produces
+    widens its interval instead of being assumed away.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1 or v.size == 0:
+        raise ValueError("need a non-empty 1-D sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_boot < 1:
+        raise ValueError("n_boot must be positive")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, v.size, size=(n_boot, v.size))
+    means = v[idx].mean(axis=1)
+    tail = 100.0 * (1.0 - confidence) / 2.0
+    lo, hi = np.percentile(means, [tail, 100.0 - tail])
+    return float(lo), float(hi)

@@ -16,6 +16,12 @@ The SR-quality model maps a {density, SR-ratio} decision to the perceived
 quality ``Q`` of Eq. 10: the post-SR density discounted by a per-doubling
 SR efficiency (SR'd points are almost, not exactly, as good as native
 ones — the discount is calibrated from the SR-quality experiments).
+
+The non-MPC controllers of the policy zoo (BOLA, throughput rule,
+hybrid) live in :mod:`repro.streaming.policies` along with the
+string-keyed registry — ``get_policy("bola")`` — that the experiment
+CLIs resolve ``--abr`` names against; every controller here is
+registered there too.
 """
 
 from __future__ import annotations

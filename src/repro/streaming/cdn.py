@@ -285,6 +285,9 @@ class EncodeQueue:
         self._initial_workers = self.n_workers
         self._free_at = [0.0] * self.n_workers
         self.waits: list[float] = []
+        #: core-seconds of transcode work accepted (Σ job cost) — what the
+        #: infrastructure cost model bills as encode compute
+        self.busy_seconds = 0.0
         #: wired by the fleet driver when tracing; unwired in its finally
         self.tracer = None
 
@@ -317,6 +320,7 @@ class EncodeQueue:
         self.n_workers = self._initial_workers
         self._free_at = [0.0] * self.n_workers
         self.waits.clear()
+        self.busy_seconds = 0.0
 
     def submit(self, at_time: float, cost: float) -> float:
         """Ready time of an encode job submitted at ``at_time``."""
@@ -329,6 +333,7 @@ class EncodeQueue:
         ready = start + cost
         self._free_at[worker] = ready
         self.waits.append(start - at_time)
+        self.busy_seconds += cost
         if self.tracer is not None:
             self.tracer.emit(
                 at_time, EV_ENCODE_ENQUEUE, wait=start - at_time,

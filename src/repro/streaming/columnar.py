@@ -35,8 +35,8 @@ pins their order:
 The completion batch of one event step is narrow (~1–2 sessions), so the
 win here is structural — no generators, no per-decision dataclasses, no
 window re-slicing — not ufunc throughput.  The object-machine path
-remains the bit-exact oracle: ``simulate_fleet(fleet_engine="columnar")``
-must reproduce ``fleet_engine="machine"`` result for result, which
+remains the bit-exact oracle: ``simulate_fleet(session_engine="columnar")``
+must reproduce ``session_engine="machine"`` result for result, which
 ``tests/streaming/test_columnar.py`` pins on a hypothesis grid (the
 sixth instance of the oracle-parity convention).
 """

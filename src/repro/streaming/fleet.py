@@ -72,9 +72,11 @@ from .simulator import (
     SessionMachine,
     SessionResult,
 )
+from .spec import FleetSpec
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from ..obs import Telemetry
+    from .cost import CostModel, CostReport
 
 __all__ = [
     "FleetSession",
@@ -238,6 +240,13 @@ class FleetReport:
     #: virtual seconds from first fault to health back within tolerance of
     #: baseline; 0.0 = no measurable dip, ``inf`` = never recovered in-run
     time_to_recover_s: float = 0.0
+    #: origin transcode core-seconds actually occupied (encode-queue busy
+    #: time summed over jobs) — what the cost model prices as compute
+    encode_core_seconds: float = 0.0
+    #: infrastructure bill (attached when the run carried a
+    #: :class:`~repro.streaming.cost.CostModel`; None otherwise, so
+    #: uncosted runs stay field-for-field comparable across engines)
+    cost: "CostReport | None" = None
 
 
 @dataclass(frozen=True)
@@ -318,6 +327,7 @@ def build_fleet_report(
     sr_misses: int,
     sr_edge_hit_rates: tuple[float, ...],
     ops: OpsStats | None = None,
+    encode_core_seconds: float = 0.0,
 ) -> FleetReport:
     """One :class:`FleetReport` from plain per-run aggregates.
 
@@ -373,6 +383,7 @@ def build_fleet_report(
         encode_pool_resizes=ops.encode_pool_resizes,
         qoe_dip_depth=ops.qoe_dip_depth,
         time_to_recover_s=ops.time_to_recover_s,
+        encode_core_seconds=encode_core_seconds,
     )
 
 
@@ -434,27 +445,41 @@ def simulate_fleet(
     policy: str = "fair",
     sr_cache: SRResultCache | str | None = None,
     topology: CDNTopology | None = None,
-    engine: str = "vector",
+    engine: str | None = None,
     assignment: list[int] | None = None,
     faults: FaultSchedule | None = None,
     controller: ControlPlane | None = None,
-    fleet_engine: str = "machine",
+    fleet_engine: str | None = None,
     telemetry: "Telemetry | None" = None,
+    *,
+    scheduler_engine: str | None = None,
+    session_engine: str | None = None,
+    cost_model: "CostModel | None" = None,
+    spec: FleetSpec | None = None,
 ) -> FleetResult:
     """Run a fleet of sessions over a shared serving topology.
+
+    Configuration lives in a :class:`~repro.streaming.spec.FleetSpec` —
+    pass one as ``spec=`` — or in the historical loose keywords, which a
+    thin shim folds into the identical spec (the two call forms are
+    bit-exact by construction; mixing them is rejected).  All
+    cross-field validation happens once, in
+    :meth:`~repro.streaming.spec.FleetSpec.validate`.
 
     Exactly one of ``trace`` (the classic single bottleneck link, run as
     a one-hop path) and ``topology`` (a CDN: per-edge caches, backhaul +
     access hops, origin encode contention) must be given.  ``policy``
     configures the single link; a topology's links carry their own
     sharing policies, so combining it with a non-default ``policy`` is
-    rejected rather than silently ignored.  ``engine`` selects the
-    :class:`~repro.net.topology.PathScheduler` implementation
+    rejected rather than silently ignored.  ``scheduler_engine`` selects
+    the :class:`~repro.net.topology.PathScheduler` implementation
     (``"vector"`` array math by default, ``"scalar"`` the bit-exact
-    reference oracle).
+    reference oracle); its deprecated alias ``engine=`` still works and
+    warns.
 
-    ``fleet_engine`` selects the *session* layer independently of the
-    network scheduler: ``"machine"`` (default) advances one
+    ``session_engine`` (deprecated alias ``fleet_engine=``) selects the
+    *session* layer independently of the network scheduler:
+    ``"machine"`` (default) advances one
     :class:`~repro.streaming.simulator.SessionMachine` generator per
     viewer and is the bit-exact oracle; ``"columnar"`` runs the same
     transitions over the struct-of-arrays
@@ -465,6 +490,12 @@ def simulate_fleet(
     columnar engine supports every serving mode except edge *outages*
     (whose evacuation/retry bookkeeping still rides machine objects);
     degradations, flash crowds, and a live controller all work.
+
+    ``cost_model`` attaches a :class:`~repro.streaming.cost.CostModel`'s
+    dollarization of the run to ``report.cost`` (see
+    :func:`~repro.streaming.cost.attach_cost`); pricing happens after
+    the run from the report's own counters, so it cannot perturb the
+    simulation.
 
     ``sr_cache`` may be a shared :class:`SRResultCache`, ``None`` (no SR
     sharing), or the string ``"per-edge"`` (topology mode only): each
@@ -530,36 +561,65 @@ def simulate_fleet(
     """
     if not sessions:
         raise ValueError("fleet needs at least one session")
-    if (trace is None) == (topology is None):
-        raise ValueError("exactly one of trace and topology must be given")
-    if topology is not None and policy != "fair":
-        raise ValueError(
-            "policy applies to the single-link mode; a topology's links "
-            "carry their own sharing policies (set them at construction, "
-            "e.g. uniform_cdn(policy=...))"
+    if spec is not None:
+        if (
+            trace is not None
+            or policy != "fair"
+            or sr_cache is not None
+            or topology is not None
+            or engine is not None
+            or assignment is not None
+            or faults is not None
+            or controller is not None
+            or fleet_engine is not None
+            or telemetry is not None
+            or scheduler_engine is not None
+            or session_engine is not None
+            or cost_model is not None
+        ):
+            raise ValueError(
+                "pass the configuration either as spec= or as loose "
+                "keyword arguments, not both"
+            )
+    else:
+        if engine is not None and scheduler_engine is not None:
+            raise ValueError(
+                "pass scheduler_engine= or its deprecated alias engine=, "
+                "not both"
+            )
+        if fleet_engine is not None and session_engine is not None:
+            raise ValueError(
+                "pass session_engine= or its deprecated alias "
+                "fleet_engine=, not both"
+            )
+        spec = FleetSpec(
+            trace=trace,
+            topology=topology,
+            policy=policy,
+            sr_cache=sr_cache,
+            scheduler_engine=(
+                scheduler_engine if scheduler_engine is not None else "vector"
+            ),
+            session_engine=(
+                session_engine if session_engine is not None else "machine"
+            ),
+            assignment=assignment,
+            faults=faults,
+            controller=controller,
+            telemetry=telemetry,
+            cost_model=cost_model,
+            engine=engine,
+            fleet_engine=fleet_engine,
         )
-    if fleet_engine not in ("machine", "columnar"):
-        raise ValueError(
-            f"unknown fleet_engine {fleet_engine!r}; expected 'machine' "
-            "or 'columnar'"
-        )
-    if faults is not None and not faults:
-        faults = None  # empty schedule ≡ no faults (parity convention)
-    if (
-        fleet_engine == "columnar"
-        and faults is not None
-        and faults.outages
-    ):
-        raise ValueError(
-            "fleet_engine='columnar' does not support edge outages yet "
-            "(evacuation/retry bookkeeping rides the machine engine); "
-            "use fleet_engine='machine' for outage schedules"
-        )
-    if (faults is not None or controller is not None) and topology is None:
-        raise ValueError(
-            "faults and controller require a topology (fault events and "
-            "control actions are defined against CDN edges)"
-        )
+    spec.validate()
+    trace = spec.trace
+    topology = spec.topology
+    policy = spec.policy
+    sr_cache = spec.sr_cache
+    assignment = spec.assignment
+    faults = spec.faults
+    controller = spec.controller
+    telemetry = spec.telemetry
     tracer = telemetry.tracer if telemetry is not None else None
     metrics = telemetry.metrics if telemetry is not None else None
     prof = (
@@ -569,8 +629,6 @@ def simulate_fleet(
     )
     if topology is None:
         assert trace is not None
-        if assignment is not None:
-            raise ValueError("assignment requires a topology")
         base_path: NetworkPath | None = NetworkPath(
             (SharedLink(trace, policy=policy),), name="bottleneck"
         )
@@ -596,20 +654,14 @@ def simulate_fleet(
                 )
     per_edge_sr = isinstance(sr_cache, str)
     if per_edge_sr:
-        if sr_cache != "per-edge":
-            raise ValueError(
-                f"unknown sr_cache mode {sr_cache!r}; pass an "
-                "SRResultCache, None, or 'per-edge'"
-            )
-        if topology is None:
-            raise ValueError("sr_cache='per-edge' requires a topology")
+        # Mode string already validated by spec.validate().
         for edge in topology.edges:
             if edge.sr_cache is None:
                 edge.sr_cache = SRResultCache()
         session_sr_caches = [topology.edges[e].sr_cache for e in assignment]
     else:
         session_sr_caches = [sr_cache] * len(sessions)
-    if fleet_engine == "columnar":
+    if spec.session_engine == "columnar":
         cols: ColumnarFleet | None = ColumnarFleet(
             sessions, session_sr_caches
         )
@@ -652,7 +704,7 @@ def simulate_fleet(
                 tracer.emit(s.join_time, EV_SESSION_START, session=sid)
         if faults is not None:
             faults.emit_scheduled(tracer)
-    sched = PathScheduler(engine=engine)
+    sched = PathScheduler(engine=spec.scheduler_engine)
     #: flows that must fill an edge cache on completion: sid -> (edge idx, key, bytes)
     pending_fill: dict[int, tuple] = {}
     #: requests coalesced onto an in-flight fill: (edge idx, key) -> [(sid, req)]
@@ -1242,12 +1294,14 @@ def simulate_fleet(
         ]
         edge_hit_rates = tuple(e.cache.hit_rate for e in topology.edges)
         encode_waits = list(topology.origin.queue.waits)
+        encode_core_seconds = topology.origin.queue.busy_seconds
         egress: int | None = origin_egress
     else:
         # No edges: every byte leaves the origin (egress=None sentinel).
         edge_stats = []
         edge_hit_rates = ()
         encode_waits = []
+        encode_core_seconds = 0.0
         egress = None
     if per_edge_sr:
         assert topology is not None
@@ -1270,8 +1324,9 @@ def simulate_fleet(
         sr_misses=sr_misses,
         sr_edge_hit_rates=sr_edge_hit_rates,
         ops=ops,
+        encode_core_seconds=encode_core_seconds,
     )
-    return FleetResult(
+    result = FleetResult(
         sessions=results,
         report=report,
         sr_cache=None if per_edge_sr else sr_cache,
@@ -1280,3 +1335,8 @@ def simulate_fleet(
         assignment=assignment,
         end_times=end_times,
     )
+    if spec.cost_model is not None:
+        from .cost import attach_cost
+
+        result = attach_cost(result, spec.cost_model)
+    return result

@@ -1,0 +1,468 @@
+"""ABR policy zoo: a registry of controllers behind one explicit protocol.
+
+:mod:`repro.streaming.abr` grew the controller *interface* implicitly —
+``decide`` / ``decide_batch`` / ``decide_columns`` — with only the MPC
+family implementing all three entry points.  This module makes the
+contract explicit (:class:`AbrPolicy`), adds a string-keyed registry so
+experiments and CLIs resolve controllers by name
+(``get_policy("bola")``), and fills out the zoo with the classic
+non-MPC control families:
+
+* :class:`BolaController` — BOLA-style Lyapunov utility over buffer
+  occupancy (Spiteri et al.): pick the candidate maximizing
+  ``(V·(u_c + γp) − buffer) / size_c``;
+* :class:`ThroughputRuleController` — the rate rule: largest candidate
+  whose chunk downloads within one chunk duration at the (safety-
+  discounted) harmonic-mean throughput estimate.  The estimate arrives
+  as ``ctx.throughput_bps``, produced by the session pipeline's
+  :class:`~repro.net.estimator.HarmonicMeanEstimator` (machine engine)
+  or ``ColumnarFleet._estimate`` (columnar engine) — the controller
+  itself stays stateless so batch order cannot perturb decisions;
+* :class:`HybridController` — throughput-gated BOLA: BOLA steady-state,
+  clamped by the throughput rule while the buffer is below a gate.
+
+Every policy implements a pure-Python scalar ``decide`` as its
+**reference oracle** plus vectorized ``decide_batch`` / columnar
+``decide_columns`` paths, with all candidate-grid constants (densities,
+SR ratios, utilities, per-chunk bit sizes) precomputed once at
+construction and indexed by both paths — so the per-row arithmetic is
+elementwise identical and the scalar/batch parity grids in
+``tests/streaming/test_abr_parity.py`` pin them at 1e-9 (the eighth
+instance of the oracle-parity convention; cross-engine fleet parity
+rides ``tests/streaming/test_columnar.py``).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..metrics.qoe import QoEModel
+from .abr import (
+    AbrContext,
+    AbrController,
+    BufferBased,
+    ContinuousMPC,
+    Decision,
+    DiscreteMPC,
+    SRQualityModel,
+)
+from .latency import ZERO_LATENCY
+
+__all__ = [
+    "AbrPolicy",
+    "BolaController",
+    "ThroughputRuleController",
+    "HybridController",
+    "register_policy",
+    "get_policy",
+    "available_policies",
+    "supports_dedup",
+]
+
+
+@runtime_checkable
+class AbrPolicy(Protocol):
+    """The controller contract both fleet engines program against.
+
+    Capabilities, in order of obligation:
+
+    * ``decide(ctx)`` — the scalar reference path.  Every policy's
+      single source of truth; the parity grids pin the other entry
+      points against it.
+    * ``decide_batch(ctxs)`` — one call resolving every session parked
+      on a decision at an event step (the machine engine's path).  Must
+      equal ``[decide(c) for c in ctxs]`` to 1e-9.
+    * ``decide_columns(batch)`` — the columnar engine's path, fed a
+      :class:`~repro.streaming.columnar.DecisionColumns` view.  Must
+      equal deciding each row's materialized context.
+    * ``quality_model`` — the :class:`~repro.streaming.abr.SRQualityModel`
+      the policy prices decisions with (fleet drivers and experiments
+      read it to keep session quality accounting consistent).
+    * dedup/memo participation is *optional* and advertised by a
+      truthy ``dedup`` attribute (see :func:`supports_dedup`); only the
+      MPC family opts in today.
+    """
+
+    quality_model: SRQualityModel
+
+    def decide(self, ctx: AbrContext) -> Decision: ...
+
+    def decide_batch(self, ctxs: list[AbrContext]) -> list[Decision]: ...
+
+    def decide_columns(self, batch) -> list[Decision]: ...
+
+
+def supports_dedup(policy) -> bool:
+    """Whether ``policy`` participates in decision-row dedup/memoization.
+
+    MPC planners quantize rows and memoize decisions across calls
+    (``_MPCBase.dedup``); the rule-based zoo recomputes — its per-row
+    arithmetic is two flops, cheaper than a dict probe.
+    """
+    return bool(getattr(policy, "dedup", False))
+
+
+# ----------------------------------------------------------------------
+# the rule-based zoo
+# ----------------------------------------------------------------------
+
+
+class _GridPolicy(AbrController):
+    """Shared candidate-grid machinery for the rule-based controllers.
+
+    Everything throughput-independent is precomputed here once: the
+    density grid (geometric, like :class:`ContinuousMPC`), its SR
+    ratios and qualities, and — lazily, per distinct chunk — the fetched
+    bit size of every candidate.  The scalar and vectorized decision
+    paths both index these arrays, so their per-row arithmetic is
+    elementwise identical (what makes 1e-9 parity structural rather
+    than approximate).
+    """
+
+    def __init__(
+        self,
+        quality_model: SRQualityModel,
+        min_density: float = 1.0 / 8.0,
+        n_grid: int = 16,
+        fetch_fraction: float = 1.0,
+    ):
+        if not 0 < min_density < 1:
+            raise ValueError("min_density must be in (0, 1)")
+        if n_grid < 2:
+            raise ValueError("n_grid must be >= 2")
+        if not 0.0 < fetch_fraction <= 1.0:
+            raise ValueError("fetch_fraction must be in (0, 1]")
+        self.quality_model = quality_model
+        self.candidates = np.geomspace(min_density, 1.0, n_grid)
+        self._sr_ratios = quality_model.sr_ratios_for(self.candidates)
+        self._qualities = quality_model.qualities(
+            self.candidates, self._sr_ratios
+        )
+        self.fetch_fraction = float(fetch_fraction)
+        #: chunk -> fetched bits per candidate, cached per distinct chunk
+        self._bits_cache: dict[int, np.ndarray] = {}
+
+    def _chunk_bits(self, chunk) -> np.ndarray:
+        key = id(chunk)
+        bits = self._bits_cache.get(key)
+        if bits is None:
+            bits = (
+                chunk.bytes_at_densities(self.candidates)
+                * self.fetch_fraction
+                * 8.0
+            )
+            self._bits_cache[key] = bits
+        return bits
+
+    def _decision_for(self, i: int) -> Decision:
+        return Decision(
+            density=float(self.candidates[i]),
+            sr_ratio=float(self._sr_ratios[i]),
+        )
+
+    # -- per-row index rules, implemented by each policy ---------------
+    def _index(self, tput: float, buf: float, chunk) -> int:
+        """Scalar reference: candidate index for one decision row."""
+        raise NotImplementedError
+
+    def _indices(
+        self, tput: np.ndarray, buf: np.ndarray, chunk
+    ) -> np.ndarray:
+        """Vectorized :meth:`_index` over same-chunk rows."""
+        raise NotImplementedError
+
+    # -- the three protocol entry points -------------------------------
+    def decide(self, ctx: AbrContext) -> Decision:
+        return self._decision_for(
+            self._index(ctx.throughput_bps, ctx.buffer_level, ctx.next_chunks[0])
+        )
+
+    def decide_batch(self, ctxs: list[AbrContext]) -> list[Decision]:
+        return self._decide_rows(
+            [c.throughput_bps for c in ctxs],
+            [c.buffer_level for c in ctxs],
+            [c.next_chunks[0] for c in ctxs],
+        )
+
+    def decide_columns(self, batch) -> list[Decision]:
+        chunks = [batch.window(i, 1)[0] for i in range(len(batch))]
+        return self._decide_rows(batch.tput, batch.buffer, chunks)
+
+    def _decide_rows(self, tputs, bufs, chunks) -> list[Decision]:
+        """Group rows by next chunk, one vectorized pass per group.
+
+        Grouping only batches the arithmetic — every row's score math is
+        elementwise, so group membership cannot change any decision.
+        """
+        groups: dict[int, list[int]] = {}
+        for i, chunk in enumerate(chunks):
+            groups.setdefault(id(chunk), []).append(i)
+        decisions: list[Decision | None] = [None] * len(chunks)
+        for idxs in groups.values():
+            chunk = chunks[idxs[0]]
+            t = np.array([tputs[i] for i in idxs], dtype=np.float64)
+            b = np.array([bufs[i] for i in idxs], dtype=np.float64)
+            best = self._indices(t, b, chunk)
+            for j, i in enumerate(idxs):
+                decisions[i] = self._decision_for(int(best[j]))
+        return decisions  # type: ignore[return-value]
+
+
+def _bola_scores(vu: np.ndarray, buf, bits: np.ndarray):
+    """BOLA objective ``(V·(u_c + γp) − buffer) / size_c`` per candidate.
+
+    ``buf`` is a scalar (scalar path) or an ``(N, 1)`` column (vector
+    path); either way the per-element operations are one subtract and
+    one divide — identical IEEE arithmetic in both shapes.
+    """
+    return (vu - buf) / bits
+
+
+def _tput_count(bits: np.ndarray, limit):
+    """How many candidates download within ``limit`` bits.
+
+    ``bits`` is non-decreasing (byte size is monotone in density), so
+    the feasible set is a prefix and the count minus one is the largest
+    feasible index.
+    """
+    return (bits <= limit).sum(axis=-1)
+
+
+class BolaController(_GridPolicy):
+    """BOLA-style buffer controller: Lyapunov utility over occupancy.
+
+    Candidate ``c`` scores ``(V·(u_c + γp) − buffer) / size_c`` with
+    utilities ``u_c = ln(q_c / q_min)`` from the SR-quality model and
+    ``V`` derived so the scores cross zero — and the argmax reaches the
+    densest candidate — as the buffer approaches ``buffer_target``
+    (``V = buffer_target / (u_max + γp)``).  Below target the rule
+    favors small chunks (build buffer); at/above target the least
+    negative score divided by the largest size wins (spend buffer on
+    quality).  Purely buffer-driven: the throughput estimate is ignored.
+    """
+
+    def __init__(
+        self,
+        quality_model: SRQualityModel,
+        min_density: float = 1.0 / 8.0,
+        n_grid: int = 16,
+        buffer_target: float = 6.0,
+        gamma_p: float = 5.0,
+        fetch_fraction: float = 1.0,
+    ):
+        super().__init__(quality_model, min_density, n_grid, fetch_fraction)
+        if buffer_target <= 0:
+            raise ValueError("buffer_target must be positive")
+        if gamma_p <= 0:
+            raise ValueError("gamma_p must be positive")
+        self.buffer_target = float(buffer_target)
+        self.gamma_p = float(gamma_p)
+        u = np.log(self._qualities) - np.log(self._qualities[0])
+        self.lyapunov_v = self.buffer_target / (float(u[-1]) + self.gamma_p)
+        #: ``V·(u_c + γp)`` — the only per-candidate constant the score needs
+        self._vu = self.lyapunov_v * (u + self.gamma_p)
+
+    def _index(self, tput: float, buf: float, chunk) -> int:
+        bits = self._chunk_bits(chunk)
+        vu = self._vu
+        best, best_score = 0, None
+        for i in range(len(vu)):
+            score = (float(vu[i]) - buf) / float(bits[i])
+            # strict > mirrors np.argmax's first-max tie-break
+            if best_score is None or score > best_score:
+                best, best_score = i, score
+        return best
+
+    def _indices(self, tput, buf, chunk) -> np.ndarray:
+        bits = self._chunk_bits(chunk)
+        return np.argmax(
+            _bola_scores(self._vu[None, :], buf[:, None], bits[None, :]),
+            axis=1,
+        )
+
+
+class ThroughputRuleController(_GridPolicy):
+    """Rate rule: densest candidate sustainable at the estimated rate.
+
+    Feasibility is ``size_bits ≤ throughput · safety · chunk_duration``
+    — the chunk must download within its own playback duration at the
+    safety-discounted estimate.  The estimate is the harmonic mean the
+    session pipeline maintains (:class:`~repro.net.estimator.
+    HarmonicMeanEstimator`; the columnar engine reproduces its
+    sequential-sum arithmetic), delivered as ``ctx.throughput_bps`` /
+    the ``tput`` column — keeping the controller stateless, so decisions
+    are independent of batch composition and order.  When nothing is
+    feasible the sparsest candidate is fetched (the session must make
+    progress to re-estimate).
+    """
+
+    def __init__(
+        self,
+        quality_model: SRQualityModel,
+        min_density: float = 1.0 / 8.0,
+        n_grid: int = 16,
+        safety: float = 0.9,
+        fetch_fraction: float = 1.0,
+    ):
+        super().__init__(quality_model, min_density, n_grid, fetch_fraction)
+        if not 0 < safety <= 1:
+            raise ValueError("safety must be in (0, 1]")
+        self.safety = float(safety)
+
+    def _index(self, tput: float, buf: float, chunk) -> int:
+        bits = self._chunk_bits(chunk)
+        limit = tput * self.safety * chunk.duration
+        count = 0
+        for i in range(len(bits)):
+            if float(bits[i]) <= limit:
+                count += 1
+        return count - 1 if count > 0 else 0
+
+    def _indices(self, tput, buf, chunk) -> np.ndarray:
+        bits = self._chunk_bits(chunk)
+        limit = tput * self.safety * chunk.duration
+        count = _tput_count(bits[None, :], limit[:, None])
+        return np.where(count > 0, count - 1, 0)
+
+
+class HybridController(BolaController):
+    """Throughput-gated BOLA: rate-capped while the buffer is thin.
+
+    Runs BOLA's score argmax, but while ``buffer < gate_buffer`` clamps
+    the pick to the throughput rule's largest-feasible candidate
+    (``min`` of the two indices on the shared ascending grid).  Once
+    the buffer clears the gate, pure BOLA steady-state takes over —
+    the standard cure for BOLA's slow cold-start ramp without giving up
+    its buffer-driven stability.
+    """
+
+    def __init__(
+        self,
+        quality_model: SRQualityModel,
+        min_density: float = 1.0 / 8.0,
+        n_grid: int = 16,
+        buffer_target: float = 6.0,
+        gamma_p: float = 5.0,
+        safety: float = 0.9,
+        gate_buffer: float = 2.0,
+        fetch_fraction: float = 1.0,
+    ):
+        super().__init__(
+            quality_model, min_density, n_grid, buffer_target, gamma_p,
+            fetch_fraction,
+        )
+        if not 0 < safety <= 1:
+            raise ValueError("safety must be in (0, 1]")
+        if gate_buffer < 0:
+            raise ValueError("gate_buffer must be non-negative")
+        self.safety = float(safety)
+        self.gate_buffer = float(gate_buffer)
+
+    def _index(self, tput: float, buf: float, chunk) -> int:
+        bidx = super()._index(tput, buf, chunk)
+        if buf >= self.gate_buffer:
+            return bidx
+        bits = self._chunk_bits(chunk)
+        limit = tput * self.safety * chunk.duration
+        count = 0
+        for i in range(len(bits)):
+            if float(bits[i]) <= limit:
+                count += 1
+        tidx = count - 1 if count > 0 else 0
+        return min(bidx, tidx)
+
+    def _indices(self, tput, buf, chunk) -> np.ndarray:
+        bits = self._chunk_bits(chunk)
+        bidx = np.argmax(
+            _bola_scores(self._vu[None, :], buf[:, None], bits[None, :]),
+            axis=1,
+        )
+        limit = tput * self.safety * chunk.duration
+        count = _tput_count(bits[None, :], limit[:, None])
+        tidx = np.where(count > 0, count - 1, 0)
+        return np.where(buf >= self.gate_buffer, bidx, np.minimum(bidx, tidx))
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable] = {}
+
+
+def register_policy(name: str, factory: Callable, *, replace: bool = False):
+    """Register ``factory`` (usually a controller class) under ``name``.
+
+    ``get_policy(name, ...)`` will call it with whichever of the base
+    models (``quality_model`` / ``qoe_model`` / ``sr_latency``) and
+    extra kwargs its signature accepts.  Re-registering an existing
+    name requires ``replace=True`` — silent shadowing hides typos.
+    """
+    if not name:
+        raise ValueError("policy name must be non-empty")
+    if not replace and name in _REGISTRY:
+        raise ValueError(
+            f"policy {name!r} is already registered (pass replace=True "
+            "to override)"
+        )
+    _REGISTRY[name] = factory
+
+
+def available_policies() -> list[str]:
+    """Registered policy names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_policy(
+    name: str,
+    *,
+    quality_model: SRQualityModel | None = None,
+    qoe_model: QoEModel | None = None,
+    sr_latency=None,
+    **kwargs,
+):
+    """Build the policy registered as ``name``.
+
+    The base models default to ``SRQualityModel()`` / ``QoEModel()`` /
+    ``ZERO_LATENCY`` and — like the extra ``kwargs`` — are forwarded
+    only when the factory's signature accepts them (the experiments-CLI
+    flag-forwarding convention: ``n_grid`` reaches grid-based policies
+    and is dropped for :class:`DiscreteMPC`).  Unknown names raise a
+    ``ValueError`` listing the registry.
+    """
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown policy {name!r}; available: "
+            f"{', '.join(available_policies())}"
+        )
+    params = inspect.signature(factory).parameters
+    accepts_any = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    call: dict = {}
+    base = {
+        "quality_model": quality_model
+        if quality_model is not None
+        else SRQualityModel(),
+        "qoe_model": qoe_model if qoe_model is not None else QoEModel(),
+        "sr_latency": sr_latency if sr_latency is not None else ZERO_LATENCY,
+    }
+    for key, value in base.items():
+        if accepts_any or key in params:
+            call[key] = value
+    for key, value in kwargs.items():
+        if accepts_any or key in params:
+            call[key] = value
+    return factory(**call)
+
+
+register_policy("continuous-mpc", ContinuousMPC)
+register_policy("discrete-mpc", DiscreteMPC)
+register_policy("bola", BolaController)
+register_policy("throughput", ThroughputRuleController)
+register_policy("hybrid", HybridController)
+register_policy("buffer-linear", BufferBased)

@@ -54,6 +54,7 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace as dc_replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -69,6 +70,10 @@ from .fleet import (
     simulate_fleet,
 )
 from .simulator import SessionResult
+from .spec import FleetSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from .cost import CostModel
 
 __all__ = [
     "Shard",
@@ -201,12 +206,12 @@ class _ShardTask:
     #: session → *local* edge index, shard session order
     assignment: list[int]
     sr_cache: SRResultCache | str | None
-    engine: str
+    scheduler_engine: str
     #: this shard's slice of the fault schedule, edges re-indexed to the
     #: sub-topology (shardable schedules only — backhaul degradations)
     faults: FaultSchedule | None = None
     #: session layer: "machine" objects or the "columnar" array engine
-    fleet_engine: str = "machine"
+    session_engine: str = "machine"
     #: collect a shard-tagged event stream / phase-profiler totals for
     #: the caller's telemetry (metrics registries stay per-process and
     #: are not merged)
@@ -224,6 +229,8 @@ class _ShardOutcome:
     end_times: list[float]
     origin_egress: int
     encode_waits: list[float]
+    #: transcode core-seconds this shard's encode-pool slice consumed
+    encode_busy_seconds: float
     #: per owned edge, global-index order:
     #: (hits, misses, coalesced, coalesced_bytes)
     edge_stats: list[tuple[int, int, int, int]]
@@ -283,10 +290,10 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         task.sessions,
         topology=task.topology,
         sr_cache=task.sr_cache,
-        engine=task.engine,
         assignment=task.assignment,
         faults=task.faults,
-        fleet_engine=task.fleet_engine,
+        scheduler_engine=task.scheduler_engine,
+        session_engine=task.session_engine,
         telemetry=telemetry,
     )
     topo = task.topology
@@ -310,6 +317,7 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         end_times=result.end_times,
         origin_egress=result.report.origin_egress_bytes,
         encode_waits=list(topo.origin.queue.waits),
+        encode_busy_seconds=topo.origin.queue.busy_seconds,
         edge_stats=edge_stats,
         edge_hit_rates=[e.cache.hit_rate for e in topo.edges],
         sr_stats=sr_stats,
@@ -341,11 +349,11 @@ def _make_task(
     topology: CDNTopology,
     plan: ShardPlan,
     sr_cache: SRResultCache | str | None,
-    engine: str,
+    scheduler_engine: str,
     *,
     copy_sr: bool,
     faults: FaultSchedule | None = None,
-    fleet_engine: str = "machine",
+    session_engine: str = "machine",
     trace: bool = False,
     profile: bool = False,
 ) -> _ShardTask:
@@ -389,9 +397,9 @@ def _make_task(
         topology=sub_topology,
         assignment=[local_edge[plan.assignment[i]] for i in shard.session_indices],
         sr_cache=cache,
-        engine=engine,
+        scheduler_engine=scheduler_engine,
         faults=sub_faults,
-        fleet_engine=fleet_engine,
+        session_engine=session_engine,
         trace=trace,
         profile=profile,
     )
@@ -414,6 +422,7 @@ def _empty_outcome(shard: Shard, task: _ShardTask) -> _ShardOutcome:
         end_times=[],
         origin_egress=0,
         encode_waits=[],
+        encode_busy_seconds=0.0,
         edge_stats=[(0, 0, 0, 0)] * n,
         edge_hit_rates=[0.0] * n,
         sr_stats=[(0, 0)] * n if per_edge_sr else [],
@@ -424,16 +433,20 @@ def _empty_outcome(shard: Shard, task: _ShardTask) -> _ShardOutcome:
 
 def shard_fleet(
     sessions: list[FleetSession],
-    topology: CDNTopology,
+    topology: CDNTopology | None = None,
     *,
     workers: int = 1,
     sr_cache: SRResultCache | str | None = None,
-    engine: str = "vector",
+    engine: str | None = None,
     assignment: list[int] | None = None,
     seed: int = 0,
     start_method: str | None = None,
     faults: FaultSchedule | None = None,
-    fleet_engine: str = "machine",
+    fleet_engine: str | None = None,
+    scheduler_engine: str | None = None,
+    session_engine: str | None = None,
+    cost_model: "CostModel | None" = None,
+    spec: FleetSpec | None = None,
     telemetry: Telemetry | None = None,
 ) -> FleetResult:
     """Run a fleet over a CDN, sharded across worker processes.
@@ -452,9 +465,19 @@ def shard_fleet(
     way.  ``start_method`` picks the ``multiprocessing`` start method
     (default: ``fork`` where available, else the platform default —
     ``fork`` skips re-importing the scientific stack in every worker).
-    ``fleet_engine`` is forwarded to each shard's ``simulate_fleet``
+    ``session_engine`` is forwarded to each shard's ``simulate_fleet``
     (``"columnar"`` runs the struct-of-arrays session layer in every
-    worker).
+    worker); ``engine`` / ``fleet_engine`` are deprecated aliases for
+    ``scheduler_engine`` / ``session_engine`` and emit a
+    :class:`DeprecationWarning`.
+
+    A :class:`~repro.streaming.spec.FleetSpec` may be passed as
+    ``spec=`` instead of the loose fleet keywords (topology mode only);
+    the shard-executor knobs (``workers``, ``seed``, ``start_method``)
+    stay as plain keywords either way.  ``cost_model`` (directly or on
+    the spec) prices the merged run and attaches a
+    :class:`~repro.streaming.cost.CostReport` to ``report.cost``, with
+    encode core-seconds summed across the shards' partitioned pools.
 
     Unlike ``simulate_fleet``, the caller's ``topology`` is left
     untouched (workers mutate private copies), so every statistic must
@@ -479,13 +502,67 @@ def shard_fleet(
     """
     if not sessions:
         raise ValueError("fleet needs at least one session")
-    if topology is None:
+    if spec is not None:
+        if (
+            topology is not None
+            or sr_cache is not None
+            or engine is not None
+            or assignment is not None
+            or faults is not None
+            or fleet_engine is not None
+            or telemetry is not None
+            or scheduler_engine is not None
+            or session_engine is not None
+            or cost_model is not None
+        ):
+            raise ValueError(
+                "pass the configuration either as spec= or as loose "
+                "keyword arguments, not both"
+            )
+    else:
+        if engine is not None and scheduler_engine is not None:
+            raise ValueError(
+                "pass scheduler_engine= or its deprecated alias "
+                "engine=, not both"
+            )
+        if fleet_engine is not None and session_engine is not None:
+            raise ValueError(
+                "pass session_engine= or its deprecated alias "
+                "fleet_engine=, not both"
+            )
+        spec = FleetSpec(
+            topology=topology,
+            sr_cache=sr_cache,
+            scheduler_engine=(
+                scheduler_engine if scheduler_engine is not None else "vector"
+            ),
+            session_engine=(
+                session_engine if session_engine is not None else "machine"
+            ),
+            assignment=assignment,
+            faults=faults,
+            telemetry=telemetry,
+            cost_model=cost_model,
+            engine=engine,
+            fleet_engine=fleet_engine,
+        )
+    if spec.topology is None:
         raise ValueError(
             "shard_fleet partitions a CDNTopology; for a single shared "
             "link use simulate_fleet(trace=...)"
         )
-    if faults is not None and not faults:
-        faults = None  # empty schedule ≡ no faults (parity convention)
+    if spec.controller is not None:
+        raise ValueError(
+            "shard_fleet does not support a control plane (control "
+            "actions are fleet-global); run controllers through "
+            "simulate_fleet"
+        )
+    spec.validate()
+    topology = spec.topology
+    sr_cache = spec.sr_cache
+    assignment = spec.assignment
+    faults = spec.faults
+    telemetry = spec.telemetry
     if faults is not None:
         if not faults.shardable():
             raise ValueError(
@@ -503,8 +580,10 @@ def shard_fleet(
     profile = telemetry is not None and telemetry.profiler is not None
     tasks = [
         _make_task(
-            shard, sessions, topology, plan, sr_cache, engine,
-            copy_sr=copy_sr, faults=faults, fleet_engine=fleet_engine,
+            shard, sessions, topology, plan, sr_cache,
+            spec.scheduler_engine,
+            copy_sr=copy_sr, faults=faults,
+            session_engine=spec.session_engine,
             trace=trace, profile=profile,
         )
         for shard in plan.shards
@@ -536,7 +615,12 @@ def shard_fleet(
                 telemetry.profiler.add(
                     name, seconds, calls=o.phase_counts.get(name, 1)
                 )
-    return _merge(outcomes, plan, sessions, topology, sr_cache)
+    result = _merge(outcomes, plan, sessions, topology, sr_cache)
+    if spec.cost_model is not None:
+        from .cost import attach_cost
+
+        result = attach_cost(result, spec.cost_model)
+    return result
 
 
 def _merge(
@@ -563,6 +647,7 @@ def _merge(
     sr_hits = sr_misses = 0
     origin_egress = 0
     encode_waits: list[float] = []
+    encode_busy_seconds = 0.0
     per_edge_sr = sr_cache == "per-edge"
     for outcome, shard in zip(outcomes, plan.shards):
         for sid, res, end in zip(
@@ -588,6 +673,7 @@ def _merge(
                 sr_misses += m
         origin_egress += outcome.origin_egress
         encode_waits.extend(outcome.encode_waits)
+        encode_busy_seconds += outcome.encode_busy_seconds
     assert all(r is not None for r in results), "sharded fleet lost sessions"
 
     # Fault events are partitioned exactly once across shards, so the
@@ -614,6 +700,7 @@ def _merge(
         sr_misses=sr_misses,
         sr_edge_hit_rates=tuple(sr_edge_hit_rates) if per_edge_sr else (),
         ops=ops,
+        encode_core_seconds=encode_busy_seconds,
     )
     return FleetResult(
         sessions=results,  # type: ignore[arg-type]

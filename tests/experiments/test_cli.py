@@ -120,6 +120,31 @@ class TestCLI:
         assert main(["fleet-chaos"]) == 0
         assert seen["control_interval"] == 5.0
 
+    def test_abr_flag_reaches_fleet_experiments(self, monkeypatch, capsys):
+        """--abr is forwarded to experiments whose runner accepts it."""
+        seen = {}
+
+        class FakeTable:
+            def render(self):
+                return "fake table"
+
+        def fake_run(scale, abr="continuous-mpc"):
+            seen["abr"] = abr
+            return FakeTable()
+
+        monkeypatch.setitem(REGISTRY, "fleet-cdn", fake_run)
+        assert main(["fleet-cdn", "--abr", "bola"]) == 0
+        assert seen["abr"] == "bola"
+        seen.clear()
+        assert main(["fleet-cdn"]) == 0
+        assert seen["abr"] == "continuous-mpc"
+
+    def test_unknown_abr_lists_policies_and_exits_2(self, capsys):
+        assert main(["fleet-cdn", "--abr", "pensieve"]) == 2
+        err = capsys.readouterr().err
+        assert "pensieve" in err
+        assert "bola" in err and "throughput" in err
+
     def test_config_echoed_in_pass_fail_lines(self, monkeypatch, capsys):
         """Nightly logs must identify the failing configuration: the
         --sessions/--workers values appear on the per-experiment line

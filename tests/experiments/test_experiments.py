@@ -17,6 +17,7 @@ from repro.experiments import (
     run_fig18_device,
     run_fleet_cdn,
     run_fleet_chaos,
+    run_fleet_policies,
     run_fleet_scaling,
     run_memory_usage,
     run_sr_quality,
@@ -238,6 +239,30 @@ class TestFleetChaos:
         # The label carries the learned multiplier: "qoe-autoscale d2x0.75 nNN"
         scale = float(row["scenario"].split("d2x")[1].split()[0])
         assert 0.0 < scale <= 1.0
+
+
+class TestFleetPolicies:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_fleet_policies(TINY, n_sessions=48, n_edges=2, n_boot=50)
+
+    def test_every_zoo_policy_gets_a_row(self, table):
+        from repro.experiments.fleet_policies import ZOO_POLICIES
+
+        assert table.column("policy") == list(ZOO_POLICIES)
+
+    def test_pareto_front_nonempty(self, table):
+        assert "*" in table.column("pareto")
+
+    def test_costs_are_positive_dollars(self, table):
+        for row in table.rows:
+            assert row["total_usd"] > 0.0
+            assert row["egress_usd"] > 0.0
+
+    def test_ci_brackets_mean(self, table):
+        for row in table.rows:
+            lo, hi = (float(v) for v in row["qoe_ci95"].strip("[]").split(","))
+            assert lo <= row["mean_qoe"] <= hi
 
 
 class TestAblation:

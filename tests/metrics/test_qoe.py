@@ -7,6 +7,7 @@ from repro.metrics import (
     QoEModel,
     QoEWeights,
     aggregate_qoe,
+    bootstrap_ci,
     session_qoe,
 )
 
@@ -111,3 +112,34 @@ class TestAggregateQoE:
             aggregate_qoe([1.0], [-0.1], [10.0])
         with pytest.raises(ValueError):
             aggregate_qoe([1.0], [0.0], [0.0])
+
+
+class TestBootstrapCI:
+    def test_deterministic_given_seed(self):
+        values = [float(v) for v in range(40)]
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+        assert bootstrap_ci(values, seed=7) != bootstrap_ci(values, seed=8)
+
+    def test_interval_brackets_the_mean(self):
+        values = [float(v) for v in range(200)]
+        lo, hi = bootstrap_ci(values, n_boot=500)
+        mean = sum(values) / len(values)
+        assert lo < mean < hi
+
+    def test_wider_confidence_is_wider(self):
+        values = [float(v % 17) for v in range(60)]
+        lo99, hi99 = bootstrap_ci(values, confidence=0.99)
+        lo90, hi90 = bootstrap_ci(values, confidence=0.90)
+        assert hi99 - lo99 >= hi90 - lo90
+
+    def test_constant_sample_collapses(self):
+        lo, hi = bootstrap_ci([3.0] * 25)
+        assert lo == hi == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], n_boot=0)

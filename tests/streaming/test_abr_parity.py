@@ -20,7 +20,9 @@ from repro.streaming import (
     SRQualityModel,
     VideoSpec,
     ZERO_LATENCY,
+    get_policy,
 )
+from repro.streaming.columnar import DecisionColumns
 from repro.streaming.latency import MeasuredSRLatency, latency_batch
 
 ATOL = 1e-9
@@ -207,6 +209,130 @@ class TestDecisionDedup:
         mpc.decide_batch([make_ctx(25.0, 2.5, 0.15) for _ in range(5)])
         assert mpc.decide_rows == 0          # counters untouched off-path
         assert len(mpc._decision_memo) == 0
+
+
+ZOO_FACTORIES = {
+    "bola": lambda: get_policy("bola", n_grid=12),
+    "bola-tuned": lambda: get_policy(
+        "bola", n_grid=7, buffer_target=4.0, gamma_p=8.0, fetch_fraction=0.6
+    ),
+    "throughput": lambda: get_policy("throughput", n_grid=12),
+    "throughput-tight": lambda: get_policy("throughput", safety=0.5),
+    "hybrid": lambda: get_policy("hybrid", n_grid=12),
+    "hybrid-gated": lambda: get_policy("hybrid", gate_buffer=5.0),
+    "buffer-linear": lambda: get_policy("buffer-linear"),
+}
+
+
+def columns_from_ctxs(ctxs):
+    """A DecisionColumns batch holding the given contexts row for row."""
+    batch = DecisionColumns({})
+    for ctx in ctxs:
+        chunks = list(ctx.next_chunks)
+        batch.append(
+            ctx.throughput_bps, ctx.buffer_level, ctx.prev_quality,
+            chunks, 0, len(chunks),
+        )
+    return batch
+
+
+class TestZooScalarVectorParity:
+    """Policy-zoo entry of the oracle-parity convention: each registry
+    controller's scalar ``decide`` is the reference; the batched and
+    columnar paths must agree on every grid context to 1e-9."""
+
+    @pytest.mark.parametrize("name", sorted(ZOO_FACTORIES))
+    def test_decide_batch_matches_decide(self, name):
+        policy = ZOO_FACTORIES[name]()
+        ctxs = [make_ctx(t, b, p) for t, b, p in CTX_GRID]
+        # Mixed-video batches: a second chunk shape in the same call.
+        ctxs += [
+            make_ctx(40.0, 1.0, 0.5, n_chunks=1, points=40_000),
+            make_ctx(3.0, 9.0, None, n_chunks=2, points=40_000),
+        ]
+        batch = policy.decide_batch(ctxs)
+        singles = [policy.decide(c) for c in ctxs]
+        assert len(batch) == len(singles)
+        for a, b in zip(batch, singles):
+            assert abs(a.density - b.density) <= ATOL
+            assert abs(a.sr_ratio - b.sr_ratio) <= ATOL
+
+    @pytest.mark.parametrize("name", sorted(ZOO_FACTORIES))
+    def test_decide_columns_matches_decide(self, name):
+        policy = ZOO_FACTORIES[name]()
+        ctxs = [make_ctx(t, b, p) for t, b, p in CTX_GRID]
+        out = policy.decide_columns(columns_from_ctxs(ctxs))
+        singles = [policy.decide(c) for c in ctxs]
+        for a, b in zip(out, singles):
+            assert abs(a.density - b.density) <= ATOL
+            assert abs(a.sr_ratio - b.sr_ratio) <= ATOL
+
+    def test_bola_matches_first_principles(self):
+        """An independent re-derivation of the BOLA objective picks the
+        same candidate — the implementation is the formula, not a
+        coincidence of its own arrays."""
+        policy = get_policy("bola", n_grid=12)
+        qm = policy.quality_model
+        c = policy.candidates
+        q = qm.qualities(c, qm.sr_ratios_for(c))
+        u = np.log(q) - np.log(q[0])
+        v = policy.buffer_target / (u[-1] + policy.gamma_p)
+        for tput, buf, prev in CTX_GRID:
+            ctx = make_ctx(tput, buf, prev)
+            chunk = ctx.next_chunks[0]
+            bits = chunk.bytes_at_densities(c) * 8.0
+            scores = (v * (u + policy.gamma_p) - buf) / bits
+            expected = float(c[int(np.argmax(scores))])
+            assert policy.decide(ctx).density == pytest.approx(
+                expected, abs=ATOL
+            )
+
+    def test_throughput_matches_first_principles(self):
+        policy = get_policy("throughput", n_grid=12)
+        c = policy.candidates
+        for tput, buf, prev in CTX_GRID:
+            ctx = make_ctx(tput, buf, prev)
+            chunk = ctx.next_chunks[0]
+            bits = chunk.bytes_at_densities(c) * 8.0
+            feasible = [
+                i for i in range(len(c))
+                if bits[i] <= ctx.throughput_bps * 0.9 * chunk.duration
+            ]
+            expected = float(c[feasible[-1]]) if feasible else float(c[0])
+            assert policy.decide(ctx).density == pytest.approx(
+                expected, abs=ATOL
+            )
+
+    def test_hybrid_gates_on_buffer(self):
+        """Below the gate the hybrid never exceeds the throughput rule's
+        pick; at/above the gate it is exactly BOLA."""
+        bola = get_policy("bola", n_grid=12)
+        rate = get_policy("throughput", n_grid=12)
+        hybrid = get_policy("hybrid", n_grid=12, gate_buffer=2.0)
+        for tput, buf, prev in CTX_GRID:
+            ctx = make_ctx(tput, buf, prev)
+            h = hybrid.decide(ctx).density
+            if buf >= 2.0:
+                assert h == bola.decide(ctx).density
+            else:
+                assert h <= min(
+                    bola.decide(ctx).density, rate.decide(ctx).density
+                ) + ATOL
+
+    @given(
+        tput=st.floats(0.5, 1000.0),
+        buf=st.floats(0.0, 12.0),
+        points=st.integers(1_000, 300_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_parity(self, tput, buf, points):
+        for name in ("bola", "throughput", "hybrid"):
+            policy = ZOO_FACTORIES[name]()
+            ctx = make_ctx(tput, buf, None, points=points)
+            batched = policy.decide_batch([ctx, ctx, ctx])
+            single = policy.decide(ctx)
+            for d in batched:
+                assert abs(d.density - single.density) <= ATOL
 
 
 class TestBatchHelpers:

@@ -1,6 +1,6 @@
 """Columnar session engine: sixth instance of the oracle-parity convention.
 
-``simulate_fleet(fleet_engine="columnar")`` replaces the per-session
+``simulate_fleet(session_engine="columnar")`` replaces the per-session
 ``SessionMachine`` generators with struct-of-arrays state
 (:class:`~repro.streaming.columnar.ColumnarFleet`).  The machine engine
 stays the bit-exact oracle: the hypothesis grid below pins the columnar
@@ -33,6 +33,7 @@ from repro.streaming import (
     SessionConfig,
     SRQualityModel,
     SRResultCache,
+    get_policy,
     shard_fleet,
     simulate_fleet,
     uniform_cdn,
@@ -84,7 +85,7 @@ def assert_identical(a, b):
 
 
 class TestColumnarParity:
-    """fleet_engine='columnar' == fleet_engine='machine', bit for bit."""
+    """session_engine='columnar' == session_engine='machine', bit for bit."""
 
     @given(
         n_sessions=st.integers(3, 8),
@@ -101,7 +102,7 @@ class TestColumnarParity:
         if mode == "link" and sr_mode == "per-edge":
             sr_mode = "shared"  # per-edge SR caches need a topology
 
-        def run(fleet_engine):
+        def run(session_engine):
             kw = {}
             if mode == "link":
                 kw["trace"] = stable_trace(60.0, duration=600.0)
@@ -119,7 +120,7 @@ class TestColumnarParity:
                     n_sessions, churn=churn, startup_bytes=startup_bytes
                 ),
                 sr_cache=sr,
-                fleet_engine=fleet_engine,
+                session_engine=session_engine,
                 **kw,
             )
 
@@ -132,12 +133,12 @@ class TestColumnarParity:
             BackhaulDegradation(edge=0, start=2.0, duration=5.0, factor=0.2),
         ))
 
-        def run(fleet_engine):
+        def run(session_engine):
             return simulate_fleet(
                 make_sessions(6),
                 topology=make_topology(2),
                 faults=faults,
-                fleet_engine=fleet_engine,
+                session_engine=session_engine,
             )
 
         a, b = run("machine"), run("columnar")
@@ -148,7 +149,7 @@ class TestColumnarParity:
         """A control plane that actually re-steers (skewed explicit
         assignment) and resizes the encode pool must see identical live
         health/load state from both engines."""
-        def run(fleet_engine):
+        def run(session_engine):
             return simulate_fleet(
                 make_sessions(8, churn=False),
                 topology=make_topology(3, encode_seconds=0.2),
@@ -157,7 +158,7 @@ class TestColumnarParity:
                 controller=ControlPlane(
                     ControlPolicy(interval=1.0, saturation_factor=1.5)
                 ),
-                fleet_engine=fleet_engine,
+                session_engine=session_engine,
             )
 
         a, b = run("machine"), run("columnar")
@@ -167,7 +168,7 @@ class TestColumnarParity:
         assert a.assignment == b.assignment
 
     def test_sharded_columnar_parity(self):
-        """fleet_engine plumbs through the sharded executor: workers=1
+        """session_engine plumbs through the sharded executor: workers=1
         columnar matches both its own simulate_fleet and the oracle."""
         ref = simulate_fleet(
             make_sessions(8),
@@ -179,7 +180,7 @@ class TestColumnarParity:
             make_topology(2),
             workers=1,
             sr_cache="per-edge",
-            fleet_engine="columnar",
+            session_engine="columnar",
         )
         assert_identical(ref, sharded)
 
@@ -187,24 +188,63 @@ class TestColumnarParity:
         """The session layer and the network scheduler select
         independently: columnar over the scalar scheduler still matches."""
         a = simulate_fleet(
-            make_sessions(5), topology=make_topology(2), engine="scalar"
+            make_sessions(5), topology=make_topology(2), scheduler_engine="scalar"
         )
         b = simulate_fleet(
             make_sessions(5),
             topology=make_topology(2),
-            engine="scalar",
-            fleet_engine="columnar",
+            scheduler_engine="scalar",
+            session_engine="columnar",
         )
         assert_identical(a, b)
 
 
+class TestZooColumnarParity:
+    """Policy-zoo entry in the oracle-parity convention: every registry
+    controller must produce identical fleets on both session engines
+    (the zoo's vectorized ``decide_columns`` against the machine
+    engine's per-session path)."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["bola", "throughput", "hybrid", "discrete-mpc", "buffer-linear"],
+    )
+    def test_policy_engine_parity(self, name):
+        qm = SRQualityModel()
+        lat = sr_lat()
+
+        def run(session_engine):
+            ctrl = get_policy(
+                name, quality_model=qm, sr_latency=lat, n_grid=8, horizon=2
+            )
+            sessions = [
+                FleetSession(
+                    spec=spec(6, name=f"v{i % 3}"),
+                    controller=ctrl,
+                    sr_latency=lat,
+                    quality_model=qm,
+                    join_time=1.0 * i,
+                    churn=AbandonPolicy(max_total_stall=20.0),
+                )
+                for i in range(6)
+            ]
+            return simulate_fleet(
+                sessions,
+                topology=make_topology(2),
+                sr_cache="per-edge",
+                session_engine=session_engine,
+            )
+
+        assert_identical(run("machine"), run("columnar"))
+
+
 class TestColumnarValidation:
     def test_unknown_engine_rejected(self):
-        with pytest.raises(ValueError, match="fleet_engine"):
+        with pytest.raises(ValueError, match="session_engine"):
             simulate_fleet(
                 make_sessions(2),
                 trace=stable_trace(60.0, duration=600.0),
-                fleet_engine="vectorized",
+                session_engine="vectorized",
             )
 
     def test_outages_rejected_with_guidance(self):
@@ -214,7 +254,7 @@ class TestColumnarValidation:
                 make_sessions(4),
                 topology=make_topology(2),
                 faults=faults,
-                fleet_engine="columnar",
+                session_engine="columnar",
             )
 
     def test_empty_schedule_allowed(self):
@@ -222,7 +262,7 @@ class TestColumnarValidation:
             make_sessions(3),
             topology=make_topology(2),
             faults=FaultSchedule(),
-            fleet_engine="columnar",
+            session_engine="columnar",
         )
         b = simulate_fleet(make_sessions(3), topology=make_topology(2))
         assert a.report == b.report
@@ -281,7 +321,7 @@ class TestDedupQuanta:
         qm = SRQualityModel()
         lat = sr_lat()
 
-        def run(fleet_engine):
+        def run(session_engine):
             ctrl = ContinuousMPC(
                 qm, QoEModel(), lat, n_grid=8, horizon=2,
                 dedup_quanta=COARSE_DEDUP_QUANTA,
@@ -297,7 +337,7 @@ class TestDedupQuanta:
                 for i in range(8)
             ]
             return simulate_fleet(
-                sessions, topology=make_topology(2), fleet_engine=fleet_engine
+                sessions, topology=make_topology(2), session_engine=session_engine
             )
 
         assert_identical(run("machine"), run("columnar"))

@@ -140,7 +140,7 @@ class TestEngineParityEndToEnd:
         runs = [
             simulate_fleet(
                 self.make_sessions(), trace, policy="weighted",
-                sr_cache=SRResultCache(), engine=engine,
+                sr_cache=SRResultCache(), scheduler_engine=engine,
             )
             for engine in ("scalar", "vector")
         ]

@@ -284,11 +284,11 @@ class TestTelemetryDisabledParity:
     pure observation.
     """
 
-    @pytest.mark.parametrize("fleet_engine", ["machine", "columnar"])
-    def test_plain_cdn_run(self, fleet_engine):
+    @pytest.mark.parametrize("session_engine", ["machine", "columnar"])
+    def test_plain_cdn_run(self, session_engine):
         def run(telemetry):
             return simulate_fleet(
-                fleet(n=6), topology=cdn(3), fleet_engine=fleet_engine,
+                fleet(n=6), topology=cdn(3), session_engine=session_engine,
                 telemetry=telemetry,
             ).report
 
@@ -296,10 +296,10 @@ class TestTelemetryDisabledParity:
         assert run(Telemetry(trace=False, metrics=False, profile=False)) == base
         assert run(Telemetry()) == base
 
-    @pytest.mark.parametrize("fleet_engine", ["machine", "columnar"])
-    def test_faulted_controlled_run(self, fleet_engine):
+    @pytest.mark.parametrize("session_engine", ["machine", "columnar"])
+    def test_faulted_controlled_run(self, session_engine):
         # The columnar engine rejects outages, so it gets the brownout.
-        if fleet_engine == "machine":
+        if session_engine == "machine":
             faults = FaultSchedule(
                 (EdgeOutage(edge=0, start=2.0, duration=4.0),)
             )
@@ -314,7 +314,7 @@ class TestTelemetryDisabledParity:
             return simulate_fleet(
                 fleet(n=8), topology=cdn(3), faults=faults,
                 controller=ControlPlane(ControlPolicy(interval=1.0)),
-                fleet_engine=fleet_engine, telemetry=telemetry,
+                session_engine=session_engine, telemetry=telemetry,
             ).report
 
         base = run(None)

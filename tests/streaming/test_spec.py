@@ -1,0 +1,272 @@
+"""FleetSpec: the one validated fleet configuration object.
+
+The shim contract: legacy loose kwargs on ``simulate_fleet`` /
+``shard_fleet`` build the same :class:`~repro.streaming.spec.FleetSpec`
+the ``spec=`` path consumes, so the two calls are bit-exact by
+construction — pinned here anyway, end to end.  The deprecated
+``engine=`` / ``fleet_engine=`` aliases keep working but warn.
+"""
+
+import warnings
+
+import pytest
+
+from repro.metrics import QoEModel
+from repro.net import stable_trace
+from repro.streaming import (
+    AbandonPolicy,
+    ContinuousMPC,
+    CostModel,
+    EdgeOutage,
+    FaultSchedule,
+    FleetSession,
+    FleetSpec,
+    SRQualityModel,
+    SRResultCache,
+    shard_fleet,
+    simulate_fleet,
+    uniform_cdn,
+)
+
+from .helpers import spec, sr_lat
+
+
+def make_sessions(n=5):
+    qm = SRQualityModel()
+    lat = sr_lat()
+    ctrl = ContinuousMPC(qm, QoEModel(), lat, n_grid=8, horizon=2)
+    return [
+        FleetSession(
+            spec=spec(6, name=f"v{i % 2}"),
+            controller=ctrl,
+            sr_latency=lat,
+            quality_model=qm,
+            join_time=1.0 * i,
+            churn=AbandonPolicy(max_total_stall=20.0),
+        )
+        for i in range(n)
+    ]
+
+
+def make_topology(n_edges=2):
+    return uniform_cdn(
+        n_edges,
+        access_mbps=80.0,
+        backhaul_mbps=30.0,
+        cache_bytes=1 << 32,
+        assignment="static",
+        n_encode_workers=3,
+        encode_seconds=0.05,
+    )
+
+
+def assert_identical(a, b):
+    assert a.report == b.report
+    assert a.sessions == b.sessions
+    assert a.assignment == b.assignment
+    assert a.end_times == b.end_times
+
+
+class TestSpecShimBitExact:
+    def test_single_link_kwargs_equal_spec(self):
+        trace = stable_trace(60.0, duration=600.0)
+        loose = simulate_fleet(
+            make_sessions(), trace=trace, sr_cache=SRResultCache()
+        )
+        via_spec = simulate_fleet(
+            make_sessions(),
+            spec=FleetSpec(trace=trace, sr_cache=SRResultCache()),
+        )
+        assert_identical(loose, via_spec)
+
+    def test_cdn_kwargs_equal_spec(self):
+        loose = simulate_fleet(
+            make_sessions(),
+            topology=make_topology(),
+            sr_cache="per-edge",
+            session_engine="columnar",
+        )
+        via_spec = simulate_fleet(
+            make_sessions(),
+            spec=FleetSpec(
+                topology=make_topology(),
+                sr_cache="per-edge",
+                session_engine="columnar",
+            ),
+        )
+        assert_identical(loose, via_spec)
+
+    def test_shard_fleet_takes_spec_verbatim(self):
+        loose = shard_fleet(
+            make_sessions(8),
+            make_topology(),
+            workers=1,
+            sr_cache="per-edge",
+        )
+        via_spec = shard_fleet(
+            make_sessions(8),
+            workers=1,
+            spec=FleetSpec(topology=make_topology(), sr_cache="per-edge"),
+        )
+        assert_identical(loose, via_spec)
+
+    def test_deprecated_aliases_still_work_and_warn(self):
+        with pytest.warns(DeprecationWarning, match="scheduler_engine"):
+            a = simulate_fleet(
+                make_sessions(), topology=make_topology(), engine="scalar"
+            )
+        b = simulate_fleet(
+            make_sessions(), topology=make_topology(),
+            scheduler_engine="scalar",
+        )
+        assert_identical(a, b)
+        with pytest.warns(DeprecationWarning, match="session_engine"):
+            c = simulate_fleet(
+                make_sessions(), topology=make_topology(),
+                fleet_engine="columnar",
+            )
+        d = simulate_fleet(
+            make_sessions(), topology=make_topology(),
+            session_engine="columnar",
+        )
+        assert_identical(c, d)
+
+    def test_shard_fleet_aliases_warn(self):
+        with pytest.warns(DeprecationWarning, match="session_engine"):
+            a = shard_fleet(
+                make_sessions(8), make_topology(), workers=1,
+                fleet_engine="columnar",
+            )
+        b = shard_fleet(
+            make_sessions(8), make_topology(), workers=1,
+            session_engine="columnar",
+        )
+        assert_identical(a, b)
+
+    def test_new_names_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            simulate_fleet(
+                make_sessions(),
+                topology=make_topology(),
+                scheduler_engine="vector",
+                session_engine="machine",
+            )
+
+
+class TestSpecMixingRules:
+    def test_spec_plus_loose_kwarg_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            simulate_fleet(
+                make_sessions(),
+                topology=make_topology(),
+                spec=FleetSpec(topology=make_topology()),
+            )
+
+    def test_shard_spec_plus_loose_kwarg_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            shard_fleet(
+                make_sessions(),
+                make_topology(),
+                spec=FleetSpec(topology=make_topology()),
+            )
+
+    def test_alias_plus_new_name_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            simulate_fleet(
+                make_sessions(),
+                topology=make_topology(),
+                engine="scalar",
+                scheduler_engine="vector",
+            )
+        with pytest.raises(ValueError, match="not both"):
+            simulate_fleet(
+                make_sessions(),
+                topology=make_topology(),
+                fleet_engine="machine",
+                session_engine="columnar",
+            )
+
+
+class TestSpecValidation:
+    def test_trace_xor_topology(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FleetSpec().validate()
+        with pytest.raises(ValueError, match="exactly one"):
+            FleetSpec(
+                trace=stable_trace(60.0, duration=600.0),
+                topology=make_topology(),
+            ).validate()
+
+    def test_unknown_session_engine(self):
+        with pytest.raises(ValueError, match="session_engine"):
+            FleetSpec(
+                topology=make_topology(), session_engine="vectorized"
+            ).validate()
+
+    def test_policy_needs_single_link(self):
+        with pytest.raises(ValueError, match="policy"):
+            FleetSpec(topology=make_topology(), policy="weighted").validate()
+
+    def test_assignment_requires_topology(self):
+        with pytest.raises(ValueError, match="assignment"):
+            FleetSpec(
+                trace=stable_trace(60.0, duration=600.0), assignment=[0]
+            ).validate()
+
+    def test_sr_cache_mode_strings(self):
+        with pytest.raises(ValueError, match="per-edge"):
+            FleetSpec(
+                topology=make_topology(), sr_cache="global"
+            ).validate()
+        with pytest.raises(ValueError, match="topology"):
+            FleetSpec(
+                trace=stable_trace(60.0, duration=600.0), sr_cache="per-edge"
+            ).validate()
+
+    def test_columnar_rejects_outages(self):
+        faults = FaultSchedule((EdgeOutage(edge=0, start=1.0, duration=2.0),))
+        with pytest.raises(ValueError, match="machine"):
+            FleetSpec(
+                topology=make_topology(),
+                faults=faults,
+                session_engine="columnar",
+            ).validate()
+
+    def test_empty_faults_normalized(self):
+        s = FleetSpec(topology=make_topology(), faults=FaultSchedule())
+        s.validate()
+        assert s.faults is None
+
+    def test_shard_fleet_requires_topology_spec(self):
+        with pytest.raises(ValueError, match="CDNTopology"):
+            shard_fleet(
+                make_sessions(),
+                spec=FleetSpec(trace=stable_trace(60.0, duration=600.0)),
+            )
+
+    def test_shard_fleet_rejects_controller(self):
+        from repro.streaming import ControlPlane, ControlPolicy
+
+        with pytest.raises(ValueError, match="control plane"):
+            shard_fleet(
+                make_sessions(),
+                spec=FleetSpec(
+                    topology=make_topology(),
+                    controller=ControlPlane(ControlPolicy(interval=1.0)),
+                ),
+            )
+
+    def test_spec_defaults_reproduce_bare_call(self):
+        trace = stable_trace(60.0, duration=600.0)
+        bare = simulate_fleet(make_sessions(), trace)
+        via = simulate_fleet(make_sessions(), spec=FleetSpec(trace=trace))
+        assert_identical(bare, via)
+
+    def test_cost_model_rides_the_spec(self):
+        result = simulate_fleet(
+            make_sessions(),
+            spec=FleetSpec(topology=make_topology(), cost_model=CostModel()),
+        )
+        assert result.report.cost is not None
+        assert result.report.cost.total_usd > 0.0

@@ -33,7 +33,7 @@ SHARDED_NAMES = {
 }
 
 
-def raw_json(min_s=0.1, machine="x86_64", telemetry=True):
+def raw_json(min_s=0.1, machine="x86_64", telemetry=True, bola=True):
     stats = {name: min_s for name in RAW_NAMES}
     stats.update(
         {name: min_s * f for name, f in SHARDED_NAMES.items()}
@@ -42,6 +42,10 @@ def raw_json(min_s=0.1, machine="x86_64", telemetry=True):
         # Traced run at 5% over the untraced baseline — inside the 10%
         # budget.
         stats["test_bench_fleet_telemetry"] = min_s * 1.05
+    if bola:
+        # BOLA skips horizon planning, so its columnar run is faster
+        # than the MPC columnar lane (0.5x min_s above).
+        stats["test_bench_fleet_bola_columnar"] = min_s * 0.4
     return {
         "machine_info": {
             "machine": machine,
@@ -148,6 +152,31 @@ class TestBuildReports:
         assert "fleet_telemetry" not in fleet
         assert "test_bench_fleet_telemetry" not in fleet["benchmarks"]
         assert "phases" not in fleet
+
+    def test_bola_columnar_row(self):
+        """The policy-zoo lane (schema v5) rides with its own committed
+        floor when present in the raw JSON."""
+        reports = bench_report.build_reports(raw_json(min_s=0.1))
+        fleet = reports["BENCH_fleet.json"]
+        bench = fleet["benchmarks"]["test_bench_fleet_bola_columnar"]
+        assert bench["content_s_per_wall_s"] == pytest.approx(
+            fleet["content_seconds_sharded"] / 0.04
+        )
+        fleet_mod = bench_report._load_module(
+            REPO_ROOT / "benchmarks" / "bench_fleet.py"
+        )
+        assert (
+            fleet["floors"]["test_bench_fleet_bola_columnar"]
+            == fleet_mod.BOLA_COLUMNAR_FLOOR
+        )
+
+    def test_raw_without_bola_lane_still_builds(self):
+        """Raw JSONs from before the policy-zoo lane (schema v4 era)
+        post-process cleanly — the v5 fields are optional on read."""
+        reports = bench_report.build_reports(raw_json(bola=False))
+        fleet = reports["BENCH_fleet.json"]
+        assert "test_bench_fleet_bola_columnar" not in fleet["benchmarks"]
+        assert "test_bench_fleet_bola_columnar" not in fleet["floors"]
 
     def test_phases_folded_into_fleet_report(self):
         phases = {
