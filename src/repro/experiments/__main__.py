@@ -98,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--sessions", type=int, default=None, metavar="N",
         help="viewer count for experiments that take one (fleet-cdn, "
-        "fleet-population); default: each experiment's own",
+        "fleet-population, fleet-chaos); default: each experiment's own",
     )
     parser.add_argument(
         "--abr", metavar="NAME", default=None,
@@ -121,6 +121,12 @@ def main(argv: list[str] | None = None) -> int:
         "--control-interval", type=float, default=None, metavar="S",
         help="virtual seconds between control-plane ticks for experiments "
         "that run one (fleet-chaos); default: 5",
+    )
+    parser.add_argument(
+        "--regional", action="store_true",
+        help="run the correlated regional-fault scenario only, for "
+        "experiments that host one (fleet-chaos: cascade generator + "
+        "gray failure + client retries under graceful degradation)",
     )
     parser.add_argument(
         "--trace-out", metavar="FILE", default=None,
@@ -191,6 +197,8 @@ def main(argv: list[str] | None = None) -> int:
         cfg_bits.append(f"abr={args.abr}")
     if args.diurnal:
         cfg_bits.append("diurnal")
+    if args.regional:
+        cfg_bits.append("regional")
     cfg = f" ({', '.join(cfg_bits)})" if cfg_bits else ""
     sections: list[str] = []
     outcomes: list[tuple[str, bool, float]] = []
@@ -210,6 +218,8 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["days"] = args.days
         if args.control_interval is not None and "control_interval" in params:
             kwargs["control_interval"] = args.control_interval
+        if args.regional and "regional" in params:
+            kwargs["regional"] = True
         if args.trace_out is not None and "trace_out" in params:
             kwargs["trace_out"] = args.trace_out
         if args.metrics_out is not None and "metrics_out" in params:

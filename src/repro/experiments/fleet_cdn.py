@@ -43,12 +43,15 @@ def make_cdn(
     assignment: str = "popularity",
     n_encode_workers: int = 8,
     encode_seconds: float = 0.05,
+    n_regions: int | None = None,
 ) -> CDNTopology:
     """A symmetric CDN sized for ``n_sessions`` viewers.
 
     Access capacity is provisioned at ``mbps_per_session`` aggregated and
     split evenly across edges; each backhaul gets ``backhaul_fraction``
     of its edge's access capacity — the regime where cache misses hurt.
+    ``n_regions`` groups the edges into that many contiguous fault
+    domains (for region-outage scenarios).
     """
     access_mbps = mbps_per_session * n_sessions / n_edges
     return uniform_cdn(
@@ -60,6 +63,7 @@ def make_cdn(
         assignment=assignment,
         n_encode_workers=n_encode_workers,
         encode_seconds=encode_seconds,
+        n_regions=n_regions,
     )
 
 

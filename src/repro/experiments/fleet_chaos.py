@@ -7,17 +7,28 @@ first-class fault events (:mod:`repro.streaming.faults`) and the
 closed-loop control plane (:mod:`repro.streaming.control`), and reports
 the recovery story an SRE reads after an incident:
 
-* ``resteer`` — sessions moved to another edge (outage failover plus the
-  controller's saturation re-steering);
+* ``resteer`` — sessions moved to another edge (outage failover, retry
+  hedging, plus the controller's saturation re-steering);
 * ``dip`` / ``recover_s`` — QoE-per-chunk drop below the pre-fault
   baseline and the virtual seconds until health returns to tolerance
   (``inf`` renders when the run never recovers in-window);
+* ``retries`` / ``timeouts`` — client-resilience attempts re-issued and
+  attempts a :class:`~repro.streaming.faults.RetryPolicy` virtual-time
+  timeout cancelled;
 * ``resizes`` — encode-pool scaling actions (the slow-encode row starves
   the pool so the controller must grow it);
 * the ``qoe-autoscale`` row closes the arrival loop: a degraded day-1
   run feeds a :class:`~repro.streaming.control.QoEArrivalAutoscaler`,
   whose learned scale then thins day-2 arrivals through the existing
   ``DiurnalArrivals.autoscale`` hook.
+
+The ``region-outage`` scenario groups the edges into two fault domains,
+generates a correlated failure with
+:class:`~repro.streaming.faults.CorrelatedFaultGenerator`, attaches a
+retry policy, and reports the per-region dip/recovery the
+:class:`~repro.streaming.fleet.FleetReport` now carries; ``gray-edge``
+browns one edge out (half capacity, a tenth of requests dropped)
+without ever taking it dark — the failure mode a liveness probe misses.
 
 Every scenario is paired with the controller off/on where the contrast
 is interesting; fault-free controller-on runs are bit-exact with the
@@ -33,9 +44,12 @@ from ..obs.export import write_chrome_trace, write_jsonl
 from ..streaming.control import ControlPlane, ControlPolicy, QoEArrivalAutoscaler
 from ..streaming.faults import (
     BackhaulDegradation,
+    CorrelatedFaultGenerator,
     EdgeOutage,
     FaultSchedule,
     FlashCrowd,
+    GrayFailure,
+    RetryPolicy,
 )
 from ..streaming.fleet import SRResultCache, simulate_fleet
 from ..streaming.population import DiurnalArrivals
@@ -46,8 +60,32 @@ from .workloads import make_population
 __all__ = ["run_fleet_chaos"]
 
 
-def _controller(interval: float, autoscaler=None) -> ControlPlane:
-    return ControlPlane(ControlPolicy(interval=interval), autoscaler=autoscaler)
+def _controller(
+    interval: float, autoscaler=None, degrade: bool = False
+) -> ControlPlane:
+    policy = ControlPolicy(
+        interval=interval,
+        quality_cap_when_dark=0.5 if degrade else None,
+        disable_sr_when_dark=degrade,
+    )
+    return ControlPlane(policy, autoscaler=autoscaler)
+
+
+def _check_conservation(tracer, rep) -> None:
+    """The chaos conservation law: report counters == event-stream fold."""
+    fold = ops_from_events(tracer)
+    actual = {
+        "sessions_resteered": rep.sessions_resteered,
+        "faults_injected": rep.faults_injected,
+        "control_ticks": rep.control_ticks,
+        "encode_pool_resizes": rep.encode_pool_resizes,
+        "requests_timed_out": rep.requests_timed_out,
+    }
+    if fold != actual:
+        raise RuntimeError(
+            f"trace/report conservation violated: fold={fold} "
+            f"report={actual}"
+        )
 
 
 def run_fleet_chaos(
@@ -60,6 +98,7 @@ def run_fleet_chaos(
     control_interval: float = 5.0,
     trace_out: str | None = None,
     abr: str = "continuous-mpc",
+    regional: bool = False,
 ) -> ResultTable:
     """Fault scenarios with the control plane off vs on.
 
@@ -69,6 +108,11 @@ def run_fleet_chaos(
     :func:`~repro.obs.events.ops_from_events` fold over the stream), and
     writes the events as Chrome trace-event JSON (Perfetto-loadable;
     a ``.jsonl`` suffix switches to the JSONL event log).
+
+    ``regional`` restricts the run to the correlated region-outage
+    scenario (plus its fault-free baseline) — the nightly regional smoke:
+    with ``trace_out`` the traced run is the regional one, conservation
+    law included.
     """
     window = float(scale.stream_seconds)
     table = ResultTable(
@@ -81,6 +125,8 @@ def run_fleet_chaos(
             "resizes",
             "dip",
             "recover_s",
+            "retries",
+            "timeouts",
             "enc_p95_s",
             "mean_qoe",
             "stall_ratio",
@@ -104,25 +150,91 @@ def run_fleet_chaos(
             resizes=rep.encode_pool_resizes,
             dip=round(rep.qoe_dip_depth, 2),
             recover_s=round(rep.time_to_recover_s, 1),
+            retries=rep.chunk_retries,
+            timeouts=rep.requests_timed_out,
             enc_p95_s=round(rep.encode_wait_p95, 3),
             mean_qoe=round(rep.mean_qoe, 2),
             stall_ratio=round(rep.stall_ratio, 4),
         )
 
     def run(fleet, *, assignment="least-loaded", faults=None, ctrl=False,
-            n_encode_workers=8, encode_seconds=0.05, telemetry=None):
+            n_encode_workers=8, encode_seconds=0.05, telemetry=None,
+            retry=None, n_regions=None, degrade=False):
         topo = make_cdn(
             scale, len(fleet), n_edges=n_edges,
             mbps_per_session=mbps_per_session, assignment=assignment,
             n_encode_workers=n_encode_workers, encode_seconds=encode_seconds,
+            n_regions=n_regions,
         )
         return simulate_fleet(
             fleet, topology=topo,
             sr_cache=SRResultCache(capacity=sr_cache_size),
             faults=faults,
-            controller=_controller(control_interval) if ctrl else None,
+            retry_policy=retry,
+            controller=(
+                _controller(control_interval, degrade=degrade)
+                if ctrl
+                else None
+            ),
             telemetry=telemetry,
         ).report
+
+    def regional_rows() -> None:
+        # Correlated regional failure: the edges split into two fault
+        # domains, region-0 fails outright and the generator decides —
+        # seeded, deterministically — whether the failure cascades into
+        # region-1 after a propagation delay.  Clients fight back with a
+        # finite timeout and capped backoff; the controller's graceful-
+        # degradation levers (quality cap, SR off) engage while a whole
+        # region is dark.
+        gen = CorrelatedFaultGenerator(
+            seed=7, cascade_probability=0.4, cascade_delay_s=5.0
+        )
+        schedule = gen.generate(
+            ["region-0", "region-1"], origin="region-0",
+            start=0.4 * window, duration=0.2 * window,
+        )
+        retry = RetryPolicy(
+            timeout_s=8.0, backoff_base_s=0.25, backoff_cap_s=2.0,
+            max_attempts=4,
+        )
+        for ctrl in ("off", "on"):
+            telemetry = Telemetry(metrics=False, profile=False) if (
+                regional and trace_out and ctrl == "on"
+            ) else None
+            rep = run(
+                sessions, faults=schedule, ctrl=ctrl == "on",
+                retry=retry, n_regions=2, degrade=True,
+                telemetry=telemetry,
+            )
+            if rep.sessions_resteered == 0:
+                raise RuntimeError(
+                    "region-outage scenario re-steered no sessions — "
+                    "regional failover is broken"
+                )
+            row("region-outage", ctrl, rep)
+            per_region = ", ".join(
+                f"{name}: dip {dip:.2f} recover {rec:.1f}s"
+                for name, dip, rec in rep.region_recovery
+            )
+            if ctrl == "on" and per_region:
+                table.notes += f" region-outage/on recovery: {per_region}."
+            if telemetry is not None:
+                _check_conservation(telemetry.tracer, rep)
+                if trace_out.endswith(".jsonl"):
+                    n = write_jsonl(telemetry.tracer, trace_out)
+                else:
+                    n = write_chrome_trace(telemetry.tracer, trace_out)
+                table.notes += (
+                    f" region-outage/on trace: {n} events -> {trace_out}."
+                )
+
+    if regional:
+        # Nightly regional smoke: baseline + the correlated regional
+        # scenario only (the full matrix runs in the default mode).
+        row("baseline", "off", run(sessions))
+        regional_rows()
+        return table
 
     # (a) fault-free reference, controller off then on — the default
     # policy still acts on a healthy fleet (shrinks the idle encode pool,
@@ -151,18 +263,7 @@ def run_fleet_chaos(
             )
         row("edge-outage", ctrl, rep)
         if telemetry is not None:
-            fold = ops_from_events(telemetry.tracer)
-            actual = {
-                "sessions_resteered": rep.sessions_resteered,
-                "faults_injected": rep.faults_injected,
-                "control_ticks": rep.control_ticks,
-                "encode_pool_resizes": rep.encode_pool_resizes,
-            }
-            if fold != actual:
-                raise RuntimeError(
-                    f"trace/report conservation violated: fold={fold} "
-                    f"report={actual}"
-                )
+            _check_conservation(telemetry.tracer, rep)
             if trace_out.endswith(".jsonl"):
                 n = write_jsonl(telemetry.tracer, trace_out)
             else:
@@ -171,6 +272,33 @@ def run_fleet_chaos(
                 f" edge-outage/on trace: {n} events -> {trace_out}."
             )
 
+    # (b') correlated regional failure with client retries.
+    regional_rows()
+
+    # (b'') gray failure: edge 0 at half capacity dropping 10% of its
+    # requests for a quarter of the window — never dark, so no failover;
+    # the retry layer absorbs the drops.
+    gray = FaultSchedule(
+        (GrayFailure(
+            edge=0, start=0.4 * window, duration=0.25 * window,
+            capacity_factor=0.5, drop_fraction=0.1, drop_delay_s=1.0,
+        ),)
+    )
+    rep = run(
+        sessions, faults=gray, ctrl=True,
+        retry=RetryPolicy(timeout_s=10.0, backoff_base_s=0.25),
+    )
+    row("gray-edge", "on", rep)
+    if rep.gray_degraded_bytes:
+        table.notes += (
+            f" gray-edge served {rep.gray_degraded_bytes >> 20} MiB "
+            "through the brownout"
+        )
+        if rep.retry_attempts:
+            hist = "/".join(str(c) for c in rep.retry_attempts)
+            table.notes += f"; retry-attempt histogram {hist}"
+        table.notes += "."
+
     # (c) backhaul brownout: edge 0 at 20% capacity for a third of the window.
     degr = FaultSchedule(
         (BackhaulDegradation(
@@ -178,6 +306,23 @@ def run_fleet_chaos(
         ),)
     )
     row("backhaul-degr", "on", run(sessions, faults=degr, ctrl=True))
+
+    # (c') the same brownout with an impatient client: a tight virtual-time
+    # timeout cancels stalled downloads and hedges the re-issue to the
+    # least-loaded live edge, so the timeouts column is exercised too.
+    rep = run(
+        sessions, faults=degr, ctrl=True,
+        retry=RetryPolicy(
+            timeout_s=1.5, backoff_base_s=0.25, backoff_cap_s=1.0,
+            max_attempts=3, hedge=True,
+        ),
+    )
+    row("retry-timeout", "on", rep)
+    if rep.requests_timed_out == 0:
+        raise RuntimeError(
+            "retry-timeout scenario cancelled no requests — the "
+            "virtual-time timeout path is broken"
+        )
 
     # (d) flash crowd: +25% viewers piling onto one video over a 5s ramp.
     crowd = FaultSchedule(

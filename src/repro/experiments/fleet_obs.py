@@ -77,6 +77,7 @@ def run_fleet_obs(
             ("faults_injected", rep.faults_injected),
             ("control_ticks", rep.control_ticks),
             ("encode_pool_resizes", rep.encode_pool_resizes),
+            ("requests_timed_out", rep.requests_timed_out),
         )
         if fold[name] != actual
     }

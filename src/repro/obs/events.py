@@ -51,12 +51,17 @@ __all__ = [
     "EV_ENCODE_ENQUEUE",
     "EV_ENCODE_RESIZE",
     "EV_FAULT_OUTAGE",
+    "EV_FAULT_REGION_OUTAGE",
+    "EV_FAULT_GRAY",
     "EV_FAULT_DEGRADATION",
     "EV_FAULT_CROWD",
     "EV_OUTAGE_EVACUATE",
+    "EV_RETRY_TIMEOUT",
+    "EV_RETRY_HEDGE",
     "EV_CONTROL_TICK",
     "EV_CONTROL_RESIZE",
     "EV_CONTROL_RESTEER",
+    "EV_CONTROL_DEGRADE",
 ]
 
 # -- session lifecycle --------------------------------------------------
@@ -88,18 +93,36 @@ EV_ENCODE_RESIZE = "encode.resize"
 
 # -- fault injection ----------------------------------------------------
 EV_FAULT_OUTAGE = "fault.outage"
+#: a named fault domain's member edges all went dark together
+EV_FAULT_REGION_OUTAGE = "fault.region_outage"
+#: a partial (gray) failure: capacity browns out, requests drop/delay
+EV_FAULT_GRAY = "fault.gray"
 EV_FAULT_DEGRADATION = "fault.degradation"
 EV_FAULT_CROWD = "fault.crowd"
 EV_OUTAGE_EVACUATE = "outage.evacuate"
+
+# -- client resilience (RetryPolicy) ------------------------------------
+#: an attempt the retry policy's virtual-time timeout cancelled
+EV_RETRY_TIMEOUT = "retry.timeout"
+#: a timed-out session hedged to another live edge for its retry
+EV_RETRY_HEDGE = "retry.hedge"
 
 # -- control plane ------------------------------------------------------
 EV_CONTROL_TICK = "control.tick"
 EV_CONTROL_RESIZE = "control.resize"
 EV_CONTROL_RESTEER = "control.resteer"
+#: a graceful-degradation lever pulled (or released) on a dark region
+EV_CONTROL_DEGRADE = "control.degrade"
 
 #: kinds that count as one injected fault each (mirrors
 #: ``FleetReport.faults_injected`` = ``len(FaultSchedule)``)
-FAULT_EVENT_KINDS = (EV_FAULT_OUTAGE, EV_FAULT_DEGRADATION, EV_FAULT_CROWD)
+FAULT_EVENT_KINDS = (
+    EV_FAULT_OUTAGE,
+    EV_FAULT_REGION_OUTAGE,
+    EV_FAULT_GRAY,
+    EV_FAULT_DEGRADATION,
+    EV_FAULT_CROWD,
+)
 
 
 class TraceEvent:
@@ -245,9 +268,11 @@ def ops_from_events(events) -> dict[str, int]:
     ``sessions_resteered`` counts :data:`EV_SESSION_RESTEER` (outage
     failover plus applied controller re-steers), ``faults_injected``
     counts scheduled ``fault.*`` events, ``control_ticks`` counts
-    :data:`EV_CONTROL_TICK`, and ``encode_pool_resizes`` counts
+    :data:`EV_CONTROL_TICK`, ``encode_pool_resizes`` counts
     :data:`EV_CONTROL_RESIZE` (resize *actions*; the queue's own
-    :data:`EV_ENCODE_RESIZE` records the applications).
+    :data:`EV_ENCODE_RESIZE` records the applications), and
+    ``requests_timed_out`` counts :data:`EV_RETRY_TIMEOUT` (attempts a
+    :class:`~repro.streaming.faults.RetryPolicy` timeout cancelled).
     """
     counts = _Counter(ev.kind for ev in events)
     return {
@@ -255,4 +280,5 @@ def ops_from_events(events) -> dict[str, int]:
         "faults_injected": sum(counts[k] for k in FAULT_EVENT_KINDS),
         "control_ticks": counts[EV_CONTROL_TICK],
         "encode_pool_resizes": counts[EV_CONTROL_RESIZE],
+        "requests_timed_out": counts[EV_RETRY_TIMEOUT],
     }

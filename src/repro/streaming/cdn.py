@@ -454,11 +454,22 @@ class CDNTopology:
     ``assignment`` picks the viewer → edge policy (see
     :func:`assign_sessions`).  The origin's encode queue gates cold
     chunk misses; per-edge caches decide hit vs miss paths.
+
+    ``regions`` optionally groups edges into named fault domains —
+    ``{"us-east": (0, 1), "us-west": (2, 3)}`` — the blast-radius unit
+    :class:`~repro.streaming.faults.RegionOutage` and the
+    :class:`~repro.streaming.faults.CorrelatedFaultGenerator` target.
+    Each edge belongs to at most one region; edges left out of every
+    region simply cannot be hit by a regional fault.  Regions do not
+    affect serving or assignment — they exist purely as fault domains
+    (and as the granularity of the report's per-region recovery
+    metrics).
     """
 
     edges: tuple[EdgeNode, ...]
     origin: OriginServer = field(default_factory=OriginServer)
     assignment: str = "static"
+    regions: dict[str, tuple[int, ...]] | None = None
 
     def __post_init__(self) -> None:
         if not self.edges:
@@ -471,6 +482,36 @@ class CDNTopology:
         names = [e.name for e in self.edges]
         if len(set(names)) != len(names):
             raise ValueError("edge names must be unique")
+        if self.regions is not None:
+            self.regions = {
+                name: tuple(members)
+                for name, members in self.regions.items()
+            }
+            seen: dict[int, str] = {}
+            for name, members in self.regions.items():
+                if not name:
+                    raise ValueError("region names must be non-empty")
+                if not members:
+                    raise ValueError(f"region {name!r} has no member edges")
+                for edge in members:
+                    if not 0 <= edge < len(self.edges):
+                        raise ValueError(
+                            f"region {name!r} names edge {edge}; topology "
+                            f"has {len(self.edges)} edges"
+                        )
+                    if edge in seen:
+                        raise ValueError(
+                            f"edge {edge} is in both region {seen[edge]!r} "
+                            f"and {name!r}; fault domains must not overlap"
+                        )
+                    seen[edge] = name
+
+    def region_of(self, edge: int) -> str | None:
+        """Name of the fault domain ``edge`` belongs to (None if none)."""
+        for name, members in (self.regions or {}).items():
+            if edge in members:
+                return name
+        return None
 
     def assign(self, sessions) -> list[int]:
         """Edge index for each session under this topology's policy."""
@@ -546,6 +587,7 @@ def uniform_cdn(
     assignment: str = "static",
     n_encode_workers: int = 4,
     encode_seconds: float = 0.0,
+    n_regions: int | None = None,
 ) -> CDNTopology:
     """A symmetric CDN: ``n_edges`` identical edges on stable links.
 
@@ -553,9 +595,26 @@ def uniform_cdn(
     cross-edge contention — the origin uplink is assumed provisioned);
     the interesting contention is per-edge fan-in plus the shared encode
     worker pool.
+
+    ``n_regions`` optionally splits the edges into that many contiguous
+    fault domains named ``region-0`` … ``region-{n-1}`` (as even as the
+    division allows, earlier regions taking the remainder) — the handy
+    way to get a regional topology for chaos scenarios.
     """
     if n_edges <= 0:
         raise ValueError("n_edges must be positive")
+    regions = None
+    if n_regions is not None:
+        if not 0 < n_regions <= n_edges:
+            raise ValueError(
+                f"n_regions must be in [1, n_edges], got {n_regions}"
+            )
+        base, extra = divmod(n_edges, n_regions)
+        regions, lo = {}, 0
+        for r in range(n_regions):
+            hi = lo + base + (1 if r < extra else 0)
+            regions[f"region-{r}"] = tuple(range(lo, hi))
+            lo = hi
     edges = tuple(
         EdgeNode(
             name=f"edge-{i}",
@@ -574,4 +633,6 @@ def uniform_cdn(
     origin = OriginServer(
         n_encode_workers=n_encode_workers, encode_seconds=encode_seconds
     )
-    return CDNTopology(edges=edges, origin=origin, assignment=assignment)
+    return CDNTopology(
+        edges=edges, origin=origin, assignment=assignment, regions=regions
+    )

@@ -434,13 +434,19 @@ class ColumnarFleet:
         return NEEDS_DECISION
 
     # ------------------------------------------------------------------
-    def decide(self, sids: list[int]) -> list[tuple[int, DownloadRequest]]:
+    def decide(
+        self, sids: list[int], clamp=None
+    ) -> list[tuple[int, DownloadRequest]]:
         """Resolve every parked decision; returns the unblocked requests.
 
         Groups by shared controller object (one ``decide_columns`` column
         pass each) exactly like the machine path's ``_batched_decisions``,
         so request issue order — which the weighted-share scheduler sums
-        are sensitive to — is identical.
+        are sensitive to — is identical.  ``clamp``, when given, rewrites
+        each decision before it is issued (the control plane's graceful-
+        degradation levers); it must match the machine path's clamp
+        exactly, which the driver guarantees by passing the same callable
+        to both engines.
         """
         by_controller: dict[int, list[int]] = {}
         controllers = self.controllers
@@ -461,6 +467,8 @@ class ColumnarFleet:
                     int(self.horizon[sid]),
                 )
             for sid, decision in zip(ids, controller.decide_columns(batch)):
+                if clamp is not None:
+                    decision = clamp(decision)
                 out.append((sid, self._issue_request(sid, decision)))
         return out
 

@@ -15,6 +15,11 @@ state:
   re-assigned to the least-loaded live edge, a bounded number per tick
   (future chunk requests follow the new assignment; in-flight transfers
   finish where they are);
+* **graceful degradation** — while a whole fault domain (topology
+  region) is dark, the optional ``quality_cap_when_dark`` /
+  ``disable_sr_when_dark`` levers cap decision density and switch SR
+  off fleet-wide, restoring both when the region comes back: shed
+  per-viewer quality to keep everyone streaming through the incident;
 * **QoE-driven arrival autoscale** — a :class:`QoEArrivalAutoscaler`
   accumulates per-virtual-day health and recommends next-day arrival
   multipliers through the existing
@@ -41,7 +46,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from ..obs.events import EV_CONTROL_RESIZE, EV_CONTROL_RESTEER, EV_CONTROL_TICK
+from ..obs.events import (
+    EV_CONTROL_DEGRADE,
+    EV_CONTROL_RESIZE,
+    EV_CONTROL_RESTEER,
+    EV_CONTROL_TICK,
+)
 from .cdn import wait_percentile
 
 __all__ = [
@@ -77,6 +87,13 @@ class ControlPolicy:
     saturation_factor: float = 2.0
     #: cap on re-steered sessions per tick (avoid thundering herds)
     max_resteers_per_tick: int = 8
+    #: graceful degradation: while any fault domain is fully dark, cap
+    #: every new decision's density at this value (None disables the
+    #: lever).  Lifted at the first tick with no dark region.
+    quality_cap_when_dark: float | None = None
+    #: graceful degradation: force ``sr_ratio`` to 1.0 (SR off — no
+    #: device upscale work) while any fault domain is fully dark
+    disable_sr_when_dark: bool = False
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -99,6 +116,13 @@ class ControlPolicy:
             )
         if self.max_resteers_per_tick < 0:
             raise ValueError("max_resteers_per_tick must be non-negative")
+        if self.quality_cap_when_dark is not None and not (
+            0.0 < self.quality_cap_when_dark <= 1.0
+        ):
+            raise ValueError(
+                "quality_cap_when_dark must be in (0, 1] (a density "
+                f"cap), got {self.quality_cap_when_dark!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -119,6 +143,10 @@ class FleetView:
     encode_workers: int
     #: interval health sample (None when no chunks completed this interval)
     health: float | None
+    #: fault domains whose member edges are *all* currently dark
+    #: (topology ``regions`` names, sorted) — the graceful-degradation
+    #: trigger; empty when no regions are declared or none is dark
+    regions_dark: tuple[str, ...] = ()
 
 
 @dataclass
@@ -129,9 +157,20 @@ class ControlActions:
     encode_workers: int | None = None
     #: ``(session id, new edge index)`` re-assignments
     resteer: list[tuple[int, int]] = field(default_factory=list)
+    #: cap future decisions' density at this value; ``math.inf`` lifts a
+    #: previously applied cap (None = leave the current cap alone)
+    quality_cap: float | None = None
+    #: force SR off (False) or restore policy-chosen SR (True);
+    #: None = leave alone
+    sr_enabled: bool | None = None
 
     def __bool__(self) -> bool:
-        return self.encode_workers is not None or bool(self.resteer)
+        return (
+            self.encode_workers is not None
+            or bool(self.resteer)
+            or self.quality_cap is not None
+            or self.sr_enabled is not None
+        )
 
 
 class ControlPlane:
@@ -154,6 +193,9 @@ class ControlPlane:
         self.ticks = 0
         self.encode_resizes = 0
         self.resteered = 0
+        #: graceful-degradation lever pulls + releases (state flips)
+        self.degrades = 0
+        self._degraded = False
         self.log: list[str] = []
         #: wired by the fleet driver when tracing; unwired in its finally
         self.tracer = None
@@ -252,6 +294,47 @@ class ControlPlane:
                 self.log.append(
                     f"t={view.now:.1f} re-steered {len(actions.resteer)} "
                     f"session(s) off saturated edge(s)"
+                )
+
+        # Graceful degradation while a whole fault domain is dark: cap
+        # quality and/or switch SR off, restore when the region returns.
+        # Pure state machine on regions_dark — with both levers unset
+        # (the defaults) this block never acts, preserving the no-op
+        # parity contract.
+        has_levers = (
+            pol.quality_cap_when_dark is not None or pol.disable_sr_when_dark
+        )
+        if has_levers:
+            dark = bool(view.regions_dark)
+            if dark and not self._degraded:
+                self._degraded = True
+                self.degrades += 1
+                if pol.quality_cap_when_dark is not None:
+                    actions.quality_cap = pol.quality_cap_when_dark
+                if pol.disable_sr_when_dark:
+                    actions.sr_enabled = False
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        view.now, EV_CONTROL_DEGRADE, state="on",
+                        regions=",".join(view.regions_dark),
+                    )
+                self.log.append(
+                    f"t={view.now:.1f} degraded mode ON "
+                    f"(dark: {', '.join(view.regions_dark)})"
+                )
+            elif not dark and self._degraded:
+                self._degraded = False
+                self.degrades += 1
+                if pol.quality_cap_when_dark is not None:
+                    actions.quality_cap = math.inf
+                if pol.disable_sr_when_dark:
+                    actions.sr_enabled = True
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        view.now, EV_CONTROL_DEGRADE, state="off"
+                    )
+                self.log.append(
+                    f"t={view.now:.1f} degraded mode OFF (regions back)"
                 )
 
         # Feed the arrival autoscaler's per-day health accumulator.

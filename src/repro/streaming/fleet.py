@@ -48,6 +48,8 @@ from ..obs.events import (
     EV_CHUNK_RETRY,
     EV_CHUNK_STALL,
     EV_OUTAGE_EVACUATE,
+    EV_RETRY_HEDGE,
+    EV_RETRY_TIMEOUT,
     EV_SESSION_ABANDON,
     EV_SESSION_FINISH,
     EV_SESSION_RESTEER,
@@ -62,7 +64,7 @@ from .abr import AbrController, SRQualityModel
 from .chunks import VideoSpec
 from .columnar import NEEDS_DECISION, ColumnarFleet
 from .control import ControlPlane, FleetView, RecoveryTracker
-from .faults import DegradedTrace, FaultSchedule
+from .faults import DegradedTrace, FaultSchedule, RetryPolicy
 from .latency import SRLatency, ZERO_LATENCY
 from .simulator import (
     AbandonPolicy,
@@ -240,6 +242,26 @@ class FleetReport:
     #: virtual seconds from first fault to health back within tolerance of
     #: baseline; 0.0 = no measurable dip, ``inf`` = never recovered in-run
     time_to_recover_s: float = 0.0
+    # -- client resilience (RetryPolicy / gray failures) -------------------
+    #: transfer attempts re-issued after an outage evacuation, a retry
+    #: timeout, or a gray-failure drop
+    chunk_retries: int = 0
+    #: attempts a :class:`~repro.streaming.faults.RetryPolicy` virtual-time
+    #: timeout cancelled
+    requests_timed_out: int = 0
+    #: timed-out requests whose retry hedged to a second live edge
+    requests_hedged: int = 0
+    #: bytes dispatched through a :class:`~repro.streaming.faults.GrayFailure`
+    #: capacity window (served degraded, not lost)
+    gray_degraded_bytes: int = 0
+    #: completions by failed-attempt count: element ``k-1`` = chunks
+    #: delivered after exactly ``k`` failed attempts (drops, timeouts,
+    #: evacuations); chunks delivered first try are not listed
+    retry_attempts: tuple[int, ...] = ()
+    #: per fault domain ``(region, qoe_dip_depth, time_to_recover_s)``,
+    #: sorted by region name — populated when the topology declares
+    #: regions and faults were injected
+    region_recovery: tuple[tuple[str, float, float], ...] = ()
     #: origin transcode core-seconds actually occupied (encode-queue busy
     #: time summed over jobs) — what the cost model prices as compute
     encode_core_seconds: float = 0.0
@@ -264,6 +286,12 @@ class OpsStats:
     encode_pool_resizes: int = 0
     qoe_dip_depth: float = 0.0
     time_to_recover_s: float = 0.0
+    chunk_retries: int = 0
+    requests_timed_out: int = 0
+    requests_hedged: int = 0
+    gray_degraded_bytes: int = 0
+    retry_attempts: tuple[int, ...] = ()
+    region_recovery: tuple[tuple[str, float, float], ...] = ()
 
 
 @dataclass
@@ -284,7 +312,7 @@ class FleetResult:
 
 
 def _batched_decisions(
-    machines: list[SessionMachine], session_ids: list[int]
+    machines: list[SessionMachine], session_ids: list[int], clamp=None
 ) -> list[tuple[int, DownloadRequest]]:
     """Resolve every machine parked on a :class:`DecisionRequest`.
 
@@ -293,7 +321,10 @@ def _batched_decisions(
     (session, candidate, horizon) tensor at once); per-session controllers
     degrade to batches of one.  Decisions are pure functions of their
     context, so batching cannot change any session's outcome.  Returns the
-    download request each decision unblocked.
+    download request each decision unblocked.  ``clamp``, when given,
+    rewrites each decision before the machine advances on it — the
+    control plane's graceful-degradation levers (quality cap, SR off);
+    the columnar engine applies the identical callable at the same point.
     """
     by_controller: dict[int, list[int]] = {}
     for sid in session_ids:
@@ -307,6 +338,8 @@ def _batched_decisions(
             assert isinstance(pending, DecisionRequest)
             ctxs.append(pending.ctx)
         for sid, decision in zip(ids, controller.decide_batch(ctxs)):
+            if clamp is not None:
+                decision = clamp(decision)
             req = machines[sid].advance(decision)
             # A decision is always followed by the chunk's transfer.
             assert isinstance(req, DownloadRequest)
@@ -383,6 +416,12 @@ def build_fleet_report(
         encode_pool_resizes=ops.encode_pool_resizes,
         qoe_dip_depth=ops.qoe_dip_depth,
         time_to_recover_s=ops.time_to_recover_s,
+        chunk_retries=ops.chunk_retries,
+        requests_timed_out=ops.requests_timed_out,
+        requests_hedged=ops.requests_hedged,
+        gray_degraded_bytes=ops.gray_degraded_bytes,
+        retry_attempts=ops.retry_attempts,
+        region_recovery=ops.region_recovery,
         encode_core_seconds=encode_core_seconds,
     )
 
@@ -439,6 +478,76 @@ class _FleetSampler:
         return health
 
 
+class _RetryState:
+    """Client-resilience bookkeeping for one fleet run.
+
+    Folds the old standalone ``retry_offset`` dict (sunk virtual seconds
+    on attempts an outage killed) together with the attempt counters the
+    :class:`~repro.streaming.faults.RetryPolicy` machinery needs, so
+    every failure path — evacuation, timeout, gray drop — shares one
+    accounting contract:
+
+    * ``offset[sid]`` — virtual seconds session ``sid`` already spent on
+      failed attempts of its *current* request (including backoff
+      waits); added to the elapsed time of the attempt that finally
+      completes, so the session's buffer math sees the true wall span.
+      **Audit note (chained outages / abandonment):** an entry is
+      created only when a live attempt is killed and consumed exactly
+      once, at the next completion of that session — chained outages
+      accumulate into one entry whose sum telescopes to
+      ``final_finish - first_issue``; a session that abandons *at* the
+      completing attempt has already consumed its entry (abandonment is
+      decided inside ``advance`` after elapsed is applied); and since
+      every re-issued request either completes or is re-killed into the
+      same entry, no entry can outlive the run
+      (``test_faults.py::TestRetryOffsetAccounting`` pins all three).
+    * ``attempts[sid]`` — failed attempts on the current request; popped
+      into ``histogram`` (attempt count → completions) when the request
+      finally lands.  Feeds the ``max_attempts`` budget and the
+      report's ``retry_attempts`` tuple.
+    * counters — ``retries`` (every re-issued attempt), ``timed_out``,
+      ``hedged``, and ``gray_bytes`` (bytes dispatched through a gray
+      capacity window; cancelled attempts credit theirs back).
+    """
+
+    __slots__ = (
+        "offset", "attempts", "histogram", "retries", "timed_out",
+        "hedged", "gray_bytes",
+    )
+
+    def __init__(self) -> None:
+        self.offset: dict[int, float] = {}
+        self.attempts: dict[int, int] = {}
+        self.histogram: dict[int, int] = {}
+        self.retries = 0
+        self.timed_out = 0
+        self.hedged = 0
+        self.gray_bytes = 0
+
+    def add_attempt(self, sid: int) -> int:
+        """Count one failed attempt for ``sid``; returns the new count."""
+        n = self.attempts.get(sid, 0) + 1
+        self.attempts[sid] = n
+        self.retries += 1
+        return n
+
+    def complete(self, sid: int) -> float:
+        """Close ``sid``'s current request: fold its failed-attempt count
+        into the histogram and return (consuming) its sunk time."""
+        n = self.attempts.pop(sid, 0)
+        if n:
+            self.histogram[n] = self.histogram.get(n, 0) + 1
+        return self.offset.pop(sid, 0.0)
+
+    def attempt_counts(self) -> tuple[int, ...]:
+        """Dense histogram tuple: element ``k-1`` = completions that took
+        exactly ``k`` failed attempts."""
+        if not self.histogram:
+            return ()
+        top = max(self.histogram)
+        return tuple(self.histogram.get(k, 0) for k in range(1, top + 1))
+
+
 def simulate_fleet(
     sessions: list[FleetSession],
     trace: NetworkTrace | None = None,
@@ -452,6 +561,7 @@ def simulate_fleet(
     fleet_engine: str | None = None,
     telemetry: "Telemetry | None" = None,
     *,
+    retry_policy: RetryPolicy | None = None,
     scheduler_engine: str | None = None,
     session_engine: str | None = None,
     cost_model: "CostModel | None" = None,
@@ -486,10 +596,12 @@ def simulate_fleet(
     :class:`~repro.streaming.columnar.ColumnarFleet` state — no
     per-session generators, contexts, or record objects on the hot loop —
     and must reproduce the machine engine result for result (the sixth
-    oracle-parity instance, ``tests/streaming/test_columnar.py``).  The
-    columnar engine supports every serving mode except edge *outages*
-    (whose evacuation/retry bookkeeping still rides machine objects);
-    degradations, flash crowds, and a live controller all work.
+    oracle-parity instance, ``tests/streaming/test_columnar.py``).
+    Every serving mode runs on both engines, faults included: outage
+    evacuation, retry timeouts, and hedging read finished flags and swap
+    SR caches through engine-agnostic accessors, and the machine engine
+    stays the bit-exact oracle for the fault paths (the ninth parity
+    instance, ``tests/streaming/test_faults.py``).
 
     ``cost_model`` attaches a :class:`~repro.streaming.cost.CostModel`'s
     dollarization of the run to ``report.cost`` (see
@@ -528,11 +640,32 @@ def simulate_fleet(
 
     ``faults`` injects chaos events (topology mode only): edge outages
     cancel the dead edge's in-flight transfers, fail its viewers over to
-    the least-loaded live edge and restart the edge cold; backhaul
-    degradations scale an edge's backhaul trace through a
-    :class:`~repro.streaming.faults.DegradedTrace` window; flash-crowd
-    entries only inform the recovery metrics (materialize their sessions
-    first via :meth:`~repro.streaming.faults.FaultSchedule.expand_population`).
+    the least-loaded live edge and restart the edge cold; region outages
+    resolve through the topology's fault domains and take every member
+    edge down together (and the report gains per-region recovery
+    metrics, attributed by each session's home edge); gray failures
+    brown out an edge's access capacity through the same
+    :class:`~repro.streaming.faults.DegradedTrace` window machinery and
+    deterministically drop a fraction of its dispatches, each drop
+    retrying after ``drop_delay_s``; backhaul degradations scale an
+    edge's backhaul trace; flash-crowd entries only inform the recovery
+    metrics (materialize their sessions first via
+    :meth:`~repro.streaming.faults.FaultSchedule.expand_population`).
+
+    ``retry_policy`` attaches the client resilience layer
+    (:class:`~repro.streaming.faults.RetryPolicy`, topology mode only).
+    A finite ``timeout_s`` arms a virtual-time timer per transfer
+    attempt: at the deadline the attempt is cancelled (its charged bytes
+    credited back), counted in ``requests_timed_out``, and re-issued
+    after capped exponential backoff — or immediately against the
+    least-loaded other live edge when ``hedge`` is set.  The last
+    attempt of the ``max_attempts`` budget runs untimed, so every chunk
+    eventually delivers and the report records how hard the client
+    fought (``retry_attempts``).  Evacuation retries pay the same
+    backoff when a policy is attached.  The default
+    ``RetryPolicy()`` (infinite timeout) arms nothing, and a policy on a
+    fault-free run is bit-exact with no policy at all (the disabled-mode
+    parity suite pins both).
     ``controller`` runs a :class:`~repro.streaming.control.ControlPlane`
     every control interval on a sampled :class:`FleetView` — encode-pool
     resizing, saturation re-steering, QoE-driven arrival autoscale
@@ -573,6 +706,7 @@ def simulate_fleet(
             or controller is not None
             or fleet_engine is not None
             or telemetry is not None
+            or retry_policy is not None
             or scheduler_engine is not None
             or session_engine is not None
             or cost_model is not None
@@ -605,6 +739,7 @@ def simulate_fleet(
             ),
             assignment=assignment,
             faults=faults,
+            retry_policy=retry_policy,
             controller=controller,
             telemetry=telemetry,
             cost_model=cost_model,
@@ -618,6 +753,7 @@ def simulate_fleet(
     sr_cache = spec.sr_cache
     assignment = spec.assignment
     faults = spec.faults
+    retry_policy = spec.retry_policy
     controller = spec.controller
     telemetry = spec.telemetry
     tracer = telemetry.tracer if telemetry is not None else None
@@ -637,7 +773,7 @@ def simulate_fleet(
         base_path = None
         topology.reset()
         if faults is not None:
-            faults.validate_topology(len(topology.edges))
+            faults.validate_topology(len(topology.edges), topology.regions)
         if assignment is None:
             assignment = topology.assign(sessions)
         else:
@@ -713,20 +849,45 @@ def simulate_fleet(
 
     # -- fault / control runtime -------------------------------------------
     n_edges = len(topology.edges) if topology is not None else 0
+    regions = topology.regions if topology is not None else None
     outage_bounds = faults.boundary_times() if faults is not None else []
+    #: every (edge, start, end) total-outage window — EdgeOutage events
+    #: plus RegionOutage events resolved through the topology's regions;
+    #: evacuation and edge_down recomputation read spans, never events
+    outage_spans = (
+        faults.edge_outage_spans(regions) if faults is not None else []
+    )
     next_bound = 0
     edge_down = [False] * n_edges
-    #: outage handling needs to know which flows ride which edge; the
-    #: bookkeeping is gated so fault-free runs skip every extra dict op
-    track_live = bool(outage_bounds)
+    #: gray failures by edge (drop draws and byte accounting at dispatch)
+    gray_by_edge: dict[int, list] = {}
+    if faults is not None:
+        for g in faults.gray_failures:
+            gray_by_edge.setdefault(g.edge, []).append(g)
+    #: timeouts are armed only when they can ever fire — the default
+    #: RetryPolicy(timeout_s=inf) keeps the no-timeout path untouched
+    arm_timeouts = (
+        retry_policy is not None
+        and math.isfinite(retry_policy.timeout_s)
+        and topology is not None
+    )
+    #: outage/timeout handling needs to know which flows ride which edge;
+    #: the bookkeeping is gated so fault-free runs skip every extra dict op
+    track_live = bool(outage_spans) or arm_timeouts
+    #: any failure path live this run (gates the per-completion retry
+    #: accounting; gray drops count attempts without tracking flows)
+    resilience = track_live or bool(gray_by_edge)
     #: in-flight downloads: sid -> (request, edge the flow was routed via,
     #: how the bytes were charged at dispatch — origin egress, cache hit,
-    #: or coalesced attach.  An outage cancelling the transfer credits the
+    #: or coalesced attach.  A cancellation (outage or timeout) credits the
     #: matching counter back, so the re-issued attempt does not count its
     #: bytes against delivered totals twice.
     live_req: dict[int, tuple[DownloadRequest, int, int]] = {}
-    #: virtual seconds a session already spent on attempts an outage killed
-    retry_offset: dict[int, float] = {}
+    rstate = _RetryState()
+    #: armed per-request timeouts: (deadline, sid, token) heap entries; a
+    #: token mismatch marks an entry stale (the attempt already resolved)
+    timeout_heap: list[tuple[float, int, int]] = []
+    flow_token: dict[int, int] = {}
     resteered_total = 0
     monitor = faults is not None or controller is not None
     #: a metrics registry alone also wants the interval samples — the
@@ -745,6 +906,24 @@ def simulate_fleet(
         if faults is not None
         else None
     )
+    #: per fault domain recovery metrics: region -> (sampler, tracker);
+    #: sessions are attributed to the region of their *home* (initial)
+    #: edge, so an evacuated region's viewers keep reporting into it —
+    #: the dip measures what the region's audience experienced, not
+    #: where their bytes happened to come from afterwards
+    region_track: dict[str, tuple[_FleetSampler, RecoveryTracker]] = {}
+    region_home: list[str | None] = []
+    if faults is not None and regions:
+        fault_start = min(ev.start for ev in faults.events)
+        region_track = {
+            name: (_FleetSampler(None), RecoveryTracker(fault_start))
+            for name in sorted(regions)
+        }
+        region_of_edge: list[str | None] = [None] * n_edges
+        for name, members in regions.items():
+            for e in members:
+                region_of_edge[e] = name
+        region_home = [region_of_edge[e] for e in assignment]
     next_sample = sample_interval
     sampler = _FleetSampler(metrics)
     encode_waits_seen = 0
@@ -761,6 +940,22 @@ def simulate_fleet(
             link = topology.edges[e].backhaul
             wrapped_links.append((link, link.trace))
             link.trace = DegradedTrace(link.trace, wins)
+    # A gray failure's capacity brownout rides the same window machinery,
+    # on the edge's *access* link (the edge keeps serving, slower) — so
+    # gray windows compose with backhaul degradations exactly like any
+    # other DegradedTrace windows.
+    if gray_by_edge:
+        for e, grays in sorted(gray_by_edge.items()):
+            wins = [
+                (g.start, g.end, g.capacity_factor)
+                for g in grays
+                if g.capacity_factor != 1.0
+            ]
+            if not wins:
+                continue
+            link = topology.edges[e].access
+            wrapped_links.append((link, link.trace))
+            link.trace = DegradedTrace(link.trace, wins)
     #: topology requests dated beyond the current event, ordered by
     #: (start_time, session id).  Cache lookups and encode reservations
     #: are *stateful and time-stamped*, so a future-dated request (a
@@ -769,6 +964,66 @@ def simulate_fleet(
     #: sees every fill and encode that completed before t=60.
     deferred: list[tuple[float, int, DownloadRequest]] = []
     clock = 0.0
+
+    def _gray_dispatch(edge_idx: int, sid: int, req: DownloadRequest):
+        """(drop retransmit delay, gray-window bytes) for one dispatch.
+
+        Bytes count once however many gray windows overlap the instant;
+        the deterministic drop draw is per window, and a dropped request
+        is modeled as its own retransmit — the transfer starts
+        ``drop_delay_s`` late and the attempt counts as failed.
+        """
+        delay = 0.0
+        gbytes = 0
+        for g in gray_by_edge.get(edge_idx, ()):
+            if g.covers(req.start_time):
+                gbytes = req.nbytes
+                if g.drops(sid, req.start_time):
+                    delay += g.drop_delay_s
+        return delay, gbytes
+
+    def _gray_bytes_at(edge_idx: int, req: DownloadRequest) -> int:
+        """Gray-window bytes a cancelled dispatch must credit back."""
+        for g in gray_by_edge.get(edge_idx, ()):
+            if g.covers(req.start_time):
+                return req.nbytes
+        return 0
+
+    def _gray_drop(edge_idx: int, sid: int, req: DownloadRequest) -> float:
+        """Gray bookkeeping for one dispatch; returns the drop delay."""
+        gdelay, gbytes = _gray_dispatch(edge_idx, sid, req)
+        rstate.gray_bytes += gbytes
+        if gdelay > 0.0:
+            rstate.add_attempt(sid)
+            if tracer is not None:
+                tracer.emit(
+                    req.start_time, EV_CHUNK_RETRY, session=sid,
+                    nbytes=req.nbytes, reason="gray-drop",
+                )
+        return gdelay
+
+    def _arm_timeout(sid: int, req: DownloadRequest) -> None:
+        """Arm the retry policy's virtual-time timeout for one attempt.
+
+        Skipped once the attempt budget is spent — the final attempt
+        runs to completion untimed (a simulated chunk must eventually
+        deliver; the report records how hard the client fought).
+        """
+        if not arm_timeouts:
+            return
+        if rstate.attempts.get(sid, 0) + 1 >= retry_policy.max_attempts:
+            return
+        token = flow_token.get(sid, 0) + 1
+        flow_token[sid] = token
+        heapq.heappush(
+            timeout_heap,
+            (req.start_time + retry_policy.timeout_s, sid, token),
+        )
+
+    def _disarm(sid: int) -> None:
+        """Invalidate any armed timeout for ``sid`` (attempt resolved)."""
+        if arm_timeouts:
+            flow_token[sid] = flow_token.get(sid, 0) + 1
 
     def dispatch(sid: int, req: DownloadRequest) -> None:
         nonlocal origin_egress
@@ -788,8 +1043,10 @@ def simulate_fleet(
         edge = topology.edges[edge_idx]
         key = _chunk_key(req)
         if key is not None and edge.cache.lookup(key, req.nbytes, req.start_time):
+            gdelay = _gray_drop(edge_idx, sid, req) if gray_by_edge else 0.0
             if track_live:
                 live_req[sid] = (req, edge_idx, _CHARGE_HIT)
+            _arm_timeout(sid, req)
             if tracer is not None:
                 tracer.emit(
                     req.start_time, EV_CHUNK_FETCH, session=sid,
@@ -797,7 +1054,7 @@ def simulate_fleet(
                 )
             sched.add_flow(
                 sid, req.nbytes, req.start_time, edge.hit_path,
-                weight=sessions[sid].weight,
+                weight=sessions[sid].weight, extra_delay=gdelay,
             )
             return
         delay = 0.0
@@ -821,9 +1078,12 @@ def simulate_fleet(
             if edge.cache.capacity_bytes > 0:
                 edge.cache.begin_fill(key)
             pending_fill[sid] = (edge_idx, key, req.nbytes)
+        if gray_by_edge:
+            delay += _gray_drop(edge_idx, sid, req)
         origin_egress += req.nbytes
         if track_live:
             live_req[sid] = (req, edge_idx, _CHARGE_ORIGIN)
+        _arm_timeout(sid, req)
         if tracer is not None:
             tracer.emit(
                 req.start_time, EV_CHUNK_FETCH, session=sid,
@@ -885,11 +1145,67 @@ def simulate_fleet(
             stall += m.live_stall
         return chunks, qsum, stall
 
+    def _region_live_totals() -> dict[str, tuple[int, float, float]]:
+        """Per fault domain live counters, summed in ascending session id
+        order over each session's *home* region — the same scalars in the
+        same sequential float order on both engines, so the per-region
+        recovery metrics are engine-exact like the fleet-wide ones."""
+        totals = {name: (0, 0.0, 0.0) for name in region_track}
+        if cols is not None:
+            lc, lq, ls = cols.live_chunks, cols.live_qsum, cols.live_stall
+            for sid, name in enumerate(region_home):
+                if name is None:
+                    continue
+                c, q, s = totals[name]
+                totals[name] = (
+                    c + int(lc[sid]), q + float(lq[sid]), s + float(ls[sid])
+                )
+        else:
+            for sid, name in enumerate(region_home):
+                if name is None:
+                    continue
+                m = machines[sid]
+                c, q, s = totals[name]
+                totals[name] = (
+                    c + m.live_chunks,
+                    q + m.live_quality_sum,
+                    s + m.live_stall,
+                )
+        return totals
+
+    # -- graceful degradation (control-plane levers) -----------------------
+    # The clamp rewrites ABR decisions while a lever is pulled; while no
+    # lever is active the decision call sites receive clamp=None, so the
+    # no-op configuration executes the exact pre-lever instruction stream.
+    decision_cap = math.inf
+    sr_disabled = False
+    clamp_active = False
+
+    def _clamp(d):
+        """One ABR decision under the active degradation levers."""
+        if decision_cap < math.inf and d.density > decision_cap:
+            d = dc_replace(d, density=decision_cap)
+        if sr_disabled and d.sr_ratio != 1.0:
+            d = dc_replace(d, sr_ratio=1.0)
+        return d
+
+    def _decide(ids: list[int]) -> list[tuple[int, DownloadRequest]]:
+        """Resolve parked decisions on the active session engine, routed
+        through the degradation clamp only while a lever is pulled."""
+        clamp = _clamp if clamp_active else None
+        if cols is not None:
+            return cols.decide(ids, clamp=clamp)
+        return _batched_decisions(machines, ids, clamp=clamp)
+
     def _evacuate(edge_idx: int, t: float) -> None:
         """Fail edge ``edge_idx`` over at instant ``t``: re-steer its
         viewers to the least-loaded live edges, cancel its in-flight
         transfers and re-issue them from ``t`` (time already spent counts
-        against the session via ``retry_offset``), restart its cache cold.
+        against the session via the retry state's sunk-time offset, plus
+        any :class:`~repro.streaming.faults.RetryPolicy` backoff),
+        restart its cache cold.  Engine-agnostic: both the machine and
+        columnar session layers expose the finished flags and SR-cache
+        slots this needs.
         """
         nonlocal resteered_total, origin_egress
         assert topology is not None and faults is not None
@@ -899,7 +1215,8 @@ def simulate_fleet(
         # Each cancelled transfer hands back whatever it was charged at
         # dispatch — origin egress, cache hit bytes, or a coalesced attach
         # — so the re-issued attempt, billed on its own dispatch, never
-        # counts one delivered chunk's bytes twice.
+        # counts one delivered chunk's bytes twice.  Gray-window bytes are
+        # credited back the same way (coalesced attaches never paid any).
         riding = sorted(
             sid for sid, (_, e, _) in live_req.items() if e == edge_idx
         )
@@ -912,6 +1229,9 @@ def simulate_fleet(
                 edge.cache.void_hit(req.nbytes, at_time=t)
             else:
                 edge.cache.void_coalesced(req.nbytes, at_time=t)
+            if gray_by_edge and kind != _CHARGE_COALESCED:
+                rstate.gray_bytes -= _gray_bytes_at(edge_idx, req)
+            _disarm(sid)
             retries.append((sid, req))
         for k in [k for k in fill_waiters if k[0] == edge_idx]:
             for wsid, wreq in fill_waiters.pop(k):
@@ -925,20 +1245,24 @@ def simulate_fleet(
         # Viewers whose join still lies beyond the end of this outage
         # (chained across back-to-back outage spans on the edge) will
         # find it healthy again — failing them over now would permanently
-        # strand them on another edge for no reason.
+        # strand them on another edge for no reason.  Spans already fold
+        # RegionOutage events through the topology's fault domains.
         until = t
-        for start, end in sorted(
-            (o.start, o.end) for o in faults.outages if o.edge == edge_idx
-        ):
-            if start <= until:
+        for e2, start, end in outage_spans:
+            if e2 == edge_idx and start <= until:
                 until = max(until, end)
         live = [e for e in range(n_edges) if not edge_down[e]]
+        finished = (
+            cols.finished_flags()
+            if cols is not None
+            else [m.finished for m in machines]
+        )
         load = [0] * n_edges
-        for sid, m in enumerate(machines):
-            if not m.finished:
+        for sid, fin in enumerate(finished):
+            if not fin:
                 load[assignment[sid]] += 1
-        for sid, m in enumerate(machines):
-            if m.finished or assignment[sid] != edge_idx:
+        for sid, fin in enumerate(finished):
+            if fin or assignment[sid] != edge_idx:
                 continue
             if sessions[sid].join_time >= until:
                 continue
@@ -947,7 +1271,11 @@ def simulate_fleet(
             load[target] += 1
             assignment[sid] = target
             if per_edge_sr:
-                machines[sid].sr_cache = topology.edges[target].sr_cache
+                new_cache = topology.edges[target].sr_cache
+                if cols is not None:
+                    cols.sr_caches[sid] = new_cache
+                else:
+                    machines[sid].sr_cache = new_cache
             resteered_total += 1
             if tracer is not None:
                 tracer.emit(
@@ -962,17 +1290,25 @@ def simulate_fleet(
         edge.cache.drop_all()
         # Re-issue the orphaned requests against each session's new edge.
         # Requests dated at/after the outage re-run unchanged; requests
-        # already in flight restart here, carrying their sunk time.
+        # already in flight restart here, carrying their sunk time plus
+        # the retry policy's capped exponential backoff (no policy =
+        # immediate restart, the historical behavior bit-exactly).
         for sid, req in sorted(retries):
             if tracer is not None:
                 tracer.emit(t, EV_CHUNK_RETRY, session=sid, nbytes=req.nbytes)
             if req.start_time >= t:
                 queue(sid, req)
             else:
-                retry_offset[sid] = (
-                    retry_offset.get(sid, 0.0) + (t - req.start_time)
+                n = rstate.add_attempt(sid)
+                delay = (
+                    retry_policy.backoff(n)
+                    if retry_policy is not None
+                    else 0.0
                 )
-                queue(sid, dc_replace(req, start_time=t))
+                rstate.offset[sid] = rstate.offset.get(sid, 0.0) + (
+                    t + delay - req.start_time
+                )
+                queue(sid, dc_replace(req, start_time=t + delay))
 
     # Every session needs its first ABR decision at join time — the widest
     # batch of the run (startup-bytes sessions enter via a transfer first).
@@ -983,7 +1319,7 @@ def simulate_fleet(
         startup_reqs, first_decisions = cols.initial_requests()
         for sid, req in startup_reqs:
             queue(sid, req)
-        queue_decided(cols.decide(first_decisions))
+        queue_decided(_decide(first_decisions))
     else:
         first_decisions = []
         for sid, machine in enumerate(machines):
@@ -991,7 +1327,7 @@ def simulate_fleet(
                 queue(sid, machine.pending)
             elif isinstance(machine.pending, DecisionRequest):
                 first_decisions.append(sid)
-        queue_decided(_batched_decisions(machines, first_decisions))
+        queue_decided(_decide(first_decisions))
 
     now = 0.0
     end_times = [0.0] * len(sessions)
@@ -1014,6 +1350,13 @@ def simulate_fleet(
                 # must wake exactly at them (degradations and crowds need
                 # no event).
                 events.append(max(outage_bounds[next_bound], now))
+            if timeout_heap:
+                # Armed retry deadlines wake the loop too.  A stale entry
+                # (its attempt already resolved) may wake it spuriously;
+                # both engines share this driver loop, so the wakeups —
+                # and therefore the fluid integration segments — stay
+                # identical across engines.
+                events.append(max(timeout_heap[0][0], now))
             t = min(events)
             clock = t
             # advance() returns a materialized completion list, so the
@@ -1025,6 +1368,11 @@ def simulate_fleet(
             for done in completions:
                 if track_live:
                     live_req.pop(done.flow_id, None)
+                if arm_timeouts:
+                    # A completion that lands exactly at its deadline wins:
+                    # completions are processed before the timeout block,
+                    # and the token bump marks the heap entry stale.
+                    _disarm(done.flow_id)
                 fill = pending_fill.pop(done.flow_id, None)
                 if fill is not None:
                     edge_idx, key, nbytes = fill
@@ -1047,8 +1395,8 @@ def simulate_fleet(
                             extra_delay=max(gate, 0.0),
                         )
                 elapsed = done.elapsed
-                if track_live:
-                    elapsed += retry_offset.pop(done.flow_id, 0.0)
+                if resilience:
+                    elapsed += rstate.complete(done.flow_id)
                 if cols is not None:
                     nxt = cols.advance_download(done.flow_id, elapsed)
                     if nxt is NEEDS_DECISION:
@@ -1096,11 +1444,7 @@ def simulate_fleet(
                 else:
                     end_times[done.flow_id] = done.finish_time
         with ph_planner:
-            queue_decided(
-                cols.decide(needs_decision)
-                if cols is not None
-                else _batched_decisions(machines, needs_decision)
-            )
+            queue_decided(_decide(needs_decision))
         if next_bound < len(outage_bounds) and outage_bounds[next_bound] <= t:
           with ph_control:
             # Bank any solo flow's progress before surgery on the flow set
@@ -1115,14 +1459,131 @@ def simulate_fleet(
                 newly_down = []
                 for e in range(n_edges):
                     down = any(
-                        o.edge == e and o.start <= tb < o.end
-                        for o in faults.outages
+                        e2 == e and s <= tb < end
+                        for e2, s, end in outage_spans
                     )
                     if down and not edge_down[e]:
                         newly_down.append(e)
                     edge_down[e] = down
                 for e in newly_down:
                     _evacuate(e, t)
+        if timeout_heap and timeout_heap[0][0] <= t:
+          with ph_control:
+            # Collect every armed deadline due by t whose attempt is still
+            # in flight.  Completions at the same instant were processed
+            # above and bumped their tokens (completion-at-deadline wins);
+            # an evacuation at a coincident outage boundary likewise
+            # already popped its sids from live_req.
+            fired: list[int] = []
+            while timeout_heap and timeout_heap[0][0] <= t:
+                _, sid, token = heapq.heappop(timeout_heap)
+                if flow_token.get(sid, 0) != token or sid not in live_req:
+                    continue
+                flow_token[sid] = token + 1
+                fired.append(sid)
+            if fired:
+                # Cancelling flows outside the completion-driven pattern —
+                # bank any solo flow's progress first (same contract as
+                # the deferred release below).
+                sched.sync(t)
+            for sid in fired:
+                req, edge_idx, kind = live_req.pop(sid)
+                edge = topology.edges[edge_idx]
+                # Hand back whatever the attempt was charged at dispatch
+                # (see _evacuate — identical credit-back contract).
+                if kind == _CHARGE_ORIGIN:
+                    origin_egress -= req.nbytes
+                elif kind == _CHARGE_HIT:
+                    edge.cache.void_hit(req.nbytes, at_time=t)
+                else:
+                    edge.cache.void_coalesced(req.nbytes, at_time=t)
+                if gray_by_edge and kind != _CHARGE_COALESCED:
+                    rstate.gray_bytes -= _gray_bytes_at(edge_idx, req)
+                sched.cancel(sid)
+                fill = pending_fill.pop(sid, None)
+                if fill is not None:
+                    f_edge, key, _ = fill
+                    topology.edges[f_edge].cache.abort_fill(key)
+                    # Requests coalesced onto the aborted fill retry on
+                    # their own, each paying its own backoff.
+                    for wsid, wreq in fill_waiters.pop((f_edge, key), ()):
+                        topology.edges[f_edge].cache.void_coalesced(
+                            wreq.nbytes, at_time=t
+                        )
+                        if tracer is not None:
+                            tracer.emit(
+                                t, EV_CHUNK_RETRY, session=wsid,
+                                nbytes=wreq.nbytes, reason="fill-aborted",
+                            )
+                        if wreq.start_time >= t:
+                            queue(wsid, wreq)
+                            continue
+                        wn = rstate.add_attempt(wsid)
+                        wdelay = retry_policy.backoff(wn)
+                        rstate.offset[wsid] = rstate.offset.get(
+                            wsid, 0.0
+                        ) + (t + wdelay - wreq.start_time)
+                        queue(
+                            wsid,
+                            dc_replace(wreq, start_time=t + wdelay),
+                        )
+                rstate.timed_out += 1
+                if tracer is not None:
+                    tracer.emit(
+                        t, EV_RETRY_TIMEOUT, session=sid, edge=edge_idx,
+                        nbytes=req.nbytes,
+                    )
+                # Hedging re-steers the retry to the least-loaded other
+                # live edge and skips the backoff wait (the point of a
+                # hedge is to race a fresh path, not to sit out).
+                hedged_now = False
+                if retry_policy.hedge:
+                    finished = (
+                        cols.finished_flags()
+                        if cols is not None
+                        else [m.finished for m in machines]
+                    )
+                    load = [0] * n_edges
+                    for s2, fin in enumerate(finished):
+                        if not fin:
+                            load[assignment[s2]] += 1
+                    candidates = [
+                        e for e in range(n_edges)
+                        if e != edge_idx and not edge_down[e]
+                    ]
+                    if candidates:
+                        target = min(candidates, key=lambda e: (load[e], e))
+                        assignment[sid] = target
+                        if per_edge_sr:
+                            new_cache = topology.edges[target].sr_cache
+                            if cols is not None:
+                                cols.sr_caches[sid] = new_cache
+                            else:
+                                machines[sid].sr_cache = new_cache
+                        rstate.hedged += 1
+                        resteered_total += 1
+                        hedged_now = True
+                        if tracer is not None:
+                            tracer.emit(
+                                t, EV_SESSION_RESTEER, session=sid,
+                                reason="hedge", from_edge=edge_idx,
+                                to_edge=target,
+                            )
+                            tracer.emit(
+                                t, EV_RETRY_HEDGE, session=sid,
+                                edge=target,
+                            )
+                n = rstate.add_attempt(sid)
+                delay = 0.0 if hedged_now else retry_policy.backoff(n)
+                rstate.offset[sid] = rstate.offset.get(sid, 0.0) + (
+                    t + delay - req.start_time
+                )
+                if tracer is not None:
+                    tracer.emit(
+                        t, EV_CHUNK_RETRY, session=sid, nbytes=req.nbytes,
+                        reason="timeout",
+                    )
+                queue(sid, dc_replace(req, start_time=t + delay))
         if sampling and t >= next_sample:
           with ph_control:
             # Control ticks piggyback on instants the loop already wakes
@@ -1132,6 +1593,12 @@ def simulate_fleet(
             health = sampler.health_sample(t, *_live_totals())
             if tracker is not None and health is not None:
                 tracker.sample(t, health)
+            if region_track:
+                region_totals = _region_live_totals()
+                for name, (rsampler, rtracker) in region_track.items():
+                    rh = rsampler.health_sample(t, *region_totals[name])
+                    if rh is not None:
+                        rtracker.sample(t, rh)
             finished_flags: list[bool] = []
             if metrics is not None or controller is not None:
                 finished_flags = (
@@ -1186,6 +1653,15 @@ def simulate_fleet(
                 waits = topology.origin.queue.waits
                 new_waits = tuple(waits[encode_waits_seen:])
                 encode_waits_seen = len(waits)
+                regions_dark = (
+                    tuple(
+                        name
+                        for name in sorted(regions)
+                        if all(edge_down[e] for e in regions[name])
+                    )
+                    if regions
+                    else ()
+                )
                 actions = controller.tick(
                     FleetView(
                         now=t,
@@ -1197,6 +1673,7 @@ def simulate_fleet(
                         encode_waits=new_waits,
                         encode_workers=topology.origin.queue.n_workers,
                         health=health,
+                        regions_dark=regions_dark,
                     )
                 )
                 if actions.encode_workers is not None:
@@ -1220,6 +1697,11 @@ def simulate_fleet(
                         else:
                             machines[sid].sr_cache = new_cache
                     resteered_total += 1
+                if actions.quality_cap is not None:
+                    decision_cap = actions.quality_cap
+                if actions.sr_enabled is not None:
+                    sr_disabled = not actions.sr_enabled
+                clamp_active = decision_cap < math.inf or sr_disabled
             next_sample = (
                 math.floor(t / sample_interval) + 1
             ) * sample_interval
@@ -1255,6 +1737,12 @@ def simulate_fleet(
         health = sampler.health_sample(now, *_live_totals())
         if tracker is not None and health is not None:
             tracker.sample(now, health)
+        if region_track:
+            region_totals = _region_live_totals()
+            for name, (rsampler, rtracker) in region_track.items():
+                rh = rsampler.health_sample(now, *region_totals[name])
+                if rh is not None:
+                    rtracker.sample(now, rh)
 
     if cols is not None:
         assert cols.all_finished(), "fleet left unfinished sessions"
@@ -1266,7 +1754,9 @@ def simulate_fleet(
         ), "fleet left unfinished sessions"
     assert not fill_waiters, "fleet left coalesced requests waiting"
     ops = None
-    if monitor:
+    if monitor or resilience:
+        # A retry policy without faults still needs its counters surfaced
+        # (monitor alone would drop a retry-only run's timeout totals).
         if controller is not None and controller.autoscaler is not None:
             controller.autoscaler.finish()
         dip, recover = (
@@ -1285,6 +1775,15 @@ def simulate_fleet(
             ),
             qoe_dip_depth=dip,
             time_to_recover_s=recover,
+            chunk_retries=rstate.retries,
+            requests_timed_out=rstate.timed_out,
+            requests_hedged=rstate.hedged,
+            gray_degraded_bytes=rstate.gray_bytes,
+            retry_attempts=rstate.attempt_counts(),
+            region_recovery=tuple(
+                (name, *region_track[name][1].metrics())
+                for name in sorted(region_track)
+            ),
         )
     if topology is not None:
         edge_stats = [

@@ -60,7 +60,13 @@ import numpy as np
 
 from ..obs import Telemetry
 from .cdn import CDNTopology, OriginServer
-from .faults import FaultSchedule
+from .faults import (
+    BackhaulDegradation,
+    FaultSchedule,
+    GrayFailure,
+    RegionOutage,
+    RetryPolicy,
+)
 from .fleet import (
     FleetResult,
     FleetSession,
@@ -208,8 +214,11 @@ class _ShardTask:
     sr_cache: SRResultCache | str | None
     scheduler_engine: str
     #: this shard's slice of the fault schedule, edges re-indexed to the
-    #: sub-topology (shardable schedules only — backhaul degradations)
+    #: sub-topology (backhaul degradations, gray failures, and region
+    #: outages whose fault domain the shard wholly owns)
     faults: FaultSchedule | None = None
+    #: client resilience policy, forwarded verbatim to every shard
+    retry_policy: RetryPolicy | None = None
     #: session layer: "machine" objects or the "columnar" array engine
     session_engine: str = "machine"
     #: collect a shard-tagged event stream / phase-profiler totals for
@@ -227,6 +236,9 @@ class _ShardOutcome:
     session_indices: tuple[int, ...]
     results: list[SessionResult]
     end_times: list[float]
+    #: session → *local* edge index after the run — differs from the
+    #: task's assignment when an in-shard region outage evacuated viewers
+    final_assignment: tuple[int, ...]
     origin_egress: int
     encode_waits: list[float]
     #: transcode core-seconds this shard's encode-pool slice consumed
@@ -245,6 +257,15 @@ class _ShardOutcome:
     faults_injected: int = 0
     qoe_dip_depth: float = 0.0
     time_to_recover_s: float = 0.0
+    #: failover / client-resilience tallies (region outages and retry
+    #: timeouts act within a shard, so these sum across shards)
+    sessions_resteered: int = 0
+    chunk_retries: int = 0
+    requests_timed_out: int = 0
+    requests_hedged: int = 0
+    gray_degraded_bytes: int = 0
+    retry_attempts: tuple[int, ...] = ()
+    region_recovery: tuple[tuple[str, float, float], ...] = ()
     #: shard-tagged trace events, session/edge ids rewritten to global
     #: indices (empty unless the task asked for tracing)
     events: list = field(default_factory=list)
@@ -292,6 +313,7 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         sr_cache=task.sr_cache,
         assignment=task.assignment,
         faults=task.faults,
+        retry_policy=task.retry_policy,
         scheduler_engine=task.scheduler_engine,
         session_engine=task.session_engine,
         telemetry=telemetry,
@@ -315,6 +337,7 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         session_indices=task.shard.session_indices,
         results=result.sessions,
         end_times=result.end_times,
+        final_assignment=tuple(result.assignment),
         origin_egress=result.report.origin_egress_bytes,
         encode_waits=list(topo.origin.queue.waits),
         encode_busy_seconds=topo.origin.queue.busy_seconds,
@@ -325,6 +348,13 @@ def _run_shard(task: _ShardTask) -> _ShardOutcome:
         faults_injected=result.report.faults_injected,
         qoe_dip_depth=result.report.qoe_dip_depth,
         time_to_recover_s=result.report.time_to_recover_s,
+        sessions_resteered=result.report.sessions_resteered,
+        chunk_retries=result.report.chunk_retries,
+        requests_timed_out=result.report.requests_timed_out,
+        requests_hedged=result.report.requests_hedged,
+        gray_degraded_bytes=result.report.gray_degraded_bytes,
+        retry_attempts=result.report.retry_attempts,
+        region_recovery=result.report.region_recovery,
         events=(
             _globalize_events(telemetry.tracer.events, task)
             if telemetry is not None and telemetry.tracer is not None
@@ -353,6 +383,7 @@ def _make_task(
     *,
     copy_sr: bool,
     faults: FaultSchedule | None = None,
+    retry_policy: RetryPolicy | None = None,
     session_engine: str = "machine",
     trace: bool = False,
     profile: bool = False,
@@ -361,20 +392,38 @@ def _make_task(
 
     The caller's topology is never mutated: each shard deep-copies the
     edges it owns and builds a fresh origin holding its slice of the
-    encode pool.  All run statistics come back in the outcome.  A
-    (shardable) fault schedule is sliced to the events on owned edges,
-    re-indexed to the sub-topology.
+    encode pool.  All run statistics come back in the outcome.  The
+    fault schedule is sliced to the events on owned edges, re-indexed to
+    the sub-topology; a region outage rides along when the shard owns
+    its whole fault domain (``shard_fleet`` rejected it otherwise), with
+    the domain itself re-indexed into the sub-topology's ``regions``.
     """
     local_edge = {e: i for i, e in enumerate(shard.edge_indices)}
     sub_faults = None
     if faults is not None:
-        owned = tuple(
-            dc_replace(ev, edge=local_edge[ev.edge])
-            for ev in faults.events
-            if ev.edge in local_edge
-        )
+        owned = []
+        for ev in faults.events:
+            edge = getattr(ev, "edge", None)
+            if edge is not None:
+                if edge in local_edge:
+                    owned.append(dc_replace(ev, edge=local_edge[edge]))
+            elif isinstance(ev, RegionOutage):
+                members = (topology.regions or {}).get(ev.region, ())
+                if members and all(e in local_edge for e in members):
+                    owned.append(ev)
         if owned:
-            sub_faults = FaultSchedule(owned)
+            sub_faults = FaultSchedule(tuple(owned))
+    sub_regions = None
+    if topology.regions:
+        # Only fault domains the shard wholly owns survive the cut — a
+        # region split across shards cannot host a region outage (the
+        # entry point rejects that) and contributes no recovery metrics.
+        contained = {
+            name: tuple(local_edge[e] for e in members)
+            for name, members in topology.regions.items()
+            if all(e in local_edge for e in members)
+        }
+        sub_regions = contained or None
     sub_topology = CDNTopology(
         edges=tuple(copy.deepcopy(topology.edges[e]) for e in shard.edge_indices),
         origin=OriginServer(
@@ -382,6 +431,7 @@ def _make_task(
             encode_seconds=topology.origin.encode_seconds,
         ),
         assignment=topology.assignment,
+        regions=sub_regions,
     )
     cache: SRResultCache | str | None = sr_cache
     if copy_sr and isinstance(sr_cache, SRResultCache):
@@ -399,6 +449,7 @@ def _make_task(
         sr_cache=cache,
         scheduler_engine=scheduler_engine,
         faults=sub_faults,
+        retry_policy=retry_policy,
         session_engine=session_engine,
         trace=trace,
         profile=profile,
@@ -420,6 +471,7 @@ def _empty_outcome(shard: Shard, task: _ShardTask) -> _ShardOutcome:
         session_indices=(),
         results=[],
         end_times=[],
+        final_assignment=(),
         origin_egress=0,
         encode_waits=[],
         encode_busy_seconds=0.0,
@@ -442,6 +494,7 @@ def shard_fleet(
     seed: int = 0,
     start_method: str | None = None,
     faults: FaultSchedule | None = None,
+    retry_policy: RetryPolicy | None = None,
     fleet_engine: str | None = None,
     scheduler_engine: str | None = None,
     session_engine: str | None = None,
@@ -483,12 +536,16 @@ def shard_fleet(
     untouched (workers mutate private copies), so every statistic must
     be read from the returned report rather than the topology's caches.
 
-    ``faults`` accepts only *shardable* schedules — backhaul
-    degradations, which touch one edge's private link and serialize
-    cleanly into each shard's plan.  Edge outages and flash crowds move
-    viewers between edges (and therefore between shards), which the
-    partition cannot represent; they are rejected explicitly rather
-    than silently approximated — run those through ``simulate_fleet``.
+    ``faults`` accepts *shardable* schedules — backhaul degradations and
+    gray failures, which touch one edge's private links and serialize
+    cleanly into each shard's plan — plus region outages whose whole
+    fault domain lands inside one shard that also owns a fallback edge
+    outside the region (the failover then stays shard-local).  Edge
+    outages, flash crowds, and cross-shard regions move viewers between
+    shards, which the partition cannot represent; they are rejected
+    explicitly rather than silently approximated — run those through
+    ``simulate_fleet``.  ``retry_policy`` is forwarded verbatim to every
+    shard (timeout retries and hedges act within a shard's edges).
 
     ``telemetry`` threads the observability stack through the shards:
     each worker runs its own shard-tagged
@@ -509,6 +566,7 @@ def shard_fleet(
             or engine is not None
             or assignment is not None
             or faults is not None
+            or retry_policy is not None
             or fleet_engine is not None
             or telemetry is not None
             or scheduler_engine is not None
@@ -541,6 +599,7 @@ def shard_fleet(
             ),
             assignment=assignment,
             faults=faults,
+            retry_policy=retry_policy,
             telemetry=telemetry,
             cost_model=cost_model,
             engine=engine,
@@ -562,19 +621,58 @@ def shard_fleet(
     sr_cache = spec.sr_cache
     assignment = spec.assignment
     faults = spec.faults
+    retry_policy = spec.retry_policy
     telemetry = spec.telemetry
+    region_events: list[RegionOutage] = []
     if faults is not None:
-        if not faults.shardable():
+        region_events = [
+            ev for ev in faults.events if isinstance(ev, RegionOutage)
+        ]
+        if any(
+            not isinstance(
+                ev, (BackhaulDegradation, GrayFailure, RegionOutage)
+            )
+            for ev in faults.events
+        ):
             raise ValueError(
                 "shard_fleet only accepts shardable fault schedules "
-                "(backhaul degradations); edge outages and flash crowds "
-                "re-steer viewers across shard boundaries — run them "
-                "through simulate_fleet"
+                "(backhaul degradations, gray failures) plus region "
+                "outages contained in one shard; edge outages and flash "
+                "crowds re-steer viewers across shard boundaries — run "
+                "them through simulate_fleet"
             )
-        faults.validate_topology(len(topology.edges))
+        faults.validate_topology(len(topology.edges), topology.regions)
     plan = partition_topology(
         topology, sessions, workers, assignment=assignment, seed=seed
     )
+    if region_events:
+        # A region outage shards only when one worker owns its whole
+        # fault domain *and* a live fallback edge outside it — failover
+        # must stay shard-local, and a shard that is all dark region has
+        # nowhere to evacuate to.
+        owner_of = {
+            e: s.index for s in plan.shards for e in s.edge_indices
+        }
+        regions = topology.regions or {}
+        for ev in region_events:
+            members = regions[ev.region]
+            owners = {owner_of[e] for e in members}
+            if len(owners) > 1:
+                raise ValueError(
+                    f"region outage {ev.region!r} spans shards "
+                    f"{sorted(owners)} under workers={workers}; a region "
+                    "outage shards only when one worker owns the whole "
+                    "fault domain — lower workers or run through "
+                    "simulate_fleet"
+                )
+            shard = plan.shards[owners.pop()]
+            if all(e in members for e in shard.edge_indices):
+                raise ValueError(
+                    f"region outage {ev.region!r} covers every edge of "
+                    f"shard {shard.index}; the owning shard needs a "
+                    "fallback edge outside the region — repartition or "
+                    "run through simulate_fleet"
+                )
     copy_sr = plan.n_shards > 1
     trace = telemetry is not None and telemetry.tracer is not None
     profile = telemetry is not None and telemetry.profiler is not None
@@ -582,7 +680,7 @@ def shard_fleet(
         _make_task(
             shard, sessions, topology, plan, sr_cache,
             spec.scheduler_engine,
-            copy_sr=copy_sr, faults=faults,
+            copy_sr=copy_sr, faults=faults, retry_policy=retry_policy,
             session_engine=spec.session_engine,
             trace=trace, profile=profile,
         )
@@ -640,6 +738,8 @@ def _merge(
     """
     results: list[SessionResult | None] = [None] * len(sessions)
     end_times: list[float] = [0.0] * len(sessions)
+    # Start from the plan; in-shard evacuations overwrite below.
+    assignment = list(plan.assignment)
     per_edge = len(topology.edges)
     edge_stats = [(0, 0, 0, 0)] * per_edge
     edge_hit_rates = [0.0] * per_edge
@@ -655,6 +755,10 @@ def _merge(
         ):
             results[sid] = res
             end_times[sid] = end
+        for sid, local in zip(
+            outcome.session_indices, outcome.final_assignment
+        ):
+            assignment[sid] = shard.edge_indices[local]
         for e, stats, rate in zip(
             shard.edge_indices, outcome.edge_stats, outcome.edge_hit_rates
         ):
@@ -678,14 +782,37 @@ def _merge(
 
     # Fault events are partitioned exactly once across shards, so the
     # counts sum; the fleet's dip/recovery is the worst shard's (shards
-    # share no links, so each recovers independently).
+    # share no links, so each recovers independently).  The resilience
+    # counters act within a shard and sum, the retry-attempt histogram
+    # adds elementwise, and the per-region recovery entries concatenate
+    # (a region lives wholly inside one shard) back into name order.
     faults_injected = sum(o.faults_injected for o in outcomes)
+    resteered = sum(o.sessions_resteered for o in outcomes)
+    retries = sum(o.chunk_retries for o in outcomes)
+    timed_out = sum(o.requests_timed_out for o in outcomes)
+    attempts: list[int] = []
+    for o in outcomes:
+        if len(o.retry_attempts) > len(attempts):
+            attempts.extend([0] * (len(o.retry_attempts) - len(attempts)))
+        for i, c in enumerate(o.retry_attempts):
+            attempts[i] += c
     ops = None
-    if faults_injected:
+    if faults_injected or resteered or retries or timed_out:
         ops = OpsStats(
+            sessions_resteered=resteered,
             faults_injected=faults_injected,
             qoe_dip_depth=max(o.qoe_dip_depth for o in outcomes),
             time_to_recover_s=max(o.time_to_recover_s for o in outcomes),
+            chunk_retries=retries,
+            requests_timed_out=timed_out,
+            requests_hedged=sum(o.requests_hedged for o in outcomes),
+            gray_degraded_bytes=sum(
+                o.gray_degraded_bytes for o in outcomes
+            ),
+            retry_attempts=tuple(attempts),
+            region_recovery=tuple(sorted(
+                entry for o in outcomes for entry in o.region_recovery
+            )),
         )
 
     report = build_fleet_report(
@@ -715,6 +842,6 @@ def _merge(
         ),
         session_specs=list(sessions),
         topology=topology,
-        assignment=list(plan.assignment),
+        assignment=assignment,
         end_times=end_times,
     )

@@ -2,7 +2,7 @@
 
 ``simulate_fleet`` and ``shard_fleet`` grew to 11+ loose keyword
 arguments that had to be kept in sync by hand, with the cross-field
-rules (trace xor topology, policy-vs-topology, columnar-vs-outages, …)
+rules (trace xor topology, policy-vs-topology, faults-need-topology, …)
 duplicated in both functions.  :class:`FleetSpec` is the single source
 of truth: both entry points accept ``spec=`` and route every legacy
 keyword through the same object, so the shim path is bit-exact with the
@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation only
     from .cdn import CDNTopology
     from .control import ControlPlane
     from .cost import CostModel
-    from .faults import FaultSchedule
+    from .faults import FaultSchedule, RetryPolicy
     from .fleet import SRResultCache
 
 __all__ = ["FleetSpec"]
@@ -58,6 +58,7 @@ class FleetSpec:
     session_engine: str = "machine"
     assignment: list[int] | None = None
     faults: "FaultSchedule | None" = None
+    retry_policy: "RetryPolicy | None" = None
     controller: "ControlPlane | None" = None
     telemetry: "Telemetry | None" = None
     cost_model: "CostModel | None" = None
@@ -111,22 +112,17 @@ class FleetSpec:
         if self.faults is not None and not self.faults:
             self.faults = None  # empty schedule ≡ no faults
         if (
-            self.session_engine == "columnar"
-            and self.faults is not None
-            and self.faults.outages
-        ):
-            raise ValueError(
-                "session_engine='columnar' does not support edge outages "
-                "yet (evacuation/retry bookkeeping rides the machine "
-                "engine); use session_engine='machine' for outage "
-                "schedules"
-            )
-        if (
             self.faults is not None or self.controller is not None
         ) and self.topology is None:
             raise ValueError(
                 "faults and controller require a topology (fault events "
                 "and control actions are defined against CDN edges)"
+            )
+        if self.retry_policy is not None and self.topology is None:
+            raise ValueError(
+                "retry_policy requires a topology (timeouts retry "
+                "against CDN edges; the single-link mode has no edge "
+                "to fail over to)"
             )
         if self.topology is None and self.assignment is not None:
             raise ValueError("assignment requires a topology")

@@ -204,12 +204,13 @@ class TestFleetChaos:
 
     def test_all_scenarios_reported(self, table):
         scenarios = table.column("scenario")
-        assert scenarios[:6] == [
+        assert scenarios[:10] == [
             "baseline", "baseline", "edge-outage", "edge-outage",
-            "backhaul-degr", "flash-crowd",
+            "region-outage", "region-outage", "gray-edge",
+            "backhaul-degr", "retry-timeout", "flash-crowd",
         ]
-        assert scenarios[6] == "slow-encode"
-        assert scenarios[7].startswith("qoe-autoscale")
+        assert scenarios[10] == "slow-encode"
+        assert scenarios[11].startswith("qoe-autoscale")
 
     def test_outage_resteers_and_recovers(self, table):
         """The acceptance demonstration: an edge outage re-steers a
@@ -234,8 +235,43 @@ class TestFleetChaos:
     def test_slow_encode_forces_pool_resizes(self, table):
         assert table.lookup(scenario="slow-encode")["resizes"] > 0
 
+    def test_region_outage_fails_over_with_retries(self, table):
+        """The regional scenario must fail viewers over and the retry
+        layer must have re-issued attempts (timeouts or evacuations)."""
+        for row in table.rows:
+            if row["scenario"] != "region-outage":
+                continue
+            assert row["resteer"] > 0
+            assert row["retries"] > 0
+
+    def test_gray_edge_never_resteers_on_outage(self, table):
+        """A gray edge is never dark, so nothing evacuates; drops and
+        timeouts are absorbed by the retry layer."""
+        row = table.lookup(scenario="gray-edge")
+        assert row["retries"] > 0
+
+    def test_retry_timeout_row_cancels_requests(self, table):
+        """The impatient-client row must exercise the timeout path: the
+        experiment itself raises when no request times out, and every
+        timed-out attempt is also a counted retry."""
+        row = table.lookup(scenario="retry-timeout")
+        assert row["timeouts"] > 0
+        assert row["retries"] >= row["timeouts"]
+
+    def test_regional_mode_runs_only_the_regional_battery(self):
+        """--regional (the nightly smoke) restricts the table to the
+        fault-free baseline plus the correlated region-outage pair."""
+        table = run_fleet_chaos(
+            TINY, n_sessions=48, n_edges=3, regional=True
+        )
+        assert table.column("scenario") == [
+            "baseline", "region-outage", "region-outage",
+        ]
+        for row in table.rows[1:]:
+            assert row["resteer"] > 0
+
     def test_autoscale_row_learned_a_day2_scale(self, table):
-        row = table.rows[7]
+        row = table.rows[11]
         # The label carries the learned multiplier: "qoe-autoscale d2x0.75 nNN"
         scale = float(row["scenario"].split("d2x")[1].split()[0])
         assert 0.0 < scale <= 1.0

@@ -247,15 +247,23 @@ class TestColumnarValidation:
                 session_engine="vectorized",
             )
 
-    def test_outages_rejected_with_guidance(self):
-        faults = FaultSchedule((EdgeOutage(edge=0, start=2.0, duration=2.0),))
-        with pytest.raises(ValueError, match="machine"):
-            simulate_fleet(
-                make_sessions(4),
+    def test_outages_run_on_columnar(self):
+        """Edge outages used to be rejected on the columnar engine; the
+        evacuation path is now engine-agnostic and must match the
+        machine oracle, failover included."""
+        faults = FaultSchedule((EdgeOutage(edge=0, start=2.0, duration=9.0),))
+
+        def run(session_engine):
+            return simulate_fleet(
+                make_sessions(6),
                 topology=make_topology(2),
                 faults=faults,
-                session_engine="columnar",
+                session_engine=session_engine,
             )
+
+        a, b = run("machine"), run("columnar")
+        assert_identical(a, b)
+        assert a.report.sessions_resteered > 0
 
     def test_empty_schedule_allowed(self):
         a = simulate_fleet(

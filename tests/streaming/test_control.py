@@ -407,3 +407,109 @@ class TestClosedLoopEndToEnd:
         a = simulate_fleet(sessions, topology=cdn(), controller=plane).report
         b = simulate_fleet(sessions, topology=cdn(), controller=plane).report
         assert a.control_ticks == b.control_ticks > 0
+
+
+class _RecordingTracer:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, t, kind, **data):
+        self.events.append((t, kind, data))
+
+
+class TestGracefulDegradation:
+    """The dark-region levers: quality cap and SR disable, pulled when a
+    whole fault domain is dark and released when it returns."""
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError, match="quality_cap_when_dark"):
+            ControlPolicy(quality_cap_when_dark=0.0)
+        with pytest.raises(ValueError, match="quality_cap_when_dark"):
+            ControlPolicy(quality_cap_when_dark=1.5)
+        ControlPolicy(quality_cap_when_dark=1.0)
+
+    def test_levers_pull_once_and_release(self):
+        plane = ControlPlane(ControlPolicy(
+            quality_cap_when_dark=0.5, disable_sr_when_dark=True,
+        ))
+        on = plane.tick(view(regions_dark=("region-0",)))
+        assert on.quality_cap == 0.5
+        assert on.sr_enabled is False
+        assert bool(on)
+        assert plane.degrades == 1
+        # Still dark: the state machine holds, no repeated pull.
+        again = plane.tick(view(regions_dark=("region-0",)))
+        assert again.quality_cap is None and again.sr_enabled is None
+        assert plane.degrades == 1
+        # Region back: both levers release.
+        off = plane.tick(view())
+        assert off.quality_cap == math.inf
+        assert off.sr_enabled is True
+        assert plane.degrades == 2
+        assert any("degraded mode ON" in line for line in plane.log)
+        assert any("degraded mode OFF" in line for line in plane.log)
+
+    def test_single_lever_configurations(self):
+        cap_only = ControlPlane(ControlPolicy(quality_cap_when_dark=0.4))
+        on = cap_only.tick(view(regions_dark=("region-1",)))
+        assert on.quality_cap == 0.4
+        assert on.sr_enabled is None
+        sr_only = ControlPlane(ControlPolicy(disable_sr_when_dark=True))
+        on = sr_only.tick(view(regions_dark=("region-1",)))
+        assert on.quality_cap is None
+        assert on.sr_enabled is False
+
+    def test_no_levers_never_acts(self):
+        plane = ControlPlane(ControlPolicy())
+        actions = plane.tick(view(regions_dark=("region-0",)))
+        assert actions.quality_cap is None and actions.sr_enabled is None
+        assert plane.degrades == 0
+
+    def test_degrade_flips_are_traced(self):
+        from repro.obs.events import EV_CONTROL_DEGRADE
+
+        plane = ControlPlane(ControlPolicy(quality_cap_when_dark=0.5))
+        plane.tracer = _RecordingTracer()
+        plane.tick(view(regions_dark=("region-0", "region-1")))
+        plane.tick(view())
+        flips = [
+            (kind, data) for _, kind, data in plane.tracer.events
+            if kind == EV_CONTROL_DEGRADE
+        ]
+        assert len(flips) == 2
+        assert flips[0][1]["state"] == "on"
+        assert flips[0][1]["regions"] == "region-0,region-1"
+        assert flips[1][1]["state"] == "off"
+
+    def test_degraded_fleet_caps_quality_and_recovers(self):
+        """End to end: a dark region makes the degrade controller cap
+        density, so the brownout fleet ships fewer bytes than the same
+        outage without the lever — and the cap lifts once the region
+        returns (late chunks are full-density again)."""
+        from repro.streaming import FaultSchedule, RegionOutage
+
+        sessions = fleet(9)
+        topo = lambda: cdn(n_regions=2)  # region-0=(0,1), region-1=(2,)
+        # The window must be long enough that sessions make ABR
+        # decisions *while* dark (a chunk takes ~10 virtual seconds
+        # here), or the cap never touches a decision.
+        faults = FaultSchedule((
+            RegionOutage(region="region-0", start=3.0, duration=40.0),
+        ))
+        plain = simulate_fleet(
+            fleet(9), topology=topo(), faults=faults,
+            assignment=[i % 3 for i in range(9)],
+        )
+        degraded = simulate_fleet(
+            fleet(9), topology=topo(), faults=faults,
+            assignment=[i % 3 for i in range(9)],
+            controller=ControlPlane(ControlPolicy(
+                interval=1.0, encode_wait_high=math.inf,
+                encode_wait_low=0.0, saturation_factor=math.inf,
+                quality_cap_when_dark=0.2, disable_sr_when_dark=True,
+            )),
+        )
+        # FixedDensity(0.4) decisions clamp to 0.2 while the region is
+        # dark, so the degraded run ships strictly fewer bytes.
+        assert degraded.report.total_bytes < plain.report.total_bytes
+        assert all(r is not None for r in degraded.sessions)

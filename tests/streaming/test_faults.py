@@ -4,15 +4,21 @@ import dataclasses
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.net import stable_trace
 from repro.net.traces import lte_trace
 from repro.streaming import (
     BackhaulDegradation,
+    CorrelatedFaultGenerator,
     EdgeOutage,
     FaultSchedule,
     FlashCrowd,
     DegradedTrace,
+    GrayFailure,
+    RegionOutage,
+    RetryPolicy,
     flash_crowd_sessions,
     simulate_fleet,
     uniform_cdn,
@@ -67,6 +73,44 @@ class TestEventValidation:
         with pytest.raises(ValueError, match="ramp"):
             FlashCrowd(spec=spec(), start=0.0, n_viewers=1, ramp_seconds=-1.0)
 
+    def test_region_outage_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="region"):
+            RegionOutage(region="", start=0.0, duration=1.0)
+        with pytest.raises(ValueError, match="start"):
+            RegionOutage(region="r", start=-1.0, duration=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            RegionOutage(region="r", start=0.0, duration=0.0)
+        with pytest.raises(ValueError, match="duration"):
+            RegionOutage(region="r", start=0.0, duration=-2.0)
+
+    def test_gray_failure_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="capacity_factor"):
+            GrayFailure(edge=0, start=0.0, duration=1.0, capacity_factor=0.0)
+        with pytest.raises(ValueError, match="capacity_factor"):
+            GrayFailure(edge=0, start=0.0, duration=1.0, capacity_factor=1.5)
+        with pytest.raises(ValueError, match="drop_fraction"):
+            GrayFailure(edge=0, start=0.0, duration=1.0, drop_fraction=1.1)
+        with pytest.raises(ValueError, match="drop_delay_s"):
+            GrayFailure(edge=0, start=0.0, duration=1.0, drop_delay_s=0.0)
+        with pytest.raises(ValueError, match="duration"):
+            GrayFailure(edge=0, start=0.0, duration=0.0)
+
+    def test_retry_policy_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError, match="backoff_base_s"):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ValueError, match="backoff_cap_s"):
+            RetryPolicy(backoff_base_s=2.0, backoff_cap_s=1.0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_retry_backoff_doubles_then_caps(self):
+        pol = RetryPolicy(backoff_base_s=0.25, backoff_cap_s=1.0)
+        assert [pol.backoff(k) for k in (1, 2, 3, 4)] == [0.25, 0.5, 1.0, 1.0]
+        with pytest.raises(ValueError, match="1-based"):
+            pol.backoff(0)
+
     def test_schedule_rejects_unknown_events(self):
         with pytest.raises(TypeError, match="unknown fault event"):
             FaultSchedule(("not a fault",))
@@ -106,6 +150,150 @@ class TestEventValidation:
         ))
         assert sched.boundary_times() == [4.0, 6.0, 7.0]
 
+    def test_boundary_times_include_region_outages(self):
+        sched = FaultSchedule((
+            RegionOutage(region="r0", start=3.0, duration=2.0),
+            GrayFailure(edge=0, start=1.0, duration=9.0),
+        ))
+        assert sched.boundary_times() == [3.0, 5.0]
+
+
+def _forged(cls, **fields):
+    """Build a fault event bypassing ``__post_init__`` — the schedules
+    :meth:`FaultSchedule.validate` defends against in depth."""
+    ev = object.__new__(cls)
+    for name, value in fields.items():
+        object.__setattr__(ev, name, value)
+    return ev
+
+
+class TestScheduleValidate:
+    """Satellite: ``FaultSchedule.validate`` — one test per rejection."""
+
+    def test_rejects_zero_duration(self):
+        bad = _forged(EdgeOutage, edge=0, start=1.0, duration=0.0)
+        with pytest.raises(ValueError, match="duration must be positive"):
+            FaultSchedule((bad,)).validate()
+
+    def test_rejects_negative_duration(self):
+        bad = _forged(RegionOutage, region="r", start=1.0, duration=-3.0)
+        with pytest.raises(ValueError, match="duration must be positive"):
+            FaultSchedule((bad,)).validate()
+
+    def test_rejects_overlapping_same_edge_outages(self):
+        sched = FaultSchedule((
+            EdgeOutage(edge=0, start=1.0, duration=4.0),
+            EdgeOutage(edge=0, start=3.0, duration=4.0),
+        ))
+        with pytest.raises(ValueError, match="overlapping outages on edge 0"):
+            sched.validate()
+
+    def test_rejects_overlapping_same_region_outages(self):
+        sched = FaultSchedule((
+            RegionOutage(region="r0", start=1.0, duration=4.0),
+            RegionOutage(region="r0", start=3.0, duration=4.0),
+        ))
+        with pytest.raises(ValueError, match="overlapping outages on region"):
+            sched.validate()
+
+    def test_touching_windows_are_fine(self):
+        FaultSchedule((
+            EdgeOutage(edge=0, start=1.0, duration=2.0),
+            EdgeOutage(edge=0, start=3.0, duration=2.0),
+            RegionOutage(region="r0", start=1.0, duration=2.0),
+            RegionOutage(region="r0", start=3.0, duration=2.0),
+        )).validate()
+
+    def test_different_edges_may_overlap(self):
+        FaultSchedule((
+            EdgeOutage(edge=0, start=1.0, duration=4.0),
+            EdgeOutage(edge=1, start=3.0, duration=4.0),
+        )).validate()
+
+    def test_topology_validation_rejects_unknown_region(self):
+        sched = FaultSchedule((
+            RegionOutage(region="nowhere", start=1.0, duration=2.0),
+        ))
+        with pytest.raises(ValueError, match="nowhere"):
+            sched.validate_topology(3, {"region-0": (0, 1)})
+        with pytest.raises(ValueError, match="no regions"):
+            sched.validate_topology(3, None)
+
+    def test_topology_validation_rejects_region_edge_overlap(self):
+        """An edge inside a dark region cannot also carry its own
+        overlapping EdgeOutage — one edge, one dark window at a time."""
+        sched = FaultSchedule((
+            RegionOutage(region="region-0", start=1.0, duration=4.0),
+            EdgeOutage(edge=0, start=3.0, duration=4.0),
+        ))
+        with pytest.raises(ValueError, match="resolved outage windows"):
+            sched.validate_topology(3, {"region-0": (0, 1)})
+
+    def test_topology_validation_rejects_region_darkness(self):
+        sched = FaultSchedule((
+            RegionOutage(region="region-0", start=1.0, duration=2.0),
+        ))
+        with pytest.raises(ValueError, match="no live edge"):
+            sched.validate_topology(2, {"region-0": (0, 1)})
+        sched.validate_topology(3, {"region-0": (0, 1)})
+
+    def test_edge_outage_spans_resolve_regions(self):
+        sched = FaultSchedule((
+            EdgeOutage(edge=2, start=1.0, duration=1.0),
+            RegionOutage(region="region-0", start=4.0, duration=2.0),
+        ))
+        spans = sched.edge_outage_spans({"region-0": (0, 1)})
+        assert spans == [(0, 4.0, 6.0), (1, 4.0, 6.0), (2, 1.0, 2.0)]
+
+
+class TestCorrelatedFaultGenerator:
+    REGIONS = ["region-0", "region-1", "region-2", "region-3"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cascade_probability"):
+            CorrelatedFaultGenerator(cascade_probability=1.5)
+        with pytest.raises(ValueError, match="cascade_delay_s"):
+            CorrelatedFaultGenerator(cascade_delay_s=-1.0)
+        gen = CorrelatedFaultGenerator()
+        with pytest.raises(ValueError, match="origin"):
+            gen.generate(self.REGIONS, "region-9", start=0.0, duration=5.0)
+        with pytest.raises(ValueError, match="duration"):
+            gen.generate(self.REGIONS, "region-0", start=0.0, duration=0.0)
+
+    def test_same_seed_replays_exactly(self):
+        gen = CorrelatedFaultGenerator(seed=11, cascade_probability=0.6)
+        a = gen.generate(self.REGIONS, "region-1", start=2.0, duration=5.0)
+        b = gen.generate(self.REGIONS, "region-1", start=2.0, duration=5.0)
+        assert a == b
+
+    def test_origin_always_fails_with_the_requested_window(self):
+        gen = CorrelatedFaultGenerator(seed=3, cascade_probability=0.0)
+        sched = gen.generate(self.REGIONS, "region-2", start=4.0, duration=3.0)
+        assert sched.events == (
+            RegionOutage(region="region-2", start=4.0, duration=3.0),
+        )
+
+    def test_certain_cascade_staggers_by_hop_distance(self):
+        gen = CorrelatedFaultGenerator(
+            seed=0, cascade_probability=1.0, cascade_delay_s=2.0
+        )
+        sched = gen.generate(self.REGIONS, "region-0", start=1.0, duration=5.0)
+        onsets = {ev.region: ev.start for ev in sched.events}
+        assert onsets == {
+            "region-0": 1.0, "region-1": 3.0, "region-2": 5.0,
+            "region-3": 7.0,
+        }
+
+    def test_appending_a_region_never_reshuffles_earlier_draws(self):
+        """One draw per non-origin region in declaration order, whether
+        or not it fails: growing the region list only appends outcomes."""
+        gen = CorrelatedFaultGenerator(seed=5, cascade_probability=0.5)
+        small = gen.generate(self.REGIONS[:3], "region-0", 0.0, 4.0)
+        large = gen.generate(self.REGIONS, "region-0", 0.0, 4.0)
+        small_names = {ev.region for ev in small.events}
+        large_names = {ev.region for ev in large.events}
+        assert small_names == large_names & set(self.REGIONS[:3])
+
 
 class TestDegradedTrace:
     def test_scales_inside_window_only(self):
@@ -138,6 +326,45 @@ class TestDegradedTrace:
             DegradedTrace(base, [(5.0, 5.0, 0.5)])
         with pytest.raises(ValueError, match="factor"):
             DegradedTrace(base, [(0.0, 5.0, 0.0)])
+
+    def test_exact_shared_boundary_hands_off_cleanly(self):
+        """Satellite: two windows meeting at one instant compose with no
+        gap and no double-count — the shared boundary belongs to the
+        *second* window (half-open ``[start, end)`` throughout)."""
+        base = stable_trace(10.0, duration=100.0)
+        t = DegradedTrace(base, [(2.0, 5.0, 0.5), (5.0, 8.0, 0.25)])
+        bw = base.bandwidth_at(0.0)
+        assert t.bandwidth_at(5.0 - 1e-9) == pytest.approx(0.5 * bw)
+        assert t.bandwidth_at(5.0) == pytest.approx(0.25 * bw)
+        assert t.bandwidth_at(8.0) == base.bandwidth_at(8.0)
+        # The integration must stop exactly at the hand-off instant.
+        assert t.time_to_next_change(2.0) == pytest.approx(3.0)
+        assert t.time_to_next_change(5.0) == pytest.approx(3.0)
+
+    def test_nested_windows_compose_at_both_boundaries(self):
+        base = stable_trace(10.0, duration=100.0)
+        t = DegradedTrace(base, [(0.0, 10.0, 0.5), (4.0, 6.0, 0.5)])
+        bw = base.bandwidth_at(0.0)
+        assert t.bandwidth_at(4.0 - 1e-9) == pytest.approx(0.5 * bw)
+        assert t.bandwidth_at(4.0) == pytest.approx(0.25 * bw)
+        assert t.bandwidth_at(6.0 - 1e-9) == pytest.approx(0.25 * bw)
+        assert t.bandwidth_at(6.0) == pytest.approx(0.5 * bw)
+
+    def test_windowed_byte_conservation(self):
+        """Integrating the degraded trace over windows that exactly tile
+        ``[0, 10)`` conserves bytes against the closed-form sum — the
+        segment-exact contract the scheduler relies on at boundaries."""
+        base = stable_trace(8.0, duration=100.0)  # constant 8 Mbit/s
+        t = DegradedTrace(base, [(2.0, 5.0, 0.5), (5.0, 8.0, 0.25)])
+        # Piecewise-exact integration by stepping time_to_next_change.
+        now, total_bits = 0.0, 0.0
+        while now < 10.0:
+            dt = min(t.time_to_next_change(now), 10.0 - now)
+            total_bits += t.bandwidth_at(now) * dt
+            now += dt
+        bw = base.bandwidth_at(0.0)
+        expected = bw * (2.0 + 0.5 * 3.0 + 0.25 * 3.0 + 2.0)
+        assert total_bits == pytest.approx(expected)
 
 
 class TestFlashCrowds:
@@ -258,6 +485,27 @@ class TestDisabledModeParity:
         assert rep.qoe_dip_depth == 0.0
         assert rep.time_to_recover_s == 0.0
         assert not math.isinf(rep.time_to_recover_s)
+        assert rep.chunk_retries == 0
+        assert rep.requests_timed_out == 0
+        assert rep.requests_hedged == 0
+        assert rep.gray_degraded_bytes == 0
+        assert rep.retry_attempts == ()
+        assert rep.region_recovery == ()
+
+    @pytest.mark.parametrize("engine", ["machine", "columnar"])
+    def test_default_retry_policy_is_bit_exact(self, engine):
+        """``RetryPolicy()`` (infinite timeout, no hedge) on a fault-free
+        run arms nothing: bit-exact with the bare run on both engines."""
+        sessions = fleet(6)
+        topo = cdn()
+        a = simulate_fleet(sessions, topology=topo, session_engine=engine)
+        b = simulate_fleet(
+            sessions, topology=topo, session_engine=engine,
+            retry_policy=RetryPolicy(),
+        )
+        assert a.report == b.report
+        assert a.sessions == b.sessions
+        assert a.end_times == b.end_times
 
 
 class TestOutageAccounting:
@@ -333,3 +581,348 @@ class TestOutageAccounting:
         # t=12 joiner arrives after the chain ends.
         assert result.assignment[2] == 0
         assert all(r is not None for r in result.sessions)
+
+
+def check_retry_accounting(rep):
+    """The accounting contract every failure path shares: each counted
+    failed attempt belongs to a request that eventually completed, so
+    the retry counter equals the attempt histogram's weighted sum (no
+    `_RetryState` entry outlives the run)."""
+    assert rep.chunk_retries == sum(
+        (k + 1) * c for k, c in enumerate(rep.retry_attempts)
+    )
+
+
+class TestGrayFailureEndToEnd:
+    def test_drop_draw_is_deterministic_per_request(self):
+        g = GrayFailure(edge=0, start=0.0, duration=10.0, drop_fraction=0.5)
+        draws = [g.drops(sid, 1.25) for sid in range(200)]
+        assert draws == [g.drops(sid, 1.25) for sid in range(200)]
+        assert any(draws) and not all(draws)
+        never = GrayFailure(edge=0, start=0.0, duration=10.0)
+        assert not any(never.drops(sid, 1.25) for sid in range(50))
+        always = GrayFailure(
+            edge=0, start=0.0, duration=10.0, drop_fraction=1.0
+        )
+        assert all(always.drops(sid, 1.25) for sid in range(50))
+
+    def test_covers_is_half_open(self):
+        g = GrayFailure(edge=0, start=2.0, duration=3.0)
+        assert not g.covers(2.0 - 1e-9)
+        assert g.covers(2.0)
+        assert g.covers(5.0 - 1e-9)
+        assert not g.covers(5.0)
+
+    def test_brownout_degrades_without_resteering(self):
+        sessions = fleet(9)
+        assignment = [i % 3 for i in range(9)]
+        topo = cdn()
+        base = simulate_fleet(
+            sessions, topology=topo, assignment=assignment
+        ).report
+        sched = FaultSchedule((
+            GrayFailure(edge=0, start=2.0, duration=10.0,
+                        capacity_factor=0.3),
+        ))
+        hit = simulate_fleet(
+            sessions, topology=cdn(), assignment=assignment, faults=sched
+        ).report
+        assert hit.faults_injected == 1
+        assert hit.sessions_resteered == 0  # browned out, not dark
+        assert hit.gray_degraded_bytes > 0
+        assert hit != base
+
+    def test_drops_count_as_retries_and_bytes_conserve(self):
+        topo = cdn()
+        sched = FaultSchedule((
+            GrayFailure(edge=0, start=1.0, duration=14.0,
+                        capacity_factor=0.8, drop_fraction=0.5,
+                        drop_delay_s=0.5),
+        ))
+        result = simulate_fleet(
+            fleet(9), topology=topo,
+            assignment=[i % 3 for i in range(9)], faults=sched,
+        )
+        rep = result.report
+        assert rep.chunk_retries > 0
+        assert rep.requests_timed_out == 0
+        assert sum(rep.retry_attempts) > 0
+        check_retry_accounting(rep)
+        hit_bytes = sum(e.cache.hit_bytes for e in topo.edges)
+        coalesced = sum(e.cache.coalesced_bytes for e in topo.edges)
+        assert (
+            rep.origin_egress_bytes + hit_bytes + coalesced
+            == rep.total_bytes
+        )
+        assert all(r is not None for r in result.sessions)
+
+    def test_gray_composes_with_backhaul_degradation(self):
+        """A gray capacity window (access link) and a backhaul
+        degradation on the same edge stack without breaking byte
+        conservation — distinct links, one DegradedTrace mechanism."""
+        topo = cdn()
+        sched = FaultSchedule((
+            GrayFailure(edge=0, start=2.0, duration=8.0,
+                        capacity_factor=0.5),
+            BackhaulDegradation(edge=0, start=4.0, duration=8.0,
+                                factor=0.5),
+        ))
+        result = simulate_fleet(
+            fleet(6), topology=topo,
+            assignment=[i % 3 for i in range(6)], faults=sched,
+        )
+        rep = result.report
+        assert rep.faults_injected == 2
+        hit_bytes = sum(e.cache.hit_bytes for e in topo.edges)
+        coalesced = sum(e.cache.coalesced_bytes for e in topo.edges)
+        assert (
+            rep.origin_egress_bytes + hit_bytes + coalesced
+            == rep.total_bytes
+        )
+        # Both wrappers came off the reused topology.
+        for edge in topo.edges:
+            assert not isinstance(edge.access.trace, DegradedTrace)
+            assert not isinstance(edge.backhaul.trace, DegradedTrace)
+
+
+class TestRegionOutageEndToEnd:
+    def test_region_members_evacuate_together(self):
+        # 3 edges, 2 regions: region-0 = (0, 1), region-1 = (2,).
+        topo = cdn(n_regions=2)
+        sched = FaultSchedule((
+            RegionOutage(region="region-0", start=4.0, duration=6.0),
+        ))
+        result = simulate_fleet(
+            fleet(9), topology=topo,
+            assignment=[i % 3 for i in range(9)], faults=sched,
+        )
+        rep = result.report
+        assert rep.faults_injected == 1  # one incident, two edges dark
+        assert rep.sessions_resteered == 6  # everyone on edges 0 and 1
+        assert all(e == 2 for e in result.assignment)
+        assert all(r is not None for r in result.sessions)
+
+    def test_per_region_recovery_metrics_reported(self):
+        topo = cdn(n_regions=2)
+        sched = FaultSchedule((
+            RegionOutage(region="region-0", start=4.0, duration=6.0),
+        ))
+        rep = simulate_fleet(
+            fleet(9), topology=topo,
+            assignment=[i % 3 for i in range(9)], faults=sched,
+        ).report
+        names = [name for name, _, _ in rep.region_recovery]
+        assert names == ["region-0", "region-1"]
+        for _, dip, recover in rep.region_recovery:
+            assert dip >= 0.0
+            assert recover >= 0.0
+        # The dark region's audience hurts at least as much as the
+        # bystander region absorbing its refugees.
+        dips = {name: dip for name, dip, _ in rep.region_recovery}
+        assert dips["region-0"] > 0.0
+
+    def test_region_outage_requires_declared_region(self):
+        sched = FaultSchedule((
+            RegionOutage(region="region-0", start=4.0, duration=6.0),
+        ))
+        with pytest.raises(ValueError, match="region-0"):
+            simulate_fleet(fleet(3), topology=cdn(), faults=sched)
+
+
+class TestRetryTimeouts:
+    def sessions(self, n=6):
+        return fleet(n)
+
+    def slow_cdn(self):
+        # A starved backhaul makes cold fetches slow enough that a short
+        # client timeout fires while the cache is still warming.
+        return cdn(backhaul_mbps=4.0)
+
+    def test_timeouts_fire_and_requests_still_complete(self):
+        pol = RetryPolicy(
+            timeout_s=1.0, backoff_base_s=0.1, backoff_cap_s=0.4,
+            max_attempts=3,
+        )
+        result = simulate_fleet(
+            self.sessions(), topology=self.slow_cdn(),
+            assignment=[i % 3 for i in range(6)], retry_policy=pol,
+        )
+        rep = result.report
+        assert rep.requests_timed_out > 0
+        assert rep.chunk_retries >= rep.requests_timed_out
+        assert sum(rep.retry_attempts) > 0
+        check_retry_accounting(rep)
+        assert all(r is not None for r in result.sessions)
+
+    def test_max_attempts_bounds_the_fight(self):
+        pol = RetryPolicy(timeout_s=1.0, backoff_base_s=0.1, max_attempts=2)
+        rep = simulate_fleet(
+            self.sessions(), topology=self.slow_cdn(),
+            assignment=[i % 3 for i in range(6)], retry_policy=pol,
+        ).report
+        assert rep.requests_timed_out > 0
+        # At most max_attempts - 1 failed attempts per request: the
+        # final attempt runs untimed.
+        assert len(rep.retry_attempts) <= pol.max_attempts - 1
+
+    def test_hedge_moves_sessions_and_counts(self):
+        pol = RetryPolicy(timeout_s=1.0, backoff_base_s=0.1, hedge=True)
+        result = simulate_fleet(
+            self.sessions(), topology=self.slow_cdn(),
+            assignment=[i % 3 for i in range(6)], retry_policy=pol,
+        )
+        rep = result.report
+        assert rep.requests_hedged > 0
+        assert rep.sessions_resteered >= rep.requests_hedged
+        check_retry_accounting(rep)
+        assert all(r is not None for r in result.sessions)
+
+    def test_timeouts_are_deterministic(self):
+        pol = RetryPolicy(timeout_s=1.0, backoff_base_s=0.1)
+        a = simulate_fleet(
+            self.sessions(), topology=self.slow_cdn(), retry_policy=pol
+        )
+        b = simulate_fleet(
+            self.sessions(), topology=self.slow_cdn(), retry_policy=pol
+        )
+        assert a.report == b.report
+        assert a.sessions == b.sessions
+        assert a.end_times == b.end_times
+
+
+class TestRetryOffsetAccounting:
+    """Satellite: the old ``retry_offset`` dict's audit, pinned against
+    the folded `_RetryState` accounting (see its docstring)."""
+
+    def outage(self):
+        return FaultSchedule((EdgeOutage(edge=0, start=4.0, duration=6.0),))
+
+    def test_evacuation_retries_are_counted_and_settled(self):
+        result = simulate_fleet(
+            fleet(9), topology=cdn(),
+            assignment=[i % 3 for i in range(9)], faults=self.outage(),
+        )
+        rep = result.report
+        assert rep.sessions_resteered > 0
+        assert rep.chunk_retries > 0
+        check_retry_accounting(rep)
+        assert all(r is not None for r in result.sessions)
+
+    def test_chained_outages_telescope_into_one_window(self):
+        """A viewer whose retry is re-killed by the chained second span
+        accumulates both gaps into one offset entry; the fleet lands
+        where a single merged window would put it (the extra scheduler
+        sync at the inner boundary reassociates float sums, so the
+        comparison is approx, not bit-exact)."""
+        sessions = fleet(9)
+        assignment = [i % 3 for i in range(9)]
+        chained = simulate_fleet(
+            sessions, topology=cdn(), assignment=assignment,
+            faults=FaultSchedule((
+                EdgeOutage(edge=0, start=4.0, duration=3.0),
+                EdgeOutage(edge=0, start=7.0, duration=3.0),
+            )),
+        )
+        merged = simulate_fleet(
+            sessions, topology=cdn(), assignment=assignment,
+            faults=FaultSchedule((
+                EdgeOutage(edge=0, start=4.0, duration=6.0),
+            )),
+        )
+        assert chained.assignment == merged.assignment
+        assert chained.end_times == pytest.approx(merged.end_times)
+        assert chained.report.sessions_resteered == (
+            merged.report.sessions_resteered
+        )
+        assert chained.report.chunk_retries == merged.report.chunk_retries
+        assert chained.report.mean_qoe == pytest.approx(
+            merged.report.mean_qoe
+        )
+        for ca, me in zip(chained.sessions, merged.sessions):
+            assert ca.total_bytes == me.total_bytes
+            assert ca.stall_seconds == pytest.approx(me.stall_seconds)
+            assert ca.qoe == pytest.approx(me.qoe)
+        check_retry_accounting(chained.report)
+
+    def test_abandoning_session_settles_its_account(self):
+        """A session that abandons at its completing attempt has already
+        consumed its sunk-time entry — the histogram equality cannot see
+        a leak, and the run must not crash on the dangling state."""
+        from repro.streaming import AbandonPolicy, FleetSession
+
+        sessions = [
+            FleetSession(
+                spec=spec(seconds=20, name="vid"),
+                controller=FixedDensity(0.4),
+                sr_latency=sr_lat(),
+                join_time=0.4 * i,
+                churn=AbandonPolicy(max_total_stall=0.5),
+            )
+            for i in range(9)
+        ]
+        result = simulate_fleet(
+            sessions, topology=cdn(backhaul_mbps=6.0),
+            assignment=[i % 3 for i in range(9)], faults=self.outage(),
+        )
+        rep = result.report
+        assert any(r.abandoned for r in result.sessions)
+        check_retry_accounting(rep)
+        assert all(r is not None for r in result.sessions)
+
+
+class TestFaultEngineParity:
+    """Ninth oracle-parity instance: fault kinds x retry policies, the
+    per-session machine engine as the bit-exact oracle for columnar."""
+
+    FAULTS = {
+        "none": None,
+        "edge": FaultSchedule((
+            EdgeOutage(edge=0, start=3.0, duration=5.0),
+        )),
+        "region": FaultSchedule((
+            RegionOutage(region="region-0", start=3.0, duration=5.0),
+        )),
+        "gray": FaultSchedule((
+            GrayFailure(edge=0, start=2.0, duration=8.0,
+                        capacity_factor=0.5),
+        )),
+        "gray-drop": FaultSchedule((
+            GrayFailure(edge=0, start=2.0, duration=8.0,
+                        capacity_factor=0.8, drop_fraction=0.4,
+                        drop_delay_s=0.5),
+        )),
+    }
+    RETRIES = {
+        "none": None,
+        "timeout": RetryPolicy(
+            timeout_s=1.5, backoff_base_s=0.25, backoff_cap_s=1.0,
+            max_attempts=3,
+        ),
+        "hedge": RetryPolicy(
+            timeout_s=1.5, backoff_base_s=0.25, backoff_cap_s=1.0,
+            max_attempts=3, hedge=True,
+        ),
+    }
+
+    @given(
+        fault=st.sampled_from(sorted(FAULTS)),
+        retry=st.sampled_from(sorted(RETRIES)),
+        n=st.integers(5, 8),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_machine_is_the_columnar_oracle(self, fault, retry, n):
+        def run(engine):
+            return simulate_fleet(
+                fleet(n), topology=cdn(n_regions=2),
+                assignment=[i % 3 for i in range(n)],
+                faults=self.FAULTS[fault],
+                retry_policy=self.RETRIES[retry],
+                session_engine=engine,
+            )
+
+        a = run("machine")
+        b = run("columnar")
+        assert a.report == b.report
+        assert a.sessions == b.sessions
+        assert a.assignment == b.assignment
+        assert a.end_times == b.end_times

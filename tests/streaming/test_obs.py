@@ -115,6 +115,7 @@ class TestTracer:
             "faults_injected": 0,
             "control_ticks": 0,
             "encode_pool_resizes": 0,
+            "requests_timed_out": 0,
         }
 
 
@@ -330,6 +331,7 @@ class TestConservation:
         assert fold["faults_injected"] == rep.faults_injected
         assert fold["control_ticks"] == rep.control_ticks
         assert fold["encode_pool_resizes"] == rep.encode_pool_resizes
+        assert fold["requests_timed_out"] == rep.requests_timed_out
 
     def test_chaos_counters_reconstruct(self):
         tel = Telemetry()

@@ -224,13 +224,23 @@ class TestSpecValidation:
                 trace=stable_trace(60.0, duration=600.0), sr_cache="per-edge"
             ).validate()
 
-    def test_columnar_rejects_outages(self):
+    def test_columnar_accepts_outages(self):
+        """Outage evacuation is engine-agnostic now — the historical
+        columnar-vs-outages rejection is gone."""
         faults = FaultSchedule((EdgeOutage(edge=0, start=1.0, duration=2.0),))
-        with pytest.raises(ValueError, match="machine"):
+        FleetSpec(
+            topology=make_topology(),
+            faults=faults,
+            session_engine="columnar",
+        ).validate()
+
+    def test_retry_policy_needs_topology(self):
+        from repro.streaming.faults import RetryPolicy
+
+        with pytest.raises(ValueError, match="retry_policy"):
             FleetSpec(
-                topology=make_topology(),
-                faults=faults,
-                session_engine="columnar",
+                trace=stable_trace(60.0, duration=600.0),
+                retry_policy=RetryPolicy(timeout_s=5.0),
             ).validate()
 
     def test_empty_faults_normalized(self):

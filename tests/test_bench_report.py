@@ -33,7 +33,7 @@ SHARDED_NAMES = {
 }
 
 
-def raw_json(min_s=0.1, machine="x86_64", telemetry=True, bola=True):
+def raw_json(min_s=0.1, machine="x86_64", telemetry=True, bola=True, chaos=True):
     stats = {name: min_s for name in RAW_NAMES}
     stats.update(
         {name: min_s * f for name, f in SHARDED_NAMES.items()}
@@ -46,6 +46,10 @@ def raw_json(min_s=0.1, machine="x86_64", telemetry=True, bola=True):
         # BOLA skips horizon planning, so its columnar run is faster
         # than the MPC columnar lane (0.5x min_s above).
         stats["test_bench_fleet_bola_columnar"] = min_s * 0.4
+    if chaos:
+        # Armed-but-idle retry layer at 2% over the plain run — inside
+        # its 10% budget.
+        stats["test_bench_fleet_chaos_armed"] = min_s * 1.02
     return {
         "machine_info": {
             "machine": machine,
@@ -178,6 +182,59 @@ class TestBuildReports:
         assert "test_bench_fleet_bola_columnar" not in fleet["benchmarks"]
         assert "test_bench_fleet_bola_columnar" not in fleet["floors"]
 
+    def test_fleet_chaos_row(self):
+        """The chaos lane (schema v6) carries the armed-but-idle retry
+        overhead against the plain run; without a pair dump the ratio is
+        derived from the raw rows and tagged as such."""
+        reports = bench_report.build_reports(raw_json(min_s=0.1))
+        fleet = reports["BENCH_fleet.json"]
+        chaos = fleet["fleet_chaos"]
+        assert chaos["workers"] == 1
+        assert chaos["overhead_x"] == pytest.approx(1.02)
+        assert chaos["overhead_budget_x"] > 1.0
+        assert chaos["measurement"] == "raw-rows"
+        bench = fleet["benchmarks"]["test_bench_fleet_chaos_armed"]
+        assert bench["content_s_per_wall_s"] == pytest.approx(
+            fleet["content_seconds_sharded"] / 0.102
+        )
+
+    def test_raw_without_chaos_lane_still_builds(self):
+        """Raw JSONs from before the chaos lane (schema v5 era)
+        post-process cleanly — the v6 fields are optional on read."""
+        reports = bench_report.build_reports(raw_json(chaos=False))
+        fleet = reports["BENCH_fleet.json"]
+        assert "fleet_chaos" not in fleet
+        assert "test_bench_fleet_chaos_armed" not in fleet["benchmarks"]
+
+    def test_same_window_pairs_preferred_over_raw_rows(self):
+        """The budget tests' interleaved pair dump supplies the overhead
+        ratios when present — the raw rows are measured minutes apart,
+        so a drifting box records a ratio no same-window run reproduces."""
+        overheads = {
+            "fleet_telemetry": {
+                "base_wall_s": 20.0, "wall_s": 21.4, "overhead_x": 1.07,
+            },
+            "fleet_chaos": {
+                "base_wall_s": 20.0, "wall_s": 19.0, "overhead_x": 0.95,
+            },
+        }
+        reports = bench_report.build_reports(
+            raw_json(min_s=0.1), overheads=overheads
+        )
+        fleet = reports["BENCH_fleet.json"]
+        assert fleet["fleet_telemetry"]["overhead_x"] == pytest.approx(1.07)
+        assert fleet["fleet_telemetry"]["measurement"] == "same-window-pair"
+        assert fleet["fleet_chaos"]["overhead_x"] == pytest.approx(0.95)
+        assert fleet["fleet_chaos"]["measurement"] == "same-window-pair"
+        # A dump carrying only one gate leaves the other on raw rows.
+        partial = bench_report.build_reports(
+            raw_json(min_s=0.1),
+            overheads={"fleet_chaos": overheads["fleet_chaos"]},
+        )
+        fleet = partial["BENCH_fleet.json"]
+        assert fleet["fleet_telemetry"]["measurement"] == "raw-rows"
+        assert fleet["fleet_chaos"]["measurement"] == "same-window-pair"
+
     def test_phases_folded_into_fleet_report(self):
         phases = {
             "workload": "sharded w1 2000x8s",
@@ -299,6 +356,18 @@ class TestRegressionGate:
         reports["BENCH_fleet.json"]["fleet_telemetry"]["overhead_x"] = 1.4
         failures, _ = bench_report.check_regressions(reports, tmp_path, 0.3)
         assert any("telemetry costs 1.40x" in f for f in failures)
+
+    def test_chaos_over_budget_fails(self, tmp_path, monkeypatch):
+        """Armed-retry overhead past its budget fails the gate on any
+        hardware — a same-box ratio, not relaxed by BENCH_FLOOR_SCALE."""
+        monkeypatch.setenv("BENCH_FLOOR_SCALE", "0.1")
+        reports = bench_report.build_reports(raw_json(min_s=0.01))
+        reports["BENCH_fleet.json"]["fleet_chaos"]["overhead_x"] = 1.4
+        failures, _ = bench_report.check_regressions(reports, tmp_path, 0.3)
+        assert any(
+            "retry layer costs 1.40x" in f and "budget" in f
+            for f in failures
+        )
 
     def test_schema3_baseline_still_compares(self, tmp_path):
         """A committed v3 baseline (no telemetry row, no phases) gates
